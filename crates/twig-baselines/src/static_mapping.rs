@@ -1,0 +1,107 @@
+use crate::{config_error, BaselineError};
+use twig_core::TaskManager;
+use twig_sim::{Assignment, DvfsLadder, EpochReport, ServiceSpec};
+
+/// The paper's static baseline: "setting all cores to 2 GHz, and then
+/// launching the services" — every service runs across the whole socket at
+/// the highest DVFS state, every epoch. All evaluation energy numbers are
+/// normalised to this manager.
+///
+/// # Examples
+///
+/// ```
+/// use twig_baselines::StaticMapping;
+/// use twig_core::TaskManager;
+/// use twig_sim::{catalog, DvfsLadder};
+///
+/// let mut m = StaticMapping::new(vec![catalog::xapian()], 18, DvfsLadder::default()).unwrap();
+/// let a = m.decide().unwrap();
+/// assert_eq!(a[0].core_count(), 18);
+/// assert_eq!(a[0].freq.mhz(), 2000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticMapping {
+    services: usize,
+    cores: usize,
+    dvfs: DvfsLadder,
+}
+
+impl StaticMapping {
+    /// Creates the static baseline for the given services and platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty service list or zero cores.
+    pub fn new(
+        services: Vec<ServiceSpec>,
+        cores: usize,
+        dvfs: DvfsLadder,
+    ) -> Result<Self, BaselineError> {
+        if services.is_empty() {
+            return Err(config_error("static mapping needs at least one service"));
+        }
+        if cores == 0 {
+            return Err(config_error("static mapping needs at least one core"));
+        }
+        Ok(StaticMapping { services: services.len(), cores, dvfs })
+    }
+}
+
+impl TaskManager for StaticMapping {
+    fn name(&self) -> &str {
+        "static"
+    }
+
+    fn decide(&mut self) -> Result<Vec<Assignment>, BaselineError> {
+        Ok((0..self.services)
+            .map(|_| Assignment::first_n(self.cores, self.dvfs.max()))
+            .collect())
+    }
+
+    fn observe(&mut self, _report: &EpochReport) -> Result<(), BaselineError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twig_sim::{catalog, Server, ServerConfig};
+
+    #[test]
+    fn constructor_validation() {
+        assert!(StaticMapping::new(vec![], 18, DvfsLadder::default()).is_err());
+        assert!(StaticMapping::new(vec![catalog::moses()], 0, DvfsLadder::default()).is_err());
+    }
+
+    #[test]
+    fn always_full_socket_max_freq() {
+        let mut m = StaticMapping::new(
+            vec![catalog::masstree(), catalog::moses()],
+            18,
+            DvfsLadder::default(),
+        )
+        .unwrap();
+        for _ in 0..3 {
+            let a = m.decide().unwrap();
+            assert_eq!(a.len(), 2);
+            for assignment in &a {
+                assert_eq!(assignment.core_count(), 18);
+                assert_eq!(assignment.freq, DvfsLadder::default().max());
+            }
+        }
+    }
+
+    #[test]
+    fn runs_against_server() {
+        let specs = vec![catalog::img_dnn()];
+        let mut server = Server::new(ServerConfig::default(), specs.clone(), 9).unwrap();
+        let mut m = StaticMapping::new(specs, 18, DvfsLadder::default()).unwrap();
+        for _ in 0..5 {
+            let a = m.decide().unwrap();
+            let r = server.step(&a).unwrap();
+            m.observe(&r).unwrap();
+        }
+        assert_eq!(m.name(), "static");
+    }
+}

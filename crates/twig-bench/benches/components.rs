@@ -1,0 +1,138 @@
+//! Component microbenchmarks behind Table III: the per-epoch cost of each
+//! Twig runtime piece (gradient descent, PMC gathering/preprocessing,
+//! action selection, mapping) plus the simulator substrate itself.
+//!
+//! Run with `cargo bench -p twig-bench --bench components`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use twig_core::{Mapper, SystemMonitor};
+use twig_rl::{MaBdq, MaBdqConfig, MultiTransition};
+use twig_sim::pmc::{synthesize, Activity};
+use twig_sim::{catalog, Assignment, Frequency, Server, ServerConfig};
+
+fn ready_agent(config: MaBdqConfig) -> MaBdq {
+    let mut agent = MaBdq::new(config).expect("valid config");
+    let state = vec![vec![0.5f32; 11]; agent.config().agents];
+    for _ in 0..agent.config().batch_size {
+        agent
+            .observe(MultiTransition {
+                states: state.clone(),
+                actions: vec![vec![3, 2]; agent.config().agents],
+                rewards: vec![1.0; agent.config().agents],
+                next_states: state.clone(),
+            })
+            .expect("valid transition");
+    }
+    agent
+}
+
+fn bench_gradient_descent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/gradient_descent");
+    group.sample_size(20);
+    for (label, config) in [
+        ("fast_net_2_agents", MaBdqConfig { agents: 2, ..MaBdqConfig::default() }),
+        ("paper_net_2_agents", MaBdqConfig { agents: 2, ..MaBdqConfig::paper() }),
+    ] {
+        let mut agent = ready_agent(config);
+        group.bench_function(label, |b| {
+            b.iter(|| agent.train_step().expect("train").expect("batch"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_action_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/action_selection");
+    let mut agent = ready_agent(MaBdqConfig { agents: 2, ..MaBdqConfig::default() });
+    let state = vec![vec![0.5f32; 11]; 2];
+    group.bench_function("fast_net_2_agents", |b| {
+        b.iter(|| agent.select_actions(&state, 0.1).expect("select"));
+    });
+    group.finish();
+}
+
+fn bench_pmc_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/pmc_gather_preprocess");
+    let spec = catalog::masstree();
+    let act = Activity {
+        weighted_busy_core_s: 4.0,
+        busy_core_s: 4.0,
+        cpu_work_ms: 2000.0,
+        mem_work_ms: 800.0,
+        cache_pressure: 0.2,
+        clock_ghz: 2.0,
+    };
+    let mut monitor = SystemMonitor::new(2, 5, 18).expect("valid monitor");
+    let mut rng = rand::rngs::mock::StepRng::new(1, 7);
+    group.bench_function("two_services", |b| {
+        b.iter(|| {
+            for svc in 0..2 {
+                let sample = synthesize(&spec, &act, &mut rng);
+                monitor.update(svc, &sample).expect("update");
+            }
+            monitor.states().expect("states")
+        });
+    });
+    group.finish();
+}
+
+fn bench_mapper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/core_allocation");
+    let mapper = Mapper::new(18).expect("valid mapper");
+    group.bench_function("two_services", |b| {
+        b.iter(|| {
+            mapper
+                .assign(&[
+                    (7, Frequency::from_mhz(1600)),
+                    (5, Frequency::from_mhz(1900)),
+                ])
+                .expect("assign")
+        });
+    });
+    group.finish();
+}
+
+fn bench_simulator_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/server_epoch");
+    for (label, load) in [("mid_load", 0.5), ("high_load", 0.9)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut server = Server::new(
+                        ServerConfig::default(),
+                        vec![catalog::masstree(), catalog::moses()],
+                        1,
+                    )
+                    .expect("server");
+                    server.set_load_fraction(0, load).expect("load");
+                    server.set_load_fraction(1, load).expect("load");
+                    server
+                },
+                |mut server| {
+                    let a = vec![
+                        Assignment::first_n(9, Frequency::from_mhz(2000)),
+                        Assignment::new(
+                            (9..18).map(twig_sim::CoreId).collect(),
+                            Frequency::from_mhz(1800),
+                        ),
+                    ];
+                    for _ in 0..10 {
+                        server.step(&a).expect("step");
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gradient_descent,
+    bench_action_selection,
+    bench_pmc_pipeline,
+    bench_mapper,
+    bench_simulator_epoch
+);
+criterion_main!(benches);

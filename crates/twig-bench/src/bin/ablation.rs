@@ -1,0 +1,10 @@
+//! Binary wrapper for the `ablation` experiment; see
+//! `twig_bench::experiments::ablation`.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::ablation::run(&opts) {
+        eprintln!("ablation failed: {e}");
+        std::process::exit(1);
+    }
+}

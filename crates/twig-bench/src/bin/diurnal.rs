@@ -1,0 +1,10 @@
+//! Binary wrapper for the `diurnal` experiment; see
+//! `twig_bench::experiments::diurnal`.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::diurnal::run(&opts) {
+        eprintln!("diurnal failed: {e}");
+        std::process::exit(1);
+    }
+}

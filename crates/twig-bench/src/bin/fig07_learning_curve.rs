@@ -1,0 +1,10 @@
+//! Binary wrapper for the `fig07` experiment; see
+//! `twig_bench::experiments::fig07` for what it regenerates.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::fig07::run(&opts) {
+        eprintln!("fig07 failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Binary wrapper for the `fig08` experiment; see
+//! `twig_bench::experiments::fig08` for what it regenerates.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::fig08::run(&opts) {
+        eprintln!("fig08 failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Binary wrapper for the `fig10` experiment; see
+//! `twig_bench::experiments::fig10` for what it regenerates.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::fig10::run(&opts) {
+        eprintln!("fig10 failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Binary wrapper for the `fig11` experiment; see
+//! `twig_bench::experiments::fig11` for what it regenerates.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::fig11::run(&opts) {
+        eprintln!("fig11 failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Binary wrapper for the `fig12` experiment; see
+//! `twig_bench::experiments::fig12` for what it regenerates.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::fig12::run(&opts) {
+        eprintln!("fig12 failed: {e}");
+        std::process::exit(1);
+    }
+}

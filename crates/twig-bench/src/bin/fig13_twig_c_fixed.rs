@@ -1,0 +1,10 @@
+//! Binary wrapper for the `fig13` experiment; see
+//! `twig_bench::experiments::fig13` for what it regenerates.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::fig13::run(&opts) {
+        eprintln!("fig13 failed: {e}");
+        std::process::exit(1);
+    }
+}

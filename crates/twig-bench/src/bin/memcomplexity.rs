@@ -1,0 +1,10 @@
+//! Binary wrapper for the `memcomplexity` experiment; see
+//! `twig_bench::experiments::memcomplexity` for what it regenerates.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::memcomplexity::run(&opts) {
+        eprintln!("memcomplexity failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Binary wrapper for the `table1` experiment; see
+//! `twig_bench::experiments::table1` for what it regenerates.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::table1::run(&opts) {
+        eprintln!("table1 failed: {e}");
+        std::process::exit(1);
+    }
+}

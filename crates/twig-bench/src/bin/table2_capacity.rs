@@ -1,0 +1,10 @@
+//! Binary wrapper for the `table2` experiment; see
+//! `twig_bench::experiments::table2` for what it regenerates.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::table2::run(&opts) {
+        eprintln!("table2 failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,22 @@
+//! One module per paper table/figure. Each exposes
+//! `run(&Options) -> Result<(), ExpError>` printing the regenerated rows or
+//! series; the binaries in `src/bin/` are thin wrappers. See `DESIGN.md`
+//! for the experiment index and `EXPERIMENTS.md` for paper-vs-measured.
+
+pub mod ablation;
+pub mod diurnal;
+pub mod fig01;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod memcomplexity;
+pub mod table1;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,35 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each experiment is a module under [`experiments`] with a thin binary
+//! wrapper in `src/bin/`; `cargo run -p twig-bench --release --bin <exp>`
+//! prints the same rows/series the paper reports. The mapping from paper
+//! table/figure to binary lives in `DESIGN.md` (experiment index) and
+//! `EXPERIMENTS.md` (paper-vs-measured record).
+//!
+//! Experiments default to a **fast** scale (shortened learning phases with
+//! the ε schedule compressed proportionally via
+//! [`twig_rl::EpsilonSchedule::scaled`]); pass `--full` for the paper's
+//! durations (10 000 s learning, 300/600 s measurement windows).
+//!
+//! # Examples
+//!
+//! ```
+//! use twig_bench::Options;
+//!
+//! let opts = Options::parse_from(["--seed", "7"].iter().map(|s| s.to_string())).unwrap();
+//! assert_eq!(opts.seed, 7);
+//! assert!(!opts.full);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod options;
+mod runner;
+mod table;
+
+pub use options::Options;
+pub use runner::{
+    drive, make_twig, summarize, total_energy, window, ExpError, ServiceSummary,
+};
+pub use table::{fmt_f, TextTable};

@@ -1,0 +1,121 @@
+/// Command-line options shared by every experiment binary.
+///
+/// # Examples
+///
+/// ```
+/// use twig_bench::Options;
+///
+/// let o = Options::parse_from(["--full"].iter().map(|s| s.to_string())).unwrap();
+/// assert!(o.full);
+/// assert!(o.learn_epochs() > 5_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Run at the paper's full scale (10 000 s learning phases) instead of
+    /// the fast default.
+    pub full: bool,
+    /// Base RNG seed for the simulator and managers.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { full: false, seed: 42 }
+    }
+}
+
+impl Options {
+    /// Parses from raw arguments (excluding the binary name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags or a malformed seed.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut opts = Options::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--full" => opts.full = true,
+                "--fast" => opts.full = false,
+                "--seed" => {
+                    let v = iter.next().ok_or("--seed needs a value")?;
+                    opts.seed = v.parse().map_err(|e| format!("bad seed {v}: {e}"))?;
+                }
+                "--help" | "-h" => {
+                    return Err("usage: [--full|--fast] [--seed N]".to_string())
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses the process arguments, exiting with usage on error.
+    pub fn from_env() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Learning-phase length in epochs (the paper's first 10 000 s; the
+    /// fast default compresses it to 2 000 with the ε schedule scaled to
+    /// match).
+    pub fn learn_epochs(&self) -> u64 {
+        if self.full {
+            10_000
+        } else {
+            2_000
+        }
+    }
+
+    /// Measurement-window length in epochs (the paper summarises over the
+    /// last 300 s; 600 s for the PARTIES comparisons).
+    pub fn measure_epochs(&self, parties: bool) -> u64 {
+        match (self.full, parties) {
+            (_, true) => 600,
+            (true, false) => 300,
+            (false, false) => 300,
+        }
+    }
+
+    /// Warm-up epochs for feedback controllers that need no learning phase.
+    pub fn controller_warmup(&self) -> u64 {
+        120
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn default_is_fast() {
+        let o = parse(&[]).unwrap();
+        assert!(!o.full);
+        assert_eq!(o.learn_epochs(), 2_000);
+        assert_eq!(o.measure_epochs(false), 300);
+        assert_eq!(o.measure_epochs(true), 600);
+    }
+
+    #[test]
+    fn full_scale_matches_paper() {
+        let o = parse(&["--full"]).unwrap();
+        assert_eq!(o.learn_epochs(), 10_000);
+    }
+
+    #[test]
+    fn seed_parsing() {
+        assert_eq!(parse(&["--seed", "9"]).unwrap().seed, 9);
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+}

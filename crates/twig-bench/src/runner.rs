@@ -1,0 +1,201 @@
+use twig_core::{RewardConfig, TaskManager, Twig, TwigBuilder};
+use twig_rl::{EpsilonSchedule, MaBdqConfig};
+use twig_sim::{EpochReport, Server, ServiceSpec};
+
+/// Boxed error used throughout the harness.
+pub type ExpError = Box<dyn std::error::Error + Send + Sync>;
+
+/// Drives `manager` against `server` for `epochs` decision epochs,
+/// returning every epoch's report.
+///
+/// # Errors
+///
+/// Propagates manager and simulator errors.
+pub fn drive(
+    server: &mut Server,
+    manager: &mut dyn TaskManager,
+    epochs: u64,
+) -> Result<Vec<EpochReport>, ExpError> {
+    let mut reports = Vec::with_capacity(epochs as usize);
+    for _ in 0..epochs {
+        let assignments = manager.decide()?;
+        let report = server.step(&assignments)?;
+        manager.observe(&report)?;
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
+/// The last `n` epochs of a trace (the paper's measurement windows).
+pub fn window(reports: &[EpochReport], n: u64) -> &[EpochReport] {
+    let n = (n as usize).min(reports.len());
+    &reports[reports.len() - n..]
+}
+
+/// Builds a Twig manager scaled to the experiment: the ε schedule is
+/// compressed to `learn_epochs` (use the paper's 10 000 for `--full`), and
+/// the network uses the fast default architecture (see
+/// [`MaBdqConfig::default`] vs [`MaBdqConfig::paper`]).
+///
+/// # Errors
+///
+/// Propagates Twig construction errors.
+pub fn make_twig(
+    services: Vec<ServiceSpec>,
+    learn_epochs: u64,
+    seed: u64,
+) -> Result<Twig, ExpError> {
+    // The schedule reaches its 0.01 floor *by the end* of the learning
+    // phase, so measurement windows see an (almost) pure exploitation
+    // policy — the paper measures "after the first 10 000 s, allowing Twig
+    // ... to gain sufficient experiences".
+    // Keep the paper's total gradient-step budget (~10 000) even when the
+    // learning phase is compressed, by replaying the buffer more per epoch.
+    let replay_ratio = (10_000 / learn_epochs.max(1)).clamp(1, 3) as u32;
+    // θ is tuned empirically per platform, exactly as Section IV tunes the
+    // reward parameters ("determined empirically … yielded the best energy
+    // efficiency while improving the QoS guarantee"); 1.0 is this
+    // platform's best point (the paper's testbed used 0.5).
+    Ok(TwigBuilder::new()
+        .services(services)
+        .epsilon(EpsilonSchedule::new(0.1, 0.005, learn_epochs * 3 / 5, learn_epochs))
+        .agent(MaBdqConfig::default())
+        .reward(RewardConfig { theta: 1.0, ..RewardConfig::default() })
+        .train_steps_per_epoch(replay_ratio)
+        .action_stickiness(0.02)
+        .seed(seed)
+        .build()?)
+}
+
+/// Per-service evaluation metrics over a measurement window (Section V):
+/// *QoS guarantee* is the percentage of epoch p99 samples meeting the
+/// target; *QoS tardiness* is measured p99 over target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSummary {
+    /// Service name.
+    pub name: String,
+    /// Percentage of epochs whose p99 met the QoS target.
+    pub qos_guarantee_pct: f64,
+    /// Mean tardiness (measured p99 / target).
+    pub mean_tardiness: f64,
+    /// Worst tardiness in the window.
+    pub max_tardiness: f64,
+    /// Mean p99 in milliseconds.
+    pub mean_p99_ms: f64,
+    /// Mean cores allocated.
+    pub mean_cores: f64,
+    /// Mean DVFS frequency in MHz.
+    pub mean_freq_mhz: f64,
+}
+
+/// Summarises a window of reports per service (targets from `specs`).
+///
+/// # Panics
+///
+/// Panics if `reports` is empty or shapes disagree with `specs`.
+pub fn summarize(reports: &[EpochReport], specs: &[ServiceSpec]) -> Vec<ServiceSummary> {
+    assert!(!reports.is_empty(), "empty measurement window");
+    let k = specs.len();
+    (0..k)
+        .map(|i| {
+            let qos = specs[i].qos_ms;
+            let mut met = 0usize;
+            let mut tard_sum = 0.0;
+            let mut tard_max: f64 = 0.0;
+            let mut p99_sum = 0.0;
+            let mut cores_sum = 0.0;
+            let mut freq_sum = 0.0;
+            let mut counted = 0usize;
+            for r in reports {
+                let svc = &r.services[i];
+                cores_sum += svc.core_count as f64;
+                freq_sum += svc.freq.mhz() as f64;
+                // Idle epochs (no offered traffic) don't count toward QoS.
+                if svc.offered_rps <= 0.0 && svc.completed == 0 {
+                    continue;
+                }
+                counted += 1;
+                let tardiness = svc.p99_ms / qos;
+                if tardiness <= 1.0 {
+                    met += 1;
+                }
+                tard_sum += tardiness;
+                tard_max = tard_max.max(tardiness);
+                p99_sum += svc.p99_ms;
+            }
+            let denom = counted.max(1) as f64;
+            ServiceSummary {
+                name: specs[i].name.clone(),
+                qos_guarantee_pct: 100.0 * met as f64 / denom,
+                mean_tardiness: tard_sum / denom,
+                max_tardiness: tard_max,
+                mean_p99_ms: p99_sum / denom,
+                mean_cores: cores_sum / reports.len() as f64,
+                mean_freq_mhz: freq_sum / reports.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Total ground-truth energy over a window, in joules (epochs are one
+/// simulated second).
+pub fn total_energy(reports: &[EpochReport]) -> f64 {
+    reports.iter().map(|r| r.true_power_w).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twig_baselines::StaticMapping;
+    use twig_sim::{catalog, DvfsLadder, ServerConfig};
+
+    #[test]
+    fn drive_and_summarize_roundtrip() {
+        let specs = vec![catalog::masstree()];
+        let mut server = Server::new(ServerConfig::default(), specs.clone(), 1).unwrap();
+        server.set_load_fraction(0, 0.5).unwrap();
+        let mut manager =
+            StaticMapping::new(specs.clone(), 18, DvfsLadder::default()).unwrap();
+        let reports = drive(&mut server, &mut manager, 20).unwrap();
+        assert_eq!(reports.len(), 20);
+        let tail = window(&reports, 10);
+        assert_eq!(tail.len(), 10);
+        let summary = summarize(tail, &specs);
+        assert_eq!(summary.len(), 1);
+        assert!(summary[0].qos_guarantee_pct > 50.0);
+        assert_eq!(summary[0].mean_cores, 18.0);
+        assert!(total_energy(tail) > 0.0);
+    }
+
+    #[test]
+    fn window_clamps_to_len() {
+        let specs = vec![catalog::moses()];
+        let mut server = Server::new(ServerConfig::default(), specs.clone(), 2).unwrap();
+        let mut manager =
+            StaticMapping::new(specs, 18, DvfsLadder::default()).unwrap();
+        let reports = drive(&mut server, &mut manager, 5).unwrap();
+        assert_eq!(window(&reports, 100).len(), 5);
+    }
+
+    #[test]
+    fn make_twig_runs() {
+        let specs = vec![catalog::xapian()];
+        let mut server = Server::new(ServerConfig::default(), specs.clone(), 3).unwrap();
+        let mut twig = make_twig(specs, 100, 3).unwrap();
+        let reports = drive(&mut server, &mut twig, 5).unwrap();
+        assert_eq!(reports.len(), 5);
+    }
+
+    #[test]
+    fn idle_epochs_do_not_count_toward_guarantee() {
+        let specs = vec![catalog::img_dnn()];
+        let mut server = Server::new(ServerConfig::default(), specs.clone(), 4).unwrap();
+        server.set_load_fraction(0, 0.0).unwrap();
+        let mut manager =
+            StaticMapping::new(specs.clone(), 18, DvfsLadder::default()).unwrap();
+        let reports = drive(&mut server, &mut manager, 5).unwrap();
+        let s = summarize(&reports, &specs);
+        assert_eq!(s[0].qos_guarantee_pct, 0.0);
+        assert_eq!(s[0].mean_p99_ms, 0.0);
+    }
+}

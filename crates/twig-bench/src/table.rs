@@ -1,0 +1,124 @@
+use std::fmt;
+
+/// Minimal aligned text table for experiment output.
+///
+/// # Examples
+///
+/// ```
+/// use twig_bench::TextTable;
+///
+/// let mut t = TextTable::new(vec!["service", "qos %"]);
+/// t.row(vec!["masstree".into(), "99.2".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("masstree"));
+/// assert!(s.contains("qos %"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        fn cell(row: &[String], c: usize) -> &str {
+            row.get(c).map_or("", |s| s.as_str())
+        }
+        #[allow(clippy::needless_range_loop)] // widths and cells indexed together
+        for c in 0..cols {
+            widths[c] = self
+                .rows
+                .iter()
+                .map(|r| cell(r, c).len())
+                .chain([cell(&self.headers, c).len()])
+                .max()
+                .unwrap_or(0);
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            #[allow(clippy::needless_range_loop)] // widths and cells indexed together
+            for c in 0..cols {
+                if c > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:<width$}", cell(row, c), width = widths[c])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with the given precision (helper for experiment rows).
+pub fn fmt_f(value: f64, precision: usize) -> String {
+    format!("{value:.precision$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = TextTable::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Header and row share the same column start for column 2.
+        let pos_h = lines[0].find("long-header").unwrap();
+        let pos_r = lines[2].find('1').unwrap();
+        assert_eq!(pos_h, pos_r);
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into(), "4".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let s = t.to_string();
+        assert!(s.contains('4'));
+    }
+
+    #[test]
+    fn fmt_helper() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+    }
+}

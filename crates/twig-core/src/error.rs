@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+use twig_rl::RlError;
+use twig_sim::SimError;
+use twig_stats::StatsError;
+
+/// Error produced by the Twig task manager.
+///
+/// # Examples
+///
+/// ```
+/// use twig_core::{TwigBuilder, TwigError};
+///
+/// let err = TwigBuilder::new().build().unwrap_err(); // no services
+/// assert!(matches!(err, TwigError::InvalidConfig { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TwigError {
+    /// A configuration value was outside its valid domain.
+    InvalidConfig {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A report did not match the configured services.
+    ReportMismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An error bubbled up from the learning substrate.
+    Learning(RlError),
+    /// An error bubbled up from the simulator types.
+    Sim(SimError),
+    /// An error bubbled up from the statistics substrate.
+    Stats(StatsError),
+}
+
+impl fmt::Display for TwigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TwigError::InvalidConfig { detail } => write!(f, "invalid config: {detail}"),
+            TwigError::ReportMismatch { detail } => {
+                write!(f, "report mismatch: {detail}")
+            }
+            TwigError::Learning(e) => write!(f, "learning error: {e}"),
+            TwigError::Sim(e) => write!(f, "simulator error: {e}"),
+            TwigError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl Error for TwigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TwigError::Learning(e) => Some(e),
+            TwigError::Sim(e) => Some(e),
+            TwigError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<RlError> for TwigError {
+    fn from(e: RlError) -> Self {
+        TwigError::Learning(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<SimError> for TwigError {
+    fn from(e: SimError) -> Self {
+        TwigError::Sim(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<StatsError> for TwigError {
+    fn from(e: StatsError) -> Self {
+        TwigError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = TwigError::Learning(RlError::NotEnoughData { needed: 1, available: 0 });
+        assert!(!e.to_string().is_empty());
+        assert!(e.source().is_some());
+        let e = TwigError::InvalidConfig { detail: "x".into() };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<TwigError>();
+    }
+}

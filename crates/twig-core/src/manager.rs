@@ -1,0 +1,634 @@
+use crate::{Eq2PowerModel, Mapper, RewardConfig, SystemMonitor, TwigError};
+use twig_rl::{EpsilonSchedule, MaBdq, MaBdqConfig, MultiTransition};
+use twig_sim::{Assignment, DvfsLadder, EpochReport, ServiceSpec};
+
+/// Common interface of every task manager in this workspace (Twig and the
+/// baselines), so experiments can drive them interchangeably:
+/// [`decide`](Self::decide) produces the next epoch's assignments,
+/// [`observe`](Self::observe) feeds back what the platform measured.
+pub trait TaskManager {
+    /// The manager's display name (used in experiment output).
+    fn name(&self) -> &str;
+
+    /// Chooses the resource assignment for the next epoch, one per service.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return their own error types boxed.
+    fn decide(&mut self) -> Result<Vec<Assignment>, Box<dyn std::error::Error + Send + Sync>>;
+
+    /// Consumes the epoch's measurements (tail latency, counters, power).
+    ///
+    /// # Errors
+    ///
+    /// Implementations return their own error types boxed.
+    fn observe(
+        &mut self,
+        report: &EpochReport,
+    ) -> Result<(), Box<dyn std::error::Error + Send + Sync>>;
+}
+
+/// Configuration of a [`Twig`] manager.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwigConfig {
+    /// The managed services (Twig-S for one, Twig-C for several).
+    pub services: Vec<ServiceSpec>,
+    /// Socket size.
+    pub cores: usize,
+    /// The platform's DVFS ladder.
+    pub dvfs: DvfsLadder,
+    /// PMC smoothing window η (Section III-B1; the paper uses 5).
+    pub eta: usize,
+    /// The ε-annealing schedule (Section IV).
+    pub epsilon: EpsilonSchedule,
+    /// The Eq. 1 reward parameters.
+    pub reward: RewardConfig,
+    /// The Eq. 2 per-service power model used inside the reward.
+    pub power_model: Eq2PowerModel,
+    /// Peak (stress-benchmark) power used to normalise the power reward.
+    pub peak_power_w: f64,
+    /// Learning-agent overrides (network sizes, lr, PER, …). `agents`,
+    /// `state_dim` and `branches` are derived from the platform and
+    /// overwritten.
+    pub agent: MaBdqConfig,
+    /// When `true`, skip gradient descent and run pure exploitation — the
+    /// paper's recommendation once the agent "has seen sufficient
+    /// experiences" (Section V, Overhead).
+    pub pure_exploitation: bool,
+    /// Gradient steps per decision epoch. The paper takes one step per
+    /// second over a 10 000 s learning phase; shortened experiments keep
+    /// the same total step budget by replaying the buffer more per epoch.
+    pub train_steps_per_epoch: u32,
+    /// Action hysteresis (not in the paper; 0 disables): when exploiting,
+    /// keep the previous action on a branch unless the greedy action's
+    /// Q-value exceeds the previous action's by this fraction of the Q
+    /// range. Damps policy oscillation between near-tied allocations, whose
+    /// migration costs otherwise snowball under time-varying load.
+    pub action_stickiness: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TwigConfig {
+    fn default() -> Self {
+        TwigConfig {
+            services: Vec::new(),
+            cores: 18,
+            dvfs: DvfsLadder::default(),
+            eta: 5,
+            epsilon: EpsilonSchedule::paper(),
+            reward: RewardConfig::default(),
+            power_model: Eq2PowerModel::default(),
+            peak_power_w: 130.0,
+            agent: MaBdqConfig::default(),
+            pure_exploitation: false,
+            train_steps_per_epoch: 1,
+            action_stickiness: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Builder for [`Twig`].
+///
+/// # Examples
+///
+/// ```
+/// use twig_core::{TaskManager, TwigBuilder};
+/// use twig_rl::EpsilonSchedule;
+/// use twig_sim::catalog;
+///
+/// let twig = TwigBuilder::new()
+///     .services(vec![catalog::moses(), catalog::masstree()])
+///     .epsilon(EpsilonSchedule::scaled(500))
+///     .seed(1)
+///     .build()
+///     .unwrap();
+/// assert_eq!(twig.name(), "twig-c");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TwigBuilder {
+    config: TwigConfig,
+}
+
+impl TwigBuilder {
+    /// Starts from the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the managed services.
+    pub fn services(mut self, services: Vec<ServiceSpec>) -> Self {
+        self.config.services = services;
+        self
+    }
+
+    /// Sets the socket size.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.config.cores = cores;
+        self
+    }
+
+    /// Sets the DVFS ladder.
+    pub fn dvfs(mut self, dvfs: DvfsLadder) -> Self {
+        self.config.dvfs = dvfs;
+        self
+    }
+
+    /// Sets the ε schedule (use [`EpsilonSchedule::scaled`] for shortened
+    /// experiments).
+    pub fn epsilon(mut self, epsilon: EpsilonSchedule) -> Self {
+        self.config.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the reward parameters.
+    pub fn reward(mut self, reward: RewardConfig) -> Self {
+        self.config.reward = reward;
+        self
+    }
+
+    /// Sets the Eq. 2 power model (e.g. from [`crate::fit_power_model`]).
+    pub fn power_model(mut self, model: Eq2PowerModel) -> Self {
+        self.config.power_model = model;
+        self
+    }
+
+    /// Sets the stress-benchmark peak power.
+    pub fn peak_power(mut self, watts: f64) -> Self {
+        self.config.peak_power_w = watts;
+        self
+    }
+
+    /// Overrides learning-agent settings (network width, lr, PER, …).
+    pub fn agent(mut self, agent: MaBdqConfig) -> Self {
+        self.config.agent = agent;
+        self
+    }
+
+    /// Enables pure exploitation (no gradient descent).
+    pub fn pure_exploitation(mut self, on: bool) -> Self {
+        self.config.pure_exploitation = on;
+        self
+    }
+
+    /// Sets the number of gradient steps per decision epoch (replay ratio).
+    pub fn train_steps_per_epoch(mut self, steps: u32) -> Self {
+        self.config.train_steps_per_epoch = steps;
+        self
+    }
+
+    /// Sets the action-hysteresis margin (see
+    /// [`TwigConfig::action_stickiness`]).
+    pub fn action_stickiness(mut self, margin: f64) -> Self {
+        self.config.action_stickiness = margin;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Builds the manager.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TwigError::InvalidConfig`] when no services are configured
+    /// or the platform/agent configuration is invalid.
+    pub fn build(self) -> Result<Twig, TwigError> {
+        Twig::new(self.config)
+    }
+}
+
+/// The Twig task manager (Algorithm 1): one multi-agent BDQ managing every
+/// latency-critical service on the socket.
+///
+/// Call [`decide`](Self::decide) at the start of each epoch and
+/// [`observe`](Self::observe) with the platform's measurements at its end.
+/// See the crate docs for a full example.
+#[derive(Debug, Clone)]
+pub struct Twig {
+    config: TwigConfig,
+    agent: MaBdq,
+    monitor: SystemMonitor,
+    mapper: Mapper,
+    name: String,
+    time: u64,
+    pending: Option<Pending>,
+    last_actions: Option<Vec<Vec<usize>>>,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    states: Vec<Vec<f32>>,
+    actions: Vec<Vec<usize>>,
+}
+
+impl Twig {
+    /// Creates a manager from a full configuration (see [`TwigBuilder`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TwigError::InvalidConfig`] for an empty service list or an
+    /// invalid platform/agent configuration.
+    pub fn new(config: TwigConfig) -> Result<Self, TwigError> {
+        if config.services.is_empty() {
+            return Err(TwigError::InvalidConfig { detail: "no services".into() });
+        }
+        for s in &config.services {
+            s.validate().map_err(TwigError::Sim)?;
+        }
+        if config.cores == 0 {
+            return Err(TwigError::InvalidConfig { detail: "zero cores".into() });
+        }
+        let k = config.services.len();
+        let agent_config = MaBdqConfig {
+            agents: k,
+            state_dim: twig_sim::NUM_COUNTERS,
+            branches: vec![config.cores, config.dvfs.len()],
+            seed: config.seed,
+            ..config.agent.clone()
+        };
+        let agent = MaBdq::new(agent_config).map_err(TwigError::Learning)?;
+        let monitor = SystemMonitor::new(k, config.eta, config.cores)?;
+        let mapper = Mapper::new(config.cores)?;
+        let name = if k == 1 { "twig-s".to_string() } else { "twig-c".to_string() };
+        Ok(Twig {
+            config,
+            agent,
+            monitor,
+            mapper,
+            name,
+            time: 0,
+            pending: None,
+            last_actions: None,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TwigConfig {
+        &self.config
+    }
+
+    /// Decision epochs elapsed.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// The current exploration rate.
+    pub fn epsilon(&self) -> f64 {
+        self.config.epsilon.value_at(self.time)
+    }
+
+    /// The learning agent (for inspection).
+    pub fn agent(&self) -> &MaBdq {
+        &self.agent
+    }
+
+    /// Switches to pure exploitation (drops gradient descent), reducing the
+    /// per-epoch overhead as recommended in Section V.
+    pub fn set_pure_exploitation(&mut self, on: bool) {
+        self.config.pure_exploitation = on;
+    }
+
+    /// Algorithm 1 lines 7–8: choose the mapping configuration for the next
+    /// epoch, ε-greedily over the (core count, DVFS) branches of each
+    /// agent, and resolve it to concrete cores via the mapper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates learning and mapping errors.
+    pub fn decide(&mut self) -> Result<Vec<Assignment>, TwigError> {
+        let states = self.monitor.states()?;
+        let epsilon = self.epsilon();
+        let mut actions = self
+            .agent
+            .select_actions(&states, epsilon)
+            .map_err(TwigError::Learning)?;
+        if self.config.action_stickiness > 0.0 {
+            if let Some(previous) = &self.last_actions {
+                let q = self.agent.q_values(&states).map_err(TwigError::Learning)?;
+                for (k, agent_actions) in actions.iter_mut().enumerate() {
+                    for (d, action) in agent_actions.iter_mut().enumerate() {
+                        let prev = previous[k][d];
+                        if prev == *action {
+                            continue;
+                        }
+                        let row = &q[k][d];
+                        let lo = row.iter().cloned().fold(f32::INFINITY, f32::min);
+                        let hi = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                        let margin =
+                            (self.config.action_stickiness * f64::from(hi - lo)) as f32;
+                        // Keep the previous choice unless the new one is a
+                        // clear improvement (never overrides exploration
+                        // moves that beat it by the margin).
+                        if row[*action] - row[prev] < margin {
+                            *action = prev;
+                        }
+                    }
+                }
+            }
+        }
+        self.last_actions = Some(actions.clone());
+        let requests: Vec<(usize, twig_sim::Frequency)> = actions
+            .iter()
+            .map(|a| {
+                let cores = a[0] + 1; // branch 0: 1..=cores
+                let freq = self.config.dvfs.frequency_at(a[1]).expect("valid branch");
+                (cores.min(self.config.cores), freq)
+            })
+            .collect();
+        let assignments = self.mapper.assign(&requests)?;
+        self.pending = Some(Pending { states, actions });
+        Ok(assignments)
+    }
+
+    /// Algorithm 1 lines 10–13: observe the new per-service states, compute
+    /// the Eq. 1 rewards, store the transition and run one gradient step
+    /// (unless in pure exploitation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TwigError::ReportMismatch`] when the report's service count
+    /// differs, and propagates learning errors.
+    pub fn observe(&mut self, report: &EpochReport) -> Result<(), TwigError> {
+        let k = self.config.services.len();
+        if report.services.len() != k {
+            return Err(TwigError::ReportMismatch {
+                detail: format!("report has {} services, manager {k}", report.services.len()),
+            });
+        }
+        for (i, svc) in report.services.iter().enumerate() {
+            self.monitor.update(i, &svc.pmcs)?;
+        }
+        let next_states = self.monitor.states()?;
+
+        if let Some(pending) = self.pending.take() {
+            let mut rewards = Vec::with_capacity(k);
+            for (i, svc) in report.services.iter().enumerate() {
+                let spec = &self.config.services[i];
+                let dvfs_idx = pending.actions[i][1];
+                let cores = pending.actions[i][0] + 1;
+                let est = self.config.power_model.estimate(
+                    svc.load_fraction,
+                    cores,
+                    dvfs_idx,
+                );
+                let power_rew =
+                    self.config.reward.power_reward(self.config.peak_power_w, est);
+                rewards.push(self.config.reward.reward(
+                    svc.p99_ms,
+                    spec.qos_ms,
+                    power_rew,
+                ) as f32);
+            }
+            self.agent
+                .observe(MultiTransition {
+                    states: pending.states,
+                    actions: pending.actions,
+                    rewards,
+                    next_states,
+                })
+                .map_err(TwigError::Learning)?;
+            if !self.config.pure_exploitation {
+                for _ in 0..self.config.train_steps_per_epoch.max(1) {
+                    self.agent.train_step().map_err(TwigError::Learning)?;
+                }
+            }
+        }
+        self.time += 1;
+        Ok(())
+    }
+
+    /// Transfer learning (Section IV): when service `index` is swapped for a
+    /// new one at runtime, re-initialise the final network layers (keeping
+    /// the trunk's shared representation), clear that service's monitor
+    /// history and resume with a short re-exploration phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TwigError::ReportMismatch`] for an unknown service and
+    /// [`TwigError::Sim`] for an invalid spec.
+    pub fn transfer_service(
+        &mut self,
+        index: usize,
+        spec: ServiceSpec,
+    ) -> Result<(), TwigError> {
+        if index >= self.config.services.len() {
+            return Err(TwigError::ReportMismatch {
+                detail: format!("service {index}"),
+            });
+        }
+        spec.validate().map_err(TwigError::Sim)?;
+        self.config.services[index] = spec;
+        self.monitor.reset_service(index)?;
+        self.agent.transfer_reset();
+        self.pending = None;
+        self.last_actions = None;
+        // Resume with a brief exploratory burst: restart the ε clock at the
+        // 10%-exploration point rather than from scratch.
+        let restart = self.config.epsilon.learning_phase_end();
+        self.time = self.time.max(restart);
+        Ok(())
+    }
+
+    /// Restarts the ε schedule from zero (learning from scratch).
+    pub fn reset_exploration(&mut self) {
+        self.time = 0;
+    }
+}
+
+impl TaskManager for Twig {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self) -> Result<Vec<Assignment>, Box<dyn std::error::Error + Send + Sync>> {
+        Ok(Twig::decide(self)?)
+    }
+
+    fn observe(
+        &mut self,
+        report: &EpochReport,
+    ) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+        Ok(Twig::observe(self, report)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twig_sim::{catalog, Server, ServerConfig};
+
+    fn small_agent() -> MaBdqConfig {
+        MaBdqConfig {
+            trunk_hidden: vec![32, 24],
+            head_hidden: 16,
+            dropout: 0.0,
+            batch_size: 8,
+            buffer_capacity: 2048,
+            ..MaBdqConfig::default()
+        }
+    }
+
+    fn build_twig(services: Vec<ServiceSpec>) -> Twig {
+        TwigBuilder::new()
+            .services(services)
+            .agent(small_agent())
+            .epsilon(EpsilonSchedule::scaled(100))
+            .seed(11)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_services() {
+        assert!(TwigBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn names_follow_variant() {
+        assert_eq!(build_twig(vec![catalog::masstree()]).name(), "twig-s");
+        assert_eq!(
+            build_twig(vec![catalog::masstree(), catalog::moses()]).name(),
+            "twig-c"
+        );
+    }
+
+    #[test]
+    fn decide_produces_valid_assignments() {
+        let mut twig = build_twig(vec![catalog::masstree(), catalog::xapian()]);
+        let a = Twig::decide(&mut twig).unwrap();
+        assert_eq!(a.len(), 2);
+        for assignment in &a {
+            assert!((1..=18).contains(&assignment.core_count()));
+            assert!(twig.config.dvfs.index_of(assignment.freq).is_ok());
+        }
+    }
+
+    #[test]
+    fn full_loop_against_simulator() {
+        let spec = catalog::masstree();
+        let mut server =
+            Server::new(ServerConfig::default(), vec![spec.clone()], 3).unwrap();
+        server.set_load_fraction(0, 0.5).unwrap();
+        let mut twig = build_twig(vec![spec]);
+        for _ in 0..30 {
+            let a = Twig::decide(&mut twig).unwrap();
+            let report = server.step(&a).unwrap();
+            Twig::observe(&mut twig, &report).unwrap();
+        }
+        assert_eq!(twig.time(), 30);
+        assert!(twig.agent().buffer_len() > 0);
+        assert!(twig.agent().steps() > 0, "training should have started");
+    }
+
+    #[test]
+    fn pure_exploitation_skips_training() {
+        let spec = catalog::masstree();
+        let mut server =
+            Server::new(ServerConfig::default(), vec![spec.clone()], 4).unwrap();
+        let mut twig = build_twig(vec![spec]);
+        twig.set_pure_exploitation(true);
+        for _ in 0..20 {
+            let a = Twig::decide(&mut twig).unwrap();
+            let report = server.step(&a).unwrap();
+            Twig::observe(&mut twig, &report).unwrap();
+        }
+        assert_eq!(twig.agent().steps(), 0);
+    }
+
+    #[test]
+    fn epsilon_follows_schedule() {
+        let mut twig = build_twig(vec![catalog::moses()]);
+        assert_eq!(twig.epsilon(), 1.0);
+        let mut server =
+            Server::new(ServerConfig::default(), vec![catalog::moses()], 5).unwrap();
+        for _ in 0..100 {
+            let a = Twig::decide(&mut twig).unwrap();
+            let report = server.step(&a).unwrap();
+            Twig::observe(&mut twig, &report).unwrap();
+        }
+        assert!((twig.epsilon() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observe_rejects_mismatched_report() {
+        let mut twig = build_twig(vec![catalog::masstree(), catalog::moses()]);
+        let mut server =
+            Server::new(ServerConfig::default(), vec![catalog::masstree()], 6).unwrap();
+        let report = server
+            .step(&[twig_sim::Assignment::first_n(4, DvfsLadder::default().max())])
+            .unwrap();
+        assert!(Twig::observe(&mut twig, &report).is_err());
+    }
+
+    #[test]
+    fn transfer_service_resets_monitor_and_bumps_time() {
+        let mut twig = build_twig(vec![catalog::moses(), catalog::masstree()]);
+        let mut server = Server::new(
+            ServerConfig::default(),
+            vec![catalog::moses(), catalog::masstree()],
+            7,
+        )
+        .unwrap();
+        for _ in 0..10 {
+            let a = Twig::decide(&mut twig).unwrap();
+            let report = server.step(&a).unwrap();
+            Twig::observe(&mut twig, &report).unwrap();
+        }
+        twig.transfer_service(0, catalog::xapian()).unwrap();
+        assert_eq!(twig.config().services[0].name, "xapian");
+        // Time jumps to the end of the learning phase => epsilon at 0.1.
+        assert!((twig.epsilon() - 0.1).abs() < 1e-9);
+        assert!(twig.transfer_service(5, catalog::xapian()).is_err());
+    }
+
+    #[test]
+    fn action_stickiness_damps_oscillation() {
+        let spec = catalog::masstree();
+        let run = |stickiness: f64| {
+            let mut twig = TwigBuilder::new()
+                .services(vec![spec.clone()])
+                .agent(small_agent())
+                .epsilon(EpsilonSchedule::new(0.1, 0.0, 1, 2)) // exploit from the start
+                .action_stickiness(stickiness)
+                .seed(21)
+                .build()
+                .unwrap();
+            let mut server =
+                Server::new(ServerConfig::default(), vec![spec.clone()], 22).unwrap();
+            server.set_load_fraction(0, 0.5).unwrap();
+            let mut changes = 0;
+            let mut prev_cores = None;
+            for _ in 0..60 {
+                let a = Twig::decide(&mut twig).unwrap();
+                if let Some(p) = prev_cores {
+                    if p != a[0].core_count() {
+                        changes += 1;
+                    }
+                }
+                prev_cores = Some(a[0].core_count());
+                let r = server.step(&a).unwrap();
+                Twig::observe(&mut twig, &r).unwrap();
+            }
+            changes
+        };
+        let free = run(0.0);
+        let sticky = run(0.25);
+        assert!(
+            sticky <= free,
+            "hysteresis should not increase switching ({sticky} vs {free})"
+        );
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let twig = build_twig(vec![catalog::masstree()]);
+        let mut boxed: Box<dyn TaskManager> = Box::new(twig);
+        assert_eq!(boxed.name(), "twig-s");
+        assert!(boxed.decide().is_ok());
+    }
+}

@@ -1,0 +1,199 @@
+use crate::TwigError;
+use twig_sim::{Assignment, CoreId, Frequency};
+
+/// The Twig mapper module (Section III-B3): turns per-service
+/// `(core count, DVFS)` requests into concrete core assignments.
+///
+/// - **Cache locality**: each service draws from its own region of the
+///   socket, preferring every other core first (the paper's example: on 16
+///   cores, sv-1 gets 0, 2, 4 and sv-2 gets 10, 12, 14, 16), so colocated
+///   services share as little of the cache hierarchy as possible.
+/// - **Arbitration** (Section IV): when requests exceed the socket, the
+///   spill-over cores are taken from other services' regions — those cores
+///   end up claimed by two services and are time-shared by the platform at
+///   the highest requested DVFS state.
+/// - Unused cores are left unassigned; the platform parks them at the
+///   lowest DVFS state to conserve power.
+///
+/// # Examples
+///
+/// ```
+/// use twig_core::Mapper;
+/// use twig_sim::Frequency;
+///
+/// let mapper = Mapper::new(16).unwrap();
+/// let f = Frequency::from_mhz(1600);
+/// let a = mapper.assign(&[(3, f), (4, f)]).unwrap();
+/// assert_eq!(a[0].cores.iter().map(|c| c.index()).collect::<Vec<_>>(), vec![0, 2, 4]);
+/// assert_eq!(a[1].cores.iter().map(|c| c.index()).collect::<Vec<_>>(), vec![8, 10, 12, 14]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mapper {
+    total_cores: usize,
+}
+
+impl Mapper {
+    /// Creates a mapper for a socket with `total_cores` cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TwigError::InvalidConfig`] when `total_cores == 0`.
+    pub fn new(total_cores: usize) -> Result<Self, TwigError> {
+        if total_cores == 0 {
+            return Err(TwigError::InvalidConfig { detail: "zero cores".into() });
+        }
+        Ok(Mapper { total_cores })
+    }
+
+    /// The socket size.
+    pub fn total_cores(&self) -> usize {
+        self.total_cores
+    }
+
+    /// Maps each service's `(cores, freq)` request to concrete cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TwigError::InvalidConfig`] when a single request exceeds
+    /// the socket or requests no cores.
+    pub fn assign(
+        &self,
+        requests: &[(usize, Frequency)],
+    ) -> Result<Vec<Assignment>, TwigError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        for &(n, _) in requests {
+            if n == 0 || n > self.total_cores {
+                return Err(TwigError::InvalidConfig {
+                    detail: format!(
+                        "request for {n} cores on a {}-core socket",
+                        self.total_cores
+                    ),
+                });
+            }
+        }
+        let k = requests.len();
+        let region = self.total_cores / k.max(1);
+        let mut assignments = Vec::with_capacity(k);
+        for (svc, &(n, freq)) in requests.iter().enumerate() {
+            let start = svc * region;
+            let order = self.preference_order(start);
+            let cores: Vec<CoreId> = order.into_iter().take(n).map(CoreId).collect();
+            assignments.push(Assignment::new(cores, freq));
+        }
+        Ok(assignments)
+    }
+
+    /// The core preference order for a service whose region begins at
+    /// `start`: even-stride cores from the region onward (wrapping), then
+    /// the odd-stride remainder.
+    fn preference_order(&self, start: usize) -> Vec<usize> {
+        let n = self.total_cores;
+        let mut order = Vec::with_capacity(n);
+        for offset in [0usize, 1] {
+            let mut i = offset;
+            while i < n {
+                order.push((start + i) % n);
+                i += 2;
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn f() -> Frequency {
+        Frequency::from_mhz(1600)
+    }
+
+    #[test]
+    fn paper_example_locality() {
+        // Section III-B3: two services on 16 cores requesting 3 and 4 cores
+        // get stride-2 allocations out of disjoint regions.
+        let mapper = Mapper::new(16).unwrap();
+        let a = mapper.assign(&[(3, f()), (4, f())]).unwrap();
+        let c0: Vec<usize> = a[0].cores.iter().map(|c| c.index()).collect();
+        let c1: Vec<usize> = a[1].cores.iter().map(|c| c.index()).collect();
+        assert_eq!(c0, vec![0, 2, 4]);
+        assert_eq!(c1, vec![8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn disjoint_when_capacity_suffices() {
+        let mapper = Mapper::new(18).unwrap();
+        let a = mapper.assign(&[(8, f()), (9, f())]).unwrap();
+        let s0: BTreeSet<_> = a[0].cores.iter().collect();
+        let s1: BTreeSet<_> = a[1].cores.iter().collect();
+        assert!(s0.is_disjoint(&s1), "{s0:?} overlaps {s1:?}");
+    }
+
+    #[test]
+    fn overflow_creates_time_shared_overlap() {
+        let mapper = Mapper::new(10).unwrap();
+        // Section IV example: sv-1 wants 8, sv-2 wants 5 on 10 cores.
+        let a = mapper.assign(&[(8, f()), (5, Frequency::from_mhz(2000))]).unwrap();
+        let s0: BTreeSet<_> = a[0].cores.iter().collect();
+        let s1: BTreeSet<_> = a[1].cores.iter().collect();
+        let overlap = s0.intersection(&s1).count();
+        assert_eq!(overlap, 3, "13 requested on 10 cores -> 3 shared");
+    }
+
+    #[test]
+    fn rejects_invalid_requests() {
+        let mapper = Mapper::new(8).unwrap();
+        assert!(mapper.assign(&[(0, f())]).is_err());
+        assert!(mapper.assign(&[(9, f())]).is_err());
+        assert!(Mapper::new(0).is_err());
+    }
+
+    #[test]
+    fn empty_request_list_is_empty() {
+        let mapper = Mapper::new(8).unwrap();
+        assert!(mapper.assign(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_service_prefers_even_cores() {
+        let mapper = Mapper::new(8).unwrap();
+        let a = mapper.assign(&[(5, f())]).unwrap();
+        let cores: Vec<usize> = a[0].cores.iter().map(|c| c.index()).collect();
+        assert_eq!(cores, vec![0, 2, 4, 6, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn assignment_counts_match_requests(
+            n1 in 1usize..=18,
+            n2 in 1usize..=18,
+            n3 in 1usize..=18,
+        ) {
+            let mapper = Mapper::new(18).unwrap();
+            let a = mapper.assign(&[(n1, f()), (n2, f()), (n3, f())]).unwrap();
+            prop_assert_eq!(a[0].core_count(), n1);
+            prop_assert_eq!(a[1].core_count(), n2);
+            prop_assert_eq!(a[2].core_count(), n3);
+            // No service holds duplicate cores.
+            for assignment in &a {
+                let set: BTreeSet<_> = assignment.cores.iter().collect();
+                prop_assert_eq!(set.len(), assignment.core_count());
+            }
+        }
+
+        #[test]
+        fn all_cores_valid(n1 in 1usize..=10, n2 in 1usize..=10) {
+            let mapper = Mapper::new(10).unwrap();
+            let a = mapper.assign(&[(n1, f()), (n2, f())]).unwrap();
+            for assignment in &a {
+                for c in &assignment.cores {
+                    prop_assert!(c.index() < 10);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+/// The Eq. 1 reward of Section III-B2, computed per service each epoch:
+///
+/// ```text
+/// r = QoS_rew + θ · Power_rew          if QoS ≤ QoS_target
+/// r = max(−QoS_rew^φ, ϕ)               otherwise
+/// ```
+///
+/// where `QoS_rew` is the ratio of measured to target QoS and `Power_rew`
+/// is the ratio of the stress-benchmark peak power to the service's
+/// *estimated* power (larger = thriftier). The paper sets θ = 0.5, φ = 3
+/// and ϕ = −100.
+///
+/// # Examples
+///
+/// ```
+/// let r = twig_core::RewardConfig::default();
+/// // Meeting QoS with low power earns a positive reward…
+/// assert!(r.reward(1.0, 2.0, 10.0) > 0.0);
+/// // …while violating it is punished, more severely the worse it gets.
+/// assert!(r.reward(2.5, 2.0, 10.0) < 0.0);
+/// assert!(r.reward(6.0, 2.0, 10.0) < r.reward(2.5, 2.0, 10.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewardConfig {
+    /// Balance between the QoS and power terms (θ).
+    pub theta: f64,
+    /// Violation-severity exponent (φ).
+    pub phi: f64,
+    /// Floor on the negative reward (ϕ).
+    pub floor: f64,
+    /// Cap on the power-reward ratio (guards against tiny power estimates
+    /// dominating the learning signal; not in the paper, defensive).
+    pub power_reward_cap: f64,
+    /// Multiplier on the violation penalty before flooring (not in the
+    /// paper). With the paper's bare `−QoS_rew^φ`, a 10 % violation costs
+    /// only −1.3 while a frugal mapping pays +10 — on this simulator's
+    /// heavier near-target latency noise that expected-value math rewards
+    /// flirting with the target. Scaling the penalty restores the paper's
+    /// intended "severely penalise the learning agent" semantics.
+    pub violation_scale: f64,
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        RewardConfig {
+            theta: 0.5,
+            phi: 3.0,
+            floor: -100.0,
+            power_reward_cap: 50.0,
+            violation_scale: 20.0,
+        }
+    }
+}
+
+impl RewardConfig {
+    /// Computes Eq. 1 for one service.
+    ///
+    /// `measured_qos_ms` and `target_qos_ms` are tail latencies;
+    /// `power_reward` is `P_max / P_estimated` (see
+    /// [`Eq2PowerModel`](crate::Eq2PowerModel)).
+    pub fn reward(&self, measured_qos_ms: f64, target_qos_ms: f64, power_reward: f64) -> f64 {
+        let qos_rew = if target_qos_ms > 0.0 {
+            measured_qos_ms / target_qos_ms
+        } else {
+            f64::INFINITY
+        };
+        if qos_rew <= 1.0 {
+            qos_rew + self.theta * power_reward.clamp(0.0, self.power_reward_cap)
+        } else {
+            (-self.violation_scale * qos_rew.powf(self.phi)).max(self.floor)
+        }
+    }
+
+    /// The `Power_rew` term: peak (stress-benchmark) power over the
+    /// service's estimated power, clamped to the configured cap.
+    pub fn power_reward(&self, peak_power_w: f64, estimated_power_w: f64) -> f64 {
+        if estimated_power_w <= 0.0 {
+            return self.power_reward_cap;
+        }
+        (peak_power_w / estimated_power_w).clamp(0.0, self.power_reward_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_constants_are_default() {
+        let r = RewardConfig::default();
+        assert_eq!(r.theta, 0.5);
+        assert_eq!(r.phi, 3.0);
+        assert_eq!(r.floor, -100.0);
+    }
+
+    #[test]
+    fn meeting_qos_with_less_power_pays_more() {
+        let r = RewardConfig::default();
+        let frugal = r.reward(1.5, 2.0, 20.0);
+        let wasteful = r.reward(1.5, 2.0, 1.5);
+        assert!(frugal > wasteful);
+    }
+
+    #[test]
+    fn just_meeting_qos_beats_violating() {
+        let r = RewardConfig::default();
+        assert!(r.reward(1.99, 2.0, 1.0) > r.reward(2.01, 2.0, 50.0));
+    }
+
+    #[test]
+    fn violation_penalty_is_floored() {
+        let r = RewardConfig::default();
+        // Tardiness 100 => far below the floor, clamped at -100.
+        assert_eq!(r.reward(200.0, 2.0, 1.0), -100.0);
+    }
+
+    #[test]
+    fn power_reward_handles_degenerate_estimates() {
+        let r = RewardConfig::default();
+        assert_eq!(r.power_reward(120.0, 0.0), r.power_reward_cap);
+        assert_eq!(r.power_reward(120.0, -5.0), r.power_reward_cap);
+        assert_eq!(r.power_reward(120.0, 1.0), r.power_reward_cap);
+        assert!((r.power_reward(120.0, 60.0) - 2.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn met_qos_always_nonnegative(
+            tardiness in 0.0f64..=1.0,
+            power in 0.0f64..100.0,
+        ) {
+            let r = RewardConfig::default();
+            prop_assert!(r.reward(tardiness * 2.0, 2.0, power) >= 0.0);
+        }
+
+        #[test]
+        fn violations_always_negative_and_monotone(
+            t1 in 1.001f64..50.0,
+            t2 in 1.001f64..50.0,
+        ) {
+            let r = RewardConfig::default();
+            let r1 = r.reward(t1 * 2.0, 2.0, 10.0);
+            let r2 = r.reward(t2 * 2.0, 2.0, 10.0);
+            prop_assert!(r1 < 0.0 && r2 < 0.0);
+            if t1 < t2 {
+                prop_assert!(r1 >= r2);
+            }
+        }
+
+        #[test]
+        fn reward_bounded_below_by_floor(
+            measured in 0.0f64..1e6,
+            power in 0.0f64..1e6,
+        ) {
+            let r = RewardConfig::default();
+            prop_assert!(r.reward(measured, 2.0, power) >= r.floor);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by neural-network operations.
+///
+/// # Examples
+///
+/// ```
+/// use twig_nn::{NnError, Tensor};
+///
+/// let err = Tensor::from_rows(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+/// assert!(matches!(err, NnError::ShapeMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Two tensors had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// The input was empty where data is required.
+    Empty,
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            NnError::Empty => write!(f, "input is empty"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!NnError::Empty.to_string().is_empty());
+        assert!(!NnError::ShapeMismatch { detail: "2x2 vs 3x3".into() }
+            .to_string()
+            .is_empty());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<NnError>();
+    }
+}

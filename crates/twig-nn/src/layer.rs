@@ -1,0 +1,450 @@
+use crate::{NnError, Tensor};
+use rand::Rng;
+use rand_distr_like::he_std;
+
+/// Helper for weight-initialisation scales (no external distribution crate:
+/// we sample uniform and rescale to the He / Kaiming standard deviation).
+mod rand_distr_like {
+    /// He-initialisation standard deviation for a layer with `fan_in` inputs.
+    pub fn he_std(fan_in: usize) -> f32 {
+        (2.0 / fan_in as f32).sqrt()
+    }
+}
+
+/// A differentiable layer: caches what it needs on `forward`, accumulates
+/// parameter gradients on `backward`, and returns the gradient with respect
+/// to its input.
+///
+/// This trait is sealed in spirit — the provided implementations
+/// ([`Dense`], [`Relu`], [`Dropout`]) cover the architecture used by the
+/// paper — but it is left open so downstream experiments can add layers.
+pub trait Layer {
+    /// Forward pass. `train` enables training-only behaviour (dropout).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient with respect to the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward` or with a
+    /// gradient whose shape does not match the cached activation.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Zeroes accumulated parameter gradients.
+    fn zero_grads(&mut self);
+
+    /// Applies the optimiser to this layer's parameters, consuming the
+    /// accumulated gradients. `param_id` is a stable per-layer base id used
+    /// by stateful optimisers; returns the next free id.
+    fn apply(&mut self, optim: &mut crate::Adam, param_id: usize) -> usize;
+
+    /// Number of trainable scalar parameters.
+    fn param_count(&self) -> usize;
+
+    /// Squared L2 norm of the accumulated gradients (for clipping).
+    fn grad_sq_norm(&self) -> f32 {
+        0.0
+    }
+
+    /// Scales the accumulated gradients in place (for clipping/rescaling).
+    fn scale_grads(&mut self, _factor: f32) {}
+}
+
+/// Fully connected layer `y = x W + b` with He-initialised weights.
+///
+/// # Examples
+///
+/// ```
+/// use twig_nn::{Dense, Layer, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut d = Dense::new(3, 2, &mut rng);
+/// let y = d.forward(&Tensor::zeros(4, 3), false);
+/// assert_eq!((y.rows(), y.cols()), (4, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    w: Tensor,
+    b: Vec<f32>,
+    grad_w: Tensor,
+    grad_b: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-initialised weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        let std = he_std(in_dim);
+        let mut w = Tensor::zeros(in_dim, out_dim);
+        for v in w.as_mut_slice() {
+            // Uniform(-a, a) has std a/sqrt(3); pick a = std * sqrt(3).
+            *v = rng.gen_range(-1.0f32..1.0) * std * 3f32.sqrt();
+        }
+        Dense {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            grad_w: Tensor::zeros(in_dim, out_dim),
+            grad_b: vec![0.0; out_dim],
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Re-initialises weights and bias (used by transfer learning to reset
+    /// the final, most task-specific layer).
+    pub fn reinitialize<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let fresh = Dense::new(self.in_dim, self.out_dim, rng);
+        self.w = fresh.w;
+        self.b = fresh.b;
+        self.zero_grads();
+    }
+
+    /// Copies weights from another layer of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when dimensions disagree.
+    pub fn copy_weights_from(&mut self, other: &Dense) -> Result<(), NnError> {
+        if self.in_dim != other.in_dim || self.out_dim != other.out_dim {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "dense {}x{} vs {}x{}",
+                    self.in_dim, self.out_dim, other.in_dim, other.out_dim
+                ),
+            });
+        }
+        self.w = other.w.clone();
+        self.b = other.b.clone();
+        Ok(())
+    }
+
+    /// Read access to the weight matrix (for tests/inspection).
+    pub fn weights(&self) -> &Tensor {
+        &self.w
+    }
+
+    /// Read access to the bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Replaces weights and bias from flat buffers (for checkpoint
+    /// restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the buffer sizes disagree
+    /// with the layer shape.
+    pub fn set_parameters(&mut self, weights: &[f32], bias: &[f32]) -> Result<(), NnError> {
+        if weights.len() != self.in_dim * self.out_dim || bias.len() != self.out_dim {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "{} weights + {} bias for a {}x{} layer",
+                    weights.len(),
+                    bias.len(),
+                    self.in_dim,
+                    self.out_dim
+                ),
+            });
+        }
+        self.w.as_mut_slice().copy_from_slice(weights);
+        self.b.copy_from_slice(bias);
+        Ok(())
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let mut out = input.matmul(&self.w).expect("dense forward shape");
+        out.add_row_broadcast(&self.b).expect("bias shape");
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let gw = input.t_matmul(grad_output).expect("dense backward shape");
+        self.grad_w.add_assign(&gw).expect("grad shape");
+        for (gb, g) in self.grad_b.iter_mut().zip(grad_output.sum_rows()) {
+            *gb += g;
+        }
+        grad_output.matmul_t(&self.w).expect("dense input grad shape")
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_w = Tensor::zeros(self.in_dim, self.out_dim);
+        self.grad_b = vec![0.0; self.out_dim];
+    }
+
+    fn apply(&mut self, optim: &mut crate::Adam, param_id: usize) -> usize {
+        optim.update(param_id, self.w.as_mut_slice(), self.grad_w.as_slice());
+        optim.update(param_id + 1, &mut self.b, &self.grad_b);
+        param_id + 2
+    }
+
+    fn param_count(&self) -> usize {
+        self.in_dim * self.out_dim + self.out_dim
+    }
+
+    fn grad_sq_norm(&self) -> f32 {
+        self.grad_w.as_slice().iter().map(|g| g * g).sum::<f32>()
+            + self.grad_b.iter().map(|g| g * g).sum::<f32>()
+    }
+
+    fn scale_grads(&mut self, factor: f32) {
+        self.grad_w.scale(factor);
+        for g in &mut self.grad_b {
+            *g *= factor;
+        }
+    }
+}
+
+/// Rectified linear unit.
+///
+/// # Examples
+///
+/// ```
+/// use twig_nn::{Layer, Relu, Tensor};
+///
+/// let mut r = Relu::new();
+/// let y = r.forward(&Tensor::from_row(&[-1.0, 2.0]), false);
+/// assert_eq!(y.as_slice(), &[0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let mut out = input.clone();
+        let mask: Vec<bool> = out
+            .as_mut_slice()
+            .iter_mut()
+            .map(|v| {
+                if *v > 0.0 {
+                    true
+                } else {
+                    *v = 0.0;
+                    false
+                }
+            })
+            .collect();
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        assert_eq!(
+            mask.len(),
+            grad_output.as_slice().len(),
+            "relu gradient shape mismatch"
+        );
+        let mut grad = grad_output.clone();
+        for (g, &alive) in grad.as_mut_slice().iter_mut().zip(mask) {
+            if !alive {
+                *g = 0.0;
+            }
+        }
+        grad
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn apply(&mut self, _optim: &mut crate::Adam, param_id: usize) -> usize {
+        param_id
+    }
+
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+/// Inverted dropout: at train time each activation is dropped with
+/// probability `p` and survivors are scaled by `1/(1-p)`; at evaluation the
+/// layer is the identity. The paper uses `p = 0.5` after every fully
+/// connected layer.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    mask: Option<Vec<f32>>,
+    rng: rand::rngs::StdRng,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and its own seeded
+    /// RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability {p} outside [0, 1)");
+        use rand::SeedableRng;
+        Dropout { p, mask: None, rng: rand::rngs::StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut out = input.clone();
+        let mask: Vec<f32> = out
+            .as_mut_slice()
+            .iter_mut()
+            .map(|v| {
+                if self.rng.gen::<f32>() < keep {
+                    *v *= scale;
+                    scale
+                } else {
+                    *v = 0.0;
+                    0.0
+                }
+            })
+            .collect();
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        match &self.mask {
+            None => grad_output.clone(),
+            Some(mask) => {
+                assert_eq!(
+                    mask.len(),
+                    grad_output.as_slice().len(),
+                    "dropout gradient shape mismatch"
+                );
+                let mut grad = grad_output.clone();
+                for (g, &m) in grad.as_mut_slice().iter_mut().zip(mask) {
+                    *g *= m;
+                }
+                grad
+            }
+        }
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn apply(&mut self, _optim: &mut crate::Adam, param_id: usize) -> usize {
+        param_id
+    }
+
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = Dense::new(2, 3, &mut rng);
+        let out = d.forward(&Tensor::zeros(5, 2), false);
+        assert_eq!((out.rows(), out.cols()), (5, 3));
+        // Zero input -> output equals bias (zero at init).
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dense_gradients_accumulate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut d = Dense::new(1, 1, &mut rng);
+        let x = Tensor::from_row(&[1.0]);
+        d.forward(&x, true);
+        d.backward(&Tensor::from_row(&[1.0]));
+        d.forward(&x, true);
+        d.backward(&Tensor::from_row(&[1.0]));
+        assert_eq!(d.grad_b[0], 2.0);
+        d.zero_grads();
+        assert_eq!(d.grad_b[0], 0.0);
+    }
+
+    #[test]
+    fn dense_copy_weights_shape_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a = Dense::new(2, 2, &mut rng);
+        let b = Dense::new(2, 3, &mut rng);
+        assert!(a.copy_weights_from(&b).is_err());
+        let c = Dense::new(2, 2, &mut rng);
+        a.copy_weights_from(&c).unwrap();
+        assert_eq!(a.weights(), c.weights());
+    }
+
+    #[test]
+    fn relu_zeroes_negative_gradient_paths() {
+        let mut r = Relu::new();
+        r.forward(&Tensor::from_row(&[-1.0, 1.0]), true);
+        let grad = r.backward(&Tensor::from_row(&[5.0, 5.0]));
+        assert_eq!(grad.as_slice(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        let x = Tensor::from_row(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.forward(&x, false), x);
+        // backward in eval mode passes through.
+        let g = Tensor::from_row(&[1.0, 1.0, 1.0]);
+        assert_eq!(d.backward(&g), g);
+    }
+
+    #[test]
+    fn dropout_train_preserves_expectation() {
+        let mut d = Dropout::new(0.5, 42);
+        let x = Tensor::from_vec(1, 10_000, vec![1.0; 10_000]).unwrap();
+        let out = d.forward(&x, true);
+        let mean: f32 = out.as_slice().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean} drifted from 1.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn dropout_rejects_p_one() {
+        Dropout::new(1.0, 0);
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Dense::new(3, 4, &mut rng).param_count(), 16);
+        assert_eq!(Relu::new().param_count(), 0);
+        assert_eq!(Dropout::new(0.1, 0).param_count(), 0);
+    }
+}

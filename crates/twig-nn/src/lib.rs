@@ -1,0 +1,65 @@
+//! From-scratch dense neural networks for the Twig reproduction.
+//!
+//! The paper implements its branching dueling Q-network in TensorFlow; this
+//! crate provides the minimal pieces needed to reproduce it natively in
+//! Rust, with no external numerics dependencies:
+//!
+//! - [`Tensor`] — a dense row-major `f32` matrix (rows = batch);
+//! - [`Dense`], [`Relu`], [`Dropout`] — layers with cached activations and
+//!   accumulate-on-backward gradients, composable into an [`Mlp`];
+//! - [`Adam`] — the optimiser used by the paper (lr 0.0025 in Twig);
+//! - [`mse_loss`] / [`huber_loss`] — losses with optional per-sample
+//!   importance weights (needed by prioritised experience replay).
+//!
+//! Gradients *accumulate* across [`Mlp::backward`] calls until
+//! [`Mlp::zero_grads`] — this is what lets the multi-agent BDQ in `twig-rl`
+//! sum head gradients into a shared trunk and rescale them (1/K per agent,
+//! 1/D per branch) exactly as Section III-A prescribes.
+//!
+//! # Examples
+//!
+//! Learn XOR with a two-layer MLP:
+//!
+//! ```
+//! use twig_nn::{Adam, Dense, Mlp, Relu, Tensor, mse_loss};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = Mlp::new()
+//!     .push(Dense::new(2, 8, &mut rng))
+//!     .push(Relu::new())
+//!     .push(Dense::new(8, 1, &mut rng));
+//! let mut adam = Adam::new(0.05);
+//!
+//! let x = Tensor::from_rows(&[
+//!     vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0],
+//! ]).unwrap();
+//! let y = Tensor::from_rows(&[vec![0.0], vec![1.0], vec![1.0], vec![0.0]]).unwrap();
+//!
+//! let mut last = f32::INFINITY;
+//! for _ in 0..500 {
+//!     let pred = net.forward(&x, true);
+//!     let (loss, grad) = mse_loss(&pred, &y, None).unwrap();
+//!     net.zero_grads();
+//!     net.backward(&grad);
+//!     net.apply(&mut adam);
+//!     last = loss;
+//! }
+//! assert!(last < 0.05, "failed to learn XOR: {last}");
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod layer;
+mod loss;
+mod mlp;
+mod optim;
+mod tensor;
+
+pub use error::NnError;
+pub use layer::{Dense, Dropout, Layer, Relu};
+pub use loss::{huber_loss, mse_loss};
+pub use mlp::{IntoMlpLayer, Mlp, MlpLayerToken};
+pub use optim::Adam;
+pub use tensor::Tensor;

@@ -1,0 +1,197 @@
+use crate::{NnError, Tensor};
+
+/// Mean-squared-error loss with optional per-sample importance weights.
+///
+/// Returns `(loss, grad)` where `grad` is the gradient of the loss with
+/// respect to `pred`. With `weights` (one per batch row) each row's squared
+/// error is multiplied by its weight — exactly what prioritised experience
+/// replay needs to correct its sampling bias.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] when shapes disagree (including a
+/// weights vector whose length is not the batch size) and [`NnError::Empty`]
+/// for empty tensors.
+///
+/// # Examples
+///
+/// ```
+/// use twig_nn::{mse_loss, Tensor};
+///
+/// let pred = Tensor::from_row(&[1.0, 2.0]);
+/// let target = Tensor::from_row(&[0.0, 2.0]);
+/// let (loss, grad) = mse_loss(&pred, &target, None).unwrap();
+/// assert!((loss - 0.5).abs() < 1e-6);
+/// assert_eq!(grad.as_slice(), &[1.0, 0.0]);
+/// ```
+pub fn mse_loss(
+    pred: &Tensor,
+    target: &Tensor,
+    weights: Option<&[f32]>,
+) -> Result<(f32, Tensor), NnError> {
+    check_shapes(pred, target, weights)?;
+    let n = pred.as_slice().len() as f32;
+    let mut grad = Tensor::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0;
+    for r in 0..pred.rows() {
+        let w = weights.map_or(1.0, |ws| ws[r]);
+        let p_row = pred.row(r);
+        let t_row = target.row(r);
+        let g_row = grad.row_mut(r);
+        for i in 0..p_row.len() {
+            let diff = p_row[i] - t_row[i];
+            loss += w * diff * diff;
+            g_row[i] = 2.0 * w * diff / n;
+        }
+    }
+    Ok((loss / n, grad))
+}
+
+/// Huber loss (delta = 1) with optional per-sample importance weights.
+///
+/// Quadratic near zero, linear in the tails — the standard DQN trick for
+/// robustness against outlier TD errors.
+///
+/// # Errors
+///
+/// Same conditions as [`mse_loss`].
+///
+/// # Examples
+///
+/// ```
+/// use twig_nn::{huber_loss, Tensor};
+///
+/// let pred = Tensor::from_row(&[3.0]);
+/// let target = Tensor::from_row(&[0.0]);
+/// let (loss, grad) = huber_loss(&pred, &target, None).unwrap();
+/// assert!((loss - 2.5).abs() < 1e-6); // |3| - 0.5
+/// assert_eq!(grad.as_slice(), &[1.0]); // clipped to delta
+/// ```
+pub fn huber_loss(
+    pred: &Tensor,
+    target: &Tensor,
+    weights: Option<&[f32]>,
+) -> Result<(f32, Tensor), NnError> {
+    check_shapes(pred, target, weights)?;
+    const DELTA: f32 = 1.0;
+    let n = pred.as_slice().len() as f32;
+    let mut grad = Tensor::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0;
+    for r in 0..pred.rows() {
+        let w = weights.map_or(1.0, |ws| ws[r]);
+        let p_row = pred.row(r);
+        let t_row = target.row(r);
+        let g_row = grad.row_mut(r);
+        for i in 0..p_row.len() {
+            let diff = p_row[i] - t_row[i];
+            if diff.abs() <= DELTA {
+                loss += w * 0.5 * diff * diff;
+                g_row[i] = w * diff / n;
+            } else {
+                loss += w * (DELTA * diff.abs() - 0.5 * DELTA * DELTA);
+                g_row[i] = w * DELTA * diff.signum() / n;
+            }
+        }
+    }
+    Ok((loss / n, grad))
+}
+
+fn check_shapes(
+    pred: &Tensor,
+    target: &Tensor,
+    weights: Option<&[f32]>,
+) -> Result<(), NnError> {
+    if pred.rows() == 0 || pred.cols() == 0 {
+        return Err(NnError::Empty);
+    }
+    if pred.rows() != target.rows() || pred.cols() != target.cols() {
+        return Err(NnError::ShapeMismatch {
+            detail: format!(
+                "pred {}x{} vs target {}x{}",
+                pred.rows(),
+                pred.cols(),
+                target.rows(),
+                target.cols()
+            ),
+        });
+    }
+    if let Some(ws) = weights {
+        if ws.len() != pred.rows() {
+            return Err(NnError::ShapeMismatch {
+                detail: format!("{} weights for {} rows", ws.len(), pred.rows()),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let t = Tensor::from_row(&[1.0, -2.0, 3.0]);
+        let (loss, grad) = mse_loss(&t, &t, None).unwrap();
+        assert_eq!(loss, 0.0);
+        assert!(grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn weighted_rows_scale_loss() {
+        let pred = Tensor::from_rows(&[vec![1.0], vec![1.0]]).unwrap();
+        let target = Tensor::from_rows(&[vec![0.0], vec![0.0]]).unwrap();
+        let (unweighted, _) = mse_loss(&pred, &target, None).unwrap();
+        let (weighted, _) = mse_loss(&pred, &target, Some(&[2.0, 0.0])).unwrap();
+        assert!((unweighted - 1.0).abs() < 1e-6);
+        assert!((weighted - 1.0).abs() < 1e-6); // (2 + 0) / 2
+    }
+
+    #[test]
+    fn huber_matches_mse_for_small_errors() {
+        let pred = Tensor::from_row(&[0.3]);
+        let target = Tensor::from_row(&[0.0]);
+        let (h, hg) = huber_loss(&pred, &target, None).unwrap();
+        assert!((h - 0.5 * 0.09).abs() < 1e-6);
+        assert!((hg.as_slice()[0] - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shape_errors_detected() {
+        let a = Tensor::from_row(&[1.0]);
+        let b = Tensor::from_row(&[1.0, 2.0]);
+        assert!(mse_loss(&a, &b, None).is_err());
+        assert!(mse_loss(&a, &a, Some(&[1.0, 1.0])).is_err());
+        assert!(huber_loss(&a, &b, None).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn losses_nonnegative(
+            p in proptest::collection::vec(-10.0f32..10.0, 1..20),
+            t in proptest::collection::vec(-10.0f32..10.0, 1..20),
+        ) {
+            let n = p.len().min(t.len());
+            let pred = Tensor::from_row(&p[..n]);
+            let target = Tensor::from_row(&t[..n]);
+            let (mse, _) = mse_loss(&pred, &target, None).unwrap();
+            let (huber, _) = huber_loss(&pred, &target, None).unwrap();
+            prop_assert!(mse >= 0.0);
+            prop_assert!(huber >= 0.0);
+            prop_assert!(huber <= mse / 2.0 + 1e-3 + huber);
+        }
+
+        #[test]
+        fn huber_gradient_bounded(
+            p in proptest::collection::vec(-100.0f32..100.0, 1..20),
+        ) {
+            let pred = Tensor::from_row(&p);
+            let target = Tensor::zeros(1, p.len());
+            let (_, grad) = huber_loss(&pred, &target, None).unwrap();
+            for &g in grad.as_slice() {
+                prop_assert!(g.abs() <= 1.0 / p.len() as f32 + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,425 @@
+use crate::{Adam, Dense, Dropout, Layer, NnError, Relu, Tensor};
+use rand::Rng;
+
+/// A sequential stack of layers.
+///
+/// `Mlp` is the building block for the paper's networks: the shared
+/// representation trunk, per-agent state-value heads and per-branch
+/// advantage heads of the multi-agent BDQ are each an `Mlp`, wired together
+/// manually by `twig-rl` so gradient rescaling can be applied between them.
+///
+/// # Examples
+///
+/// ```
+/// use twig_nn::{Dense, Mlp, Relu, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = Mlp::new()
+///     .push(Dense::new(4, 16, &mut rng))
+///     .push(Relu::new())
+///     .push(Dense::new(16, 2, &mut rng));
+/// let out = net.forward(&Tensor::zeros(3, 4), false);
+/// assert_eq!((out.rows(), out.cols()), (3, 2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Mlp {
+    layers: Vec<MlpLayer>,
+}
+
+/// The concrete layer kinds an [`Mlp`] can hold.
+#[derive(Debug, Clone)]
+enum MlpLayer {
+    Dense(Dense),
+    Relu(Relu),
+    Dropout(Dropout),
+}
+
+impl MlpLayer {
+    fn as_layer_mut(&mut self) -> &mut dyn Layer {
+        match self {
+            MlpLayer::Dense(l) => l,
+            MlpLayer::Relu(l) => l,
+            MlpLayer::Dropout(l) => l,
+        }
+    }
+
+    fn as_layer(&self) -> &dyn Layer {
+        match self {
+            MlpLayer::Dense(l) => l,
+            MlpLayer::Relu(l) => l,
+            MlpLayer::Dropout(l) => l,
+        }
+    }
+}
+
+/// Types that can be pushed onto an [`Mlp`].
+///
+/// Implemented for [`Dense`], [`Relu`] and [`Dropout`]; this trait exists
+/// only so [`Mlp::push`] can accept each concrete layer type.
+pub trait IntoMlpLayer {
+    /// Converts the layer into the internal representation.
+    fn into_mlp_layer(self) -> MlpLayerToken;
+}
+
+/// Opaque token wrapping a layer for [`Mlp::push`].
+pub struct MlpLayerToken(MlpLayer);
+
+impl IntoMlpLayer for Dense {
+    fn into_mlp_layer(self) -> MlpLayerToken {
+        MlpLayerToken(MlpLayer::Dense(self))
+    }
+}
+
+impl IntoMlpLayer for Relu {
+    fn into_mlp_layer(self) -> MlpLayerToken {
+        MlpLayerToken(MlpLayer::Relu(self))
+    }
+}
+
+impl IntoMlpLayer for Dropout {
+    fn into_mlp_layer(self) -> MlpLayerToken {
+        MlpLayerToken(MlpLayer::Dropout(self))
+    }
+}
+
+impl Mlp {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push<L: IntoMlpLayer>(mut self, layer: L) -> Self {
+        self.layers.push(layer.into_mlp_layer().0);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.as_layer_mut().forward(&x, train);
+        }
+        x
+    }
+
+    /// Backward pass, accumulating parameter gradients; returns the gradient
+    /// with respect to the network input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`forward`](Self::forward).
+    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.as_layer_mut().backward(&g);
+        }
+        g
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.as_layer_mut().zero_grads();
+        }
+    }
+
+    /// Applies the optimiser to every trainable layer. Parameter ids start
+    /// at `0`; use [`apply_with_base`](Self::apply_with_base) when several
+    /// networks share one optimiser.
+    pub fn apply(&mut self, optim: &mut Adam) {
+        self.apply_with_base(optim, 0);
+    }
+
+    /// Applies the optimiser using parameter ids starting at `base`;
+    /// returns the next free id. Lets multiple `Mlp`s (trunk + heads) share
+    /// a single [`Adam`] instance without id collisions.
+    pub fn apply_with_base(&mut self, optim: &mut Adam, base: usize) -> usize {
+        let mut id = base;
+        for layer in &mut self.layers {
+            id = layer.as_layer_mut().apply(optim, id);
+        }
+        id
+    }
+
+    /// Total number of trainable scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.as_layer().param_count()).sum()
+    }
+
+    /// Squared L2 norm of all accumulated gradients.
+    pub fn grad_sq_norm(&self) -> f32 {
+        self.layers.iter().map(|l| l.as_layer().grad_sq_norm()).sum()
+    }
+
+    /// Scales all accumulated gradients, e.g. for global-norm clipping or
+    /// the multi-agent BDQ's 1/K and 1/D rescaling.
+    pub fn scale_grads(&mut self, factor: f32) {
+        for layer in &mut self.layers {
+            layer.as_layer_mut().scale_grads(factor);
+        }
+    }
+
+    /// Copies all weights from a network with an identical architecture
+    /// (used for target-network synchronisation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when architectures differ.
+    pub fn copy_weights_from(&mut self, other: &Mlp) -> Result<(), NnError> {
+        if self.layers.len() != other.layers.len() {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "layer count {} vs {}",
+                    self.layers.len(),
+                    other.layers.len()
+                ),
+            });
+        }
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            match (dst, src) {
+                (MlpLayer::Dense(d), MlpLayer::Dense(s)) => d.copy_weights_from(s)?,
+                (MlpLayer::Relu(_), MlpLayer::Relu(_)) => {}
+                (MlpLayer::Dropout(_), MlpLayer::Dropout(_)) => {}
+                _ => {
+                    return Err(NnError::ShapeMismatch {
+                        detail: "layer kind mismatch".into(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-initialises the weights of the last `Dense` layer — the transfer-
+    /// learning move from Section IV ("removing the last layer of a trained
+    /// network … and re-initialising it with random weights").
+    ///
+    /// Returns `true` if a dense layer was found and reset.
+    pub fn reinitialize_last_dense<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        for layer in self.layers.iter_mut().rev() {
+            if let MlpLayer::Dense(d) = layer {
+                d.reinitialize(rng);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Flattens all dense-layer weights into one vector (for tests and
+    /// checkpoint-style persistence).
+    pub fn export_weights(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            if let MlpLayer::Dense(d) = layer {
+                out.extend_from_slice(d.weights().as_slice());
+            }
+        }
+        out
+    }
+
+    /// Flattens every trainable parameter (weights *and* biases, in layer
+    /// order) into one vector — the checkpoint format used by
+    /// [`import_parameters`](Self::import_parameters).
+    pub fn export_parameters(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            if let MlpLayer::Dense(d) = layer {
+                out.extend_from_slice(d.weights().as_slice());
+                out.extend_from_slice(d.bias());
+            }
+        }
+        out
+    }
+
+    /// Restores every trainable parameter from a flat buffer produced by
+    /// [`export_parameters`](Self::export_parameters) on a network with an
+    /// identical architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the buffer length does not
+    /// match this architecture.
+    pub fn import_parameters(&mut self, params: &[f32]) -> Result<(), NnError> {
+        if params.len() != self.param_count() {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "{} parameters for a {}-parameter network",
+                    params.len(),
+                    self.param_count()
+                ),
+            });
+        }
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            if let MlpLayer::Dense(d) = layer {
+                let wn = d.in_dim() * d.out_dim();
+                let bn = d.out_dim();
+                let weights = &params[offset..offset + wn];
+                let bias = &params[offset + wn..offset + wn + bn];
+                d.set_parameters(weights, bias)?;
+                offset += wn + bn;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mse_loss;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new()
+            .push(Dense::new(2, 6, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(6, 1, &mut rng))
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        // Numerical gradient of loss wrt the input must match backward().
+        let mut net = tiny_net(11);
+        let x = Tensor::from_row(&[0.3, -0.7]);
+        let target = Tensor::from_row(&[1.0]);
+
+        let pred = net.forward(&x, false);
+        let (_, dloss) = mse_loss(&pred, &target, None).unwrap();
+        net.zero_grads();
+        let dx = net.backward(&dloss);
+
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let lp = mse_loss(&net.forward(&xp, false), &target, None).unwrap().0;
+            let lm = mse_loss(&net.forward(&xm, false), &target, None).unwrap().0;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = dx.as_slice()[i];
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "input {i}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn target_network_sync() {
+        let mut online = tiny_net(1);
+        let mut target = tiny_net(2);
+        assert_ne!(online.export_weights(), target.export_weights());
+        target.copy_weights_from(&online).unwrap();
+        assert_eq!(online.export_weights(), target.export_weights());
+        // Diverge online again; target must be unaffected.
+        let x = Tensor::from_row(&[1.0, 1.0]);
+        let t = Tensor::from_row(&[0.0]);
+        let pred = online.forward(&x, true);
+        let (_, g) = mse_loss(&pred, &t, None).unwrap();
+        online.zero_grads();
+        online.backward(&g);
+        let mut adam = Adam::new(0.1);
+        online.apply(&mut adam);
+        assert_ne!(online.export_weights(), target.export_weights());
+    }
+
+    #[test]
+    fn copy_weights_rejects_architecture_mismatch() {
+        let mut a = tiny_net(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = Mlp::new().push(Dense::new(2, 6, &mut rng));
+        assert!(a.copy_weights_from(&b).is_err());
+    }
+
+    #[test]
+    fn reinitialize_last_dense_changes_only_last() {
+        let mut net = tiny_net(3);
+        let before = net.export_weights();
+        let mut rng = StdRng::seed_from_u64(99);
+        assert!(net.reinitialize_last_dense(&mut rng));
+        let after = net.export_weights();
+        // First dense layer (2*6 = 12 weights) unchanged.
+        assert_eq!(&before[..12], &after[..12]);
+        // Last dense layer (6 weights) changed.
+        assert_ne!(&before[12..], &after[12..]);
+    }
+
+    #[test]
+    fn scale_grads_scales_norm() {
+        let mut net = tiny_net(4);
+        let x = Tensor::from_row(&[1.0, -1.0]);
+        let t = Tensor::from_row(&[5.0]);
+        let pred = net.forward(&x, true);
+        let (_, g) = mse_loss(&pred, &t, None).unwrap();
+        net.zero_grads();
+        net.backward(&g);
+        let norm = net.grad_sq_norm();
+        assert!(norm > 0.0);
+        net.scale_grads(0.5);
+        assert!((net.grad_sq_norm() - 0.25 * norm).abs() < 1e-4 * norm);
+    }
+
+    #[test]
+    fn param_count_counts_dense_only() {
+        let net = tiny_net(0);
+        assert_eq!(net.param_count(), 2 * 6 + 6 + 6 + 1);
+    }
+
+    #[test]
+    fn parameter_roundtrip_including_biases() {
+        let mut a = tiny_net(7);
+        // Train a step so biases become nonzero.
+        let x = Tensor::from_row(&[0.5, -0.5]);
+        let t = Tensor::from_row(&[2.0]);
+        let pred = a.forward(&x, true);
+        let (_, g) = mse_loss(&pred, &t, None).unwrap();
+        a.zero_grads();
+        a.backward(&g);
+        let mut adam = Adam::new(0.1);
+        a.apply(&mut adam);
+
+        let params = a.export_parameters();
+        assert_eq!(params.len(), a.param_count());
+        let mut b = tiny_net(8);
+        assert_ne!(b.forward(&x, false), a.forward(&x, false));
+        b.import_parameters(&params).unwrap();
+        assert_eq!(b.forward(&x, false), a.forward(&x, false));
+        // Wrong sizes rejected.
+        assert!(b.import_parameters(&params[1..]).is_err());
+    }
+
+    #[test]
+    fn export_parameters_superset_of_weights() {
+        let net = tiny_net(9);
+        // Parameters = weights + biases.
+        assert_eq!(
+            net.export_parameters().len(),
+            net.export_weights().len() + 6 + 1
+        );
+    }
+
+    #[test]
+    fn empty_network_is_identity() {
+        let mut net = Mlp::new();
+        assert!(net.is_empty());
+        let x = Tensor::from_row(&[1.0, 2.0]);
+        assert_eq!(net.forward(&x, true), x);
+        assert_eq!(net.backward(&x), x);
+    }
+}

@@ -1,0 +1,409 @@
+use crate::NnError;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major `f32` matrix. Rows are batch entries, columns features.
+///
+/// # Examples
+///
+/// ```
+/// use twig_nn::Tensor;
+///
+/// let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+/// let b = Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+/// assert_eq!(a.matmul(&b).unwrap(), a);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a `rows x cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, NnError> {
+        if data.len() != rows * cols {
+            return Err(NnError::ShapeMismatch {
+                detail: format!("{} elements for {rows}x{cols}", data.len()),
+            });
+        }
+        Ok(Tensor { rows, cols, data })
+    }
+
+    /// Creates a tensor from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Empty`] for no rows and [`NnError::ShapeMismatch`]
+    /// for ragged rows.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self, NnError> {
+        let first = rows.first().ok_or(NnError::Empty)?;
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(NnError::ShapeMismatch {
+                    detail: format!("row length {} != {cols}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Tensor { rows: rows.len(), cols, data })
+    }
+
+    /// Creates a single-row tensor from a feature slice.
+    pub fn from_row(row: &[f32]) -> Self {
+        Tensor { rows: 1, cols: row.len(), data: row.to_vec() }
+    }
+
+    /// Number of rows (batch size).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, NnError> {
+        if self.cols != other.rows {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "{}x{} * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self^T * other` without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when row counts disagree.
+    pub fn t_matmul(&self, other: &Tensor) -> Result<Tensor, NnError> {
+        if self.rows != other.rows {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "({}x{})^T * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self * other^T` without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when column counts disagree.
+    pub fn matmul_t(&self, other: &Tensor) -> Result<Tensor, NnError> {
+        if self.cols != other.cols {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "{}x{} * ({}x{})^T",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                out.data[i * other.rows + j] =
+                    a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
+            }
+        }
+        Ok(out)
+    }
+
+    /// Adds a row vector to every row (bias broadcast).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `bias.len() != self.cols()`.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) -> Result<(), NnError> {
+        if bias.len() != self.cols {
+            return Err(NnError::ShapeMismatch {
+                detail: format!("bias length {} != {}", bias.len(), self.cols),
+            });
+        }
+        for r in 0..self.rows {
+            for (v, b) in self.row_mut(r).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sums across rows, producing one value per column.
+    pub fn sum_rows(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Multiplies every element in place.
+    pub fn scale(&mut self, factor: f32) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// Element-wise addition of another tensor in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when shapes disagree.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<(), NnError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "{}x{} += {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Concatenates two tensors column-wise (same number of rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when row counts disagree.
+    pub fn concat_cols(&self, other: &Tensor) -> Result<Tensor, NnError> {
+        if self.rows != other.rows {
+            return Err(NnError::ShapeMismatch {
+                detail: format!("concat rows {} vs {}", self.rows, other.rows),
+            });
+        }
+        let mut out = Tensor::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            let dst = out.row_mut(r);
+            dst[..self.cols].copy_from_slice(self.row(r));
+            dst[self.cols..].copy_from_slice(other.row(r));
+        }
+        Ok(out)
+    }
+
+    /// Splits off the first `left_cols` columns, returning `(left, right)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `left_cols > self.cols()`.
+    pub fn split_cols(&self, left_cols: usize) -> (Tensor, Tensor) {
+        assert!(left_cols <= self.cols, "split at {left_cols} beyond {}", self.cols);
+        let mut left = Tensor::zeros(self.rows, left_cols);
+        let mut right = Tensor::zeros(self.rows, self.cols - left_cols);
+        for r in 0..self.rows {
+            let src = self.row(r);
+            left.row_mut(r).copy_from_slice(&src[..left_cols]);
+            right.row_mut(r).copy_from_slice(&src[left_cols..]);
+        }
+        (left, right)
+    }
+}
+
+impl Index<(usize, usize)> for Tensor {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Tensor {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_vec_validates_len() {
+        assert!(Tensor::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Tensor::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Tensor::from_rows(&[vec![5.0], vec![6.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[17.0, 39.0]);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let b = Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        // a^T (3x2) * b (2x2)
+        let got = a.t_matmul(&b).unwrap();
+        assert_eq!(got.rows(), 3);
+        assert_eq!(got.cols(), 2);
+        assert_eq!(got.row(0), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_t_matches_manual() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let b = Tensor::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        // a (1x2) * b^T (2x2) = [11, 17]
+        let got = a.matmul_t(&b).unwrap();
+        assert_eq!(got.as_slice(), &[11.0, 17.0]);
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows_roundtrip() {
+        let mut t = Tensor::zeros(3, 2);
+        t.add_row_broadcast(&[1.0, 2.0]).unwrap();
+        assert_eq!(t.sum_rows(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Tensor::from_rows(&[vec![5.0], vec![6.0]]).unwrap();
+        let joined = a.concat_cols(&b).unwrap();
+        let (left, right) = joined.split_cols(2);
+        assert_eq!(left, a);
+        assert_eq!(right, b);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.concat_cols(&Tensor::zeros(3, 1)).is_err());
+        let mut c = Tensor::zeros(2, 3);
+        assert!(c.add_row_broadcast(&[1.0]).is_err());
+        assert!(c.add_assign(&Tensor::zeros(1, 1)).is_err());
+    }
+
+    fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+        proptest::collection::vec(-10.0f32..10.0, rows * cols)
+            .prop_map(move |data| Tensor::from_vec(rows, cols, data).unwrap())
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_associative_with_identity(t in tensor_strategy(3, 3)) {
+            let mut id = Tensor::zeros(3, 3);
+            for i in 0..3 { id[(i, i)] = 1.0; }
+            prop_assert_eq!(t.matmul(&id).unwrap(), t);
+        }
+
+        #[test]
+        fn scale_then_sum_linear(t in tensor_strategy(4, 2), k in -3.0f32..3.0) {
+            let base: f32 = t.sum_rows().iter().sum();
+            let mut scaled = t.clone();
+            scaled.scale(k);
+            let scaled_sum: f32 = scaled.sum_rows().iter().sum();
+            prop_assert!((scaled_sum - k * base).abs() < 1e-3 * (1.0 + base.abs()));
+        }
+
+        #[test]
+        fn t_matmul_equals_transpose_matmul(
+            a in tensor_strategy(4, 3),
+            b in tensor_strategy(4, 2),
+        ) {
+            // a^T * b computed directly vs via explicit loops.
+            let got = a.t_matmul(&b).unwrap();
+            for i in 0..3 {
+                for j in 0..2 {
+                    let want: f32 = (0..4).map(|r| a[(r, i)] * b[(r, j)]).sum();
+                    prop_assert!((got[(i, j)] - want).abs() < 1e-4);
+                }
+            }
+        }
+    }
+}

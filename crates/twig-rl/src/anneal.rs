@@ -1,0 +1,160 @@
+/// Piecewise-linear annealing of a scalar between anchor points.
+///
+/// Used for the prioritised-replay β (0.4 → 1.0).
+///
+/// # Examples
+///
+/// ```
+/// use twig_rl::LinearAnneal;
+///
+/// let b = LinearAnneal::new(0.4, 1.0, 100);
+/// assert_eq!(b.value_at(0), 0.4);
+/// assert!((b.value_at(50) - 0.7).abs() < 1e-9);
+/// assert_eq!(b.value_at(1000), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearAnneal {
+    start: f64,
+    end: f64,
+    steps: u64,
+}
+
+impl LinearAnneal {
+    /// Anneals from `start` to `end` over `steps` steps, then holds `end`.
+    pub fn new(start: f64, end: f64, steps: u64) -> Self {
+        LinearAnneal { start, end, steps }
+    }
+
+    /// Value at step `t`.
+    pub fn value_at(&self, t: u64) -> f64 {
+        if self.steps == 0 || t >= self.steps {
+            return self.end;
+        }
+        let frac = t as f64 / self.steps as f64;
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+/// The paper's two-phase ε schedule (Section IV): ε starts at 1, "drops to
+/// 0.1 over a period of 10 000 s and drops to 0.01 in 25 000 s", linearly in
+/// each phase, then holds the floor.
+///
+/// # Examples
+///
+/// ```
+/// use twig_rl::EpsilonSchedule;
+///
+/// let eps = EpsilonSchedule::paper();
+/// assert_eq!(eps.value_at(0), 1.0);
+/// assert!((eps.value_at(10_000) - 0.1).abs() < 1e-9);
+/// assert!((eps.value_at(25_000) - 0.01).abs() < 1e-9);
+/// assert_eq!(eps.value_at(1_000_000), 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonSchedule {
+    phase1: LinearAnneal,
+    phase2: LinearAnneal,
+    phase1_steps: u64,
+    phase2_steps: u64,
+}
+
+impl EpsilonSchedule {
+    /// Builds a two-phase schedule: `1 → mid` over `phase1_steps`, then
+    /// `mid → floor` by `phase2_steps` (absolute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase2_steps < phase1_steps`.
+    pub fn new(mid: f64, floor: f64, phase1_steps: u64, phase2_steps: u64) -> Self {
+        assert!(
+            phase2_steps >= phase1_steps,
+            "phase 2 ({phase2_steps}) ends before phase 1 ({phase1_steps})"
+        );
+        EpsilonSchedule {
+            phase1: LinearAnneal::new(1.0, mid, phase1_steps),
+            phase2: LinearAnneal::new(mid, floor, phase2_steps - phase1_steps),
+            phase1_steps,
+            phase2_steps,
+        }
+    }
+
+    /// The paper's hyper-parameters: 1 → 0.1 over 10 000 steps, → 0.01 at
+    /// 25 000 steps.
+    pub fn paper() -> Self {
+        Self::new(0.1, 0.01, 10_000, 25_000)
+    }
+
+    /// A proportionally scaled schedule for shortened (`--fast`)
+    /// experiments: the same shape compressed so phase 1 ends at
+    /// `learning_steps`.
+    pub fn scaled(learning_steps: u64) -> Self {
+        Self::new(0.1, 0.01, learning_steps, learning_steps.saturating_mul(5) / 2)
+    }
+
+    /// ε at step `t`.
+    pub fn value_at(&self, t: u64) -> f64 {
+        if t < self.phase1_steps {
+            self.phase1.value_at(t)
+        } else {
+            self.phase2.value_at(t - self.phase1_steps)
+        }
+    }
+
+    /// The step at which the exploratory phase 1 ends (the paper calls the
+    /// first 10 000 s the "learning phase").
+    pub fn learning_phase_end(&self) -> u64 {
+        self.phase1_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_steps_is_constant_end() {
+        let a = LinearAnneal::new(5.0, 1.0, 0);
+        assert_eq!(a.value_at(0), 1.0);
+    }
+
+    #[test]
+    fn paper_schedule_anchors() {
+        let e = EpsilonSchedule::paper();
+        assert_eq!(e.value_at(0), 1.0);
+        assert!((e.value_at(5_000) - 0.55).abs() < 1e-9);
+        assert!((e.value_at(10_000) - 0.1).abs() < 1e-9);
+        assert!((e.value_at(17_500) - 0.055).abs() < 1e-9);
+        assert_eq!(e.learning_phase_end(), 10_000);
+    }
+
+    #[test]
+    fn scaled_schedule_preserves_shape() {
+        let e = EpsilonSchedule::scaled(1000);
+        assert_eq!(e.value_at(0), 1.0);
+        assert!((e.value_at(1000) - 0.1).abs() < 1e-9);
+        assert!((e.value_at(2500) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase 2")]
+    fn rejects_inverted_phases() {
+        EpsilonSchedule::new(0.1, 0.01, 100, 50);
+    }
+
+    proptest! {
+        #[test]
+        fn epsilon_monotone_nonincreasing(t1 in 0u64..30_000, t2 in 0u64..30_000) {
+            let e = EpsilonSchedule::paper();
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            prop_assert!(e.value_at(lo) >= e.value_at(hi) - 1e-12);
+        }
+
+        #[test]
+        fn epsilon_bounded(t in 0u64..1_000_000) {
+            let e = EpsilonSchedule::paper();
+            let v = e.value_at(t);
+            prop_assert!((0.01..=1.0).contains(&v));
+        }
+    }
+}

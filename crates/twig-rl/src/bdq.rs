@@ -1,0 +1,179 @@
+use crate::{MaBdq, MaBdqConfig, MultiTransition, RlError, TrainStats};
+
+/// Single-agent branching dueling Q-network — the network behind Twig-S and
+/// the classic architecture of Tavakoli et al. (Figure 2 of the paper).
+///
+/// This is exactly a [`MaBdq`] with one agent, wrapped so single-service
+/// callers don't juggle one-element vectors.
+///
+/// # Examples
+///
+/// ```
+/// use twig_rl::{Bdq, MaBdqConfig};
+///
+/// let config = MaBdqConfig {
+///     state_dim: 4,
+///     branches: vec![6, 3],
+///     trunk_hidden: vec![16],
+///     ..MaBdqConfig::default()
+/// };
+/// let mut bdq = Bdq::new(config).unwrap();
+/// let actions = bdq.select_actions(&[0.1, 0.2, 0.3, 0.4], 0.0).unwrap();
+/// assert_eq!(actions.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bdq {
+    inner: MaBdq,
+}
+
+impl Bdq {
+    /// Builds a single-agent BDQ; `config.agents` is forced to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] for an invalid configuration.
+    pub fn new(config: MaBdqConfig) -> Result<Self, RlError> {
+        Ok(Bdq { inner: MaBdq::new(MaBdqConfig { agents: 1, ..config })? })
+    }
+
+    /// ε-greedy per-branch action selection: `actions[d]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] for a wrongly sized state.
+    pub fn select_actions(
+        &mut self,
+        state: &[f32],
+        epsilon: f64,
+    ) -> Result<Vec<usize>, RlError> {
+        let mut actions = self.inner.select_actions(&[state.to_vec()], epsilon)?;
+        Ok(actions.remove(0))
+    }
+
+    /// Q-values for one state: `q[d][a]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] for a wrongly sized state.
+    pub fn q_values(&mut self, state: &[f32]) -> Result<Vec<Vec<f32>>, RlError> {
+        let mut q = self.inner.q_values(&[state.to_vec()])?;
+        Ok(q.remove(0))
+    }
+
+    /// Stores one transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] for a wrongly shaped
+    /// transition.
+    pub fn observe(
+        &mut self,
+        state: &[f32],
+        actions: &[usize],
+        reward: f32,
+        next_state: &[f32],
+    ) -> Result<(), RlError> {
+        self.inner.observe(MultiTransition {
+            states: vec![state.to_vec()],
+            actions: vec![actions.to_vec()],
+            rewards: vec![reward],
+            next_states: vec![next_state.to_vec()],
+        })
+    }
+
+    /// One gradient step (see [`MaBdq::train_step`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates replay-buffer errors.
+    pub fn train_step(&mut self) -> Result<Option<TrainStats>, RlError> {
+        self.inner.train_step()
+    }
+
+    /// Transfer learning: re-initialise the final layers (see
+    /// [`MaBdq::transfer_reset`]).
+    pub fn transfer_reset(&mut self) {
+        self.inner.transfer_reset();
+    }
+
+    /// The underlying multi-agent implementation.
+    pub fn as_multi_agent(&self) -> &MaBdq {
+        &self.inner
+    }
+
+    /// Completed gradient steps.
+    pub fn steps(&self) -> u64 {
+        self.inner.steps()
+    }
+
+    /// Transitions currently buffered.
+    pub fn buffer_len(&self) -> usize {
+        self.inner.buffer_len()
+    }
+
+    /// Trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.inner.param_count()
+    }
+
+    /// Section V-B1 memory metric (online + target networks).
+    pub fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MaBdqConfig {
+        MaBdqConfig {
+            state_dim: 2,
+            branches: vec![4, 3],
+            trunk_hidden: vec![16],
+            head_hidden: 12,
+            dropout: 0.0,
+            gamma: 0.0,
+            batch_size: 8,
+            buffer_capacity: 512,
+            seed: 3,
+            ..MaBdqConfig::default()
+        }
+    }
+
+    #[test]
+    fn forces_single_agent() {
+        let bdq = Bdq::new(MaBdqConfig { agents: 7, ..config() }).unwrap();
+        assert_eq!(bdq.as_multi_agent().config().agents, 1);
+    }
+
+    #[test]
+    fn action_and_q_shapes() {
+        let mut bdq = Bdq::new(config()).unwrap();
+        let a = bdq.select_actions(&[0.0, 1.0], 0.0).unwrap();
+        assert_eq!(a.len(), 2);
+        assert!(a[0] < 4 && a[1] < 3);
+        let q = bdq.q_values(&[0.0, 1.0]).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[0].len(), 4);
+        assert_eq!(q[1].len(), 3);
+    }
+
+    #[test]
+    fn observe_and_train_roundtrip() {
+        let mut bdq = Bdq::new(config()).unwrap();
+        for i in 0..8 {
+            bdq.observe(&[i as f32, 0.0], &[0, 0], 1.0, &[i as f32, 0.0]).unwrap();
+        }
+        assert_eq!(bdq.buffer_len(), 8);
+        assert!(bdq.train_step().unwrap().is_some());
+        assert_eq!(bdq.steps(), 1);
+    }
+
+    #[test]
+    fn wrong_state_dim_rejected() {
+        let mut bdq = Bdq::new(config()).unwrap();
+        assert!(bdq.select_actions(&[0.0], 0.0).is_err());
+        assert!(bdq.observe(&[0.0], &[0, 0], 0.0, &[0.0, 0.0]).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the reinforcement-learning components.
+///
+/// # Examples
+///
+/// ```
+/// use twig_rl::{MaBdq, MaBdqConfig, RlError};
+///
+/// let bad = MaBdqConfig { agents: 0, ..MaBdqConfig::default() };
+/// assert!(matches!(MaBdq::new(bad), Err(RlError::InvalidConfig { .. })));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RlError {
+    /// A configuration value was outside its valid domain.
+    InvalidConfig {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An input had the wrong dimensionality for the configured network.
+    DimensionMismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An operation needed data the buffer does not yet hold.
+    NotEnoughData {
+        /// Items required.
+        needed: usize,
+        /// Items available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for RlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlError::InvalidConfig { detail } => write!(f, "invalid config: {detail}"),
+            RlError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+            RlError::NotEnoughData { needed, available } => {
+                write!(f, "need {needed} samples but only {available} available")
+            }
+        }
+    }
+}
+
+impl Error for RlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            RlError::InvalidConfig { detail: "x".into() },
+            RlError::DimensionMismatch { detail: "y".into() },
+            RlError::NotEnoughData { needed: 2, available: 1 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<RlError>();
+    }
+}

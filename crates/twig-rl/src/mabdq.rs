@@ -1,0 +1,916 @@
+use crate::{EpsilonSchedule, PrioritizedReplay, RlError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use twig_nn::{Adam, Dense, Dropout, Mlp, Relu, Tensor};
+
+/// Configuration of a [`MaBdq`] agent.
+///
+/// [`MaBdqConfig::paper`] reproduces Section IV exactly (512/256 trunk,
+/// 128-unit branch layers, dropout 0.5, Adam lr 0.0025, batch 64, γ 0.99,
+/// target sync every 150 steps, PER 10⁶/α 0.6/β 0.4 → 1). The `Default`
+/// instance keeps the same learning hyper-parameters but a smaller network
+/// and milder dropout, which trains orders of magnitude faster at the same
+/// qualitative behaviour — the experiment harness notes wherever it relies
+/// on this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaBdqConfig {
+    /// Number of learning agents (colocated services), `K`.
+    pub agents: usize,
+    /// State dimensionality per agent (11 PMCs for Twig).
+    pub state_dim: usize,
+    /// Discrete action count per branch (e.g. `[18, 9]`: cores × DVFS).
+    pub branches: Vec<usize>,
+    /// Hidden-layer widths of the shared representation trunk.
+    pub trunk_hidden: Vec<usize>,
+    /// Hidden width of each value/advantage head.
+    pub head_hidden: usize,
+    /// Dropout probability after each fully connected layer.
+    pub dropout: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Steps between target-network synchronisations.
+    pub target_update_every: u64,
+    /// Prioritised-replay capacity.
+    pub buffer_capacity: usize,
+    /// PER priority exponent α.
+    pub per_alpha: f64,
+    /// PER importance-sampling exponent β at step 0.
+    pub per_beta0: f64,
+    /// Steps over which β anneals to 1.
+    pub per_beta_steps: u64,
+    /// Global gradient-norm clip (0 disables).
+    pub grad_clip: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MaBdqConfig {
+    fn default() -> Self {
+        MaBdqConfig {
+            agents: 1,
+            state_dim: 11,
+            branches: vec![18, 9],
+            trunk_hidden: vec![96, 64],
+            head_hidden: 48,
+            dropout: 0.05,
+            lr: 0.0025,
+            gamma: 0.99,
+            batch_size: 64,
+            target_update_every: 150,
+            buffer_capacity: 1_000_000,
+            per_alpha: 0.6,
+            per_beta0: 0.4,
+            per_beta_steps: 100_000,
+            grad_clip: 10.0,
+            seed: 0,
+        }
+    }
+}
+
+impl MaBdqConfig {
+    /// The exact architecture and hyper-parameters of Section IV.
+    pub fn paper() -> Self {
+        MaBdqConfig {
+            trunk_hidden: vec![512, 256],
+            head_hidden: 128,
+            dropout: 0.5,
+            ..Self::default()
+        }
+    }
+
+    fn validate(&self) -> Result<(), RlError> {
+        let fail = |detail: String| Err(RlError::InvalidConfig { detail });
+        if self.agents == 0 {
+            return fail("zero agents".into());
+        }
+        if self.state_dim == 0 {
+            return fail("zero state dim".into());
+        }
+        if self.branches.is_empty() || self.branches.contains(&0) {
+            return fail(format!("branches {:?}", self.branches));
+        }
+        if self.trunk_hidden.is_empty() || self.trunk_hidden.contains(&0) {
+            return fail(format!("trunk hidden {:?}", self.trunk_hidden));
+        }
+        if self.head_hidden == 0 || self.batch_size == 0 || self.buffer_capacity == 0 {
+            return fail("zero head width, batch size or buffer capacity".into());
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return fail(format!("dropout {}", self.dropout));
+        }
+        if !(0.0..=1.0).contains(&self.gamma) {
+            return fail(format!("gamma {}", self.gamma));
+        }
+        Ok(())
+    }
+}
+
+/// One multi-agent transition: everything all `K` agents observed and did in
+/// one decision epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTransition {
+    /// Per-agent state at decision time (`K × state_dim`).
+    pub states: Vec<Vec<f32>>,
+    /// Per-agent, per-branch action indices (`K × D`).
+    pub actions: Vec<Vec<usize>>,
+    /// Per-agent reward (`K`).
+    pub rewards: Vec<f32>,
+    /// Per-agent next state (`K × state_dim`).
+    pub next_states: Vec<Vec<f32>>,
+}
+
+/// Diagnostics of one gradient step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainStats {
+    /// Weighted TD loss of the minibatch.
+    pub loss: f32,
+    /// Mean absolute TD error (fed back as PER priority).
+    pub mean_abs_td: f32,
+    /// Global gradient norm before clipping.
+    pub grad_norm: f32,
+}
+
+/// The networks: a shared trunk, one state-value head per agent, and one
+/// advantage head per branch whose weights are shared across agents
+/// (Section III-A).
+#[derive(Debug, Clone)]
+struct Net {
+    trunk: Mlp,
+    value_heads: Vec<Mlp>,
+    adv_heads: Vec<Mlp>,
+}
+
+impl Net {
+    fn new(config: &MaBdqConfig, rng: &mut StdRng) -> Self {
+        let mut trunk = Mlp::new();
+        let mut prev = config.agents * config.state_dim;
+        for (i, &h) in config.trunk_hidden.iter().enumerate() {
+            trunk = trunk
+                .push(Dense::new(prev, h, rng))
+                .push(Relu::new())
+                .push(Dropout::new(config.dropout, config.seed.wrapping_add(i as u64)));
+            prev = h;
+        }
+        let head_input = prev + config.state_dim;
+        let head = |out: usize, rng: &mut StdRng, seed: u64| {
+            Mlp::new()
+                .push(Dense::new(head_input, config.head_hidden, rng))
+                .push(Relu::new())
+                .push(Dropout::new(config.dropout, seed))
+                .push(Dense::new(config.head_hidden, out, rng))
+        };
+        let value_heads = (0..config.agents)
+            .map(|k| head(1, rng, config.seed.wrapping_add(100 + k as u64)))
+            .collect();
+        let adv_heads = config
+            .branches
+            .iter()
+            .enumerate()
+            .map(|(d, &n)| head(n, rng, config.seed.wrapping_add(200 + d as u64)))
+            .collect();
+        Net { trunk, value_heads, adv_heads }
+    }
+
+    fn zero_grads(&mut self) {
+        self.trunk.zero_grads();
+        for h in self.value_heads.iter_mut().chain(self.adv_heads.iter_mut()) {
+            h.zero_grads();
+        }
+    }
+
+    fn grad_sq_norm(&self) -> f32 {
+        self.trunk.grad_sq_norm()
+            + self
+                .value_heads
+                .iter()
+                .chain(self.adv_heads.iter())
+                .map(Mlp::grad_sq_norm)
+                .sum::<f32>()
+    }
+
+    fn scale_all_grads(&mut self, factor: f32) {
+        self.trunk.scale_grads(factor);
+        for h in self.value_heads.iter_mut().chain(self.adv_heads.iter_mut()) {
+            h.scale_grads(factor);
+        }
+    }
+
+    fn apply(&mut self, adam: &mut Adam) {
+        let mut base = self.trunk.apply_with_base(adam, 0);
+        for h in self.value_heads.iter_mut().chain(self.adv_heads.iter_mut()) {
+            base = h.apply_with_base(adam, base);
+        }
+    }
+
+    fn copy_weights_from(&mut self, other: &Net) {
+        self.trunk.copy_weights_from(&other.trunk).expect("same architecture");
+        for (dst, src) in self
+            .value_heads
+            .iter_mut()
+            .zip(&other.value_heads)
+            .chain(self.adv_heads.iter_mut().zip(&other.adv_heads))
+        {
+            dst.copy_weights_from(src).expect("same architecture");
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.trunk.param_count()
+            + self
+                .value_heads
+                .iter()
+                .chain(self.adv_heads.iter())
+                .map(Mlp::param_count)
+                .sum::<usize>()
+    }
+
+    /// Q-values for a batch: `q[k][d]` is a `B × n_d` tensor. Purely
+    /// forward; dropout controlled by `train`.
+    fn q_values(&mut self, states: &[&[Vec<f32>]], train: bool) -> Vec<Vec<Tensor>> {
+        let batch = states.len();
+        let agents = self.value_heads.len();
+        let state_dim = states[0][0].len();
+        let mut x = Tensor::zeros(batch, agents * state_dim);
+        for (b, sample) in states.iter().enumerate() {
+            let row = x.row_mut(b);
+            for (k, s) in sample.iter().enumerate() {
+                row[k * state_dim..(k + 1) * state_dim].copy_from_slice(s);
+            }
+        }
+        let trunk_out = self.trunk.forward(&x, train);
+        let mut out = Vec::with_capacity(agents);
+        for k in 0..agents {
+            let mut agent_state = Tensor::zeros(batch, state_dim);
+            for (b, sample) in states.iter().enumerate() {
+                agent_state.row_mut(b).copy_from_slice(&sample[k]);
+            }
+            let input_k = trunk_out.concat_cols(&agent_state).expect("same batch");
+            let v = self.value_heads[k].forward(&input_k, train);
+            let mut branches = Vec::with_capacity(self.adv_heads.len());
+            for head in &mut self.adv_heads {
+                let adv = head.forward(&input_k, train);
+                branches.push(dueling_combine(&v, &adv));
+            }
+            out.push(branches);
+        }
+        out
+    }
+}
+
+/// `Q(a) = V + (A(a) − mean_a A(a))` per batch row.
+fn dueling_combine(v: &Tensor, adv: &Tensor) -> Tensor {
+    let mut q = adv.clone();
+    let n = adv.cols() as f32;
+    for b in 0..adv.rows() {
+        let mean: f32 = adv.row(b).iter().sum::<f32>() / n;
+        let base = v[(b, 0)] - mean;
+        for x in q.row_mut(b) {
+            *x += base;
+        }
+    }
+    q
+}
+
+/// The paper's multi-agent branching dueling Q-network (Section III-A).
+///
+/// One instance manages all `K` colocated services: each agent contributes
+/// an 11-dimensional PMC state, the concatenation feeds a shared
+/// representation, per-agent state-value heads and per-branch advantage
+/// heads (shared across agents) produce per-agent per-branch Q-values, and
+/// training applies the paper's gradient rescaling — 1/K into the deepest
+/// advantage layers, 1/D into the shared representation.
+///
+/// See the crate-level example for usage; [`Bdq`](crate::Bdq) wraps the
+/// single-agent case.
+#[derive(Debug, Clone)]
+pub struct MaBdq {
+    config: MaBdqConfig,
+    online: Net,
+    target: Net,
+    adam: Adam,
+    buffer: PrioritizedReplay<MultiTransition>,
+    rng: StdRng,
+    steps: u64,
+}
+
+impl MaBdq {
+    /// Builds the online and target networks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] for an invalid configuration.
+    pub fn new(config: MaBdqConfig) -> Result<Self, RlError> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let online = Net::new(&config, &mut rng);
+        let mut target = Net::new(&config, &mut rng);
+        target.copy_weights_from(&online);
+        let adam = Adam::new(config.lr);
+        let buffer = PrioritizedReplay::new(
+            config.buffer_capacity,
+            config.per_alpha,
+            config.per_beta0,
+            config.per_beta_steps,
+        );
+        Ok(MaBdq { config, online, target, adam, buffer, rng, steps: 0 })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MaBdqConfig {
+        &self.config
+    }
+
+    /// Completed gradient steps.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Transitions currently buffered.
+    pub fn buffer_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Trainable parameters across trunk and heads.
+    pub fn param_count(&self) -> usize {
+        self.online.param_count()
+    }
+
+    /// Approximate bytes of the online + target networks (4 bytes per
+    /// parameter) — the Section V-B1 memory metric.
+    pub fn memory_bytes(&self) -> usize {
+        2 * self.param_count() * std::mem::size_of::<f32>()
+    }
+
+    fn check_states(&self, states: &[Vec<f32>]) -> Result<(), RlError> {
+        if states.len() != self.config.agents
+            || states.iter().any(|s| s.len() != self.config.state_dim)
+        {
+            return Err(RlError::DimensionMismatch {
+                detail: format!(
+                    "expected {} agents x {} dims",
+                    self.config.agents, self.config.state_dim
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// ε-greedy per-branch action selection for all agents:
+    /// `actions[k][d]` is agent `k`'s choice on branch `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] for wrongly shaped states.
+    pub fn select_actions(
+        &mut self,
+        states: &[Vec<f32>],
+        epsilon: f64,
+    ) -> Result<Vec<Vec<usize>>, RlError> {
+        self.check_states(states)?;
+        let q = self.online.q_values(&[states], false);
+        let mut out = Vec::with_capacity(self.config.agents);
+        for branches in q.iter() {
+            let mut agent_actions = Vec::with_capacity(branches.len());
+            for (d, qd) in branches.iter().enumerate() {
+                let n = self.config.branches[d];
+                let a = if self.rng.gen::<f64>() < epsilon {
+                    self.rng.gen_range(0..n)
+                } else {
+                    argmax(qd.row(0))
+                };
+                agent_actions.push(a);
+            }
+            out.push(agent_actions);
+        }
+        Ok(out)
+    }
+
+    /// Q-values for one joint state: `q[k][d][a]`. Dropout disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] for wrongly shaped states.
+    pub fn q_values(&mut self, states: &[Vec<f32>]) -> Result<Vec<Vec<Vec<f32>>>, RlError> {
+        self.check_states(states)?;
+        let q = self.online.q_values(&[states], false);
+        Ok(q.into_iter()
+            .map(|branches| branches.into_iter().map(|t| t.row(0).to_vec()).collect())
+            .collect())
+    }
+
+    /// Stores one transition in the prioritised replay buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] for a wrongly shaped
+    /// transition.
+    pub fn observe(&mut self, transition: MultiTransition) -> Result<(), RlError> {
+        self.check_states(&transition.states)?;
+        self.check_states(&transition.next_states)?;
+        if transition.actions.len() != self.config.agents
+            || transition.rewards.len() != self.config.agents
+            || transition
+                .actions
+                .iter()
+                .any(|a| a.len() != self.config.branches.len())
+        {
+            return Err(RlError::DimensionMismatch {
+                detail: "transition actions/rewards shape".into(),
+            });
+        }
+        for (a, &n) in transition
+            .actions
+            .iter()
+            .flatten()
+            .zip(transition.actions.iter().flat_map(|_| &self.config.branches))
+        {
+            if *a >= n {
+                return Err(RlError::DimensionMismatch {
+                    detail: format!("action {a} out of range {n}"),
+                });
+            }
+        }
+        self.buffer.push(transition);
+        Ok(())
+    }
+
+    /// One gradient step on a prioritised minibatch (Algorithm 1 line 13).
+    /// Returns `None` when the buffer has fewer than `batch_size`
+    /// transitions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replay-buffer errors.
+    pub fn train_step(&mut self) -> Result<Option<TrainStats>, RlError> {
+        if self.buffer.len() < self.config.batch_size {
+            return Ok(None);
+        }
+        let batch_size = self.config.batch_size;
+        let agents = self.config.agents;
+        let num_branches = self.config.branches.len();
+        let gamma = self.config.gamma;
+
+        let batch = self.buffer.sample(batch_size, &mut self.rng)?;
+        let transitions: Vec<MultiTransition> = batch
+            .indices
+            .iter()
+            .map(|&i| self.buffer.get(i).expect("sampled index valid").clone())
+            .collect();
+
+        // --- Targets: double-DQN style, averaged over branches. ---
+        let next_states: Vec<&[Vec<f32>]> =
+            transitions.iter().map(|t| t.next_states.as_slice()).collect();
+        let q_next_online = self.online.q_values(&next_states, false);
+        let q_next_target = self.target.q_values(&next_states, false);
+        // y[b][k]
+        let mut targets = vec![vec![0.0f32; agents]; batch_size];
+        #[allow(clippy::needless_range_loop)] // k/b index three parallel structures
+        for k in 0..agents {
+            for b in 0..batch_size {
+                let mut acc = 0.0;
+                for d in 0..num_branches {
+                    let a_star = argmax(q_next_online[k][d].row(b));
+                    acc += q_next_target[k][d][(b, a_star)];
+                }
+                targets[b][k] =
+                    transitions[b].rewards[k] + gamma * acc / num_branches as f32;
+            }
+        }
+
+        // --- Online forward + manual backward with gradient rescaling. ---
+        self.online.zero_grads();
+        let state_dim = self.config.state_dim;
+        let mut x = Tensor::zeros(batch_size, agents * state_dim);
+        for (b, t) in transitions.iter().enumerate() {
+            let row = x.row_mut(b);
+            for (k, s) in t.states.iter().enumerate() {
+                row[k * state_dim..(k + 1) * state_dim].copy_from_slice(s);
+            }
+        }
+        let trunk_out = self.online.trunk.forward(&x, true);
+        let trunk_dim = trunk_out.cols();
+        let mut trunk_grad = Tensor::zeros(batch_size, trunk_dim);
+        let mut abs_td = vec![0.0f64; batch_size];
+        let mut loss = 0.0f32;
+        let norm = (batch_size * agents * num_branches) as f32;
+
+        #[allow(clippy::needless_range_loop)] // k indexes heads, states and targets
+        for k in 0..agents {
+            let mut agent_state = Tensor::zeros(batch_size, state_dim);
+            for (b, t) in transitions.iter().enumerate() {
+                agent_state.row_mut(b).copy_from_slice(&t.states[k]);
+            }
+            let input_k = trunk_out.concat_cols(&agent_state).expect("same batch");
+            let v = self.online.value_heads[k].forward(&input_k, true);
+            let mut v_grad = Tensor::zeros(batch_size, 1);
+            let mut input_grad = Tensor::zeros(batch_size, input_k.cols());
+
+            for (d, head) in self.online.adv_heads.iter_mut().enumerate() {
+                let adv = head.forward(&input_k, true);
+                let n = adv.cols();
+                let mut adv_grad = Tensor::zeros(batch_size, n);
+                for b in 0..batch_size {
+                    let a = transitions[b].actions[k][d];
+                    let row = adv.row(b);
+                    let mean: f32 = row.iter().sum::<f32>() / n as f32;
+                    let q = v[(b, 0)] + row[a] - mean;
+                    let delta = q - targets[b][k];
+                    abs_td[b] += (delta.abs() / (agents * num_branches) as f32) as f64;
+                    let w = batch.weights[b];
+                    loss += w * delta * delta / norm;
+                    let g = 2.0 * w * delta / norm;
+                    let grow = adv_grad.row_mut(b);
+                    for (j, gj) in grow.iter_mut().enumerate() {
+                        let indicator = if j == a { 1.0 } else { 0.0 };
+                        *gj = g * (indicator - 1.0 / n as f32);
+                    }
+                    v_grad[(b, 0)] += g;
+                }
+                let gin = head.backward(&adv_grad);
+                input_grad.add_assign(&gin).expect("same shape");
+            }
+            let gin_v = self.online.value_heads[k].backward(&v_grad);
+            input_grad.add_assign(&gin_v).expect("same shape");
+            let (to_trunk, _to_state) = input_grad.split_cols(trunk_dim);
+            trunk_grad.add_assign(&to_trunk).expect("same shape");
+        }
+
+        // Section III-A rescaling: 1/K into the deepest advantage layers,
+        // 1/D into the shared representation.
+        for head in &mut self.online.adv_heads {
+            head.scale_grads(1.0 / agents as f32);
+        }
+        trunk_grad.scale(1.0 / num_branches as f32);
+        self.online.trunk.backward(&trunk_grad);
+
+        // Global-norm clipping, then Adam.
+        let grad_norm = self.online.grad_sq_norm().sqrt();
+        if self.config.grad_clip > 0.0 && grad_norm > self.config.grad_clip {
+            self.online.scale_all_grads(self.config.grad_clip / grad_norm);
+        }
+        self.online.apply(&mut self.adam);
+
+        self.buffer.update_priorities(&batch.indices, &abs_td);
+        self.steps += 1;
+        if self.steps.is_multiple_of(self.config.target_update_every) {
+            self.target.copy_weights_from(&self.online);
+        }
+        Ok(Some(TrainStats {
+            loss,
+            mean_abs_td: (abs_td.iter().sum::<f64>() / batch_size as f64) as f32,
+            grad_norm,
+        }))
+    }
+
+    /// Transfer learning (Section IV): re-initialise the final (most
+    /// task-specific) layer of every head with random weights, reset the
+    /// optimiser state and re-sync the target network. The trunk's learned
+    /// shared representation is kept.
+    pub fn transfer_reset(&mut self) {
+        for head in self
+            .online
+            .value_heads
+            .iter_mut()
+            .chain(self.online.adv_heads.iter_mut())
+        {
+            head.reinitialize_last_dense(&mut self.rng);
+        }
+        self.adam.reset_state();
+        self.target.copy_weights_from(&self.online);
+    }
+
+    /// Flattened weights of the online trunk (for transfer-learning tests).
+    pub fn trunk_weights(&self) -> Vec<f32> {
+        self.online.trunk.export_weights()
+    }
+
+    /// Serialises the online network into a flat checkpoint (trunk, value
+    /// heads, advantage heads, in order). Restore with
+    /// [`load_checkpoint`](Self::load_checkpoint) on an agent built from the
+    /// same configuration.
+    pub fn save_checkpoint(&self) -> Vec<f32> {
+        let mut out = self.online.trunk.export_parameters();
+        for head in self.online.value_heads.iter().chain(self.online.adv_heads.iter()) {
+            out.extend(head.export_parameters());
+        }
+        out
+    }
+
+    /// Restores the online network (and re-syncs the target) from a
+    /// checkpoint produced by [`save_checkpoint`](Self::save_checkpoint).
+    /// Optimiser state is reset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] when the checkpoint length does
+    /// not match this agent's architecture.
+    pub fn load_checkpoint(&mut self, params: &[f32]) -> Result<(), RlError> {
+        if params.len() != self.param_count() {
+            return Err(RlError::InvalidConfig {
+                detail: format!(
+                    "checkpoint has {} parameters, agent has {}",
+                    params.len(),
+                    self.param_count()
+                ),
+            });
+        }
+        let mut offset = self.online.trunk.param_count();
+        self.online
+            .trunk
+            .import_parameters(&params[..offset])
+            .expect("length checked");
+        for head in self
+            .online
+            .value_heads
+            .iter_mut()
+            .chain(self.online.adv_heads.iter_mut())
+        {
+            let n = head.param_count();
+            head.import_parameters(&params[offset..offset + n]).expect("length checked");
+            offset += n;
+        }
+        self.adam.reset_state();
+        self.target.copy_weights_from(&self.online);
+        Ok(())
+    }
+
+    /// Convenience: the paper's ε schedule aligned to this agent.
+    pub fn paper_epsilon_schedule() -> EpsilonSchedule {
+        EpsilonSchedule::paper()
+    }
+}
+
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(agents: usize) -> MaBdqConfig {
+        MaBdqConfig {
+            agents,
+            state_dim: 2,
+            branches: vec![3, 2],
+            trunk_hidden: vec![24, 16],
+            head_hidden: 16,
+            dropout: 0.0,
+            lr: 0.01,
+            gamma: 0.0,
+            batch_size: 16,
+            target_update_every: 20,
+            buffer_capacity: 4096,
+            per_beta_steps: 100,
+            seed: 42,
+            ..MaBdqConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        for bad in [
+            MaBdqConfig { agents: 0, ..tiny_config(1) },
+            MaBdqConfig { state_dim: 0, ..tiny_config(1) },
+            MaBdqConfig { branches: vec![], ..tiny_config(1) },
+            MaBdqConfig { branches: vec![3, 0], ..tiny_config(1) },
+            MaBdqConfig { trunk_hidden: vec![], ..tiny_config(1) },
+            MaBdqConfig { dropout: 1.0, ..tiny_config(1) },
+            MaBdqConfig { gamma: 1.5, ..tiny_config(1) },
+            MaBdqConfig { batch_size: 0, ..tiny_config(1) },
+        ] {
+            assert!(MaBdq::new(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn action_shapes_and_ranges() {
+        let mut agent = MaBdq::new(tiny_config(3)).unwrap();
+        let states = vec![vec![0.0, 0.0]; 3];
+        for eps in [0.0, 0.5, 1.0] {
+            let acts = agent.select_actions(&states, eps).unwrap();
+            assert_eq!(acts.len(), 3);
+            for a in &acts {
+                assert_eq!(a.len(), 2);
+                assert!(a[0] < 3 && a[1] < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_state_shape() {
+        let mut agent = MaBdq::new(tiny_config(2)).unwrap();
+        assert!(agent.select_actions(&[vec![0.0, 0.0]], 0.0).is_err());
+        assert!(agent
+            .select_actions(&[vec![0.0], vec![0.0, 0.0]], 0.0)
+            .is_err());
+    }
+
+    #[test]
+    fn observe_validates_transition() {
+        let mut agent = MaBdq::new(tiny_config(1)).unwrap();
+        let good = MultiTransition {
+            states: vec![vec![0.0, 0.0]],
+            actions: vec![vec![1, 1]],
+            rewards: vec![1.0],
+            next_states: vec![vec![0.0, 0.0]],
+        };
+        agent.observe(good.clone()).unwrap();
+        let bad_action = MultiTransition { actions: vec![vec![5, 0]], ..good.clone() };
+        assert!(agent.observe(bad_action).is_err());
+        let bad_reward = MultiTransition { rewards: vec![], ..good };
+        assert!(agent.observe(bad_reward).is_err());
+    }
+
+    #[test]
+    fn train_step_none_until_batch_full() {
+        let mut agent = MaBdq::new(tiny_config(1)).unwrap();
+        assert_eq!(agent.train_step().unwrap(), None);
+        for _ in 0..agent.config().batch_size {
+            agent
+                .observe(MultiTransition {
+                    states: vec![vec![0.1, 0.2]],
+                    actions: vec![vec![0, 0]],
+                    rewards: vec![0.5],
+                    next_states: vec![vec![0.1, 0.2]],
+                })
+                .unwrap();
+        }
+        let stats = agent.train_step().unwrap().expect("batch available");
+        assert!(stats.loss >= 0.0);
+        assert_eq!(agent.steps(), 1);
+    }
+
+    /// A contextual bandit each agent can solve: with state s, branch 0
+    /// pays for action (s>0) and branch 1 pays for the opposite parity.
+    fn bandit_reward(state: f32, a0: usize, a1: usize) -> f32 {
+        let want0 = usize::from(state > 0.0);
+        let want1 = usize::from(state <= 0.0);
+        let mut r = 0.0;
+        if a0 == want0 {
+            r += 1.0;
+        }
+        if a1 == want1 {
+            r += 1.0;
+        }
+        r
+    }
+
+    #[test]
+    fn learns_contextual_bandit_single_agent() {
+        let mut agent = MaBdq::new(tiny_config(1)).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for step in 0..600 {
+            let s = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let state = vec![vec![s, 0.5]];
+            let eps = (1.0 - step as f64 / 300.0).max(0.05);
+            let acts = agent.select_actions(&state, eps).unwrap();
+            let r = bandit_reward(s, acts[0][0], acts[0][1]);
+            agent
+                .observe(MultiTransition {
+                    states: state.clone(),
+                    actions: acts,
+                    rewards: vec![r],
+                    next_states: state,
+                })
+                .unwrap();
+            agent.train_step().unwrap();
+        }
+        // Greedy policy should now be optimal for both contexts.
+        for s in [1.0f32, -1.0] {
+            let acts = agent.select_actions(&[vec![s, 0.5]], 0.0).unwrap();
+            let r = bandit_reward(s, acts[0][0], acts[0][1]);
+            assert_eq!(r, 2.0, "state {s}: suboptimal actions {acts:?}");
+        }
+    }
+
+    #[test]
+    fn learns_with_two_agents_distinct_contexts() {
+        let mut agent = MaBdq::new(tiny_config(2)).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        for step in 0..900 {
+            let s0 = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let s1 = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let states = vec![vec![s0, 0.0], vec![s1, 0.0]];
+            let eps = (1.0 - step as f64 / 450.0).max(0.05);
+            let acts = agent.select_actions(&states, eps).unwrap();
+            let rewards = vec![
+                bandit_reward(s0, acts[0][0], acts[0][1]),
+                bandit_reward(s1, acts[1][0], acts[1][1]),
+            ];
+            agent
+                .observe(MultiTransition {
+                    states: states.clone(),
+                    actions: acts,
+                    rewards,
+                    next_states: states,
+                })
+                .unwrap();
+            agent.train_step().unwrap();
+        }
+        let mut total = 0.0;
+        for (s0, s1) in [(1.0f32, -1.0f32), (-1.0, 1.0), (1.0, 1.0), (-1.0, -1.0)] {
+            let acts = agent
+                .select_actions(&[vec![s0, 0.0], vec![s1, 0.0]], 0.0)
+                .unwrap();
+            total += bandit_reward(s0, acts[0][0], acts[0][1])
+                + bandit_reward(s1, acts[1][0], acts[1][1]);
+        }
+        assert!(total >= 14.0, "joint policy too weak: {total}/16");
+    }
+
+    #[test]
+    fn target_network_syncs_on_schedule() {
+        let mut agent = MaBdq::new(tiny_config(1)).unwrap();
+        for _ in 0..64 {
+            agent
+                .observe(MultiTransition {
+                    states: vec![vec![1.0, 0.0]],
+                    actions: vec![vec![0, 0]],
+                    rewards: vec![1.0],
+                    next_states: vec![vec![1.0, 0.0]],
+                })
+                .unwrap();
+        }
+        for _ in 0..20 {
+            agent.train_step().unwrap();
+        }
+        // After exactly target_update_every steps, weights match.
+        assert_eq!(
+            agent.online.trunk.export_weights(),
+            agent.target.trunk.export_weights()
+        );
+    }
+
+    #[test]
+    fn transfer_reset_keeps_trunk() {
+        let mut agent = MaBdq::new(tiny_config(1)).unwrap();
+        let trunk_before = agent.trunk_weights();
+        let head_before = agent.online.adv_heads[0].export_weights();
+        agent.transfer_reset();
+        assert_eq!(agent.trunk_weights(), trunk_before);
+        assert_ne!(agent.online.adv_heads[0].export_weights(), head_before);
+    }
+
+    #[test]
+    fn memory_metrics_scale_with_architecture() {
+        let small = MaBdq::new(tiny_config(1)).unwrap();
+        let paper = MaBdq::new(MaBdqConfig {
+            state_dim: 11,
+            ..MaBdqConfig::paper()
+        })
+        .unwrap();
+        assert!(paper.param_count() > small.param_count());
+        assert!(paper.memory_bytes() < 5_000_000, "paper net must fit in 5 MB");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_policy() {
+        let mut agent = MaBdq::new(tiny_config(2)).unwrap();
+        // Perturb weights via a couple of training steps.
+        for _ in 0..20 {
+            agent
+                .observe(MultiTransition {
+                    states: vec![vec![0.3, -0.4]; 2],
+                    actions: vec![vec![1, 0]; 2],
+                    rewards: vec![1.0, -1.0],
+                    next_states: vec![vec![0.3, -0.4]; 2],
+                })
+                .unwrap();
+        }
+        agent.train_step().unwrap();
+        let checkpoint = agent.save_checkpoint();
+        assert_eq!(checkpoint.len(), agent.param_count());
+        let states = vec![vec![0.3, -0.4], vec![-0.9, 0.1]];
+        let q_before = agent.q_values(&states).unwrap();
+
+        let mut restored = MaBdq::new(tiny_config(2)).unwrap();
+        assert_ne!(restored.q_values(&states).unwrap(), q_before);
+        restored.load_checkpoint(&checkpoint).unwrap();
+        assert_eq!(restored.q_values(&states).unwrap(), q_before);
+
+        // Wrong-size checkpoints are rejected.
+        assert!(restored.load_checkpoint(&checkpoint[1..]).is_err());
+    }
+
+    #[test]
+    fn dueling_combine_centres_advantages() {
+        let v = Tensor::from_rows(&[vec![2.0]]).unwrap();
+        let adv = Tensor::from_rows(&[vec![1.0, 3.0]]).unwrap();
+        let q = dueling_combine(&v, &adv);
+        // mean adv = 2 => q = [2 + (1-2), 2 + (3-2)] = [1, 3]
+        assert_eq!(q.as_slice(), &[1.0, 3.0]);
+    }
+}

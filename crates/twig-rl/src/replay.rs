@@ -1,0 +1,135 @@
+use crate::RlError;
+use rand::Rng;
+
+/// Fixed-capacity uniform experience-replay ring buffer.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use twig_rl::ReplayBuffer;
+///
+/// let mut buf = ReplayBuffer::new(3);
+/// for i in 0..5 {
+///     buf.push(i);
+/// }
+/// assert_eq!(buf.len(), 3); // oldest evicted
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let batch = buf.sample(2, &mut rng).unwrap();
+/// assert_eq!(batch.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer<T> {
+    items: Vec<T>,
+    capacity: usize,
+    next: usize,
+}
+
+impl<T> ReplayBuffer<T> {
+    /// Creates a buffer holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay buffer capacity must be positive");
+        ReplayBuffer { items: Vec::with_capacity(capacity.min(4096)), capacity, next: 0 }
+    }
+
+    /// Adds an item, evicting the oldest once at capacity.
+    pub fn push(&mut self, item: T) {
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            self.items[self.next] = item;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples `n` items uniformly with replacement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::NotEnoughData`] when the buffer is empty.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Vec<&T>, RlError> {
+        if self.items.is_empty() {
+            return Err(RlError::NotEnoughData { needed: n, available: 0 });
+        }
+        Ok((0..n)
+            .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut b = ReplayBuffer::new(2);
+        assert!(b.is_empty());
+        b.push(1);
+        b.push(2);
+        b.push(3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.capacity(), 2);
+        // After wrap the oldest (1) is gone.
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            let s = b.sample(1, &mut rng).unwrap();
+            assert!(*s[0] == 2 || *s[0] == 3);
+        }
+    }
+
+    #[test]
+    fn sample_empty_errors() {
+        let b: ReplayBuffer<u8> = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            b.sample(1, &mut rng),
+            Err(RlError::NotEnoughData { available: 0, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = ReplayBuffer::<u8>::new(0);
+    }
+
+    #[test]
+    fn eviction_is_fifo() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..7 {
+            b.push(i);
+        }
+        // Items 4, 5, 6 remain.
+        let mut rng = StdRng::seed_from_u64(1);
+        let all: Vec<i32> = (0..100)
+            .map(|_| **b.sample(1, &mut rng).unwrap().first().unwrap())
+            .collect();
+        assert!(all.iter().all(|&v| (4..=6).contains(&v)));
+    }
+}

@@ -1,0 +1,196 @@
+use crate::RlError;
+use rand::Rng;
+
+/// Tabular Q-learning over discrete states and actions.
+///
+/// This is the representation used by Hipster (HPCA 2017), the paper's main
+/// RL baseline: the state is the quantised request rate, the action a
+/// (cores, DVFS) mapping, and Q-values live in a dense `states × actions`
+/// table. Its memory footprint is the subject of the paper's
+/// memory-complexity comparison (Section V-B1, see [`crate::memory`]).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use twig_rl::QTable;
+///
+/// let mut q = QTable::new(4, 2, 0.6, 0.9).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// // Reward action 1 in state 0 a few times.
+/// for _ in 0..100 {
+///     q.update(0, 1, 1.0, 0);
+/// }
+/// assert_eq!(q.select(0, 0.0, &mut rng), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTable {
+    states: usize,
+    actions: usize,
+    q: Vec<f64>,
+    learning_rate: f64,
+    discount: f64,
+}
+
+impl QTable {
+    /// Creates a zero-initialised table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] for zero states/actions, a
+    /// learning rate outside `(0, 1]` or a discount outside `[0, 1)`.
+    pub fn new(
+        states: usize,
+        actions: usize,
+        learning_rate: f64,
+        discount: f64,
+    ) -> Result<Self, RlError> {
+        if states == 0 || actions == 0 {
+            return Err(RlError::InvalidConfig {
+                detail: format!("{states} states x {actions} actions"),
+            });
+        }
+        if !(0.0..=1.0).contains(&learning_rate) || learning_rate == 0.0 {
+            return Err(RlError::InvalidConfig {
+                detail: format!("learning rate {learning_rate}"),
+            });
+        }
+        if !(0.0..1.0).contains(&discount) {
+            return Err(RlError::InvalidConfig { detail: format!("discount {discount}") });
+        }
+        Ok(QTable {
+            states,
+            actions,
+            q: vec![0.0; states * actions],
+            learning_rate,
+            discount,
+        })
+    }
+
+    /// Number of discrete states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Number of discrete actions.
+    pub fn actions(&self) -> usize {
+        self.actions
+    }
+
+    /// The Q-value of `(state, action)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn q_value(&self, state: usize, action: usize) -> f64 {
+        assert!(state < self.states && action < self.actions, "q index out of range");
+        self.q[state * self.actions + action]
+    }
+
+    /// ε-greedy action selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` is out of range.
+    pub fn select<R: Rng + ?Sized>(&self, state: usize, epsilon: f64, rng: &mut R) -> usize {
+        assert!(state < self.states, "state {state} out of range");
+        if rng.gen::<f64>() < epsilon {
+            return rng.gen_range(0..self.actions);
+        }
+        self.greedy(state)
+    }
+
+    /// The greedy action for `state` (lowest index wins ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` is out of range.
+    pub fn greedy(&self, state: usize) -> usize {
+        assert!(state < self.states, "state {state} out of range");
+        let row = &self.q[state * self.actions..(state + 1) * self.actions];
+        row.iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("NaN q-value"))
+            .map(|(i, _)| i)
+            .expect("non-empty action row")
+    }
+
+    /// One Q-learning backup:
+    /// `Q(s,a) += lr (r + γ max_a' Q(s',a') − Q(s,a))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index is out of range.
+    pub fn update(&mut self, state: usize, action: usize, reward: f64, next_state: usize) {
+        assert!(
+            state < self.states && action < self.actions && next_state < self.states,
+            "update index out of range"
+        );
+        let best_next = self.q_value(next_state, self.greedy(next_state));
+        let idx = state * self.actions + action;
+        let td = reward + self.discount * best_next - self.q[idx];
+        self.q[idx] += self.learning_rate * td;
+    }
+
+    /// Bytes the dense table occupies (the memory-complexity metric of
+    /// Section V-B1).
+    pub fn memory_bytes(&self) -> usize {
+        self.q.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(QTable::new(0, 2, 0.5, 0.9).is_err());
+        assert!(QTable::new(2, 0, 0.5, 0.9).is_err());
+        assert!(QTable::new(2, 2, 0.0, 0.9).is_err());
+        assert!(QTable::new(2, 2, 1.5, 0.9).is_err());
+        assert!(QTable::new(2, 2, 0.5, 1.0).is_err());
+    }
+
+    #[test]
+    fn learns_simple_chain() {
+        // Two states; action 1 in state 0 leads to reward.
+        let mut q = QTable::new(2, 2, 0.5, 0.9).unwrap();
+        for _ in 0..50 {
+            q.update(0, 1, 1.0, 1);
+            q.update(0, 0, 0.0, 0);
+            q.update(1, 0, 0.0, 0);
+            q.update(1, 1, 0.0, 0);
+        }
+        assert_eq!(q.greedy(0), 1);
+        assert!(q.q_value(0, 1) > 1.0); // discounted future adds on top
+    }
+
+    #[test]
+    fn epsilon_one_is_uniform_random() {
+        let q = QTable::new(1, 4, 0.5, 0.9).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[q.select(0, 1.0, &mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn memory_bytes_is_dense_table() {
+        let q = QTable::new(25, 162, 0.6, 0.9).unwrap();
+        assert_eq!(q.memory_bytes(), 25 * 162 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_checks_bounds() {
+        let mut q = QTable::new(2, 2, 0.5, 0.9).unwrap();
+        q.update(2, 0, 0.0, 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Calibrated service models for the paper's workloads.
+//!
+//! The four evaluation services come from Tailbench (Table II gives their
+//! maximum load and 99th-percentile QoS target on the paper's platform);
+//! Memcached and Web-Search are the two motivation workloads of Figure 1.
+//!
+//! The request-cost parameters are calibrated so that, on the default
+//! 18-core socket at the highest DVFS setting, each service sustains its
+//! Table II maximum load at roughly 80 % utilisation while meeting its QoS
+//! target — and violates it when pushed meaningfully beyond. The
+//! interference parameters encode the qualitative behaviour the paper
+//! describes: Masstree barely uses memory bandwidth but is extremely
+//! sensitive to interference on it, Moses is cache- and bandwidth-hungry,
+//! Img-dnn is compute-bound and frequency-sensitive.
+
+use crate::ServiceSpec;
+
+/// Masstree: in-memory key-value store. 2 400 RPS, 1.39 ms QoS (Table II).
+/// Low bandwidth demand, very high bandwidth sensitivity (Section V-B1).
+pub fn masstree() -> ServiceSpec {
+    ServiceSpec {
+        name: "masstree".into(),
+        max_load_rps: 2400.0,
+        qos_ms: 1.39,
+        work_cpu_ms: 1.43,
+        work_mem_ms: 0.58,
+        serial_frac: 0.05,
+        demand_cv: 0.45,
+        bw_demand_frac: 0.25,
+        bw_sensitivity: 2.5,
+        cache_mb: 16.0,
+        cache_sensitivity: 1.5,
+        instructions_per_ms: 2.6e6,
+        branch_frac: 0.18,
+        branch_miss_rate: 0.035,
+        llc_miss_per_mem_ms: 9.0e4,
+        l1d_per_instr: 0.34,
+        l1i_per_instr: 0.95,
+        uops_per_instr: 1.25,
+    }
+}
+
+/// Xapian: full-text search engine. 1 000 RPS, 3.71 ms QoS (Table II).
+pub fn xapian() -> ServiceSpec {
+    ServiceSpec {
+        name: "xapian".into(),
+        max_load_rps: 1000.0,
+        qos_ms: 3.71,
+        work_cpu_ms: 2.86,
+        work_mem_ms: 1.20,
+        serial_frac: 0.06,
+        demand_cv: 0.80,
+        bw_demand_frac: 0.35,
+        bw_sensitivity: 1.0,
+        cache_mb: 24.0,
+        cache_sensitivity: 0.8,
+        instructions_per_ms: 2.2e6,
+        branch_frac: 0.22,
+        branch_miss_rate: 0.05,
+        llc_miss_per_mem_ms: 1.3e5,
+        l1d_per_instr: 0.38,
+        l1i_per_instr: 1.0,
+        uops_per_instr: 1.3,
+    }
+}
+
+/// Moses: statistical machine translation. 2 800 RPS, 6.04 ms QoS
+/// (Table II). High cache-capacity and memory-bandwidth demand.
+pub fn moses() -> ServiceSpec {
+    ServiceSpec {
+        name: "moses".into(),
+        max_load_rps: 2800.0,
+        qos_ms: 6.04,
+        work_cpu_ms: 1.43,
+        work_mem_ms: 1.07,
+        serial_frac: 0.04,
+        demand_cv: 0.90,
+        bw_demand_frac: 0.70,
+        bw_sensitivity: 0.7,
+        cache_mb: 40.0,
+        cache_sensitivity: 0.6,
+        instructions_per_ms: 1.8e6,
+        branch_frac: 0.20,
+        branch_miss_rate: 0.06,
+        llc_miss_per_mem_ms: 2.2e5,
+        l1d_per_instr: 0.42,
+        l1i_per_instr: 1.05,
+        uops_per_instr: 1.35,
+    }
+}
+
+/// Img-dnn: handwriting-recognition DNN. 1 100 RPS, 5.07 ms QoS (Table II).
+/// Compute-bound and therefore the most DVFS-sensitive service.
+pub fn img_dnn() -> ServiceSpec {
+    ServiceSpec {
+        name: "img-dnn".into(),
+        max_load_rps: 1100.0,
+        qos_ms: 5.07,
+        work_cpu_ms: 6.40,
+        work_mem_ms: 0.67,
+        serial_frac: 0.03,
+        demand_cv: 0.45,
+        bw_demand_frac: 0.30,
+        bw_sensitivity: 0.4,
+        cache_mb: 12.0,
+        cache_sensitivity: 0.3,
+        instructions_per_ms: 3.2e6,
+        branch_frac: 0.10,
+        branch_miss_rate: 0.015,
+        llc_miss_per_mem_ms: 6.0e4,
+        l1d_per_instr: 0.45,
+        l1i_per_instr: 0.9,
+        uops_per_instr: 1.2,
+    }
+}
+
+/// Memcached: key-value cache, one of the two Figure 1 motivation services.
+pub fn memcached() -> ServiceSpec {
+    ServiceSpec {
+        name: "memcached".into(),
+        max_load_rps: 3200.0,
+        qos_ms: 1.0,
+        work_cpu_ms: 1.11,
+        work_mem_ms: 0.47,
+        serial_frac: 0.04,
+        demand_cv: 0.65,
+        bw_demand_frac: 0.30,
+        bw_sensitivity: 2.0,
+        cache_mb: 20.0,
+        cache_sensitivity: 1.2,
+        instructions_per_ms: 2.4e6,
+        branch_frac: 0.16,
+        branch_miss_rate: 0.03,
+        llc_miss_per_mem_ms: 1.0e5,
+        l1d_per_instr: 0.36,
+        l1i_per_instr: 0.92,
+        uops_per_instr: 1.22,
+    }
+}
+
+/// Web-Search: the second Figure 1 motivation service.
+pub fn web_search() -> ServiceSpec {
+    ServiceSpec {
+        name: "web-search".into(),
+        max_load_rps: 1200.0,
+        qos_ms: 4.0,
+        work_cpu_ms: 2.34,
+        work_mem_ms: 1.04,
+        serial_frac: 0.07,
+        demand_cv: 0.85,
+        bw_demand_frac: 0.45,
+        bw_sensitivity: 0.8,
+        cache_mb: 32.0,
+        cache_sensitivity: 0.7,
+        instructions_per_ms: 2.0e6,
+        branch_frac: 0.24,
+        branch_miss_rate: 0.055,
+        llc_miss_per_mem_ms: 1.5e5,
+        l1d_per_instr: 0.40,
+        l1i_per_instr: 1.0,
+        uops_per_instr: 1.3,
+    }
+}
+
+/// All calibrated services, evaluation set first.
+pub fn all() -> Vec<ServiceSpec> {
+    vec![masstree(), xapian(), moses(), img_dnn(), memcached(), web_search()]
+}
+
+/// The four Tailbench evaluation services of Table II, in paper order.
+pub fn tailbench() -> Vec<ServiceSpec> {
+    vec![masstree(), xapian(), moses(), img_dnn()]
+}
+
+/// Looks a service up by name.
+///
+/// # Examples
+///
+/// ```
+/// assert!(twig_sim::catalog::by_name("moses").is_some());
+/// assert!(twig_sim::catalog::by_name("nginx").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<ServiceSpec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_match_paper() {
+        let expect = [
+            ("masstree", 2400.0, 1.39),
+            ("xapian", 1000.0, 3.71),
+            ("moses", 2800.0, 6.04),
+            ("img-dnn", 1100.0, 5.07),
+        ];
+        let specs = tailbench();
+        for ((name, load, qos), spec) in expect.iter().zip(&specs) {
+            assert_eq!(&spec.name, name);
+            assert_eq!(spec.max_load_rps, *load);
+            assert_eq!(spec.qos_ms, *qos);
+        }
+    }
+
+    #[test]
+    fn interference_profile_matches_paper_narrative() {
+        // "Moses has a high demand for cache capacity and memory bandwidth,
+        //  while Masstree is extremely sensitive to memory bandwidth
+        //  interference" (Section V-B2).
+        let moses = moses();
+        let masstree = masstree();
+        assert!(moses.bw_demand_frac > masstree.bw_demand_frac);
+        assert!(masstree.bw_sensitivity > moses.bw_sensitivity);
+        assert!(moses.cache_mb > masstree.cache_mb);
+    }
+
+    #[test]
+    fn img_dnn_is_most_cpu_bound() {
+        let frac = |s: &ServiceSpec| s.work_cpu_ms / s.total_work_ms();
+        let img = frac(&img_dnn());
+        for other in [masstree(), xapian(), moses()] {
+            assert!(img > frac(&other), "{} not less cpu-bound", other.name);
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<String> = all().into_iter().map(|s| s.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for spec in all() {
+            assert_eq!(by_name(&spec.name), Some(spec.clone()));
+        }
+    }
+}

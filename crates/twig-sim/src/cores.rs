@@ -1,0 +1,245 @@
+use crate::SimError;
+use std::fmt;
+
+/// Identifier of one physical core on the managed socket.
+///
+/// # Examples
+///
+/// ```
+/// use twig_sim::CoreId;
+///
+/// let c = CoreId(3);
+/// assert_eq!(c.index(), 3);
+/// assert_eq!(c.to_string(), "core3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl CoreId {
+    /// The zero-based index of the core.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl From<usize> for CoreId {
+    fn from(index: usize) -> Self {
+        CoreId(index)
+    }
+}
+
+/// A core clock frequency in MHz.
+///
+/// # Examples
+///
+/// ```
+/// use twig_sim::Frequency;
+///
+/// let f = Frequency::from_mhz(1600);
+/// assert_eq!(f.ghz(), 1.6);
+/// assert_eq!(f.to_string(), "1.60 GHz");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Frequency(u32);
+
+impl Frequency {
+    /// Creates a frequency from MHz.
+    pub fn from_mhz(mhz: u32) -> Self {
+        Frequency(mhz)
+    }
+
+    /// The frequency in MHz.
+    pub fn mhz(self) -> u32 {
+        self.0
+    }
+
+    /// The frequency in GHz.
+    pub fn ghz(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} GHz", self.ghz())
+    }
+}
+
+/// The discrete DVFS ladder of the platform.
+///
+/// The paper's Xeon E5-2695v4 scales "from 1.20 GHz to 2.00 GHz with steps
+/// of 0.1 GHz" (9 states; the text elsewhere says 10 — the ladder is
+/// configurable, defaulting to the arithmetic 9).
+///
+/// # Examples
+///
+/// ```
+/// use twig_sim::DvfsLadder;
+///
+/// let ladder = DvfsLadder::default();
+/// assert_eq!(ladder.len(), 9);
+/// assert_eq!(ladder.min().mhz(), 1200);
+/// assert_eq!(ladder.max().mhz(), 2000);
+/// assert_eq!(ladder.frequency_at(4).unwrap().mhz(), 1600);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DvfsLadder {
+    min_mhz: u32,
+    step_mhz: u32,
+    levels: usize,
+}
+
+impl Default for DvfsLadder {
+    fn default() -> Self {
+        DvfsLadder { min_mhz: 1200, step_mhz: 100, levels: 9 }
+    }
+}
+
+impl DvfsLadder {
+    /// Creates a ladder of `levels` settings starting at `min_mhz` with
+    /// spacing `step_mhz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when `levels == 0` or
+    /// `step_mhz == 0`.
+    pub fn new(min_mhz: u32, step_mhz: u32, levels: usize) -> Result<Self, SimError> {
+        if levels == 0 || step_mhz == 0 || min_mhz == 0 {
+            return Err(SimError::InvalidConfig {
+                detail: format!(
+                    "dvfs ladder min {min_mhz} MHz step {step_mhz} MHz levels {levels}"
+                ),
+            });
+        }
+        Ok(DvfsLadder { min_mhz, step_mhz, levels })
+    }
+
+    /// Number of DVFS settings.
+    pub fn len(&self) -> usize {
+        self.levels
+    }
+
+    /// Always `false`: ladders have at least one level.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The lowest frequency.
+    pub fn min(&self) -> Frequency {
+        Frequency(self.min_mhz)
+    }
+
+    /// The highest frequency.
+    pub fn max(&self) -> Frequency {
+        Frequency(self.min_mhz + self.step_mhz * (self.levels as u32 - 1))
+    }
+
+    /// The frequency at ladder index `idx` (0 = lowest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFrequency`] when `idx` is out of range.
+    pub fn frequency_at(&self, idx: usize) -> Result<Frequency, SimError> {
+        if idx >= self.levels {
+            return Err(SimError::InvalidFrequency {
+                mhz: self.min_mhz + self.step_mhz * idx as u32,
+            });
+        }
+        Ok(Frequency(self.min_mhz + self.step_mhz * idx as u32))
+    }
+
+    /// The ladder index of `freq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFrequency`] when `freq` is not on the
+    /// ladder.
+    pub fn index_of(&self, freq: Frequency) -> Result<usize, SimError> {
+        let mhz = freq.mhz();
+        if mhz < self.min_mhz
+            || !(mhz - self.min_mhz).is_multiple_of(self.step_mhz)
+            || ((mhz - self.min_mhz) / self.step_mhz) as usize >= self.levels
+        {
+            return Err(SimError::InvalidFrequency { mhz });
+        }
+        Ok(((mhz - self.min_mhz) / self.step_mhz) as usize)
+    }
+
+    /// All frequencies, ascending.
+    pub fn frequencies(&self) -> Vec<Frequency> {
+        (0..self.levels)
+            .map(|i| Frequency(self.min_mhz + self.step_mhz * i as u32))
+            .collect()
+    }
+
+    /// Relative speed of `freq` for CPU-bound work (1.0 at the top of the
+    /// ladder).
+    pub fn relative_speed(&self, freq: Frequency) -> f64 {
+        freq.ghz() / self.max().ghz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_ladder_matches_paper_platform() {
+        let l = DvfsLadder::default();
+        let freqs = l.frequencies();
+        assert_eq!(freqs.len(), 9);
+        assert_eq!(freqs[0].mhz(), 1200);
+        assert_eq!(freqs[8].mhz(), 2000);
+        for w in freqs.windows(2) {
+            assert_eq!(w[1].mhz() - w[0].mhz(), 100);
+        }
+    }
+
+    #[test]
+    fn index_of_rejects_off_ladder() {
+        let l = DvfsLadder::default();
+        assert!(l.index_of(Frequency::from_mhz(1250)).is_err());
+        assert!(l.index_of(Frequency::from_mhz(1100)).is_err());
+        assert!(l.index_of(Frequency::from_mhz(2100)).is_err());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(DvfsLadder::new(1200, 100, 0).is_err());
+        assert!(DvfsLadder::new(1200, 0, 5).is_err());
+        assert!(DvfsLadder::new(0, 100, 5).is_err());
+    }
+
+    #[test]
+    fn relative_speed_is_one_at_max() {
+        let l = DvfsLadder::default();
+        assert_eq!(l.relative_speed(l.max()), 1.0);
+        assert!((l.relative_speed(l.min()) - 0.6).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn index_roundtrip(levels in 1usize..20, idx_seed in 0usize..20) {
+            let l = DvfsLadder::new(800, 100, levels).unwrap();
+            let idx = idx_seed % levels;
+            let f = l.frequency_at(idx).unwrap();
+            prop_assert_eq!(l.index_of(f).unwrap(), idx);
+        }
+
+        #[test]
+        fn frequencies_sorted_and_unique(levels in 1usize..20) {
+            let l = DvfsLadder::new(1000, 50, levels).unwrap();
+            let fs = l.frequencies();
+            for w in fs.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

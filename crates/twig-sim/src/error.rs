@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the server simulator.
+///
+/// # Examples
+///
+/// ```
+/// use twig_sim::{catalog, Server, ServerConfig, SimError};
+///
+/// let mut server = Server::new(ServerConfig::default(), vec![catalog::masstree()], 0).unwrap();
+/// let err = server.set_load_fraction(5, 0.5).unwrap_err();
+/// assert!(matches!(err, SimError::UnknownService { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A service index was out of range.
+    UnknownService {
+        /// The offending index.
+        index: usize,
+        /// Number of services hosted by the server.
+        count: usize,
+    },
+    /// A core id was out of range for the platform.
+    UnknownCore {
+        /// The offending core id.
+        core: usize,
+        /// Number of cores on the platform.
+        count: usize,
+    },
+    /// A frequency was not on the platform's DVFS ladder.
+    InvalidFrequency {
+        /// The offending frequency in MHz.
+        mhz: u32,
+    },
+    /// The number of assignments did not match the number of services.
+    AssignmentCount {
+        /// Assignments provided.
+        got: usize,
+        /// Services hosted.
+        want: usize,
+    },
+    /// A configuration value was outside its valid domain.
+    InvalidConfig {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownService { index, count } => {
+                write!(f, "service index {index} out of range (server hosts {count})")
+            }
+            SimError::UnknownCore { core, count } => {
+                write!(f, "core {core} out of range (platform has {count} cores)")
+            }
+            SimError::InvalidFrequency { mhz } => {
+                write!(f, "frequency {mhz} MHz is not on the DVFS ladder")
+            }
+            SimError::AssignmentCount { got, want } => {
+                write!(f, "got {got} assignments for {want} services")
+            }
+            SimError::InvalidConfig { detail } => write!(f, "invalid config: {detail}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_nonempty() {
+        let errors = [
+            SimError::UnknownService { index: 3, count: 2 },
+            SimError::UnknownCore { core: 40, count: 18 },
+            SimError::InvalidFrequency { mhz: 1234 },
+            SimError::AssignmentCount { got: 1, want: 2 },
+            SimError::InvalidConfig { detail: "zero cores".into() },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,224 @@
+use crate::SimError;
+
+/// Deterministic load trajectory for one service, as a fraction of its
+/// maximum load over simulated time.
+///
+/// The paper's experiments use three shapes:
+///
+/// - **fixed** load at 20 / 50 / 80 % (Figures 5, 13);
+/// - a **step-wise monotonic** profile that multiplies the load by a change
+///   factor every period until it reaches a maximum, then divides back down
+///   (Figure 10: change factor 20 %, 200 s steps);
+/// - a **diurnal** pattern "common in data centres" (Section V-B).
+///
+/// # Examples
+///
+/// ```
+/// use twig_sim::LoadGenerator;
+///
+/// let fixed = LoadGenerator::fixed(0.5).unwrap();
+/// assert_eq!(fixed.fraction_at(1234), 0.5);
+///
+/// let step = LoadGenerator::step(0.2, 1.0, 1.2, 200).unwrap();
+/// assert!(step.fraction_at(0) < step.fraction_at(2000));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadGenerator {
+    /// Constant fraction of the maximum load.
+    Fixed {
+        /// The load fraction in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Step-wise monotonic profile (Figure 10): starting at `min`, the load
+    /// is multiplied by `change_factor` every `period_s` seconds until it
+    /// reaches `max`, then multiplied by the reciprocal back down to `min`,
+    /// and so on.
+    Step {
+        /// Minimum load fraction.
+        min: f64,
+        /// Maximum load fraction.
+        max: f64,
+        /// Multiplicative change applied at each step (> 1).
+        change_factor: f64,
+        /// Seconds between load changes.
+        period_s: u64,
+    },
+    /// Sinusoidal diurnal pattern between `min` and `max` with the given
+    /// period.
+    Diurnal {
+        /// Minimum load fraction.
+        min: f64,
+        /// Maximum load fraction.
+        max: f64,
+        /// Seconds per full day/night cycle.
+        period_s: u64,
+    },
+}
+
+impl LoadGenerator {
+    /// Creates a constant-load generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when `fraction` is outside
+    /// `[0, 1]`.
+    pub fn fixed(fraction: f64) -> Result<Self, SimError> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(SimError::InvalidConfig {
+                detail: format!("load fraction {fraction} outside [0, 1]"),
+            });
+        }
+        Ok(LoadGenerator::Fixed { fraction })
+    }
+
+    /// Creates a step-wise monotonic generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for fractions outside `[0, 1]`,
+    /// `min > max`, a change factor not greater than 1, or a zero period.
+    pub fn step(
+        min: f64,
+        max: f64,
+        change_factor: f64,
+        period_s: u64,
+    ) -> Result<Self, SimError> {
+        if !(0.0..=1.0).contains(&min) || !(0.0..=1.0).contains(&max) || min > max {
+            return Err(SimError::InvalidConfig {
+                detail: format!("step load range [{min}, {max}]"),
+            });
+        }
+        if change_factor <= 1.0 || min <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                detail: format!("step change factor {change_factor} with min {min}"),
+            });
+        }
+        if period_s == 0 {
+            return Err(SimError::InvalidConfig { detail: "zero step period".into() });
+        }
+        Ok(LoadGenerator::Step { min, max, change_factor, period_s })
+    }
+
+    /// Creates a diurnal generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for fractions outside `[0, 1]`,
+    /// `min > max`, or a zero period.
+    pub fn diurnal(min: f64, max: f64, period_s: u64) -> Result<Self, SimError> {
+        if !(0.0..=1.0).contains(&min) || !(0.0..=1.0).contains(&max) || min > max {
+            return Err(SimError::InvalidConfig {
+                detail: format!("diurnal load range [{min}, {max}]"),
+            });
+        }
+        if period_s == 0 {
+            return Err(SimError::InvalidConfig { detail: "zero diurnal period".into() });
+        }
+        Ok(LoadGenerator::Diurnal { min, max, period_s })
+    }
+
+    /// Load fraction at simulated second `t`.
+    pub fn fraction_at(&self, t: u64) -> f64 {
+        match *self {
+            LoadGenerator::Fixed { fraction } => fraction,
+            LoadGenerator::Step { min, max, change_factor, period_s } => {
+                // Number of up-steps to get from min to max.
+                let steps_up =
+                    ((max / min).ln() / change_factor.ln()).ceil().max(1.0) as u64;
+                let cycle = 2 * steps_up;
+                let phase = (t / period_s) % cycle;
+                let level = if phase < steps_up { phase } else { cycle - phase };
+                (min * change_factor.powi(level as i32)).min(max)
+            }
+            LoadGenerator::Diurnal { min, max, period_s } => {
+                let theta = 2.0 * std::f64::consts::PI * (t % period_s) as f64
+                    / period_s as f64;
+                let mid = (min + max) / 2.0;
+                let amp = (max - min) / 2.0;
+                mid - amp * theta.cos()
+            }
+        }
+    }
+}
+
+impl Default for LoadGenerator {
+    fn default() -> Self {
+        LoadGenerator::Fixed { fraction: 0.5 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let g = LoadGenerator::fixed(0.8).unwrap();
+        for t in [0, 100, 99999] {
+            assert_eq!(g.fraction_at(t), 0.8);
+        }
+    }
+
+    #[test]
+    fn fixed_rejects_out_of_range() {
+        assert!(LoadGenerator::fixed(-0.1).is_err());
+        assert!(LoadGenerator::fixed(1.1).is_err());
+    }
+
+    #[test]
+    fn step_reaches_max_and_returns() {
+        let g = LoadGenerator::step(0.2, 1.0, 1.2, 200).unwrap();
+        let series: Vec<f64> = (0..40).map(|i| g.fraction_at(i * 200)).collect();
+        let peak = series.iter().cloned().fold(0.0, f64::max);
+        let trough = series.iter().cloned().fold(2.0, f64::min);
+        assert!((peak - 1.0).abs() < 1e-9, "peak {peak}");
+        assert!((trough - 0.2).abs() < 1e-9, "trough {trough}");
+    }
+
+    #[test]
+    fn step_changes_only_at_period_boundaries() {
+        let g = LoadGenerator::step(0.2, 1.0, 1.2, 200).unwrap();
+        assert_eq!(g.fraction_at(0), g.fraction_at(199));
+        assert_ne!(g.fraction_at(0), g.fraction_at(200));
+    }
+
+    #[test]
+    fn step_validation() {
+        assert!(LoadGenerator::step(0.5, 0.2, 1.2, 100).is_err()); // min > max
+        assert!(LoadGenerator::step(0.2, 1.0, 1.0, 100).is_err()); // factor <= 1
+        assert!(LoadGenerator::step(0.0, 1.0, 1.2, 100).is_err()); // min == 0
+        assert!(LoadGenerator::step(0.2, 1.0, 1.2, 0).is_err()); // period 0
+    }
+
+    #[test]
+    fn diurnal_starts_at_min_peaks_mid_cycle() {
+        let g = LoadGenerator::diurnal(0.2, 0.8, 86_400).unwrap();
+        assert!((g.fraction_at(0) - 0.2).abs() < 1e-9);
+        assert!((g.fraction_at(43_200) - 0.8).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn all_generators_stay_in_bounds(t in 0u64..1_000_000) {
+            let gens = [
+                LoadGenerator::fixed(0.37).unwrap(),
+                LoadGenerator::step(0.2, 0.9, 1.25, 150).unwrap(),
+                LoadGenerator::diurnal(0.1, 0.95, 3600).unwrap(),
+            ];
+            for g in gens {
+                let f = g.fraction_at(t);
+                prop_assert!((0.0..=1.0).contains(&f), "{g:?} at {t} -> {f}");
+            }
+        }
+
+        #[test]
+        fn step_average_symmetric_over_cycle(seed in 1u64..500) {
+            let g = LoadGenerator::step(0.2, 1.0, 1.2, 100).unwrap();
+            // A full cycle repeats.
+            let steps_up = ((1.0f64/0.2).ln() / 1.2f64.ln()).ceil() as u64;
+            let cycle = 2 * steps_up * 100;
+            prop_assert_eq!(g.fraction_at(seed), g.fraction_at(seed + cycle));
+        }
+    }
+}

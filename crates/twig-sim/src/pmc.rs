@@ -1,0 +1,340 @@
+//! Synthesis of the 11 Table-I performance-monitoring counters.
+//!
+//! The paper gathers these per-thread via libpfm4 and sums them per service;
+//! the simulator generates them per service per epoch from the underlying
+//! simulated activity (busy time, work completed, contention) plus
+//! multiplicative measurement noise. The *managers never see the simulator's
+//! internals* — only these counters, tail latency and power — so the learning
+//! problem has the same structure as on real hardware: the counters jointly
+//! encode load, frequency, parallelism and interference, while any single
+//! ratio (such as IPC) is confounded.
+
+use crate::queue::standard_normal;
+use crate::{ServiceSpec, SimError};
+use rand::Rng;
+use std::fmt;
+use std::ops::Index;
+
+/// Number of hardware counters tracked (Table I).
+pub const NUM_COUNTERS: usize = 11;
+
+/// The 11 performance counters of Table I, in paper order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum CounterId {
+    UnhaltedCoreCycles,
+    InstructionRetired,
+    PerfCountHwCpuCycles,
+    UnhaltedReferenceCycles,
+    UopsRetired,
+    BranchInstructionsRetired,
+    MispredictedBranchRetired,
+    PerfCountHwBranchMisses,
+    LlcMisses,
+    PerfCountHwCacheL1d,
+    PerfCountHwCacheL1i,
+}
+
+impl CounterId {
+    /// All counters in Table I order.
+    pub const ALL: [CounterId; NUM_COUNTERS] = [
+        CounterId::UnhaltedCoreCycles,
+        CounterId::InstructionRetired,
+        CounterId::PerfCountHwCpuCycles,
+        CounterId::UnhaltedReferenceCycles,
+        CounterId::UopsRetired,
+        CounterId::BranchInstructionsRetired,
+        CounterId::MispredictedBranchRetired,
+        CounterId::PerfCountHwBranchMisses,
+        CounterId::LlcMisses,
+        CounterId::PerfCountHwCacheL1d,
+        CounterId::PerfCountHwCacheL1i,
+    ];
+
+    /// Zero-based index in Table I order.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).expect("counter in ALL")
+    }
+
+    /// The libpfm-style event name used in Table I.
+    pub fn event_name(self) -> &'static str {
+        match self {
+            CounterId::UnhaltedCoreCycles => "UNHALTED_CORE_CYCLES",
+            CounterId::InstructionRetired => "INSTRUCTION_RETIRED",
+            CounterId::PerfCountHwCpuCycles => "PERF_COUNT_HW_CPU_CYCLES",
+            CounterId::UnhaltedReferenceCycles => "UNHALTED_REFERENCE_CYCLES",
+            CounterId::UopsRetired => "UOPS_RETIRED",
+            CounterId::BranchInstructionsRetired => "BRANCH_INSTRUCTIONS_RETIRED",
+            CounterId::MispredictedBranchRetired => "MISPREDICTED_BRANCH_RETIRED",
+            CounterId::PerfCountHwBranchMisses => "PERF_COUNT_HW_BRANCH_MISSES",
+            CounterId::LlcMisses => "LLC_MISSES",
+            CounterId::PerfCountHwCacheL1d => "PERF_COUNT_HW_CACHE_L1D",
+            CounterId::PerfCountHwCacheL1i => "PERF_COUNT_HW_CACHE_L1I",
+        }
+    }
+}
+
+impl fmt::Display for CounterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.event_name())
+    }
+}
+
+/// One epoch's raw counter values for one service (summed over its threads,
+/// as the paper's system monitor does).
+///
+/// # Examples
+///
+/// ```
+/// use twig_sim::{CounterId, PmcSample};
+///
+/// let mut s = PmcSample::zero();
+/// s.set(CounterId::LlcMisses, 1.0e6);
+/// assert_eq!(s[CounterId::LlcMisses], 1.0e6);
+/// assert_eq!(s.as_array().len(), twig_sim::NUM_COUNTERS);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PmcSample {
+    values: [f64; NUM_COUNTERS],
+}
+
+impl PmcSample {
+    /// All-zero sample.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Builds a sample from raw values in Table I order.
+    pub fn from_array(values: [f64; NUM_COUNTERS]) -> Self {
+        PmcSample { values }
+    }
+
+    /// The raw values in Table I order.
+    pub fn as_array(&self) -> &[f64; NUM_COUNTERS] {
+        &self.values
+    }
+
+    /// Sets one counter value.
+    pub fn set(&mut self, counter: CounterId, value: f64) {
+        self.values[counter.index()] = value;
+    }
+
+    /// Instructions-per-cycle derived from this sample (the baseline signal
+    /// the paper shows to be insufficient in Figure 1).
+    pub fn ipc(&self) -> f64 {
+        let cycles = self[CounterId::UnhaltedCoreCycles];
+        if cycles <= 0.0 {
+            return 0.0;
+        }
+        self[CounterId::InstructionRetired] / cycles
+    }
+}
+
+impl Index<CounterId> for PmcSample {
+    type Output = f64;
+
+    fn index(&self, counter: CounterId) -> &f64 {
+        &self.values[counter.index()]
+    }
+}
+
+/// The per-epoch activity summary the simulator feeds the synthesiser.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Activity {
+    /// Core-seconds of busy CPU time weighted by relative frequency
+    /// (`Σ share × f_rel × busy`), i.e. work actually executed.
+    pub weighted_busy_core_s: f64,
+    /// Plain busy core-seconds (`Σ share × busy`), for reference cycles.
+    pub busy_core_s: f64,
+    /// Milliseconds of CPU-bound work completed this epoch.
+    pub cpu_work_ms: f64,
+    /// Milliseconds of memory-bound work completed this epoch.
+    pub mem_work_ms: f64,
+    /// Cache overcommitment factor (0 = LLC fits everything).
+    pub cache_pressure: f64,
+    /// Highest core clock in GHz among the service's cores.
+    pub clock_ghz: f64,
+}
+
+/// Relative standard deviation of the multiplicative measurement noise.
+const NOISE_SD: f64 = 0.03;
+
+/// Synthesises one epoch's Table-I counters for a service.
+///
+/// See the module docs for the modelling rationale. The mapping is:
+/// cycle counters come from (frequency-weighted) busy time; instruction-side
+/// counters from completed work scaled by the service's instruction mix;
+/// LLC misses from memory-bound work inflated by cache pressure.
+pub fn synthesize<R: Rng + ?Sized>(
+    spec: &ServiceSpec,
+    activity: &Activity,
+    rng: &mut R,
+) -> PmcSample {
+    let mut noisy = |v: f64| (v * (1.0 + NOISE_SD * standard_normal(rng))).max(0.0);
+
+    let cycles = activity.weighted_busy_core_s * 2.0e9; // f_rel 1.0 = 2.0 GHz
+    let ref_cycles = activity.busy_core_s * 2.0e9;
+    // Memory-bound work retires instructions slowly (roughly 1/4 the rate).
+    let instr = activity.cpu_work_ms * spec.instructions_per_ms
+        + activity.mem_work_ms * spec.instructions_per_ms * 0.25;
+    let branches = instr * spec.branch_frac;
+    let br_miss = branches * spec.branch_miss_rate * (1.0 + 0.3 * activity.cache_pressure);
+    let llc = activity.mem_work_ms
+        * spec.llc_miss_per_mem_ms
+        * (1.0 + activity.cache_pressure);
+
+    let mut s = PmcSample::zero();
+    s.set(CounterId::UnhaltedCoreCycles, noisy(cycles));
+    s.set(CounterId::InstructionRetired, noisy(instr));
+    s.set(CounterId::PerfCountHwCpuCycles, noisy(cycles));
+    s.set(CounterId::UnhaltedReferenceCycles, noisy(ref_cycles));
+    s.set(CounterId::UopsRetired, noisy(instr * spec.uops_per_instr));
+    s.set(CounterId::BranchInstructionsRetired, noisy(branches));
+    s.set(CounterId::MispredictedBranchRetired, noisy(br_miss));
+    s.set(CounterId::PerfCountHwBranchMisses, noisy(br_miss));
+    s.set(CounterId::LlcMisses, noisy(llc));
+    s.set(CounterId::PerfCountHwCacheL1d, noisy(instr * spec.l1d_per_instr));
+    s.set(CounterId::PerfCountHwCacheL1i, noisy(instr * spec.l1i_per_instr));
+    s
+}
+
+/// Per-counter maxima used for feature scaling, mirroring the paper's
+/// calibration microbenchmarks: a CPU-stress kernel for counters 1–5, a
+/// branch-stress kernel for 6–8 and the STREAM benchmark for 9–11
+/// (Section IV). Maxima are for `cores` cores busy for one second at the
+/// top DVFS setting.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] when `cores == 0`.
+pub fn calibration_maxima(cores: usize) -> Result<[f64; NUM_COUNTERS], SimError> {
+    if cores == 0 {
+        return Err(SimError::InvalidConfig { detail: "zero cores".into() });
+    }
+    let n = cores as f64;
+    let cycles = n * 2.0e9;
+    // The CPU stress kernel retires ~3 IPC of trivial arithmetic.
+    let instr_max = cycles * 3.0;
+    // The branch kernel's mix: half its instructions are branches, ~25%
+    // mispredicted on the unsorted data.
+    let branch_max = cycles * 1.0 * 0.5;
+    let branch_miss_max = branch_max * 0.25;
+    // STREAM saturates the memory system.
+    let llc_max = n * 3.0e8;
+    Ok([
+        cycles,            // UNHALTED_CORE_CYCLES
+        instr_max,         // INSTRUCTION_RETIRED
+        cycles,            // PERF_COUNT_HW_CPU_CYCLES
+        cycles,            // UNHALTED_REFERENCE_CYCLES
+        instr_max * 1.4,   // UOPS_RETIRED
+        branch_max,        // BRANCH_INSTRUCTIONS_RETIRED
+        branch_miss_max,   // MISPREDICTED_BRANCH_RETIRED
+        branch_miss_max,   // PERF_COUNT_HW_BRANCH_MISSES
+        llc_max,           // LLC_MISSES
+        instr_max * 0.6,   // PERF_COUNT_HW_CACHE_L1D
+        instr_max * 1.1,   // PERF_COUNT_HW_CACHE_L1I
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn activity() -> Activity {
+        Activity {
+            weighted_busy_core_s: 4.0,
+            busy_core_s: 5.0,
+            cpu_work_ms: 3000.0,
+            mem_work_ms: 1200.0,
+            cache_pressure: 0.5,
+            clock_ghz: 1.8,
+        }
+    }
+
+    #[test]
+    fn counter_ids_unique_and_ordered() {
+        for (i, c) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(CounterId::ALL.len(), NUM_COUNTERS);
+    }
+
+    #[test]
+    fn event_names_match_table1() {
+        assert_eq!(CounterId::UnhaltedCoreCycles.event_name(), "UNHALTED_CORE_CYCLES");
+        assert_eq!(CounterId::LlcMisses.to_string(), "LLC_MISSES");
+    }
+
+    #[test]
+    fn synthesis_is_nonnegative_and_scales_with_activity() {
+        let spec = catalog::masstree();
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = synthesize(&spec, &activity(), &mut rng);
+        for &v in base.as_array() {
+            assert!(v >= 0.0);
+        }
+        let mut double = activity();
+        double.cpu_work_ms *= 2.0;
+        double.mem_work_ms *= 2.0;
+        double.weighted_busy_core_s *= 2.0;
+        double.busy_core_s *= 2.0;
+        let bigger = synthesize(&spec, &double, &mut rng);
+        assert!(
+            bigger[CounterId::InstructionRetired] > base[CounterId::InstructionRetired]
+        );
+        assert!(bigger[CounterId::LlcMisses] > base[CounterId::LlcMisses]);
+    }
+
+    #[test]
+    fn cache_pressure_inflates_llc_misses() {
+        let spec = catalog::moses();
+        let mut rng = StdRng::seed_from_u64(2);
+        let calm = synthesize(&spec, &Activity { cache_pressure: 0.0, ..activity() }, &mut rng);
+        let hot = synthesize(&spec, &Activity { cache_pressure: 1.0, ..activity() }, &mut rng);
+        assert!(hot[CounterId::LlcMisses] > calm[CounterId::LlcMisses] * 1.5);
+    }
+
+    #[test]
+    fn ipc_zero_without_cycles() {
+        assert_eq!(PmcSample::zero().ipc(), 0.0);
+    }
+
+    #[test]
+    fn idle_activity_gives_zero_counters() {
+        let spec = catalog::xapian();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = synthesize(&spec, &Activity::default(), &mut rng);
+        for &v in s.as_array() {
+            assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn maxima_dominate_realistic_samples() {
+        // A service flat-out on 9 cores for a second must stay below the
+        // 18-core calibration maxima in every counter.
+        let spec = catalog::moses();
+        let mut rng = StdRng::seed_from_u64(4);
+        let act = Activity {
+            weighted_busy_core_s: 9.0,
+            busy_core_s: 9.0,
+            cpu_work_ms: 9.0 * 1000.0 * 0.6,
+            mem_work_ms: 9.0 * 1000.0 * 0.4,
+            cache_pressure: 1.0,
+            clock_ghz: 2.0,
+        };
+        let s = synthesize(&spec, &act, &mut rng);
+        let maxima = calibration_maxima(18).unwrap();
+        for (i, (&v, &m)) in s.as_array().iter().zip(&maxima).enumerate() {
+            assert!(v <= m, "counter {i}: {v} > max {m}");
+        }
+    }
+
+    #[test]
+    fn maxima_reject_zero_cores() {
+        assert!(calibration_maxima(0).is_err());
+    }
+}

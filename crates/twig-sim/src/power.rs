@@ -1,0 +1,201 @@
+use crate::queue::standard_normal;
+use crate::Frequency;
+use rand::Rng;
+
+/// Socket power model and RAPL-style readout.
+///
+/// Ground truth follows the standard CMOS decomposition: a fixed uncore/idle
+/// component, per-core static (leakage) power that grows with the supply
+/// voltage of the core's DVFS state, and per-core dynamic power
+/// `c · f · V(f)² · utilisation`. Parked cores (hot-unplugged by the mapper,
+/// as the paper does for unused cores) draw only a small residual. The
+/// *measurement* exposed to managers adds Gaussian noise, mimicking the
+/// RAPL register the paper polls (Section IV).
+///
+/// Defaults approximate the paper's Xeon E5-2695v4 socket: ~25 W idle,
+/// ~120 W (the TDP) with all 18 cores busy at 2.0 GHz.
+///
+/// # Examples
+///
+/// ```
+/// use twig_sim::{Frequency, PowerModel};
+///
+/// let m = PowerModel::default();
+/// let f_max = Frequency::from_mhz(2000);
+/// let idle = m.socket_power(&[]);
+/// let busy = m.socket_power(&(0..18).map(|_| (f_max, 1.0)).collect::<Vec<_>>());
+/// assert!(busy > idle + 50.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Socket power with every core parked, in watts.
+    pub idle_w: f64,
+    /// Static (leakage) power of an active core at minimum voltage, in watts.
+    pub core_static_w: f64,
+    /// Dynamic-power coefficient: watts per GHz at V = 1 and 100 % load.
+    pub dyn_coeff: f64,
+    /// Residual draw of a parked core, in watts.
+    pub parked_core_w: f64,
+    /// Supply voltage at the lowest DVFS state.
+    pub v_min: f64,
+    /// Supply voltage at the highest DVFS state.
+    pub v_max: f64,
+    /// Lowest frequency of the platform (for the voltage curve).
+    pub f_min: Frequency,
+    /// Highest frequency of the platform (for the voltage curve).
+    pub f_max: Frequency,
+    /// Standard deviation of the RAPL measurement noise, in watts.
+    pub noise_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            idle_w: 25.0,
+            core_static_w: 0.9,
+            dyn_coeff: 1.7,
+            parked_core_w: 0.15,
+            v_min: 0.75,
+            v_max: 1.05,
+            f_min: Frequency::from_mhz(1200),
+            f_max: Frequency::from_mhz(2000),
+            noise_w: 0.8,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Supply voltage at frequency `f` (linear between `v_min` and `v_max`).
+    pub fn voltage(&self, f: Frequency) -> f64 {
+        let lo = self.f_min.ghz();
+        let hi = self.f_max.ghz();
+        if hi <= lo {
+            return self.v_max;
+        }
+        let t = ((f.ghz() - lo) / (hi - lo)).clamp(0.0, 1.0);
+        self.v_min + t * (self.v_max - self.v_min)
+    }
+
+    /// Power of one active core at frequency `f` and utilisation `util`.
+    pub fn core_power(&self, f: Frequency, util: f64) -> f64 {
+        let v = self.voltage(f);
+        let v_ratio = v / self.v_min;
+        let static_w = self.core_static_w * v_ratio * v_ratio;
+        let dynamic_w = self.dyn_coeff * f.ghz() * v * v * util.clamp(0.0, 1.0);
+        static_w + dynamic_w
+    }
+
+    /// Ground-truth socket power. `active_cores` lists each *active* core's
+    /// frequency and utilisation; cores not listed are parked.
+    pub fn socket_power(&self, active_cores: &[(Frequency, f64)]) -> f64 {
+        let active: f64 = active_cores
+            .iter()
+            .map(|&(f, util)| self.core_power(f, util))
+            .sum();
+        self.idle_w + active
+    }
+
+    /// Ground-truth socket power when `total_cores` cores exist and the
+    /// remainder are parked.
+    pub fn socket_power_with_parked(
+        &self,
+        active_cores: &[(Frequency, f64)],
+        total_cores: usize,
+    ) -> f64 {
+        let parked = total_cores.saturating_sub(active_cores.len()) as f64;
+        self.socket_power(active_cores) + parked * self.parked_core_w
+    }
+
+    /// A noisy RAPL-style measurement of `truth`.
+    pub fn rapl_reading<R: Rng + ?Sized>(&self, truth: f64, rng: &mut R) -> f64 {
+        (truth + self.noise_w * standard_normal(rng)).max(0.0)
+    }
+
+    /// The "maximum system power" reference the paper obtains by running a
+    /// no-memory-access stress microbenchmark on every core at the highest
+    /// DVFS setting (used to normalise Twig's power reward).
+    pub fn stress_peak_power(&self, total_cores: usize) -> f64 {
+        let cores: Vec<(Frequency, f64)> =
+            (0..total_cores).map(|_| (self.f_max, 1.0)).collect();
+        self.socket_power(&cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tdp_scale_is_sane() {
+        let m = PowerModel::default();
+        let peak = m.stress_peak_power(18);
+        assert!((100.0..140.0).contains(&peak), "peak {peak} W");
+        assert!((m.idle_w - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_monotone_in_frequency() {
+        let m = PowerModel::default();
+        let mut prev = 0.0;
+        for mhz in (1200..=2000).step_by(100) {
+            let p = m.core_power(Frequency::from_mhz(mhz), 1.0);
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn power_monotone_in_utilisation() {
+        let m = PowerModel::default();
+        let f = Frequency::from_mhz(1800);
+        assert!(m.core_power(f, 0.2) < m.core_power(f, 0.9));
+    }
+
+    #[test]
+    fn parked_cores_cost_less_than_idle_active() {
+        let m = PowerModel::default();
+        let f = m.f_min;
+        let one_active_idle = m.socket_power_with_parked(&[(f, 0.0)], 18);
+        let all_parked = m.socket_power_with_parked(&[], 18);
+        assert!(all_parked < one_active_idle);
+    }
+
+    #[test]
+    fn rapl_reading_centred_on_truth() {
+        let m = PowerModel::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 10_000;
+        let mean: f64 =
+            (0..n).map(|_| m.rapl_reading(80.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 80.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn voltage_clamped_to_range() {
+        let m = PowerModel::default();
+        assert_eq!(m.voltage(Frequency::from_mhz(500)), m.v_min);
+        assert_eq!(m.voltage(Frequency::from_mhz(3000)), m.v_max);
+    }
+
+    proptest! {
+        #[test]
+        fn socket_power_nonnegative_and_additive(
+            n_active in 0usize..18,
+            mhz in 1200u32..=2000,
+            util in 0.0f64..1.0,
+        ) {
+            let m = PowerModel::default();
+            let f = Frequency::from_mhz(mhz);
+            let cores: Vec<(Frequency, f64)> = (0..n_active).map(|_| (f, util)).collect();
+            let p = m.socket_power_with_parked(&cores, 18);
+            prop_assert!(p >= m.idle_w);
+            // Adding one more active core increases power.
+            let mut more = cores.clone();
+            more.push((f, util));
+            prop_assert!(m.socket_power_with_parked(&more, 18) > p);
+        }
+    }
+}

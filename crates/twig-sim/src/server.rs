@@ -1,0 +1,807 @@
+use crate::pmc::{self, Activity, PmcSample};
+use crate::queue::ServiceQueue;
+use crate::{
+    CoreId, DvfsLadder, Frequency, LoadGenerator, PowerModel, ServiceSpec, SimError,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Platform configuration of the simulated socket.
+///
+/// Defaults model the paper's testbed: one 18-core Xeon E5-2695v4 socket
+/// (the other socket runs the load clients, per the Tailbench loopback
+/// methodology), DVFS from 1.2 to 2.0 GHz, and a 45 MiB LLC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Number of physical cores available to services.
+    pub cores: usize,
+    /// The DVFS ladder.
+    pub dvfs: DvfsLadder,
+    /// Last-level-cache capacity in MiB.
+    pub llc_mb: f64,
+    /// Total-bandwidth utilisation above which memory contention sets in.
+    pub bw_knee: f64,
+    /// Fractional request slowdown per remapped core for the epoch
+    /// following a core-allocation change (migration cost).
+    pub migration_penalty: f64,
+    /// Client-side request timeout in seconds: queued requests older than
+    /// this are abandoned and counted as hard QoS violations. Bounds how
+    /// long an under-provisioning mistake can poison the queue.
+    pub request_timeout_s: f64,
+    /// The socket power model.
+    pub power: PowerModel,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cores: 18,
+            dvfs: DvfsLadder::default(),
+            llc_mb: 45.0,
+            bw_knee: 0.5,
+            migration_penalty: 0.12,
+            request_timeout_s: 2.0,
+            power: PowerModel::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for zero cores, a non-positive
+    /// LLC, a knee outside `[0, 1)` or a negative migration penalty.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.cores == 0 {
+            return Err(SimError::InvalidConfig { detail: "zero cores".into() });
+        }
+        if self.llc_mb <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                detail: format!("llc {} MiB", self.llc_mb),
+            });
+        }
+        if !(0.0..1.0).contains(&self.bw_knee) {
+            return Err(SimError::InvalidConfig {
+                detail: format!("bw knee {}", self.bw_knee),
+            });
+        }
+        if self.migration_penalty < 0.0 {
+            return Err(SimError::InvalidConfig {
+                detail: format!("migration penalty {}", self.migration_penalty),
+            });
+        }
+        if self.request_timeout_s <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                detail: format!("request timeout {} s", self.request_timeout_s),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One service's resource request for the next epoch: a set of cores and a
+/// DVFS setting. Produced by task managers, consumed by [`Server::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// The cores the service should run on.
+    pub cores: Vec<CoreId>,
+    /// The requested DVFS setting for those cores.
+    pub freq: Frequency,
+}
+
+impl Assignment {
+    /// Creates an assignment.
+    pub fn new(cores: Vec<CoreId>, freq: Frequency) -> Self {
+        Assignment { cores, freq }
+    }
+
+    /// Convenience: the first `n` cores of the socket at `freq`.
+    pub fn first_n(n: usize, freq: Frequency) -> Self {
+        Assignment { cores: (0..n).map(CoreId).collect(), freq }
+    }
+
+    /// Number of requested cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+}
+
+/// The resolved physical state of every core for one epoch: which services
+/// share it (time-sliced) and at what frequency it runs.
+///
+/// When assignments overlap on a core, the core runs at the *highest*
+/// requested frequency and is time-shared equally — the arbitration rule of
+/// Section IV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorePlan {
+    /// Per core: `None` if parked, otherwise the frequency and the sharing
+    /// services (index, share).
+    states: Vec<Option<CoreState>>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct CoreState {
+    freq: Frequency,
+    claims: Vec<(usize, f64)>,
+}
+
+impl CorePlan {
+    /// Resolves per-service assignments into physical core states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownCore`] for out-of-range cores and
+    /// [`SimError::InvalidFrequency`] for frequencies off the ladder.
+    pub fn from_assignments(
+        assignments: &[Assignment],
+        config: &ServerConfig,
+    ) -> Result<Self, SimError> {
+        let mut claimants: Vec<Vec<(usize, Frequency)>> = vec![Vec::new(); config.cores];
+        for (svc, a) in assignments.iter().enumerate() {
+            config.dvfs.index_of(a.freq)?;
+            for &core in &a.cores {
+                if core.index() >= config.cores {
+                    return Err(SimError::UnknownCore {
+                        core: core.index(),
+                        count: config.cores,
+                    });
+                }
+                claimants[core.index()].push((svc, a.freq));
+            }
+        }
+        let states = claimants
+            .into_iter()
+            .map(|claims| {
+                if claims.is_empty() {
+                    return None;
+                }
+                let freq = claims.iter().map(|&(_, f)| f).max().expect("non-empty");
+                let share = 1.0 / claims.len() as f64;
+                Some(CoreState {
+                    freq,
+                    claims: claims.into_iter().map(|(svc, _)| (svc, share)).collect(),
+                })
+            })
+            .collect();
+        Ok(CorePlan { states })
+    }
+
+    /// `(cpu_rate, effective_cores, max_core_speed)` for one service:
+    /// `cpu_rate = Σ share × f_rel`, `effective_cores = Σ share`.
+    pub fn service_capacity(&self, svc: usize, dvfs: &DvfsLadder) -> (f64, f64, f64) {
+        let mut cpu_rate = 0.0;
+        let mut eff = 0.0;
+        let mut max_speed: f64 = 0.0;
+        for state in self.states.iter().flatten() {
+            for &(s, share) in &state.claims {
+                if s == svc {
+                    let rel = dvfs.relative_speed(state.freq);
+                    cpu_rate += share * rel;
+                    eff += share;
+                    max_speed = max_speed.max(rel * share);
+                }
+            }
+        }
+        (cpu_rate, eff, max_speed)
+    }
+
+    /// Number of active (non-parked) cores.
+    pub fn active_cores(&self) -> usize {
+        self.states.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Per-service observables for one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceEpoch {
+    /// Service name.
+    pub name: String,
+    /// Offered load in requests per second.
+    pub offered_rps: f64,
+    /// Offered load as a fraction of the service's maximum load.
+    pub load_fraction: f64,
+    /// Measured 99th-percentile latency in milliseconds (the QoS metric).
+    pub p99_ms: f64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Requests completed this epoch.
+    pub completed: usize,
+    /// Arrivals dropped due to backlog saturation.
+    pub dropped: u64,
+    /// Requests still queued at the epoch boundary.
+    pub queue_len: usize,
+    /// The 11 Table-I counters for this service this epoch.
+    pub pmcs: PmcSample,
+    /// Cores the service was mapped to.
+    pub core_count: usize,
+    /// The service's requested DVFS setting.
+    pub freq: Frequency,
+    /// Cores that changed in the allocation relative to the previous epoch.
+    pub migrated_cores: usize,
+}
+
+impl ServiceEpoch {
+    /// QoS tardiness: measured p99 over the target (violation when > 1).
+    pub fn tardiness(&self, qos_ms: f64) -> f64 {
+        self.p99_ms / qos_ms
+    }
+}
+
+/// Everything a task manager observes after one decision epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochReport {
+    /// Simulated time at the *start* of the epoch, in seconds.
+    pub time_s: u64,
+    /// Per-service observables.
+    pub services: Vec<ServiceEpoch>,
+    /// RAPL-style measured socket power (noisy), in watts.
+    pub power_w: f64,
+    /// Ground-truth socket power, in watts (for evaluation only).
+    pub true_power_w: f64,
+    /// Cumulative ground-truth energy since server creation, in joules.
+    pub energy_j: f64,
+    /// Total cores remapped across all services this epoch.
+    pub migrations: usize,
+}
+
+/// The simulated server socket hosting latency-critical services.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Server {
+    config: ServerConfig,
+    specs: Vec<ServiceSpec>,
+    loads: Vec<LoadGenerator>,
+    queues: Vec<ServiceQueue>,
+    prev_cores: Vec<BTreeSet<CoreId>>,
+    time_s: u64,
+    energy_j: f64,
+    rng: StdRng,
+}
+
+impl Server {
+    /// Creates a server hosting `specs`, with all load generators fixed at
+    /// 50 % of each service's maximum load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the configuration or any
+    /// service specification is invalid, or no services are given.
+    pub fn new(
+        config: ServerConfig,
+        specs: Vec<ServiceSpec>,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        if specs.is_empty() {
+            return Err(SimError::InvalidConfig { detail: "no services".into() });
+        }
+        for s in &specs {
+            s.validate()?;
+        }
+        let n = specs.len();
+        Ok(Server {
+            config,
+            specs,
+            loads: vec![LoadGenerator::default(); n],
+            queues: vec![ServiceQueue::new(); n],
+            prev_cores: vec![BTreeSet::new(); n],
+            time_s: 0,
+            energy_j: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The hosted service specifications.
+    pub fn specs(&self) -> &[ServiceSpec] {
+        &self.specs
+    }
+
+    /// Current simulated time in seconds.
+    pub fn time_s(&self) -> u64 {
+        self.time_s
+    }
+
+    /// Cumulative ground-truth energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Socket power with all cores parked.
+    pub fn idle_power_w(&self) -> f64 {
+        self.config.power.socket_power_with_parked(&[], self.config.cores)
+    }
+
+    /// The stress-microbenchmark peak power used to normalise Twig's power
+    /// reward (Section III-B2).
+    pub fn peak_power_w(&self) -> f64 {
+        self.config.power.stress_peak_power(self.config.cores)
+    }
+
+    /// Pins service `index` to a fixed load fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownService`] for a bad index and
+    /// [`SimError::InvalidConfig`] for a fraction outside `[0, 1]`.
+    pub fn set_load_fraction(&mut self, index: usize, fraction: f64) -> Result<(), SimError> {
+        self.set_load_generator(index, LoadGenerator::fixed(fraction)?)
+    }
+
+    /// Installs a load generator for service `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownService`] for a bad index.
+    pub fn set_load_generator(
+        &mut self,
+        index: usize,
+        generator: LoadGenerator,
+    ) -> Result<(), SimError> {
+        if index >= self.specs.len() {
+            return Err(SimError::UnknownService { index, count: self.specs.len() });
+        }
+        self.loads[index] = generator;
+        Ok(())
+    }
+
+    /// Swaps the service at `index` for a new one at runtime (the paper's
+    /// "new, incoming service" scenario of the transfer-learning
+    /// experiments). The queue is drained and the load generator kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownService`] for a bad index and
+    /// [`SimError::InvalidConfig`] for an invalid spec.
+    pub fn replace_service(
+        &mut self,
+        index: usize,
+        spec: ServiceSpec,
+    ) -> Result<(), SimError> {
+        if index >= self.specs.len() {
+            return Err(SimError::UnknownService { index, count: self.specs.len() });
+        }
+        spec.validate()?;
+        self.specs[index] = spec;
+        self.queues[index].reset();
+        self.prev_cores[index].clear();
+        Ok(())
+    }
+
+    /// Advances the simulation by one decision epoch (1 simulated second),
+    /// applying `assignments` (one per service) for its duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AssignmentCount`] when the number of assignments
+    /// is wrong, plus the errors of [`CorePlan::from_assignments`].
+    pub fn step(&mut self, assignments: &[Assignment]) -> Result<EpochReport, SimError> {
+        if assignments.len() != self.specs.len() {
+            return Err(SimError::AssignmentCount {
+                got: assignments.len(),
+                want: self.specs.len(),
+            });
+        }
+        let plan = CorePlan::from_assignments(assignments, &self.config)?;
+        let t0 = self.time_s as f64;
+        let t1 = t0 + 1.0;
+
+        // Offered loads for this epoch.
+        let fractions: Vec<f64> = self
+            .loads
+            .iter()
+            .map(|g| g.fraction_at(self.time_s).clamp(0.0, 1.0))
+            .collect();
+        let rates: Vec<f64> = fractions
+            .iter()
+            .zip(&self.specs)
+            .map(|(f, s)| f * s.max_load_rps)
+            .collect();
+
+        // Shared-resource pressure from all *active* services.
+        let total_bw: f64 = self
+            .specs
+            .iter()
+            .zip(&fractions)
+            .zip(assignments)
+            .filter(|((_, _), a)| !a.cores.is_empty())
+            .map(|((s, f), _)| s.bw_demand_frac * f)
+            .sum();
+        let bw_pressure =
+            ((total_bw - self.config.bw_knee) / (1.0 - self.config.bw_knee)).max(0.0);
+        let total_cache: f64 = self
+            .specs
+            .iter()
+            .zip(&fractions)
+            .zip(assignments)
+            .filter(|((_, f), a)| **f > 0.0 && !a.cores.is_empty())
+            .map(|((s, _), _)| s.cache_mb)
+            .sum();
+        let cache_pressure = (total_cache / self.config.llc_mb - 1.0).max(0.0);
+
+        // Migration accounting.
+        let mut migrated = Vec::with_capacity(self.specs.len());
+        for (svc, a) in assignments.iter().enumerate() {
+            let new: BTreeSet<CoreId> = a.cores.iter().copied().collect();
+            let changed = new.symmetric_difference(&self.prev_cores[svc]).count();
+            migrated.push(changed);
+            self.prev_cores[svc] = new;
+        }
+
+        // Per-service queue simulation.
+        let mut service_epochs = Vec::with_capacity(self.specs.len());
+        let mut busy_fracs = vec![0.0; self.specs.len()];
+        for svc in 0..self.specs.len() {
+            let spec = &self.specs[svc];
+            let (cpu_rate, eff_cores, max_speed) =
+                plan.service_capacity(svc, &self.config.dvfs);
+            let mut contention = 1.0
+                + spec.bw_sensitivity * bw_pressure
+                + spec.cache_sensitivity * cache_pressure;
+            if migrated[svc] > 0 && !assignments[svc].cores.is_empty() {
+                let frac =
+                    migrated[svc] as f64 / assignments[svc].cores.len().max(1) as f64;
+                contention *= 1.0 + self.config.migration_penalty * frac.min(1.0);
+            }
+            let duration_ms =
+                spec.request_duration_ms(cpu_rate, eff_cores, max_speed, contention);
+            let stats = self.queues[svc].run_epoch_with_timeout(
+                t0,
+                t1,
+                rates[svc],
+                duration_ms,
+                spec.demand_cv,
+                self.config.request_timeout_s,
+                &mut self.rng,
+            );
+            busy_fracs[svc] = stats.busy_s;
+
+            // Tail latency, folding drops and client timeouts in as hard
+            // misses.
+            let mut latencies = stats.latencies_ms.clone();
+            let drop_count = (stats.dropped as usize).min(5000);
+            latencies.extend(std::iter::repeat_n(spec.qos_ms * 100.0, drop_count));
+            let timeout_count = (stats.timed_out as usize).min(5000);
+            latencies.extend(
+                std::iter::repeat_n(self.config.request_timeout_s * 1000.0, timeout_count),
+            );
+            let (p99, mean) = if latencies.is_empty() {
+                if stats.queue_len > 0 {
+                    // Nothing completed but work is waiting: report the age
+                    // of the queue head as the observed tail.
+                    let stuck = (t1 - (t0 - stats.queue_len as f64 / rates[svc].max(1.0)))
+                        * 1000.0;
+                    (stuck.max(spec.qos_ms * 10.0), 0.0)
+                } else {
+                    (0.0, 0.0)
+                }
+            } else {
+                let p99 = twig_stats::percentile(&mut latencies, 99.0)
+                    .expect("non-empty latency sample");
+                let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+                (p99, mean)
+            };
+
+            // Counter synthesis from realised activity.
+            let mix_cpu = spec.work_cpu_ms / spec.total_work_ms();
+            let work_done_ms = stats.completed as f64 * spec.total_work_ms();
+            let activity = Activity {
+                weighted_busy_core_s: stats.busy_s * cpu_rate,
+                busy_core_s: stats.busy_s * eff_cores,
+                cpu_work_ms: work_done_ms * mix_cpu,
+                mem_work_ms: work_done_ms * (1.0 - mix_cpu),
+                cache_pressure,
+                clock_ghz: assignments[svc].freq.ghz(),
+            };
+            let pmcs = pmc::synthesize(spec, &activity, &mut self.rng);
+
+            service_epochs.push(ServiceEpoch {
+                name: spec.name.clone(),
+                offered_rps: rates[svc],
+                load_fraction: fractions[svc],
+                p99_ms: p99,
+                mean_ms: mean,
+                completed: stats.completed,
+                dropped: stats.dropped + stats.timed_out,
+                queue_len: stats.queue_len,
+                pmcs,
+                core_count: assignments[svc].core_count(),
+                freq: assignments[svc].freq,
+                migrated_cores: migrated[svc],
+            });
+        }
+
+        // Power: each active core's utilisation is the share-weighted busy
+        // fraction of the services on it.
+        let mut active = Vec::new();
+        for state in plan.states.iter().flatten() {
+            let util: f64 = state
+                .claims
+                .iter()
+                .map(|&(svc, share)| share * busy_fracs[svc])
+                .sum();
+            active.push((state.freq, util.clamp(0.0, 1.0)));
+        }
+        let truth = self
+            .config
+            .power
+            .socket_power_with_parked(&active, self.config.cores);
+        let measured = self.config.power.rapl_reading(truth, &mut self.rng);
+        self.energy_j += truth; // 1-second epoch
+
+        let report = EpochReport {
+            time_s: self.time_s,
+            services: service_epochs,
+            power_w: measured,
+            true_power_w: truth,
+            energy_j: self.energy_j,
+            migrations: migrated.iter().sum(),
+        };
+        self.time_s += 1;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn max_freq() -> Frequency {
+        ServerConfig::default().dvfs.max()
+    }
+
+    fn full_assignment(cores: usize) -> Assignment {
+        Assignment::first_n(cores, max_freq())
+    }
+
+    fn run(
+        server: &mut Server,
+        assignments: &[Assignment],
+        epochs: usize,
+    ) -> Vec<EpochReport> {
+        (0..epochs).map(|_| server.step(assignments).unwrap()).collect()
+    }
+
+    #[test]
+    fn single_service_meets_qos_at_max_load_full_alloc() {
+        for spec in catalog::tailbench() {
+            let name = spec.name.clone();
+            let qos = spec.qos_ms;
+            let mut server = Server::new(ServerConfig::default(), vec![spec], 1).unwrap();
+            server.set_load_fraction(0, 1.0).unwrap();
+            let reports = run(&mut server, &[full_assignment(18)], 60);
+            // Skip warmup, average p99 over the tail.
+            let p99s: Vec<f64> =
+                reports[20..].iter().map(|r| r.services[0].p99_ms).collect();
+            let mean_p99 = p99s.iter().sum::<f64>() / p99s.len() as f64;
+            assert!(
+                mean_p99 <= qos,
+                "{name}: mean p99 {mean_p99:.3} ms > target {qos} ms at max load"
+            );
+        }
+    }
+
+    #[test]
+    fn overload_violates_qos() {
+        // 18 cores at max DVFS cannot sustain 1.4x the calibrated max load.
+        let spec = catalog::masstree();
+        let qos = spec.qos_ms;
+        let mut spec_overloaded = spec;
+        spec_overloaded.max_load_rps *= 1.4;
+        let mut server =
+            Server::new(ServerConfig::default(), vec![spec_overloaded], 2).unwrap();
+        server.set_load_fraction(0, 1.0).unwrap();
+        let reports = run(&mut server, &[full_assignment(18)], 60);
+        let tail_mean: f64 = reports[30..]
+            .iter()
+            .map(|r| r.services[0].p99_ms)
+            .sum::<f64>()
+            / 30.0;
+        assert!(tail_mean > qos, "p99 {tail_mean} should exceed {qos}");
+    }
+
+    #[test]
+    fn fewer_cores_increase_latency() {
+        let spec = catalog::xapian();
+        let mut server = Server::new(ServerConfig::default(), vec![spec], 3).unwrap();
+        server.set_load_fraction(0, 0.5).unwrap();
+        let big = run(&mut server, &[full_assignment(18)], 40);
+        let p99_big: f64 =
+            big[10..].iter().map(|r| r.services[0].p99_ms).sum::<f64>() / 30.0;
+        let small = run(&mut server, &[full_assignment(4)], 40);
+        let p99_small: f64 =
+            small[10..].iter().map(|r| r.services[0].p99_ms).sum::<f64>() / 30.0;
+        assert!(
+            p99_small > p99_big,
+            "4 cores ({p99_small:.2} ms) should be slower than 18 ({p99_big:.2} ms)"
+        );
+    }
+
+    #[test]
+    fn lower_frequency_increases_latency_and_saves_power() {
+        let spec = catalog::img_dnn();
+        let cfg = ServerConfig::default();
+        let f_lo = cfg.dvfs.min();
+        let mut server = Server::new(cfg, vec![spec], 4).unwrap();
+        server.set_load_fraction(0, 0.5).unwrap();
+        let fast = run(&mut server, &[full_assignment(10)], 40);
+        let slow = run(
+            &mut server,
+            &[Assignment::first_n(10, f_lo)],
+            40,
+        );
+        let p99 = |rs: &[EpochReport]| {
+            rs[10..].iter().map(|r| r.services[0].p99_ms).sum::<f64>() / 30.0
+        };
+        let pw = |rs: &[EpochReport]| {
+            rs[10..].iter().map(|r| r.true_power_w).sum::<f64>() / 30.0
+        };
+        assert!(p99(&slow) > p99(&fast));
+        assert!(pw(&slow) < pw(&fast));
+    }
+
+    #[test]
+    fn colocation_interference_hurts_sensitive_service() {
+        // Masstree alone vs masstree colocated with bandwidth-hungry moses.
+        let cfg = ServerConfig::default();
+        let f = cfg.dvfs.max();
+        let mut solo =
+            Server::new(cfg.clone(), vec![catalog::masstree()], 5).unwrap();
+        solo.set_load_fraction(0, 0.6).unwrap();
+        let solo_assign = vec![Assignment::first_n(9, f)];
+        let solo_reports = run(&mut solo, &solo_assign, 40);
+
+        let mut colo = Server::new(
+            cfg,
+            vec![catalog::masstree(), catalog::moses()],
+            5,
+        )
+        .unwrap();
+        colo.set_load_fraction(0, 0.6).unwrap();
+        colo.set_load_fraction(1, 0.9).unwrap();
+        let colo_assign = vec![
+            Assignment::first_n(9, f),
+            Assignment::new((9..18).map(CoreId).collect(), f),
+        ];
+        let colo_reports = run(&mut colo, &colo_assign, 40);
+
+        let p99 = |rs: &[EpochReport]| {
+            rs[10..].iter().map(|r| r.services[0].p99_ms).sum::<f64>() / 30.0
+        };
+        assert!(
+            p99(&colo_reports) > p99(&solo_reports) * 1.1,
+            "colocated {:.3} vs solo {:.3}",
+            p99(&colo_reports),
+            p99(&solo_reports)
+        );
+    }
+
+    #[test]
+    fn overlapping_assignments_time_share() {
+        let cfg = ServerConfig::default();
+        let plan = CorePlan::from_assignments(
+            &[
+                Assignment::first_n(4, Frequency::from_mhz(1200)),
+                Assignment::first_n(4, Frequency::from_mhz(2000)),
+            ],
+            &cfg,
+        )
+        .unwrap();
+        // Both services get half of each core; the core runs at max request.
+        let (rate0, eff0, _) = plan.service_capacity(0, &cfg.dvfs);
+        let (rate1, eff1, _) = plan.service_capacity(1, &cfg.dvfs);
+        assert!((eff0 - 2.0).abs() < 1e-9);
+        assert!((eff1 - 2.0).abs() < 1e-9);
+        // Shared cores run at 2.0 GHz (the max of the requests).
+        assert!((rate0 - 2.0).abs() < 1e-9);
+        assert!((rate1 - 2.0).abs() < 1e-9);
+        assert_eq!(plan.active_cores(), 4);
+    }
+
+    #[test]
+    fn migrations_counted_and_penalised() {
+        let spec = catalog::masstree();
+        let mut server = Server::new(ServerConfig::default(), vec![spec], 6).unwrap();
+        server.set_load_fraction(0, 0.5).unwrap();
+        let a1 = Assignment::first_n(6, max_freq());
+        let a2 = Assignment::new((6..12).map(CoreId).collect(), max_freq());
+        let r1 = server.step(std::slice::from_ref(&a1)).unwrap();
+        assert_eq!(r1.migrations, 6); // cold start counts as placement
+        let r2 = server.step(std::slice::from_ref(&a1)).unwrap();
+        assert_eq!(r2.migrations, 0);
+        let r3 = server.step(&[a2]).unwrap();
+        assert_eq!(r3.migrations, 12); // 6 removed + 6 added
+        let _ = r3;
+    }
+
+    #[test]
+    fn power_scales_with_allocation() {
+        let spec = catalog::moses();
+        let mut server = Server::new(ServerConfig::default(), vec![spec], 7).unwrap();
+        server.set_load_fraction(0, 0.8).unwrap();
+        let many = run(&mut server, &[full_assignment(18)], 20);
+        let few = run(&mut server, &[Assignment::first_n(6, Frequency::from_mhz(1400))], 20);
+        let pw = |rs: &[EpochReport]| {
+            rs[5..].iter().map(|r| r.true_power_w).sum::<f64>() / 15.0
+        };
+        assert!(pw(&few) < pw(&many));
+        // Energy is cumulative and increasing.
+        assert!(few.last().unwrap().energy_j > many.last().unwrap().energy_j);
+    }
+
+    #[test]
+    fn report_contains_pmcs_and_rates() {
+        let mut server =
+            Server::new(ServerConfig::default(), vec![catalog::xapian()], 8).unwrap();
+        server.set_load_fraction(0, 0.5).unwrap();
+        let reports = run(&mut server, &[full_assignment(18)], 5);
+        let last = &reports[4];
+        let svc = &last.services[0];
+        assert_eq!(svc.name, "xapian");
+        assert!((svc.offered_rps - 500.0).abs() < 1e-9);
+        assert!(svc.pmcs[crate::CounterId::InstructionRetired] > 0.0);
+        assert!(svc.completed > 300);
+        assert_eq!(last.time_s, 4);
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut server =
+            Server::new(ServerConfig::default(), vec![catalog::masstree()], 9).unwrap();
+        assert!(server.step(&[]).is_err());
+        assert!(server
+            .step(&[Assignment::new(vec![CoreId(40)], max_freq())])
+            .is_err());
+        assert!(server
+            .step(&[Assignment::new(vec![CoreId(0)], Frequency::from_mhz(1250))])
+            .is_err());
+        assert!(server.set_load_fraction(3, 0.5).is_err());
+        assert!(server.set_load_fraction(0, 1.5).is_err());
+        assert!(Server::new(ServerConfig::default(), vec![], 0).is_err());
+    }
+
+    #[test]
+    fn replace_service_resets_queue() {
+        let mut server = Server::new(
+            ServerConfig::default(),
+            vec![catalog::moses(), catalog::masstree()],
+            10,
+        )
+        .unwrap();
+        server.set_load_fraction(0, 0.9).unwrap();
+        // Starve service 0 to build a queue.
+        let starve = vec![
+            Assignment::new(vec![], max_freq()),
+            Assignment::first_n(2, max_freq()),
+        ];
+        for _ in 0..5 {
+            server.step(&starve).unwrap();
+        }
+        server.replace_service(0, catalog::xapian()).unwrap();
+        assert_eq!(server.specs()[0].name, "xapian");
+        let r = server
+            .step(&[full_assignment(9), Assignment::new((9..12).map(CoreId).collect(), max_freq())])
+            .unwrap();
+        // Queue was drained on replacement.
+        assert!(r.services[0].queue_len < 1000);
+    }
+
+    #[test]
+    fn zero_load_reports_zero_latency() {
+        let mut server =
+            Server::new(ServerConfig::default(), vec![catalog::img_dnn()], 11).unwrap();
+        server.set_load_fraction(0, 0.0).unwrap();
+        let r = server.step(&[full_assignment(4)]).unwrap();
+        assert_eq!(r.services[0].p99_ms, 0.0);
+        assert_eq!(r.services[0].completed, 0);
+    }
+}

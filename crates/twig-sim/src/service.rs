@@ -1,0 +1,231 @@
+use crate::SimError;
+
+/// Static model of one latency-critical service.
+///
+/// The fields fall into three groups mirroring what the real Tailbench
+/// services exhibit on the paper's platform:
+///
+/// 1. **Capacity / QoS** (`max_load_rps`, `qos_ms`) — Table II;
+/// 2. **Request cost** (`work_cpu_ms`, `work_mem_ms`, `serial_frac`,
+///    `demand_cv`) — how much single-core-at-max-frequency work one request
+///    needs, split into a frequency-scalable CPU part and a memory-bound
+///    part, with a serial fraction that does not parallelise across cores
+///    and a lognormal per-request variability;
+/// 3. **Interference** (`bw_demand_frac`, `bw_sensitivity`, `cache_mb`,
+///    `cache_sensitivity`) — how much shared memory bandwidth / LLC the
+///    service consumes and how strongly its memory-bound work inflates under
+///    contention. Masstree, for example, consumes little bandwidth but is
+///    extremely sensitive to bandwidth interference (Section V-B1), while
+///    Moses is cache- and bandwidth-hungry;
+/// 4. **Counter synthesis** (`instructions_per_ms` …) — per-activity rates
+///    used to generate the 11 Table-I performance counters.
+///
+/// This is a passive data structure: fields are public, and the [`catalog`]
+/// module provides calibrated instances for the paper's services.
+///
+/// [`catalog`]: crate::catalog
+///
+/// # Examples
+///
+/// ```
+/// use twig_sim::catalog;
+///
+/// let spec = catalog::masstree();
+/// assert_eq!(spec.qos_ms, 1.39);
+/// assert!(spec.bw_sensitivity > catalog::moses().bw_sensitivity);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSpec {
+    /// Service name (for reports).
+    pub name: String,
+    /// Reference maximum load in requests per second (Table II).
+    pub max_load_rps: f64,
+    /// 99th-percentile latency target in milliseconds (Table II).
+    pub qos_ms: f64,
+    /// CPU-bound work per request, in milliseconds of one core at the
+    /// maximum DVFS setting.
+    pub work_cpu_ms: f64,
+    /// Memory-bound work per request, in milliseconds of one core
+    /// (unaffected by DVFS, inflated by contention).
+    pub work_mem_ms: f64,
+    /// Fraction of the request work that cannot be parallelised across
+    /// cores.
+    pub serial_frac: f64,
+    /// Coefficient of variation of the lognormal per-request work
+    /// multiplier.
+    pub demand_cv: f64,
+    /// Fraction of the socket's memory bandwidth the service consumes when
+    /// running at its maximum load.
+    pub bw_demand_frac: f64,
+    /// Inflation of the memory-bound work per unit of bandwidth
+    /// overcommitment.
+    pub bw_sensitivity: f64,
+    /// Last-level-cache footprint in MiB.
+    pub cache_mb: f64,
+    /// Inflation of the memory-bound work per unit of cache overcommitment.
+    pub cache_sensitivity: f64,
+    /// Instructions retired per millisecond of CPU-bound work at max
+    /// frequency.
+    pub instructions_per_ms: f64,
+    /// Fraction of instructions that are branches.
+    pub branch_frac: f64,
+    /// Fraction of branches that are mispredicted.
+    pub branch_miss_rate: f64,
+    /// LLC misses per millisecond of memory-bound work.
+    pub llc_miss_per_mem_ms: f64,
+    /// L1D accesses per instruction.
+    pub l1d_per_instr: f64,
+    /// L1I accesses per instruction.
+    pub l1i_per_instr: f64,
+    /// Micro-ops per instruction.
+    pub uops_per_instr: f64,
+}
+
+impl ServiceSpec {
+    /// Total work per request (CPU + memory parts), in core-milliseconds.
+    pub fn total_work_ms(&self) -> f64 {
+        self.work_cpu_ms + self.work_mem_ms
+    }
+
+    /// Validates that the specification is physically meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for non-positive capacity or QoS,
+    /// negative work, or fractions outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let fail = |detail: String| Err(SimError::InvalidConfig { detail });
+        if self.max_load_rps <= 0.0 {
+            return fail(format!("{}: max load {}", self.name, self.max_load_rps));
+        }
+        if self.qos_ms <= 0.0 {
+            return fail(format!("{}: qos {}", self.name, self.qos_ms));
+        }
+        if self.work_cpu_ms < 0.0 || self.work_mem_ms < 0.0 || self.total_work_ms() == 0.0
+        {
+            return fail(format!("{}: non-positive request work", self.name));
+        }
+        for (label, v) in [
+            ("serial_frac", self.serial_frac),
+            ("bw_demand_frac", self.bw_demand_frac),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return fail(format!("{}: {label} = {v} outside [0, 1]", self.name));
+            }
+        }
+        if self.demand_cv < 0.0 {
+            return fail(format!("{}: demand_cv {}", self.name, self.demand_cv));
+        }
+        Ok(())
+    }
+
+    /// Mean request duration in milliseconds on `effective_cores` cores with
+    /// aggregate CPU speed `cpu_rate` (sum over cores of share × relative
+    /// frequency) and memory-work contention factor `contention`
+    /// (1.0 = no interference).
+    ///
+    /// The serial fraction runs on the single fastest core
+    /// (`max_core_speed`); the rest parallelises across the allocation.
+    pub fn request_duration_ms(
+        &self,
+        cpu_rate: f64,
+        effective_cores: f64,
+        max_core_speed: f64,
+        contention: f64,
+    ) -> f64 {
+        if cpu_rate <= 0.0 || effective_cores <= 0.0 {
+            return f64::INFINITY;
+        }
+        let sf = self.serial_frac;
+        let cpu_serial = self.work_cpu_ms * sf / max_core_speed.max(1e-9);
+        let cpu_parallel = self.work_cpu_ms * (1.0 - sf) / cpu_rate;
+        let mem_serial = self.work_mem_ms * sf * contention;
+        let mem_parallel = self.work_mem_ms * (1.0 - sf) * contention / effective_cores;
+        cpu_serial + cpu_parallel + mem_serial + mem_parallel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use proptest::prelude::*;
+
+    #[test]
+    fn catalog_specs_validate() {
+        for spec in catalog::all() {
+            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn duration_improves_with_more_cores() {
+        let spec = catalog::xapian();
+        let d1 = spec.request_duration_ms(1.0, 1.0, 1.0, 1.0);
+        let d4 = spec.request_duration_ms(4.0, 4.0, 1.0, 1.0);
+        let d18 = spec.request_duration_ms(18.0, 18.0, 1.0, 1.0);
+        assert!(d1 > d4 && d4 > d18);
+    }
+
+    #[test]
+    fn duration_has_diminishing_returns() {
+        let spec = catalog::xapian();
+        let d1 = spec.request_duration_ms(1.0, 1.0, 1.0, 1.0);
+        let d18 = spec.request_duration_ms(18.0, 18.0, 1.0, 1.0);
+        // With a serial fraction, 18 cores give less than 18x speedup.
+        assert!(d1 / d18 < 18.0);
+        assert!(d1 / d18 > 4.0);
+    }
+
+    #[test]
+    fn frequency_helps_cpu_part_only() {
+        let spec = catalog::img_dnn(); // CPU-heavy
+        let fast = spec.request_duration_ms(8.0, 8.0, 1.0, 1.0);
+        let slow = spec.request_duration_ms(8.0 * 0.6, 8.0, 0.6, 1.0);
+        // Lowest DVFS (0.6 relative) slows things, but by less than 1/0.6
+        // because the memory part does not scale.
+        assert!(slow > fast);
+        assert!(slow / fast < 1.0 / 0.6);
+    }
+
+    #[test]
+    fn contention_inflates_memory_bound_service_more() {
+        let masstree = catalog::masstree();
+        let img = catalog::img_dnn();
+        let ratio = |s: &ServiceSpec| {
+            s.request_duration_ms(8.0, 8.0, 1.0, 2.0)
+                / s.request_duration_ms(8.0, 8.0, 1.0, 1.0)
+        };
+        assert!(ratio(&masstree) > ratio(&img));
+    }
+
+    #[test]
+    fn zero_capacity_is_infinite_duration() {
+        let spec = catalog::moses();
+        assert!(spec.request_duration_ms(0.0, 0.0, 1.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let mut s = catalog::masstree();
+        s.qos_ms = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = catalog::masstree();
+        s.max_load_rps = -1.0;
+        assert!(s.validate().is_err());
+        let mut s = catalog::masstree();
+        s.serial_frac = 1.5;
+        assert!(s.validate().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn duration_monotone_in_contention(c1 in 1.0f64..3.0, c2 in 1.0f64..3.0) {
+            let spec = catalog::moses();
+            let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+            let d_lo = spec.request_duration_ms(8.0, 8.0, 1.0, lo);
+            let d_hi = spec.request_duration_ms(8.0, 8.0, 1.0, hi);
+            prop_assert!(d_lo <= d_hi);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+use crate::{Matrix, StatsError};
+
+/// Pearson correlation coefficient between two equal-length samples.
+///
+/// Section III-B1 of the paper uses Pearson correlation to build the
+/// correlation matrix between candidate performance counters and tail
+/// latency before applying PCA.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] when the inputs differ in length,
+/// [`StatsError::Empty`] when they are empty, and
+/// [`StatsError::ZeroVariance`] when either input is constant.
+///
+/// # Examples
+///
+/// ```
+/// let r = twig_stats::pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]).unwrap();
+/// assert!((r + 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch { left: xs.len(), right: ys.len() });
+    }
+    if xs.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    Ok(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Builds the full Pearson correlation matrix of a set of feature columns.
+///
+/// `columns[i]` is the sample vector of feature `i`; all columns must have
+/// the same length. Constant columns get correlation `0.0` with everything
+/// (and `1.0` with themselves), matching how the counter-selection pipeline
+/// treats dead counters.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] when `columns` is empty and
+/// [`StatsError::LengthMismatch`] when column lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// let m = twig_stats::correlation_matrix(&[
+///     vec![1.0, 2.0, 3.0],
+///     vec![2.0, 4.0, 6.0],
+/// ]).unwrap();
+/// assert!((m[(0, 1)] - 1.0).abs() < 1e-12);
+/// ```
+pub fn correlation_matrix(columns: &[Vec<f64>]) -> Result<Matrix, StatsError> {
+    let first = columns.first().ok_or(StatsError::Empty)?;
+    for c in columns {
+        if c.len() != first.len() {
+            return Err(StatsError::LengthMismatch { left: first.len(), right: c.len() });
+        }
+    }
+    let k = columns.len();
+    let mut m = Matrix::identity(k);
+    for i in 0..k {
+        for j in i + 1..k {
+            let r = match pearson(&columns[i], &columns[j]) {
+                Ok(r) => r,
+                Err(StatsError::ZeroVariance) => 0.0,
+                Err(e) => return Err(e),
+            };
+            m[(i, j)] = r;
+            m[(j, i)] = r;
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_positive_correlation() {
+        let r = pearson(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_input_errors() {
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), Err(StatsError::ZeroVariance));
+    }
+
+    #[test]
+    fn length_mismatch_errors() {
+        assert!(matches!(
+            pearson(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::LengthMismatch { left: 1, right: 2 })
+        ));
+    }
+
+    #[test]
+    fn matrix_diagonal_is_one_and_symmetric() {
+        let cols = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![4.0, 3.0, 2.0, 1.0],
+            vec![1.0, 3.0, 2.0, 4.0],
+        ];
+        let m = correlation_matrix(&cols).unwrap();
+        for i in 0..3 {
+            assert_eq!(m[(i, i)], 1.0);
+            for j in 0..3 {
+                assert_eq!(m[(i, j)], m[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_handles_constant_column() {
+        let cols = vec![vec![1.0, 1.0, 1.0], vec![1.0, 2.0, 3.0]];
+        let m = correlation_matrix(&cols).unwrap();
+        assert_eq!(m[(0, 1)], 0.0);
+        assert_eq!(m[(0, 0)], 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn pearson_in_unit_interval(
+            xs in proptest::collection::vec(-1e3f64..1e3, 3..100),
+        ) {
+            let ys: Vec<f64> = xs.iter().rev().map(|x| x * 0.5 + 1.0).collect();
+            if let Ok(r) = pearson(&xs, &ys) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+        }
+
+        #[test]
+        fn pearson_symmetric(
+            xs in proptest::collection::vec(-1e3f64..1e3, 3..50),
+            ys in proptest::collection::vec(-1e3f64..1e3, 3..50),
+        ) {
+            if xs.len() == ys.len() {
+                match (pearson(&xs, &ys), pearson(&ys, &xs)) {
+                    (Ok(a), Ok(b)) => prop_assert!((a - b).abs() < 1e-12),
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                    _ => prop_assert!(false, "asymmetric result"),
+                }
+            }
+        }
+
+        #[test]
+        fn pearson_scale_invariant(
+            xs in proptest::collection::vec(-1e3f64..1e3, 3..50),
+            scale in 0.1f64..100.0,
+        ) {
+            let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + 3.0).collect();
+            let xs2: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+            if let (Ok(a), Ok(b)) = (pearson(&xs, &ys), pearson(&xs2, &ys)) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+use crate::StatsError;
+
+/// Arithmetic mean of `data`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] if `data` is empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(twig_stats::mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+/// ```
+pub fn mean(data: &[f64]) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Population variance of `data`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] if `data` is empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(twig_stats::variance(&[1.0, 1.0, 1.0]).unwrap(), 0.0);
+/// ```
+pub fn variance(data: &[f64]) -> Result<f64, StatsError> {
+    let m = mean(data)?;
+    Ok(data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64)
+}
+
+/// Population standard deviation of `data`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] if `data` is empty.
+///
+/// # Examples
+///
+/// ```
+/// let sd = twig_stats::stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+/// assert!((sd - 2.0).abs() < 1e-12);
+/// ```
+pub fn stddev(data: &[f64]) -> Result<f64, StatsError> {
+    Ok(variance(data)?.sqrt())
+}
+
+/// Five-number-style descriptive summary of a sample.
+///
+/// Used throughout the experiment harness to report figure series (for
+/// example the prediction-error distributions of Figure 1).
+///
+/// # Examples
+///
+/// ```
+/// let s = twig_stats::Summary::from_data(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.mean, 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] if `data` is empty.
+    pub fn from_data(data: &[f64]) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        let median = crate::percentile_sorted(&sorted, 50.0)?;
+        Ok(Summary {
+            count: data.len(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            mean: mean(data)?,
+            stddev: stddev(data)?,
+            median,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_empty_errors() {
+        assert_eq!(mean(&[]), Err(StatsError::Empty));
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[5.0; 10]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn summary_single_element() {
+        let s = Summary::from_data(&[42.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn mean_within_min_max(data in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let m = mean(&data).unwrap();
+            let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+
+        #[test]
+        fn variance_nonnegative(data in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            prop_assert!(variance(&data).unwrap() >= 0.0);
+        }
+
+        #[test]
+        fn shift_invariance_of_variance(
+            data in proptest::collection::vec(-1e3f64..1e3, 2..100),
+            shift in -1e3f64..1e3,
+        ) {
+            let v1 = variance(&data).unwrap();
+            let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
+            let v2 = variance(&shifted).unwrap();
+            prop_assert!((v1 - v2).abs() < 1e-6 * (1.0 + v1.abs()));
+        }
+    }
+}

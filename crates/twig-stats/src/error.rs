@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by statistical routines in this crate.
+///
+/// # Examples
+///
+/// ```
+/// use twig_stats::{pearson, StatsError};
+///
+/// let err = pearson(&[1.0], &[1.0, 2.0]).unwrap_err();
+/// assert!(matches!(err, StatsError::LengthMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input slice was empty while the routine requires data.
+    Empty,
+    /// Two paired inputs had different lengths.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The input had zero variance so a correlation is undefined.
+    ZeroVariance,
+    /// A matrix operation received incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A linear system was singular and could not be solved.
+    Singular,
+    /// A parameter was outside its valid domain (for example a percentile
+    /// outside `0..=100`).
+    InvalidParameter {
+        /// Human-readable description of the offending parameter.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::Empty => write!(f, "input data is empty"),
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "paired inputs have different lengths ({left} vs {right})")
+            }
+            StatsError::ZeroVariance => write!(f, "input has zero variance"),
+            StatsError::DimensionMismatch { detail } => {
+                write!(f, "matrix dimension mismatch: {detail}")
+            }
+            StatsError::Singular => write!(f, "linear system is singular"),
+            StatsError::InvalidParameter { detail } => {
+                write!(f, "invalid parameter: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            StatsError::Empty,
+            StatsError::LengthMismatch { left: 1, right: 2 },
+            StatsError::ZeroVariance,
+            StatsError::DimensionMismatch { detail: "3x2 * 4x1".into() },
+            StatsError::Singular,
+            StatsError::InvalidParameter { detail: "p = 101".into() },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

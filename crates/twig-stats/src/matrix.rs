@@ -1,0 +1,324 @@
+use crate::StatsError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major `f64` matrix used by the PCA and regression routines.
+///
+/// This is a small internal linear-algebra helper, not a general tensor
+/// library (the neural-network crate `twig-nn` has its own `f32` kernels).
+///
+/// # Examples
+///
+/// ```
+/// use twig_stats::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+/// assert_eq!(m[(1, 0)], 3.0);
+/// let t = m.transpose();
+/// assert_eq!(t[(0, 1)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] when `rows` is empty and
+    /// [`StatsError::DimensionMismatch`] when rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, StatsError> {
+        let first = rows.first().ok_or(StatsError::Empty)?;
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(StatsError::DimensionMismatch {
+                    detail: format!("row length {} != {}", r.len(), cols),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows one row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies one column into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column {c} out of bounds ({} cols)", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, StatsError> {
+        if self.cols != other.rows {
+            return Err(StatsError::DimensionMismatch {
+                detail: format!(
+                    "{}x{} * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if v.len() != self.cols {
+            return Err(StatsError::DimensionMismatch {
+                detail: format!("{}x{} * vec({})", self.rows, self.cols, v.len()),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Solves the linear system `self * x = b` by Gaussian elimination with
+    /// partial pivoting. `self` must be square.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] for non-square systems or a
+    /// badly sized `b`, and [`StatsError::Singular`] when no unique solution
+    /// exists.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, StatsError> {
+        let n = self.rows;
+        if self.cols != n {
+            return Err(StatsError::DimensionMismatch {
+                detail: format!("solve on non-square {}x{}", self.rows, self.cols),
+            });
+        }
+        if b.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                detail: format!("rhs length {} != {}", b.len(), n),
+            });
+        }
+        let mut a = self.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            let pivot_row = (col..n)
+                .max_by(|&i, &j| {
+                    a[(i, col)]
+                        .abs()
+                        .partial_cmp(&a[(j, col)].abs())
+                        .expect("NaN in solve")
+                })
+                .expect("non-empty range");
+            if a[(pivot_row, col)].abs() < 1e-12 {
+                return Err(StatsError::Singular);
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    let tmp = a[(col, c)];
+                    a[(col, c)] = a[(pivot_row, c)];
+                    a[(pivot_row, c)] = tmp;
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[(col, col)];
+            for row in col + 1..n {
+                let factor = a[(row, col)] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[(row, c)] -= factor * a[(col, c)];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        for col in (0..n).rev() {
+            x[col] /= a[(col, col)];
+            for row in 0..col {
+                x[row] -= a[(row, col)] * x[col];
+            }
+        }
+        Ok(x)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:10.4}", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, StatsError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        assert_eq!(i.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10 => x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_singular_errors() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(a.solve(&[1.0, 2.0]), Err(StatsError::Singular));
+    }
+
+    #[test]
+    fn solve_needs_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.solve(&[1.0, 2.0]), Err(StatsError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let v = vec![5.0, 6.0];
+        assert_eq!(a.matvec(&v).unwrap(), vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let m = Matrix::identity(2);
+        assert!(!format!("{m}").is_empty());
+    }
+
+    fn small_square() -> impl Strategy<Value = Matrix> {
+        (2usize..5).prop_flat_map(|n| {
+            proptest::collection::vec(-10.0f64..10.0, n * n).prop_map(move |data| Matrix {
+                rows: n,
+                cols: n,
+                data,
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn transpose_is_involution(m in small_square()) {
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+
+        #[test]
+        fn solve_then_multiply_recovers_rhs(m in small_square()) {
+            let n = m.rows();
+            let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+            if let Ok(x) = m.solve(&b) {
+                let back = m.matvec(&x).unwrap();
+                for (got, want) in back.iter().zip(&b) {
+                    prop_assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+                }
+            }
+        }
+    }
+}

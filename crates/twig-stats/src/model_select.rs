@@ -1,0 +1,278 @@
+use crate::{LinearModel, StatsError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits `n` sample indices into `k` contiguous-size folds after a shuffle
+/// driven by `rng`. Each element appears in exactly one fold.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] when `k` is zero or exceeds `n`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let folds = twig_stats::k_fold_indices(10, 5, &mut rng).unwrap();
+/// assert_eq!(folds.len(), 5);
+/// assert_eq!(folds.iter().map(Vec::len).sum::<usize>(), 10);
+/// ```
+pub fn k_fold_indices<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    rng: &mut R,
+) -> Result<Vec<Vec<usize>>, StatsError> {
+    if k == 0 || k > n {
+        return Err(StatsError::InvalidParameter {
+            detail: format!("k = {k} folds for n = {n} samples"),
+        });
+    }
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(rng);
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        folds.push(indices[start..start + len].to_vec());
+        start += len;
+    }
+    Ok(folds)
+}
+
+/// K-fold cross-validation harness for [`LinearModel`]s.
+///
+/// The paper fits its power model "by performing a random grid search with
+/// 5-fold cross validation across the possible parameter space".
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use twig_stats::CrossValidation;
+///
+/// let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + 1.0).collect();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let cv = CrossValidation::new(5);
+/// let mse = cv.score(&xs, &ys, 1, 0.0, &mut rng).unwrap();
+/// assert!(mse < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossValidation {
+    folds: usize,
+}
+
+impl CrossValidation {
+    /// Creates a cross-validation harness with the given number of folds.
+    pub fn new(folds: usize) -> Self {
+        CrossValidation { folds }
+    }
+
+    /// Mean held-out MSE across folds for a polynomial model with the given
+    /// `degree` and ridge `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fold-construction and fitting errors.
+    pub fn score<R: Rng + ?Sized>(
+        &self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        degree: usize,
+        lambda: f64,
+        rng: &mut R,
+    ) -> Result<f64, StatsError> {
+        if xs.len() != ys.len() {
+            return Err(StatsError::LengthMismatch { left: xs.len(), right: ys.len() });
+        }
+        let folds = k_fold_indices(xs.len(), self.folds, rng)?;
+        let mut total = 0.0;
+        for held_out in &folds {
+            let in_fold: Vec<bool> = {
+                let mut mask = vec![false; xs.len()];
+                for &i in held_out {
+                    mask[i] = true;
+                }
+                mask
+            };
+            let mut train_x = Vec::new();
+            let mut train_y = Vec::new();
+            for i in 0..xs.len() {
+                if !in_fold[i] {
+                    train_x.push(xs[i].clone());
+                    train_y.push(ys[i]);
+                }
+            }
+            let fit = LinearModel::fit(&train_x, &train_y, degree, lambda)?;
+            let mut fold_mse = 0.0;
+            for &i in held_out {
+                let p = fit.model.predict(&xs[i]);
+                fold_mse += (p - ys[i]) * (p - ys[i]);
+            }
+            total += fold_mse / held_out.len().max(1) as f64;
+        }
+        Ok(total / folds.len() as f64)
+    }
+}
+
+/// One sampled hyper-parameter point in a random grid search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Polynomial degree of the candidate model.
+    pub degree: usize,
+    /// Ridge penalty of the candidate model.
+    pub lambda: f64,
+    /// Cross-validated mean squared error of the candidate.
+    pub cv_mse: f64,
+}
+
+/// Random grid search over polynomial degree and ridge penalty, scored by
+/// k-fold cross-validation. Returns all evaluated points sorted by ascending
+/// cross-validated MSE (best first).
+///
+/// # Errors
+///
+/// Propagates errors from fold construction and model fitting; candidates
+/// whose fit fails (singular systems) are skipped, and
+/// [`StatsError::Empty`] is returned if every candidate failed.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+///
+/// let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 4.0]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let points = twig_stats::random_grid_search(
+///     &xs, &ys, &[1, 2, 3], (1e-9, 1e-2), 10, 5, &mut rng,
+/// ).unwrap();
+/// // A degree able to express x^2 wins over the underfitting linear model.
+/// assert!(points[0].degree >= 2);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn random_grid_search<R: Rng + ?Sized>(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    degrees: &[usize],
+    lambda_range: (f64, f64),
+    samples: usize,
+    folds: usize,
+    rng: &mut R,
+) -> Result<Vec<GridPoint>, StatsError> {
+    if degrees.is_empty() || samples == 0 {
+        return Err(StatsError::InvalidParameter {
+            detail: "grid search needs at least one degree and one sample".into(),
+        });
+    }
+    let cv = CrossValidation::new(folds);
+    let (lo, hi) = lambda_range;
+    let mut points = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let degree = degrees[rng.gen_range(0..degrees.len())];
+        // Log-uniform sampling over the lambda range.
+        let lambda = if lo > 0.0 && hi > lo {
+            (rng.gen_range(lo.ln()..=hi.ln())).exp()
+        } else {
+            lo
+        };
+        match cv.score(xs, ys, degree, lambda, rng) {
+            Ok(cv_mse) => points.push(GridPoint { degree, lambda, cv_mse }),
+            Err(StatsError::Singular) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if points.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    points.sort_by(|a, b| a.cv_mse.partial_cmp(&b.cv_mse).expect("NaN cv mse"));
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn k_fold_rejects_bad_k() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(k_fold_indices(5, 0, &mut rng).is_err());
+        assert!(k_fold_indices(5, 6, &mut rng).is_err());
+    }
+
+    #[test]
+    fn k_fold_partitions_all_indices() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let folds = k_fold_indices(23, 5, &mut rng).unwrap();
+        let mut all: Vec<usize> = folds.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cv_score_zero_on_perfect_fit() {
+        let xs: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0]).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mse = CrossValidation::new(5).score(&xs, &ys, 1, 0.0, &mut rng).unwrap();
+        assert!(mse < 1e-12);
+    }
+
+    #[test]
+    fn grid_search_prefers_correct_degree() {
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 10.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + x[0].powi(3)).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let points =
+            random_grid_search(&xs, &ys, &[1, 2, 3], (1e-10, 1e-4), 30, 5, &mut rng)
+                .unwrap();
+        assert_eq!(points[0].degree, 3);
+        // Sorted ascending by cv mse.
+        for w in points.windows(2) {
+            assert!(w[0].cv_mse <= w[1].cv_mse);
+        }
+    }
+
+    #[test]
+    fn grid_search_rejects_empty_degrees() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = random_grid_search(&[vec![1.0]], &[1.0], &[], (0.0, 0.0), 1, 1, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, StatsError::InvalidParameter { .. }));
+    }
+
+    proptest! {
+        #[test]
+        fn folds_are_disjoint(n in 2usize..100, seed in 0u64..100) {
+            let k = (n / 2).clamp(1, 7);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let folds = k_fold_indices(n, k, &mut rng).unwrap();
+            let mut seen = vec![false; n];
+            for fold in &folds {
+                for &i in fold {
+                    prop_assert!(!seen[i], "index {i} appears twice");
+                    seen[i] = true;
+                }
+            }
+            prop_assert!(seen.into_iter().all(|s| s));
+        }
+
+        #[test]
+        fn fold_sizes_balanced(n in 5usize..200, seed in 0u64..50) {
+            let k = 5;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let folds = k_fold_indices(n, k, &mut rng).unwrap();
+            let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+}

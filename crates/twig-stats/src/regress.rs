@@ -1,0 +1,224 @@
+use crate::{Matrix, StatsError};
+
+/// Expands a feature vector into polynomial features up to `degree`,
+/// including the constant term and per-feature powers (no cross terms).
+///
+/// The Twig power model (Eq. 2) is first-order in load and core count and
+/// second-order in the DVFS term (`ω² × DVFS`); fitting it as a polynomial
+/// regression over `[load, cores, dvfs]` with `degree = 2` subsumes that
+/// form.
+///
+/// # Examples
+///
+/// ```
+/// let f = twig_stats::polynomial_features(&[2.0, 3.0], 2);
+/// assert_eq!(f, vec![1.0, 2.0, 3.0, 4.0, 9.0]);
+/// ```
+pub fn polynomial_features(x: &[f64], degree: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(1 + x.len() * degree);
+    out.push(1.0);
+    for d in 1..=degree {
+        for &v in x {
+            out.push(v.powi(d as i32));
+        }
+    }
+    out
+}
+
+/// A linear model `y = w · features(x)` fitted by (optionally ridge-
+/// regularised) least squares on the normal equations.
+///
+/// # Examples
+///
+/// ```
+/// use twig_stats::LinearModel;
+///
+/// let xs = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+/// let ys = vec![3.0, 5.0, 7.0, 9.0]; // y = 2x + 1
+/// let fit = LinearModel::fit(&xs, &ys, 1, 0.0).unwrap();
+/// assert!((fit.model.predict(&[10.0]) - 21.0).abs() < 1e-6);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    weights: Vec<f64>,
+    degree: usize,
+    input_dim: usize,
+}
+
+/// A fitted model together with its training-set quality metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionFit {
+    /// The fitted model.
+    pub model: LinearModel,
+    /// Mean squared error on the training data.
+    pub mse: f64,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+}
+
+impl LinearModel {
+    /// Fits a polynomial model of the given `degree` with ridge penalty
+    /// `lambda` (`0.0` for ordinary least squares).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] with no samples,
+    /// [`StatsError::LengthMismatch`] when `xs` and `ys` differ in length,
+    /// and [`StatsError::Singular`] when the normal equations cannot be
+    /// solved (e.g. duplicate degenerate inputs with `lambda == 0`).
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        degree: usize,
+        lambda: f64,
+    ) -> Result<RegressionFit, StatsError> {
+        if xs.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        if xs.len() != ys.len() {
+            return Err(StatsError::LengthMismatch { left: xs.len(), right: ys.len() });
+        }
+        let input_dim = xs[0].len();
+        let rows: Vec<Vec<f64>> =
+            xs.iter().map(|x| polynomial_features(x, degree)).collect();
+        let phi = Matrix::from_rows(&rows)?;
+        let phit = phi.transpose();
+        let mut gram = phit.matmul(&phi)?;
+        for i in 0..gram.rows() {
+            gram[(i, i)] += lambda;
+        }
+        let rhs = phit.matvec(ys)?;
+        let weights = gram.solve(&rhs)?;
+        let model = LinearModel { weights, degree, input_dim };
+        let preds: Vec<f64> = xs.iter().map(|x| model.predict(x)).collect();
+        let mse = preds
+            .iter()
+            .zip(ys)
+            .map(|(p, y)| (p - y) * (p - y))
+            .sum::<f64>()
+            / ys.len() as f64;
+        let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
+        let ss_res: f64 = preds.iter().zip(ys).map(|(p, y)| (p - y) * (p - y)).sum();
+        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        Ok(RegressionFit { model, mse, r_squared })
+    }
+
+    /// Predicts the target for one input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has a different dimensionality than the training data.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.input_dim,
+            "input dim {} != trained dim {}",
+            x.len(),
+            self.input_dim
+        );
+        polynomial_features(x, self.degree)
+            .iter()
+            .zip(&self.weights)
+            .map(|(f, w)| f * w)
+            .sum()
+    }
+
+    /// The fitted weight vector (constant term first).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Polynomial degree used in feature expansion.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn polynomial_features_degree_zero_is_constant() {
+        assert_eq!(polynomial_features(&[5.0, 6.0], 0), vec![1.0]);
+    }
+
+    #[test]
+    fn fits_quadratic_exactly() {
+        // y = 1 + 2x + 3x^2
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x[0] + 3.0 * x[0] * x[0]).collect();
+        let fit = LinearModel::fit(&xs, &ys, 2, 0.0).unwrap();
+        assert!(fit.mse < 1e-12);
+        assert!((fit.model.predict(&[20.0]) - (1.0 + 40.0 + 1200.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fits_twig_power_model_form() {
+        // Power = k*load + s*cores + w^2*dvfs, per Eq. 2 of the paper.
+        let (k, s, w2) = (0.8, 1.5, 2.25);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for load in [20.0, 50.0, 80.0] {
+            for cores in 1..=18 {
+                for dvfs in 0..9 {
+                    let x = vec![load, cores as f64, dvfs as f64];
+                    ys.push(k * x[0] + s * x[1] + w2 * x[2]);
+                    xs.push(x);
+                }
+            }
+        }
+        let fit = LinearModel::fit(&xs, &ys, 1, 0.0).unwrap();
+        assert!(fit.r_squared > 0.9999, "r2 = {}", fit.r_squared);
+        assert!(fit.mse < 1e-9);
+    }
+
+    #[test]
+    fn ridge_handles_degenerate_data() {
+        // All-identical inputs are singular for OLS but fine with ridge.
+        let xs = vec![vec![1.0]; 5];
+        let ys = vec![2.0; 5];
+        assert_eq!(LinearModel::fit(&xs, &ys, 1, 0.0).unwrap_err(), StatsError::Singular);
+        let fit = LinearModel::fit(&xs, &ys, 1, 1e-3).unwrap();
+        assert!((fit.model.predict(&[1.0]) - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let err = LinearModel::fit(&[vec![1.0]], &[1.0, 2.0], 1, 0.0).unwrap_err();
+        assert!(matches!(err, StatsError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim")]
+    fn predict_rejects_wrong_dim() {
+        let xs = vec![vec![1.0], vec![2.0]];
+        let fit = LinearModel::fit(&xs, &[1.0, 2.0], 1, 0.0).unwrap();
+        fit.model.predict(&[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn linear_data_gives_high_r2(
+            slope in -10.0f64..10.0,
+            intercept in -10.0f64..10.0,
+        ) {
+            let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| slope * x[0] + intercept).collect();
+            let fit = LinearModel::fit(&xs, &ys, 1, 0.0).unwrap();
+            prop_assert!(fit.r_squared > 1.0 - 1e-6);
+        }
+
+        #[test]
+        fn r_squared_at_most_one(
+            ys in proptest::collection::vec(-100.0f64..100.0, 5..30),
+        ) {
+            let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+            let fit = LinearModel::fit(&xs, &ys, 1, 1e-9).unwrap();
+            prop_assert!(fit.r_squared <= 1.0 + 1e-9);
+        }
+    }
+}

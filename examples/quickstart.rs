@@ -1,0 +1,59 @@
+//! Quickstart: manage one latency-critical service with Twig-S.
+//!
+//! Builds the simulated 18-core server hosting Masstree at 50 % load,
+//! attaches a Twig manager with a compressed learning schedule, runs the
+//! decide → step → observe loop, and prints how QoS guarantee and power
+//! evolve as the agent learns.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use twig::manager::TwigBuilder;
+use twig::rl::EpsilonSchedule;
+use twig::sim::{catalog, Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = catalog::masstree();
+    println!(
+        "service {} | max load {} RPS | p99 target {} ms",
+        spec.name, spec.max_load_rps, spec.qos_ms
+    );
+
+    let mut server = Server::new(ServerConfig::default(), vec![spec.clone()], 42)?;
+    server.set_load_fraction(0, 0.5)?;
+
+    let learn = 800;
+    let mut twig = TwigBuilder::new()
+        .services(vec![spec.clone()])
+        .epsilon(EpsilonSchedule::scaled(learn))
+        .seed(7)
+        .build()?;
+
+    let mut met = 0usize;
+    let mut power_sum = 0.0;
+    let window = 100;
+    println!("\n  epoch  eps    QoS-met%  avg power (W)  cores  freq");
+    for epoch in 1..=(learn + 400) {
+        let assignments = twig.decide()?;
+        let report = server.step(&assignments)?;
+        let svc = &report.services[0];
+        if svc.p99_ms <= spec.qos_ms {
+            met += 1;
+        }
+        power_sum += report.true_power_w;
+        if epoch % window == 0 {
+            println!(
+                "  {epoch:5}  {:.2}   {:7.1}   {:12.1}   {:4}  {}",
+                twig.epsilon(),
+                100.0 * met as f64 / window as f64,
+                power_sum / window as f64,
+                svc.core_count,
+                svc.freq,
+            );
+            met = 0;
+            power_sum = 0.0;
+        }
+        twig.observe(&report)?;
+    }
+    println!("\ndone: {} gradient steps, {} buffered transitions", twig.agent().steps(), twig.agent().buffer_len());
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Transfer learning: adapt a trained Twig manager to a brand-new service.
+//!
+//! Twig pre-trains on Masstree, then the operator deploys Xapian in its
+//! place. Instead of re-learning from scratch, Twig keeps the trunk's
+//! shared representation and re-initialises only the final network layers
+//! (Section IV). The example prints the post-swap QoS ramp with and without
+//! transfer.
+//!
+//! Run with: `cargo run --release --example transfer_learning`
+
+use twig::manager::{Twig, TwigBuilder};
+use twig::rl::EpsilonSchedule;
+use twig::sim::{catalog, Server, ServerConfig, ServiceSpec};
+
+fn qos_ramp(
+    twig: &mut Twig,
+    spec: &ServiceSpec,
+    epochs: u64,
+    bucket: usize,
+    seed: u64,
+) -> Result<Vec<f64>, Box<dyn std::error::Error>> {
+    let mut server = Server::new(ServerConfig::default(), vec![spec.clone()], seed)?;
+    server.set_load_fraction(0, 0.5)?;
+    let mut series = Vec::new();
+    let mut met = 0usize;
+    for epoch in 1..=epochs {
+        let a = twig.decide()?;
+        let r = server.step(&a)?;
+        if r.services[0].p99_ms <= spec.qos_ms {
+            met += 1;
+        }
+        twig.observe(&r)?;
+        if (epoch as usize).is_multiple_of(bucket) {
+            series.push(100.0 * met as f64 / bucket as f64);
+            met = 0;
+        }
+    }
+    Ok(series)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let learn = 800u64;
+    let bucket = 80usize;
+
+    // Pre-train on masstree.
+    let mut donor = TwigBuilder::new()
+        .services(vec![catalog::masstree()])
+        .epsilon(EpsilonSchedule::scaled(learn))
+        .seed(3)
+        .build()?;
+    println!("pre-training on masstree for {learn} epochs…");
+    qos_ramp(&mut donor, &catalog::masstree(), learn, bucket, 42)?;
+
+    // Swap masstree -> xapian with transfer.
+    let mut transferred = donor.clone();
+    transferred.transfer_service(0, catalog::xapian())?;
+    let with_transfer = qos_ramp(&mut transferred, &catalog::xapian(), learn, bucket, 43)?;
+
+    // Learn xapian from scratch for comparison.
+    let mut scratch = TwigBuilder::new()
+        .services(vec![catalog::xapian()])
+        .epsilon(EpsilonSchedule::scaled(learn))
+        .seed(4)
+        .build()?;
+    let from_scratch = qos_ramp(&mut scratch, &catalog::xapian(), learn, bucket, 43)?;
+
+    println!("\nQoS guarantee per {bucket}-epoch bucket after deploying xapian:");
+    println!("bucket  transfer  scratch");
+    for (i, (t, s)) in with_transfer.iter().zip(&from_scratch).enumerate() {
+        println!("{i:6}  {t:7.1}%  {s:6.1}%");
+    }
+    let ramp = |series: &[f64]| series.iter().position(|&q| q >= 80.0);
+    println!(
+        "\nbuckets to 80% QoS: transfer {:?}, scratch {:?}",
+        ramp(&with_transfer),
+        ramp(&from_scratch)
+    );
+    Ok(())
+}

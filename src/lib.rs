@@ -1,0 +1,47 @@
+//! # Twig — multi-agent task management for colocated latency-critical services
+//!
+//! A from-scratch Rust reproduction of *"Twig: Multi-Agent Task Management
+//! for Colocated Latency-Critical Cloud Services"* (HPCA 2020). This façade
+//! crate re-exports the workspace's public API:
+//!
+//! - [`sim`] — discrete-event multicore server simulator with DVFS, queueing,
+//!   interference, synthesized performance counters and a power model;
+//! - [`nn`] — from-scratch dense neural networks (Adam, dropout, ReLU);
+//! - [`rl`] — deep Q-learning: replay buffers, prioritised experience replay,
+//!   DQN, branching dueling Q-networks (BDQ) and the paper's multi-agent BDQ;
+//! - [`stats`] — PCA, Pearson correlation, regression, percentiles;
+//! - [`manager`] — the Twig task manager itself (Twig-S / Twig-C);
+//! - [`baselines`] — Static, Hipster, Heracles and PARTIES reimplementations.
+//!
+//! # Quick start
+//!
+//! ```
+//! use twig::manager::{Twig, TwigBuilder};
+//! use twig::sim::{catalog, Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 18-core socket serving Masstree at 50% load.
+//! let spec = catalog::masstree();
+//! let mut server = Server::new(ServerConfig::default(), vec![spec.clone()], 42)?;
+//! let mut twig = TwigBuilder::new()
+//!     .services(vec![spec])
+//!     .seed(7)
+//!     .build()?;
+//!
+//! // Drive a few decision epochs (1 simulated second each).
+//! server.set_load_fraction(0, 0.5)?;
+//! for _ in 0..5 {
+//!     let actions = twig.decide()?;
+//!     let report = server.step(&actions)?;
+//!     twig.observe(&report)?;
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub use twig_baselines as baselines;
+pub use twig_core as manager;
+pub use twig_nn as nn;
+pub use twig_rl as rl;
+pub use twig_sim as sim;
+pub use twig_stats as stats;

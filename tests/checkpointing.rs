@@ -1,0 +1,86 @@
+//! Integration of agent checkpointing: a trained policy survives a
+//! round-trip through a flat checkpoint and keeps steering the simulator.
+
+use twig::rl::{MaBdq, MaBdqConfig, MultiTransition};
+use twig::sim::{catalog, Assignment, CoreId, Frequency, Server, ServerConfig};
+
+fn small_config() -> MaBdqConfig {
+    MaBdqConfig {
+        state_dim: twig::sim::NUM_COUNTERS,
+        branches: vec![18, 9],
+        trunk_hidden: vec![32, 24],
+        head_hidden: 16,
+        dropout: 0.0,
+        batch_size: 16,
+        buffer_capacity: 4096,
+        seed: 13,
+        ..MaBdqConfig::default()
+    }
+}
+
+/// Trains an agent briefly against the simulator, checkpointing after.
+fn train_against_simulator(agent: &mut MaBdq) {
+    let cfg = ServerConfig::default();
+    let mut server = Server::new(cfg.clone(), vec![catalog::masstree()], 13).unwrap();
+    server.set_load_fraction(0, 0.5).unwrap();
+    let mut state = vec![vec![0.0f32; twig::sim::NUM_COUNTERS]];
+    for step in 0..120u64 {
+        let eps = (1.0 - step as f64 / 80.0).max(0.1);
+        let actions = agent.select_actions(&state, eps).unwrap();
+        let cores = actions[0][0] + 1;
+        let freq: Frequency = cfg.dvfs.frequency_at(actions[0][1]).unwrap();
+        let assignment = Assignment::new((0..cores).map(CoreId).collect(), freq);
+        let report = server.step(std::slice::from_ref(&assignment)).unwrap();
+        let svc = &report.services[0];
+        let maxima = twig::sim::pmc::calibration_maxima(cfg.cores).unwrap();
+        let next: Vec<f32> = svc
+            .pmcs
+            .as_array()
+            .iter()
+            .zip(&maxima)
+            .map(|(&v, &m)| (v / m) as f32)
+            .collect();
+        let reward = if svc.p99_ms <= catalog::masstree().qos_ms { 1.0 } else { -1.0 };
+        agent
+            .observe(MultiTransition {
+                states: state.clone(),
+                actions,
+                rewards: vec![reward],
+                next_states: vec![next.clone()],
+            })
+            .unwrap();
+        agent.train_step().unwrap();
+        state = vec![next];
+    }
+}
+
+#[test]
+fn checkpoint_transfers_policy_between_processes() {
+    let mut trained = MaBdq::new(small_config()).unwrap();
+    train_against_simulator(&mut trained);
+    let checkpoint = trained.save_checkpoint();
+
+    // A "new process": fresh agent from the same config, restored weights.
+    let mut restored = MaBdq::new(MaBdqConfig { seed: 99, ..small_config() }).unwrap();
+    restored.load_checkpoint(&checkpoint).unwrap();
+
+    // Greedy decisions must agree everywhere we probe.
+    for i in 0..10 {
+        let state = vec![vec![0.05 * i as f32; twig::sim::NUM_COUNTERS]];
+        let a = trained.select_actions(&state, 0.0).unwrap();
+        let b = restored.select_actions(&state, 0.0).unwrap();
+        assert_eq!(a, b, "policies diverge at probe {i}");
+    }
+}
+
+#[test]
+fn checkpoint_shape_mismatch_rejected() {
+    let trained = MaBdq::new(small_config()).unwrap();
+    let checkpoint = trained.save_checkpoint();
+    let mut other = MaBdq::new(MaBdqConfig {
+        trunk_hidden: vec![16, 8],
+        ..small_config()
+    })
+    .unwrap();
+    assert!(other.load_checkpoint(&checkpoint).is_err());
+}

@@ -1,0 +1,113 @@
+//! End-to-end integration: Twig learning against the simulator, compared
+//! with the static baseline, across the public API of the façade crate.
+
+use twig::baselines::StaticMapping;
+use twig::manager::{TaskManager, TwigBuilder};
+use twig::rl::EpsilonSchedule;
+use twig::sim::{catalog, DvfsLadder, EpochReport, Server, ServerConfig};
+
+fn drive(
+    server: &mut Server,
+    manager: &mut dyn TaskManager,
+    epochs: u64,
+) -> Vec<EpochReport> {
+    (0..epochs)
+        .map(|_| {
+            let a = manager.decide().expect("decide");
+            let r = server.step(&a).expect("step");
+            manager.observe(&r).expect("observe");
+            r
+        })
+        .collect()
+}
+
+#[test]
+fn twig_meets_qos_and_saves_energy_vs_static() {
+    let spec = catalog::masstree();
+    let learn = 700u64;
+    let measure = 200usize;
+
+    let mut server = Server::new(ServerConfig::default(), vec![spec.clone()], 42).unwrap();
+    server.set_load_fraction(0, 0.5).unwrap();
+    let mut twig = TwigBuilder::new()
+        .services(vec![spec.clone()])
+        .epsilon(EpsilonSchedule::new(0.1, 0.01, learn * 3 / 5, learn))
+        .train_steps_per_epoch(3)
+        .seed(7)
+        .build()
+        .unwrap();
+    let reports = drive(&mut server, &mut twig, learn + measure as u64);
+    let tail = &reports[reports.len() - measure..];
+    let met = tail.iter().filter(|r| r.services[0].p99_ms <= spec.qos_ms).count();
+    let twig_energy: f64 = tail.iter().map(|r| r.true_power_w).sum();
+    assert!(
+        met as f64 / measure as f64 > 0.85,
+        "twig QoS guarantee too low: {met}/{measure}"
+    );
+
+    let mut server = Server::new(ServerConfig::default(), vec![spec.clone()], 42).unwrap();
+    server.set_load_fraction(0, 0.5).unwrap();
+    let mut stat = StaticMapping::new(vec![spec], 18, DvfsLadder::default()).unwrap();
+    let reports = drive(&mut server, &mut stat, 100 + measure as u64);
+    let tail = &reports[reports.len() - measure..];
+    let static_energy: f64 = tail.iter().map(|r| r.true_power_w).sum();
+
+    assert!(
+        twig_energy < static_energy,
+        "twig ({twig_energy:.0} J) should beat static ({static_energy:.0} J)"
+    );
+}
+
+#[test]
+fn twig_c_manages_colocated_pair() {
+    let specs = vec![catalog::moses(), catalog::masstree()];
+    let mut server = Server::new(ServerConfig::default(), specs.clone(), 5).unwrap();
+    server.set_load_fraction(0, 0.4).unwrap();
+    server.set_load_fraction(1, 0.2).unwrap();
+    let learn = 600u64;
+    let mut twig = TwigBuilder::new()
+        .services(specs.clone())
+        .epsilon(EpsilonSchedule::new(0.1, 0.01, learn * 3 / 5, learn))
+        .train_steps_per_epoch(3)
+        .seed(8)
+        .build()
+        .unwrap();
+    assert_eq!(twig.name(), "twig-c");
+    let reports = drive(&mut server, &mut twig, learn + 150);
+    let tail = &reports[reports.len() - 150..];
+    for (i, spec) in specs.iter().enumerate() {
+        let met = tail.iter().filter(|r| r.services[i].p99_ms <= spec.qos_ms).count();
+        assert!(
+            met > 110,
+            "{}: colocated QoS too low ({met}/150)",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn learning_reduces_violations_over_time() {
+    let spec = catalog::xapian();
+    let mut server = Server::new(ServerConfig::default(), vec![spec.clone()], 9).unwrap();
+    server.set_load_fraction(0, 0.5).unwrap();
+    let learn = 700u64;
+    let mut twig = TwigBuilder::new()
+        .services(vec![spec.clone()])
+        .epsilon(EpsilonSchedule::new(0.1, 0.01, learn * 3 / 5, learn))
+        .train_steps_per_epoch(3)
+        .seed(10)
+        .build()
+        .unwrap();
+    let reports = drive(&mut server, &mut twig, learn + 100);
+    let early = &reports[..200];
+    let late = &reports[reports.len() - 200..];
+    let violations = |rs: &[EpochReport]| {
+        rs.iter().filter(|r| r.services[0].p99_ms > spec.qos_ms).count()
+    };
+    assert!(
+        violations(late) <= violations(early),
+        "late violations {} should not exceed early {}",
+        violations(late),
+        violations(early)
+    );
+}
