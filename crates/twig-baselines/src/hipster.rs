@@ -1,6 +1,5 @@
 use crate::{config_error, BaselineError};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use twig_stats::rng::Xoshiro256;
 use twig_core::{Eq2PowerModel, Mapper, RewardConfig, TaskManager};
 use twig_sim::{Assignment, DvfsLadder, EpochReport, Frequency, ServiceSpec};
 use twig_rl::QTable;
@@ -78,7 +77,7 @@ pub struct Hipster {
     reward: RewardConfig,
     power_model: Eq2PowerModel,
     peak_power_w: f64,
-    rng: StdRng,
+    rng: Xoshiro256,
     time: u64,
     heuristic_index: usize,
     pending: Option<(usize, usize)>, // (state bucket, action index)
@@ -120,7 +119,7 @@ impl Hipster {
         action_order.sort_by(|&(n1, d1), &(n2, d2)| {
             let p1 = power_model.estimate(0.5, n1, d1);
             let p2 = power_model.estimate(0.5, n2, d2);
-            p1.partial_cmp(&p2).expect("finite power estimate")
+            p1.total_cmp(&p2)
         });
         let table = QTable::new(
             buckets,
@@ -139,7 +138,7 @@ impl Hipster {
             reward: RewardConfig::default(),
             power_model,
             peak_power_w: 130.0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256::seed_from_u64(seed),
             time: 0,
             heuristic_index: 0,
             pending: None,

@@ -59,11 +59,10 @@ pub use hipster::{Hipster, HipsterConfig};
 pub use parties::{Parties, PartiesConfig};
 pub use static_mapping::StaticMapping;
 
-use std::error::Error;
-
-/// Boxed error type shared by the baseline managers.
-pub type BaselineError = Box<dyn Error + Send + Sync>;
+/// Error type shared by the baseline managers — the structured
+/// [`twig_core::ManagerError`] of the [`twig_core::TaskManager`] trait.
+pub type BaselineError = twig_core::ManagerError;
 
 fn config_error(detail: impl Into<String>) -> BaselineError {
-    Box::new(std::io::Error::new(std::io::ErrorKind::InvalidInput, detail.into()))
+    BaselineError::fatal(detail)
 }

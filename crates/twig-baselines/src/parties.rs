@@ -1,6 +1,5 @@
 use crate::{config_error, BaselineError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use twig_stats::rng::{Rng, Xoshiro256};
 use twig_core::{Mapper, TaskManager};
 use twig_sim::{Assignment, DvfsLadder, EpochReport, ServiceSpec};
 
@@ -80,7 +79,7 @@ pub struct Parties {
     dvfs_idx: Vec<usize>,
     last_adjustment: Option<Adjustment>,
     avoid_resource: Vec<Option<Resource>>,
-    rng: StdRng,
+    rng: Xoshiro256,
     time: u64,
     migrations: u64,
 }
@@ -123,7 +122,7 @@ impl Parties {
             dvfs_idx: vec![dvfs.len() - 1; k],
             last_adjustment: None,
             avoid_resource: vec![None; k],
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256::seed_from_u64(seed),
             time: 0,
             migrations: 0,
             specs,
@@ -141,7 +140,7 @@ impl Parties {
     }
 
     fn pick_resource(&mut self, service: usize) -> Resource {
-        let preferred = if self.rng.gen::<bool>() { Resource::Cores } else { Resource::Dvfs };
+        let preferred = if self.rng.next_bool(0.5) { Resource::Cores } else { Resource::Dvfs };
         match self.avoid_resource[service] {
             Some(avoid) if avoid == preferred => match preferred {
                 Resource::Cores => Resource::Dvfs,
@@ -225,9 +224,7 @@ impl TaskManager for Parties {
         // a saturated service must not deadlock the controller while a
         // colocated one is also in need.
         let mut order: Vec<usize> = (0..tardiness.len()).collect();
-        order.sort_by(|&a, &b| {
-            tardiness[b].partial_cmp(&tardiness[a]).expect("finite tardiness")
-        });
+        order.sort_by(|&a, &b| tardiness[b].total_cmp(&tardiness[a]));
         let mut upsized = false;
         for &pressed in &order {
             if tardiness[pressed] < self.config.upsize_threshold {
@@ -255,11 +252,13 @@ impl TaskManager for Parties {
         }
         let worst = tardiness[order[0]];
         if !upsized && worst < self.config.upsize_threshold {
-            let (slackest, &best) = tardiness
+            let Some((slackest, &best)) = tardiness
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite tardiness"))
-                .expect("non-empty services");
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            else {
+                return Ok(());
+            };
             if best < self.config.slack_threshold {
                 let resource = self.pick_resource(slackest);
                 if self.apply(slackest, resource, -1) {

@@ -2,13 +2,29 @@
 //! Twig runtime piece (gradient descent, PMC gathering/preprocessing,
 //! action selection, mapping) plus the simulator substrate itself.
 //!
+//! A dependency-free harness (`harness = false`): each benchmark runs a
+//! warm-up pass and then a fixed number of timed iterations, reporting the
+//! mean per-iteration wall time.
+//!
 //! Run with `cargo bench -p twig-bench --bench components`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
 use twig_core::{Mapper, SystemMonitor};
 use twig_rl::{MaBdq, MaBdqConfig, MultiTransition};
 use twig_sim::pmc::{synthesize, Activity};
 use twig_sim::{catalog, Assignment, Frequency, Server, ServerConfig};
+
+fn bench<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    for _ in 0..iters.div_ceil(10).min(5) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed().as_secs_f64() * 1000.0 / f64::from(iters);
+    println!("{name:<44} {per_iter:>10.4} ms/iter  ({iters} iters)");
+}
 
 fn ready_agent(config: MaBdqConfig) -> MaBdq {
     let mut agent = MaBdq::new(config).expect("valid config");
@@ -26,33 +42,27 @@ fn ready_agent(config: MaBdqConfig) -> MaBdq {
     agent
 }
 
-fn bench_gradient_descent(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3/gradient_descent");
-    group.sample_size(20);
-    for (label, config) in [
-        ("fast_net_2_agents", MaBdqConfig { agents: 2, ..MaBdqConfig::default() }),
-        ("paper_net_2_agents", MaBdqConfig { agents: 2, ..MaBdqConfig::paper() }),
+fn bench_gradient_descent() {
+    for (label, config, iters) in [
+        ("fast_net_2_agents", MaBdqConfig { agents: 2, ..MaBdqConfig::default() }, 40),
+        ("paper_net_2_agents", MaBdqConfig { agents: 2, ..MaBdqConfig::paper() }, 10),
     ] {
         let mut agent = ready_agent(config);
-        group.bench_function(label, |b| {
-            b.iter(|| agent.train_step().expect("train").expect("batch"));
+        bench(&format!("table3/gradient_descent/{label}"), iters, || {
+            agent.train_step().expect("train").expect("batch");
         });
     }
-    group.finish();
 }
 
-fn bench_action_selection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3/action_selection");
+fn bench_action_selection() {
     let mut agent = ready_agent(MaBdqConfig { agents: 2, ..MaBdqConfig::default() });
     let state = vec![vec![0.5f32; 11]; 2];
-    group.bench_function("fast_net_2_agents", |b| {
-        b.iter(|| agent.select_actions(&state, 0.1).expect("select"));
+    bench("table3/action_selection/fast_net_2_agents", 200, || {
+        agent.select_actions(&state, 0.1).expect("select");
     });
-    group.finish();
 }
 
-fn bench_pmc_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3/pmc_gather_preprocess");
+fn bench_pmc_pipeline() {
     let spec = catalog::masstree();
     let act = Activity {
         weighted_busy_core_s: 4.0,
@@ -63,76 +73,58 @@ fn bench_pmc_pipeline(c: &mut Criterion) {
         clock_ghz: 2.0,
     };
     let mut monitor = SystemMonitor::new(2, 5, 18).expect("valid monitor");
-    let mut rng = rand::rngs::mock::StepRng::new(1, 7);
-    group.bench_function("two_services", |b| {
-        b.iter(|| {
-            for svc in 0..2 {
-                let sample = synthesize(&spec, &act, &mut rng);
-                monitor.update(svc, &sample).expect("update");
-            }
-            monitor.states().expect("states")
-        });
+    let mut rng = twig_stats::rng::StepRng::new(1, 7);
+    bench("table3/pmc_gather_preprocess/two_services", 500, || {
+        for svc in 0..2 {
+            let sample = synthesize(&spec, &act, &mut rng);
+            monitor.update(svc, &sample).expect("update");
+        }
+        let _ = monitor.states().expect("states");
     });
-    group.finish();
 }
 
-fn bench_mapper(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3/core_allocation");
+fn bench_mapper() {
     let mapper = Mapper::new(18).expect("valid mapper");
-    group.bench_function("two_services", |b| {
-        b.iter(|| {
-            mapper
-                .assign(&[
-                    (7, Frequency::from_mhz(1600)),
-                    (5, Frequency::from_mhz(1900)),
-                ])
-                .expect("assign")
-        });
+    bench("table3/core_allocation/two_services", 2000, || {
+        let _ = mapper
+            .assign(&[
+                (7, Frequency::from_mhz(1600)),
+                (5, Frequency::from_mhz(1900)),
+            ])
+            .expect("assign");
     });
-    group.finish();
 }
 
-fn bench_simulator_epoch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate/server_epoch");
+fn bench_simulator_epoch() {
     for (label, load) in [("mid_load", 0.5), ("high_load", 0.9)] {
-        group.bench_function(label, |b| {
-            b.iter_batched(
-                || {
-                    let mut server = Server::new(
-                        ServerConfig::default(),
-                        vec![catalog::masstree(), catalog::moses()],
-                        1,
-                    )
-                    .expect("server");
-                    server.set_load_fraction(0, load).expect("load");
-                    server.set_load_fraction(1, load).expect("load");
-                    server
-                },
-                |mut server| {
-                    let a = vec![
-                        Assignment::first_n(9, Frequency::from_mhz(2000)),
-                        Assignment::new(
-                            (9..18).map(twig_sim::CoreId).collect(),
-                            Frequency::from_mhz(1800),
-                        ),
-                    ];
-                    for _ in 0..10 {
-                        server.step(&a).expect("step");
-                    }
-                },
-                BatchSize::SmallInput,
-            );
+        bench(&format!("substrate/server_epoch/{label}"), 20, || {
+            let mut server = Server::new(
+                ServerConfig::default(),
+                vec![catalog::masstree(), catalog::moses()],
+                1,
+            )
+            .expect("server");
+            server.set_load_fraction(0, load).expect("load");
+            server.set_load_fraction(1, load).expect("load");
+            let a = vec![
+                Assignment::first_n(9, Frequency::from_mhz(2000)),
+                Assignment::new(
+                    (9..18).map(twig_sim::CoreId).collect(),
+                    Frequency::from_mhz(1800),
+                ),
+            ];
+            for _ in 0..10 {
+                server.step(&a).expect("step");
+            }
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_gradient_descent,
-    bench_action_selection,
-    bench_pmc_pipeline,
-    bench_mapper,
-    bench_simulator_epoch
-);
-criterion_main!(benches);
+fn main() {
+    println!("component microbenchmarks (mean wall time per iteration)\n");
+    bench_gradient_descent();
+    bench_action_selection();
+    bench_pmc_pipeline();
+    bench_mapper();
+    bench_simulator_epoch();
+}

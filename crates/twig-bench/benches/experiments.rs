@@ -3,19 +3,33 @@
 //! exercises every reproduction path and tracks its cost. The full-length
 //! experiments live in the `twig-bench` binaries (see DESIGN.md).
 //!
+//! A dependency-free harness (`harness = false`): each kernel runs a
+//! warm-up pass and a fixed number of timed iterations, reporting the mean
+//! per-iteration wall time.
+//!
 //! Run with `cargo bench -p twig-bench --bench experiments`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use twig_bench::{drive, make_twig, summarize, total_energy, window};
+use std::time::Instant;
 use twig_baselines::{
     Heracles, HeraclesConfig, Hipster, HipsterConfig, Parties, PartiesConfig,
     StaticMapping,
 };
+use twig_bench::{drive, make_twig, summarize, total_energy, window};
 use twig_core::{fit_power_model, select_counters, ProfilePoint};
 use twig_rl::memory::{bdq_parameter_count, table_entries_state_counters};
 use twig_sim::{catalog, Assignment, LoadGenerator, Server, ServerConfig};
 
 const EPOCHS: u64 = 40;
+
+fn bench<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed().as_secs_f64() * 1000.0 / f64::from(iters);
+    println!("{name:<40} {per_iter:>10.3} ms/iter  ({iters} iters)");
+}
 
 fn mini_server(specs: Vec<twig_sim::ServiceSpec>, load: f64) -> Server {
     let mut server = Server::new(ServerConfig::default(), specs, 7).expect("server");
@@ -26,23 +40,21 @@ fn mini_server(specs: Vec<twig_sim::ServiceSpec>, load: f64) -> Server {
 }
 
 /// Figure 1 kernel: gather PMC/latency samples at full allocation.
-fn fig01(c: &mut Criterion) {
-    c.bench_function("fig01/pmc_sample_gathering", |b| {
-        b.iter(|| {
-            let mut server = mini_server(vec![catalog::memcached()], 0.6);
-            let a = vec![Assignment::first_n(18, ServerConfig::default().dvfs.max())];
-            let mut acc = 0.0;
-            for _ in 0..EPOCHS {
-                let r = server.step(&a).expect("step");
-                acc += r.services[0].pmcs.ipc();
-            }
-            acc
-        });
+fn fig01() {
+    bench("fig01/pmc_sample_gathering", 10, || {
+        let mut server = mini_server(vec![catalog::memcached()], 0.6);
+        let a = vec![Assignment::first_n(18, ServerConfig::default().dvfs.max())];
+        let mut acc = 0.0;
+        for _ in 0..EPOCHS {
+            let r = server.step(&a).expect("step");
+            acc += r.services[0].pmcs.ipc();
+        }
+        assert!(acc.is_finite());
     });
 }
 
 /// Table I kernel: counter-selection pipeline on a small profile.
-fn table1(c: &mut Criterion) {
+fn table1() {
     let mut server = mini_server(vec![catalog::masstree()], 0.5);
     let a = vec![Assignment::first_n(18, ServerConfig::default().dvfs.max())];
     let profile: Vec<_> = (0..120)
@@ -51,28 +63,26 @@ fn table1(c: &mut Criterion) {
             (r.services[0].pmcs, r.services[0].p99_ms)
         })
         .collect();
-    c.bench_function("table1/pca_counter_selection", |b| {
-        b.iter(|| select_counters(&profile, 0.95).expect("selection"));
+    bench("table1/pca_counter_selection", 20, || {
+        select_counters(&profile, 0.95).expect("selection");
     });
 }
 
 /// Table II kernel: one capacity-check run.
-fn table2(c: &mut Criterion) {
-    c.bench_function("table2/capacity_probe", |b| {
-        b.iter(|| {
-            let mut server = mini_server(vec![catalog::moses()], 1.0);
-            let a = vec![Assignment::first_n(18, ServerConfig::default().dvfs.max())];
-            let mut worst = 0.0f64;
-            for _ in 0..EPOCHS {
-                worst = worst.max(server.step(&a).expect("step").services[0].p99_ms);
-            }
-            worst
-        });
+fn table2() {
+    bench("table2/capacity_probe", 10, || {
+        let mut server = mini_server(vec![catalog::moses()], 1.0);
+        let a = vec![Assignment::first_n(18, ServerConfig::default().dvfs.max())];
+        let mut worst = 0.0f64;
+        for _ in 0..EPOCHS {
+            worst = worst.max(server.step(&a).expect("step").services[0].p99_ms);
+        }
+        assert!(worst > 0.0);
     });
 }
 
 /// Figure 4 kernel: Eq. 2 fit on a synthetic profile.
-fn fig04(c: &mut Criterion) {
+fn fig04() {
     let points: Vec<ProfilePoint> = (0..120)
         .map(|i| ProfilePoint {
             load: 0.2 + 0.1 * (i % 7) as f64,
@@ -83,148 +93,118 @@ fn fig04(c: &mut Criterion) {
                 + 0.8 * (i % 9) as f64,
         })
         .collect();
-    c.bench_function("fig04/eq2_grid_search_fit", |b| {
-        b.iter(|| fit_power_model(&points, 3).expect("fit"));
+    bench("fig04/eq2_grid_search_fit", 10, || {
+        fit_power_model(&points, 3).expect("fit");
     });
 }
 
 /// Figures 5–9 kernel: one short Twig learning loop (shared pipeline).
-fn fig05_to_09(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig05_09/twig_learning_loop");
-    group.sample_size(10);
-    group.bench_function("twig_s_40_epochs", |b| {
-        b.iter(|| {
-            let mut server = mini_server(vec![catalog::masstree()], 0.5);
-            let mut twig = make_twig(vec![catalog::masstree()], EPOCHS, 1).expect("twig");
-            let reports = drive(&mut server, &mut twig, EPOCHS).expect("drive");
-            total_energy(window(&reports, 10))
-        });
+fn fig05_to_09() {
+    bench("fig05_09/twig_s_40_epochs", 3, || {
+        let mut server = mini_server(vec![catalog::masstree()], 0.5);
+        let mut twig = make_twig(vec![catalog::masstree()], EPOCHS, 1).expect("twig");
+        let reports = drive(&mut server, &mut twig, EPOCHS).expect("drive");
+        assert!(total_energy(window(&reports, 10)) > 0.0);
     });
-    group.bench_function("twig_c_transfer_reset", |b| {
-        let mut twig =
-            make_twig(vec![catalog::moses(), catalog::masstree()], EPOCHS, 1).expect("twig");
-        b.iter(|| twig.transfer_service(0, catalog::xapian()).expect("transfer"));
+    let mut twig =
+        make_twig(vec![catalog::moses(), catalog::masstree()], EPOCHS, 1).expect("twig");
+    bench("fig05_09/twig_c_transfer_reset", 10, || {
+        twig.transfer_service(0, catalog::xapian()).expect("transfer");
     });
-    group.finish();
 }
 
 /// Figure 6/12 kernel: baseline controllers over a measurement window.
-fn fig06_12(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig06_12/controller_loops");
-    group.sample_size(10);
-    group.bench_function("heracles_40_epochs", |b| {
-        b.iter(|| {
-            let mut server = mini_server(vec![catalog::masstree()], 0.5);
-            let mut m = Heracles::new(
-                catalog::masstree(),
-                18,
-                ServerConfig::default().dvfs,
-                HeraclesConfig::default(),
-            )
-            .expect("heracles");
-            drive(&mut server, &mut m, EPOCHS).expect("drive").len()
-        });
+fn fig06_12() {
+    bench("fig06_12/heracles_40_epochs", 3, || {
+        let mut server = mini_server(vec![catalog::masstree()], 0.5);
+        let mut m = Heracles::new(
+            catalog::masstree(),
+            18,
+            ServerConfig::default().dvfs,
+            HeraclesConfig::default(),
+        )
+        .expect("heracles");
+        assert!(!drive(&mut server, &mut m, EPOCHS).expect("drive").is_empty());
     });
-    group.bench_function("parties_40_epochs", |b| {
-        b.iter(|| {
-            let specs = vec![catalog::masstree(), catalog::moses()];
-            let mut server = mini_server(specs.clone(), 0.4);
-            let mut m = Parties::new(
-                specs,
-                18,
-                ServerConfig::default().dvfs,
-                PartiesConfig::default(),
-            )
-            .expect("parties");
-            drive(&mut server, &mut m, EPOCHS).expect("drive").len()
-        });
+    bench("fig06_12/parties_40_epochs", 3, || {
+        let specs = vec![catalog::masstree(), catalog::moses()];
+        let mut server = mini_server(specs.clone(), 0.4);
+        let mut m = Parties::new(
+            specs,
+            18,
+            ServerConfig::default().dvfs,
+            PartiesConfig::default(),
+        )
+        .expect("parties");
+        assert!(!drive(&mut server, &mut m, EPOCHS).expect("drive").is_empty());
     });
-    group.finish();
 }
 
 /// Figure 7 kernel: Hipster's hybrid loop.
-fn fig07(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig07/hipster_loop");
-    group.sample_size(10);
-    group.bench_function("hipster_40_epochs", |b| {
-        b.iter(|| {
-            let mut server = mini_server(vec![catalog::masstree()], 0.5);
-            let mut m = Hipster::new(
-                catalog::masstree(),
-                18,
-                ServerConfig::default().dvfs,
-                HipsterConfig::default(),
-            )
-            .expect("hipster");
-            drive(&mut server, &mut m, EPOCHS).expect("drive").len()
-        });
+fn fig07() {
+    bench("fig07/hipster_40_epochs", 3, || {
+        let mut server = mini_server(vec![catalog::masstree()], 0.5);
+        let mut m = Hipster::new(
+            catalog::masstree(),
+            18,
+            ServerConfig::default().dvfs,
+            HipsterConfig::default(),
+        )
+        .expect("hipster");
+        assert!(!drive(&mut server, &mut m, EPOCHS).expect("drive").is_empty());
     });
-    group.finish();
 }
 
 /// Figures 10/11 kernel: varying-load simulation.
-fn fig10_11(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10_11/varying_load");
-    group.sample_size(10);
-    group.bench_function("step_load_static_manager", |b| {
-        b.iter(|| {
-            let mut server = mini_server(vec![catalog::img_dnn()], 0.2);
-            server
-                .set_load_generator(0, LoadGenerator::step(0.2, 1.0, 1.2, 5).expect("gen"))
-                .expect("set");
-            let mut m = StaticMapping::new(
-                vec![catalog::img_dnn()],
-                18,
-                ServerConfig::default().dvfs,
-            )
-            .expect("static");
-            let reports = drive(&mut server, &mut m, EPOCHS).expect("drive");
-            summarize(&reports, &[catalog::img_dnn()])[0].qos_guarantee_pct
-        });
+fn fig10_11() {
+    bench("fig10_11/step_load_static_manager", 3, || {
+        let mut server = mini_server(vec![catalog::img_dnn()], 0.2);
+        server
+            .set_load_generator(0, LoadGenerator::step(0.2, 1.0, 1.2, 5).expect("gen"))
+            .expect("set");
+        let mut m = StaticMapping::new(
+            vec![catalog::img_dnn()],
+            18,
+            ServerConfig::default().dvfs,
+        )
+        .expect("static");
+        let reports = drive(&mut server, &mut m, EPOCHS).expect("drive");
+        let pct = summarize(&reports, &[catalog::img_dnn()])[0].qos_guarantee_pct;
+        assert!((0.0..=100.0).contains(&pct));
     });
-    group.finish();
 }
 
 /// Figure 13 kernel: one colocated pair cell.
-fn fig13(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig13/colocated_cell");
-    group.sample_size(10);
-    group.bench_function("pair_static_40_epochs", |b| {
-        b.iter(|| {
-            let specs = vec![catalog::xapian(), catalog::img_dnn()];
-            let mut server = mini_server(specs.clone(), 0.4);
-            let mut m =
-                StaticMapping::new(specs.clone(), 18, ServerConfig::default().dvfs)
-                    .expect("static");
-            let reports = drive(&mut server, &mut m, EPOCHS).expect("drive");
-            total_energy(&reports)
-        });
+fn fig13() {
+    bench("fig13/pair_static_40_epochs", 3, || {
+        let specs = vec![catalog::xapian(), catalog::img_dnn()];
+        let mut server = mini_server(specs.clone(), 0.4);
+        let mut m = StaticMapping::new(specs.clone(), 18, ServerConfig::default().dvfs)
+            .expect("static");
+        let reports = drive(&mut server, &mut m, EPOCHS).expect("drive");
+        assert!(total_energy(&reports) > 0.0);
     });
-    group.finish();
 }
 
 /// Section V-B1 kernel: memory-complexity accounting.
-fn memcomplexity(c: &mut Criterion) {
-    c.bench_function("memcomplexity/accounting", |b| {
-        b.iter(|| {
-            let table = table_entries_state_counters(25, 11, &[30, 30, 30]);
-            let net = bdq_parameter_count(11, 1, &[512, 256], 128, &[30, 30, 30]);
-            (table, net)
-        });
+fn memcomplexity() {
+    bench("memcomplexity/accounting", 1000, || {
+        let table = table_entries_state_counters(25, 11, &[30, 30, 30]);
+        let net = bdq_parameter_count(11, 1, &[512, 256], 128, &[30, 30, 30]);
+        assert!(table > 0 && net > 0);
     });
 }
 
-criterion_group!(
-    benches,
-    fig01,
-    table1,
-    table2,
-    fig04,
-    fig05_to_09,
-    fig06_12,
-    fig07,
-    fig10_11,
-    fig13,
-    memcomplexity
-);
-criterion_main!(benches);
+fn main() {
+    println!("experiment kernels (mean wall time per iteration)\n");
+    fig01();
+    table1();
+    table2();
+    fig04();
+    fig05_to_09();
+    fig06_12();
+    fig07();
+    fig10_11();
+    fig13();
+    memcomplexity();
+}

@@ -1,0 +1,10 @@
+//! Binary wrapper for the `resilience` experiment; see
+//! `twig_bench::experiments::resilience` for what it measures.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::resilience::run(&opts) {
+        eprintln!("resilience failed: {e}");
+        std::process::exit(1);
+    }
+}

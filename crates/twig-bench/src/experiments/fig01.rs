@@ -12,9 +12,8 @@
 //! and per-latency-bucket medians sit near zero only for multi-PMC.
 
 use crate::{ExpError, Options, TextTable};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use twig_nn::{mse_loss, Adam, Dense, Mlp, Relu, Tensor};
+use twig_stats::rng::{Rng, Xoshiro256};
 use twig_sim::pmc::calibration_maxima;
 use twig_sim::{catalog, Assignment, Server, ServerConfig, ServiceSpec};
 use twig_stats::{Histogram, Summary, ViolinSummary};
@@ -30,7 +29,7 @@ fn gather(spec: &ServiceSpec, samples: usize, seed: u64) -> Result<Dataset, ExpE
     let maxima = calibration_maxima(cfg.cores)?;
     let mut server = Server::new(cfg.clone(), vec![spec.clone()], seed)?;
     let assignment = vec![Assignment::first_n(cfg.cores, cfg.dvfs.max())];
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xF16);
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xF16);
     let mut data = Dataset {
         pmc_features: Vec::with_capacity(samples),
         ipc_features: Vec::with_capacity(samples),
@@ -40,7 +39,7 @@ fn gather(spec: &ServiceSpec, samples: usize, seed: u64) -> Result<Dataset, ExpE
     while data.latencies_ms.len() < samples {
         // Random-walk the load so consecutive epochs are correlated, as a
         // real load trace is.
-        load = (load + rng.gen_range(-0.08..0.08)).clamp(0.05, 1.0);
+        load = (load + rng.range_f64(-0.08, 0.08)).clamp(0.05, 1.0);
         server.set_load_fraction(0, load)?;
         let report = server.step(&assignment)?;
         let svc = &report.services[0];
@@ -72,7 +71,7 @@ fn train_and_eval(
     let n = xs.len();
     let split = n * 4 / 5;
     let in_dim = xs[0].len();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut net = Mlp::new()
         .push(Dense::new(in_dim, 48, &mut rng))
         .push(Relu::new())
@@ -84,7 +83,7 @@ fn train_and_eval(
     for _ in 0..passes {
         let mut order: Vec<usize> = (0..split).collect();
         for i in (1..order.len()).rev() {
-            order.swap(i, rng.gen_range(0..=i));
+            order.swap(i, rng.range_usize_inclusive(0, i));
         }
         for chunk in order.chunks(batch) {
             let x = Tensor::from_rows(

@@ -17,7 +17,7 @@ use twig_sim::{catalog, Assignment, Server, ServerConfig};
 /// collecting (counters, tail latency) pairs.
 fn gather_profile(opts: &Options) -> Result<Vec<(PmcSample, f64)>, ExpError> {
     let cfg = ServerConfig::default();
-    let epochs = if opts.full { 50 } else { 12 };
+    let epochs = if opts.full { 50 } else { 16 };
     let mut profile = Vec::new();
     for spec in catalog::tailbench() {
         for &load in &[0.2, 0.4, 0.6, 0.8] {

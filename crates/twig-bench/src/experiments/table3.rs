@@ -60,7 +60,7 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
     //    smoothing + scaling is Twig's preprocessing).
     let mut monitor = SystemMonitor::new(2, 5, 18)?;
     let spec = catalog::masstree();
-    let mut rng = rand::rngs::mock::StepRng::new(1, 7);
+    let mut rng = twig_stats::rng::StepRng::new(1, 7);
     let act = Activity {
         weighted_busy_core_s: 4.0,
         busy_core_s: 4.0,

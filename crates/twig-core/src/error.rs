@@ -81,9 +81,149 @@ impl From<StatsError> for TwigError {
     }
 }
 
+/// Structured error for the [`TaskManager`](crate::TaskManager) interface,
+/// classifying every failure by whether the control loop can continue.
+///
+/// - [`Recoverable`](ManagerError::Recoverable) — a transient runtime
+///   failure (learning hiccup, an out-of-range decision, degraded
+///   telemetry). A supervisor such as
+///   [`SafetyGovernor`](crate::SafetyGovernor) can substitute a fallback
+///   assignment and keep the loop running.
+/// - [`Fatal`](ManagerError::Fatal) — a configuration or wiring bug
+///   (invalid config, mismatched report shape). Retrying cannot help; the
+///   experiment should stop.
+///
+/// # Examples
+///
+/// ```
+/// use twig_core::ManagerError;
+///
+/// let e = ManagerError::recoverable("replay buffer not yet full");
+/// assert!(e.is_recoverable());
+/// let e = ManagerError::fatal("zero cores configured");
+/// assert!(!e.is_recoverable());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManagerError {
+    /// A transient failure: the loop can continue on a fallback decision.
+    Recoverable {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A permanent failure: configuration or wiring is broken.
+    Fatal {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl ManagerError {
+    /// Creates a recoverable error.
+    pub fn recoverable(detail: impl Into<String>) -> Self {
+        ManagerError::Recoverable { detail: detail.into() }
+    }
+
+    /// Creates a fatal error.
+    pub fn fatal(detail: impl Into<String>) -> Self {
+        ManagerError::Fatal { detail: detail.into() }
+    }
+
+    /// `true` when a supervisor may substitute a fallback and continue.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, ManagerError::Recoverable { .. })
+    }
+}
+
+impl fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagerError::Recoverable { detail } => {
+                write!(f, "recoverable manager error: {detail}")
+            }
+            ManagerError::Fatal { detail } => write!(f, "fatal manager error: {detail}"),
+        }
+    }
+}
+
+impl Error for ManagerError {}
+
+impl From<TwigError> for ManagerError {
+    fn from(e: TwigError) -> Self {
+        match &e {
+            // Broken configuration or wiring cannot be retried away.
+            TwigError::InvalidConfig { .. } | TwigError::ReportMismatch { .. } => {
+                ManagerError::Fatal { detail: e.to_string() }
+            }
+            // Runtime failures of the learning/simulation substrate: a
+            // supervisor can fall back and continue.
+            TwigError::Learning(_) | TwigError::Sim(_) | TwigError::Stats(_) => {
+                ManagerError::Recoverable { detail: e.to_string() }
+            }
+        }
+    }
+}
+
+impl From<SimError> for ManagerError {
+    fn from(e: SimError) -> Self {
+        match &e {
+            SimError::InvalidConfig { .. } => {
+                ManagerError::Fatal { detail: e.to_string() }
+            }
+            _ => ManagerError::Recoverable { detail: e.to_string() },
+        }
+    }
+}
+
+impl From<RlError> for ManagerError {
+    fn from(e: RlError) -> Self {
+        ManagerError::Recoverable { detail: e.to_string() }
+    }
+}
+
+impl From<StatsError> for ManagerError {
+    fn from(e: StatsError) -> Self {
+        ManagerError::Recoverable { detail: e.to_string() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn manager_error_classification() {
+        let fatal: ManagerError =
+            TwigError::InvalidConfig { detail: "x".into() }.into();
+        assert!(!fatal.is_recoverable());
+        let fatal: ManagerError =
+            TwigError::ReportMismatch { detail: "x".into() }.into();
+        assert!(!fatal.is_recoverable());
+        let rec: ManagerError =
+            TwigError::Learning(RlError::NotEnoughData { needed: 1, available: 0 })
+                .into();
+        assert!(rec.is_recoverable());
+        let rec: ManagerError =
+            SimError::UnknownCore { core: 40, count: 18 }.into();
+        assert!(rec.is_recoverable());
+        let fatal: ManagerError =
+            SimError::InvalidConfig { detail: "x".into() }.into();
+        assert!(!fatal.is_recoverable());
+    }
+
+    #[test]
+    fn manager_error_display_and_traits() {
+        let e = ManagerError::recoverable("hiccup");
+        assert!(e.to_string().contains("recoverable"));
+        let e = ManagerError::fatal("broken");
+        assert!(e.to_string().contains("fatal"));
+        fn check<T: Send + Sync + Error>() {}
+        check::<ManagerError>();
+        // `?` into a boxed error keeps working for the harness.
+        fn boxed() -> Result<(), Box<dyn Error + Send + Sync>> {
+            Err(ManagerError::fatal("x"))?
+        }
+        assert!(boxed().is_err());
+    }
 
     #[test]
     fn display_and_source() {

@@ -1,0 +1,669 @@
+//! A graceful-degradation safety net around any [`TaskManager`].
+//!
+//! Learning-based managers fail in ways heuristic ones do not: a transient
+//! learning error, a decision outside platform limits, or an epoch of
+//! garbage telemetry can cascade into sustained QoS violations. The
+//! [`SafetyGovernor`] wraps an inner manager and enforces four invariants:
+//!
+//! 1. **Decision validation** — every `decide()` output is checked against
+//!    the platform limits (service count, ≥ 1 in-range core each, a ladder
+//!    frequency); invalid output is replaced, never applied.
+//! 2. **Last-known-good fallback** — recoverable errors and invalid
+//!    decisions fall back to the most recent validated assignment (or the
+//!    safe static allocation before one exists).
+//! 3. **Watchdog** — after `watchdog_epochs` *consecutive* QoS-violation
+//!    epochs the governor trips into the safe static allocation (every
+//!    service on every core at max DVFS — the paper's static baseline,
+//!    which meets QoS whenever QoS is meetable at all) and holds it for an
+//!    exponentially backed-off re-entry window before giving the inner
+//!    manager control again.
+//! 4. **Replay hygiene** — epochs whose telemetry is flagged corrupted are
+//!    routed to [`TaskManager::observe_degraded`], so a learning manager
+//!    never trains on garbage observations.
+
+use crate::{ManagerError, TaskManager};
+use twig_sim::{Assignment, DvfsLadder, EpochReport, ServiceSpec};
+
+/// Configuration of a [`SafetyGovernor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorConfig {
+    /// The managed services (QoS targets drive the watchdog).
+    pub services: Vec<ServiceSpec>,
+    /// Socket size.
+    pub cores: usize,
+    /// The platform's DVFS ladder.
+    pub dvfs: DvfsLadder,
+    /// Consecutive QoS-violation epochs before the watchdog trips.
+    pub watchdog_epochs: u32,
+    /// Epochs spent in the safe static allocation after the first trip.
+    pub initial_backoff_epochs: u64,
+    /// Upper bound on the backoff window (doubles on every re-trip).
+    pub max_backoff_epochs: u64,
+    /// Healthy (violation-free) epochs after which the backoff resets to
+    /// its initial value.
+    pub backoff_reset_epochs: u32,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            services: Vec::new(),
+            cores: 18,
+            dvfs: DvfsLadder::default(),
+            watchdog_epochs: 5,
+            initial_backoff_epochs: 8,
+            max_backoff_epochs: 128,
+            backoff_reset_epochs: 50,
+        }
+    }
+}
+
+/// Counters describing everything the governor intervened on (for
+/// resilience evaluation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorStats {
+    /// Decisions replaced because the inner manager returned a recoverable
+    /// error.
+    pub recoverable_errors: u64,
+    /// Decisions replaced because they failed platform validation.
+    pub invalid_decisions: u64,
+    /// Total fallback decisions issued (last-known-good or safe static).
+    pub fallback_decisions: u64,
+    /// Epochs whose telemetry was corrupted (routed to
+    /// [`TaskManager::observe_degraded`]).
+    pub degraded_epochs: u64,
+    /// Watchdog trips into the safe static allocation.
+    pub watchdog_trips: u64,
+    /// Epochs spent in the safe static allocation.
+    pub safe_mode_epochs: u64,
+}
+
+/// A supervisor wrapping any [`TaskManager`] with validation, fallback and
+/// a QoS watchdog. See the module docs for the policy.
+///
+/// # Examples
+///
+/// ```
+/// use twig_core::{GovernorConfig, SafetyGovernor, TaskManager, TwigBuilder};
+/// use twig_sim::catalog;
+///
+/// let twig = TwigBuilder::new()
+///     .services(vec![catalog::masstree()])
+///     .seed(1)
+///     .build()
+///     .unwrap();
+/// let config = GovernorConfig {
+///     services: vec![catalog::masstree()],
+///     ..GovernorConfig::default()
+/// };
+/// let mut governed = SafetyGovernor::new(twig, config).unwrap();
+/// assert_eq!(governed.name(), "twig-s+governor");
+/// assert!(governed.decide().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SafetyGovernor<M> {
+    inner: M,
+    config: GovernorConfig,
+    name: String,
+    last_good: Option<Vec<Assignment>>,
+    violation_streak: u32,
+    healthy_streak: u32,
+    safe_remaining: u64,
+    backoff: u64,
+    stats: GovernorStats,
+}
+
+impl<M: TaskManager> SafetyGovernor<M> {
+    /// Wraps `inner` with the governor policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError::Fatal`] for an empty service list, zero
+    /// cores, a zero watchdog window or a zero backoff.
+    pub fn new(inner: M, config: GovernorConfig) -> Result<Self, ManagerError> {
+        if config.services.is_empty() {
+            return Err(ManagerError::fatal("governor: no services"));
+        }
+        if config.cores == 0 {
+            return Err(ManagerError::fatal("governor: zero cores"));
+        }
+        if config.watchdog_epochs == 0 {
+            return Err(ManagerError::fatal("governor: zero watchdog window"));
+        }
+        if config.initial_backoff_epochs == 0 || config.max_backoff_epochs == 0 {
+            return Err(ManagerError::fatal("governor: zero backoff window"));
+        }
+        let name = format!("{}+governor", inner.name());
+        let backoff = config.initial_backoff_epochs;
+        Ok(SafetyGovernor {
+            inner,
+            config,
+            name,
+            last_good: None,
+            violation_streak: 0,
+            healthy_streak: 0,
+            safe_remaining: 0,
+            backoff,
+            stats: GovernorStats::default(),
+        })
+    }
+
+    /// The wrapped manager.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The wrapped manager, mutably.
+    pub fn inner_mut(&mut self) -> &mut M {
+        &mut self.inner
+    }
+
+    /// Intervention counters.
+    pub fn stats(&self) -> GovernorStats {
+        self.stats
+    }
+
+    /// `true` while the watchdog holds the safe static allocation.
+    pub fn in_safe_mode(&self) -> bool {
+        self.safe_remaining > 0
+    }
+
+    /// The current re-entry backoff in epochs (doubles per trip).
+    pub fn current_backoff_epochs(&self) -> u64 {
+        self.backoff
+    }
+
+    /// The safe static allocation: every service on every core at the
+    /// highest DVFS setting (the static baseline — maximum capacity,
+    /// maximum power, no learning in the loop).
+    pub fn safe_assignments(&self) -> Vec<Assignment> {
+        let freq = self.config.dvfs.max();
+        self.config
+            .services
+            .iter()
+            .map(|_| Assignment::first_n(self.config.cores, freq))
+            .collect()
+    }
+
+    /// Validates a decision against the platform limits.
+    fn validate(&self, assignments: &[Assignment]) -> Result<(), String> {
+        if assignments.len() != self.config.services.len() {
+            return Err(format!(
+                "{} assignments for {} services",
+                assignments.len(),
+                self.config.services.len()
+            ));
+        }
+        for (svc, a) in assignments.iter().enumerate() {
+            if a.cores.is_empty() {
+                return Err(format!("service {svc}: zero cores"));
+            }
+            if a.cores.len() > self.config.cores {
+                return Err(format!(
+                    "service {svc}: {} cores on a {}-core socket",
+                    a.cores.len(),
+                    self.config.cores
+                ));
+            }
+            for c in &a.cores {
+                if c.index() >= self.config.cores {
+                    return Err(format!("service {svc}: core {} out of range", c.index()));
+                }
+            }
+            if self.config.dvfs.index_of(a.freq).is_err() {
+                return Err(format!(
+                    "service {svc}: frequency {} MHz off the ladder",
+                    a.freq.mhz()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn fallback(&mut self) -> Vec<Assignment> {
+        self.stats.fallback_decisions += 1;
+        match &self.last_good {
+            Some(a) => a.clone(),
+            None => self.safe_assignments(),
+        }
+    }
+
+    fn any_violation(&self, report: &EpochReport) -> bool {
+        report
+            .services
+            .iter()
+            .zip(&self.config.services)
+            .any(|(svc, spec)| {
+                // Idle services cannot violate; corrupted latency readings
+                // count as violations (we cannot prove health from them).
+                let active = svc.offered_rps > 0.0 || svc.completed > 0;
+                active && !(svc.p99_ms.is_finite() && svc.p99_ms <= spec.qos_ms)
+            })
+    }
+}
+
+impl<M: TaskManager> TaskManager for SafetyGovernor<M> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self) -> Result<Vec<Assignment>, ManagerError> {
+        if self.in_safe_mode() {
+            // The inner manager is suspended: its policy caused (or could
+            // not prevent) the violation streak, so run the known-safe
+            // configuration until the backoff expires.
+            return Ok(self.safe_assignments());
+        }
+        match self.inner.decide() {
+            Ok(assignments) => match self.validate(&assignments) {
+                Ok(()) => {
+                    self.last_good = Some(assignments.clone());
+                    Ok(assignments)
+                }
+                Err(detail) => {
+                    self.stats.invalid_decisions += 1;
+                    let _ = detail;
+                    Ok(self.fallback())
+                }
+            },
+            Err(e) if e.is_recoverable() => {
+                self.stats.recoverable_errors += 1;
+                Ok(self.fallback())
+            }
+            Err(fatal) => Err(fatal),
+        }
+    }
+
+    fn observe(&mut self, report: &EpochReport) -> Result<(), ManagerError> {
+        // Watchdog accounting runs on every epoch, including safe-mode ones
+        // (ground-truth p99 in the report is unaffected by telemetry
+        // faults).
+        if self.any_violation(report) {
+            self.violation_streak += 1;
+            self.healthy_streak = 0;
+        } else {
+            self.violation_streak = 0;
+            self.healthy_streak = self.healthy_streak.saturating_add(1);
+            if self.healthy_streak >= self.config.backoff_reset_epochs {
+                self.backoff = self.config.initial_backoff_epochs;
+            }
+        }
+
+        if self.in_safe_mode() {
+            self.stats.safe_mode_epochs += 1;
+            self.safe_remaining -= 1;
+            if self.safe_remaining == 0 {
+                // Hand control back with a clean slate: the violations that
+                // tripped the watchdog belong to the previous regime.
+                self.violation_streak = 0;
+            }
+        } else if self.violation_streak >= self.config.watchdog_epochs {
+            self.stats.watchdog_trips += 1;
+            self.safe_remaining = self.backoff;
+            self.backoff = (self.backoff * 2).min(self.config.max_backoff_epochs);
+            // The policy that produced this streak is not to be trusted:
+            // its last decision is no longer "known good".
+            self.last_good = None;
+            self.violation_streak = 0;
+        }
+
+        let degraded = report.telemetry.degraded();
+        if degraded {
+            self.stats.degraded_epochs += 1;
+        }
+        let result = if degraded {
+            self.inner.observe_degraded(report)
+        } else {
+            self.inner.observe(report)
+        };
+        match result {
+            Ok(()) => Ok(()),
+            Err(e) if e.is_recoverable() => {
+                // A transient observation failure must not kill the loop;
+                // the decision path already has its fallback.
+                self.stats.recoverable_errors += 1;
+                Ok(())
+            }
+            Err(fatal) => Err(fatal),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twig_sim::fault::{AppliedAssignment, TelemetryHealth};
+    use twig_sim::{catalog, CoreId, Frequency, PmcSample, ServiceEpoch};
+
+    /// Scriptable inner manager for exercising the governor policy.
+    struct Scripted {
+        decisions: Vec<Result<Vec<Assignment>, ManagerError>>,
+        decide_calls: usize,
+        observe_calls: usize,
+        degraded_calls: usize,
+    }
+
+    impl Scripted {
+        fn new(decisions: Vec<Result<Vec<Assignment>, ManagerError>>) -> Self {
+            Scripted { decisions, decide_calls: 0, observe_calls: 0, degraded_calls: 0 }
+        }
+
+        fn good() -> Vec<Assignment> {
+            vec![Assignment::first_n(4, DvfsLadder::default().max())]
+        }
+    }
+
+    impl TaskManager for Scripted {
+        fn name(&self) -> &str {
+            "scripted"
+        }
+
+        fn decide(&mut self) -> Result<Vec<Assignment>, ManagerError> {
+            let i = self.decide_calls.min(self.decisions.len() - 1);
+            self.decide_calls += 1;
+            self.decisions[i].clone()
+        }
+
+        fn observe(&mut self, _report: &EpochReport) -> Result<(), ManagerError> {
+            self.observe_calls += 1;
+            Ok(())
+        }
+
+        fn observe_degraded(&mut self, _report: &EpochReport) -> Result<(), ManagerError> {
+            self.degraded_calls += 1;
+            Ok(())
+        }
+    }
+
+    fn config() -> GovernorConfig {
+        GovernorConfig {
+            services: vec![catalog::masstree()],
+            watchdog_epochs: 3,
+            initial_backoff_epochs: 4,
+            max_backoff_epochs: 16,
+            ..GovernorConfig::default()
+        }
+    }
+
+    fn report(p99_ms: f64, degraded: bool) -> EpochReport {
+        let spec = catalog::masstree();
+        let mut telemetry = TelemetryHealth::clean(1);
+        if degraded {
+            telemetry.pmc_faults[0] = Some(twig_sim::PmcFaultKind::Nan);
+        }
+        EpochReport {
+            time_s: 0,
+            services: vec![ServiceEpoch {
+                name: spec.name,
+                offered_rps: 100.0,
+                load_fraction: 0.5,
+                p99_ms,
+                mean_ms: p99_ms / 2.0,
+                completed: 100,
+                dropped: 0,
+                queue_len: 0,
+                pmcs: PmcSample::zero(),
+                core_count: 4,
+                freq: DvfsLadder::default().max(),
+                migrated_cores: 0,
+            }],
+            power_w: 50.0,
+            true_power_w: 50.0,
+            energy_j: 50.0,
+            migrations: 0,
+            actuation: vec![AppliedAssignment::verbatim(
+                (0..4).map(CoreId).collect(),
+                DvfsLadder::default().max(),
+            )],
+            telemetry,
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let mk = || Scripted::new(vec![Ok(Scripted::good())]);
+        assert!(SafetyGovernor::new(
+            mk(),
+            GovernorConfig { services: vec![], ..config() }
+        )
+        .is_err());
+        assert!(
+            SafetyGovernor::new(mk(), GovernorConfig { cores: 0, ..config() }).is_err()
+        );
+        assert!(SafetyGovernor::new(
+            mk(),
+            GovernorConfig { watchdog_epochs: 0, ..config() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn valid_decisions_pass_through_and_become_lkg() {
+        let inner = Scripted::new(vec![
+            Ok(Scripted::good()),
+            Err(ManagerError::recoverable("hiccup")),
+        ]);
+        let mut gov = SafetyGovernor::new(inner, config()).unwrap();
+        let a = gov.decide().unwrap();
+        assert_eq!(a, Scripted::good());
+        // The recoverable error falls back to the validated decision.
+        let b = gov.decide().unwrap();
+        assert_eq!(b, Scripted::good());
+        assert_eq!(gov.stats().recoverable_errors, 1);
+        assert_eq!(gov.stats().fallback_decisions, 1);
+    }
+
+    #[test]
+    fn recoverable_error_without_lkg_uses_safe_static() {
+        let inner = Scripted::new(vec![Err(ManagerError::recoverable("cold"))]);
+        let mut gov = SafetyGovernor::new(inner, config()).unwrap();
+        let a = gov.decide().unwrap();
+        assert_eq!(a, gov.safe_assignments());
+        assert_eq!(a[0].core_count(), 18);
+        assert_eq!(a[0].freq, DvfsLadder::default().max());
+    }
+
+    #[test]
+    fn fatal_error_propagates() {
+        let inner = Scripted::new(vec![Err(ManagerError::fatal("broken wiring"))]);
+        let mut gov = SafetyGovernor::new(inner, config()).unwrap();
+        assert!(gov.decide().is_err());
+    }
+
+    #[test]
+    fn invalid_decisions_are_replaced() {
+        let out_of_range =
+            vec![Assignment::new(vec![CoreId(99)], DvfsLadder::default().max())];
+        let off_ladder = vec![Assignment::first_n(4, Frequency::from_mhz(1234))];
+        let empty = vec![Assignment::new(vec![], DvfsLadder::default().max())];
+        let wrong_count = vec![];
+        for bad in [out_of_range, off_ladder, empty, wrong_count] {
+            let inner = Scripted::new(vec![Ok(bad)]);
+            let mut gov = SafetyGovernor::new(inner, config()).unwrap();
+            let a = gov.decide().unwrap();
+            assert_eq!(a, gov.safe_assignments());
+            assert_eq!(gov.stats().invalid_decisions, 1);
+        }
+    }
+
+    #[test]
+    fn watchdog_trips_after_consecutive_violations() {
+        let inner = Scripted::new(vec![Ok(Scripted::good())]);
+        let mut gov = SafetyGovernor::new(inner, config()).unwrap();
+        let qos = catalog::masstree().qos_ms;
+        // Two violations then a healthy epoch: streak resets, no trip.
+        for _ in 0..2 {
+            gov.decide().unwrap();
+            gov.observe(&report(qos * 2.0, false)).unwrap();
+        }
+        gov.decide().unwrap();
+        gov.observe(&report(qos * 0.5, false)).unwrap();
+        assert!(!gov.in_safe_mode());
+        // Three consecutive violations: the watchdog trips.
+        for _ in 0..3 {
+            gov.decide().unwrap();
+            gov.observe(&report(qos * 2.0, false)).unwrap();
+        }
+        assert!(gov.in_safe_mode());
+        assert_eq!(gov.stats().watchdog_trips, 1);
+        // Safe mode issues the static allocation without consulting the
+        // inner manager.
+        let calls_before = gov.inner().decide_calls;
+        let a = gov.decide().unwrap();
+        assert_eq!(a, gov.safe_assignments());
+        assert_eq!(gov.inner().decide_calls, calls_before);
+    }
+
+    #[test]
+    fn backoff_doubles_per_trip_and_expires() {
+        let inner = Scripted::new(vec![Ok(Scripted::good())]);
+        let mut gov = SafetyGovernor::new(inner, config()).unwrap();
+        let qos = catalog::masstree().qos_ms;
+        assert_eq!(gov.current_backoff_epochs(), 4);
+        // First trip: 4 safe epochs, next backoff 8.
+        for _ in 0..3 {
+            gov.decide().unwrap();
+            gov.observe(&report(qos * 2.0, false)).unwrap();
+        }
+        assert!(gov.in_safe_mode());
+        assert_eq!(gov.current_backoff_epochs(), 8);
+        for _ in 0..4 {
+            assert!(gov.in_safe_mode());
+            gov.decide().unwrap();
+            gov.observe(&report(qos * 2.0, false)).unwrap();
+        }
+        assert!(!gov.in_safe_mode(), "backoff window expired");
+        // Immediate re-trip holds for 8 epochs and caps at 16.
+        for _ in 0..3 {
+            gov.decide().unwrap();
+            gov.observe(&report(qos * 2.0, false)).unwrap();
+        }
+        assert!(gov.in_safe_mode());
+        assert_eq!(gov.current_backoff_epochs(), 16);
+        assert_eq!(gov.stats().watchdog_trips, 2);
+        for _ in 0..8 {
+            gov.decide().unwrap();
+            gov.observe(&report(qos * 2.0, false)).unwrap();
+        }
+        assert!(!gov.in_safe_mode());
+        assert_eq!(gov.current_backoff_epochs(), 16, "capped at max");
+        assert_eq!(gov.stats().safe_mode_epochs, 12);
+    }
+
+    #[test]
+    fn healthy_run_resets_backoff() {
+        let inner = Scripted::new(vec![Ok(Scripted::good())]);
+        let mut gov = SafetyGovernor::new(
+            inner,
+            GovernorConfig { backoff_reset_epochs: 5, ..config() },
+        )
+        .unwrap();
+        let qos = catalog::masstree().qos_ms;
+        for _ in 0..3 {
+            gov.decide().unwrap();
+            gov.observe(&report(qos * 2.0, false)).unwrap();
+        }
+        for _ in 0..4 {
+            gov.decide().unwrap();
+            gov.observe(&report(qos * 2.0, false)).unwrap();
+        }
+        assert_eq!(gov.current_backoff_epochs(), 8);
+        for _ in 0..5 {
+            gov.decide().unwrap();
+            gov.observe(&report(qos * 0.5, false)).unwrap();
+        }
+        assert_eq!(gov.current_backoff_epochs(), 4, "reset after healthy run");
+    }
+
+    #[test]
+    fn degraded_telemetry_routes_to_observe_degraded() {
+        let inner = Scripted::new(vec![Ok(Scripted::good())]);
+        let mut gov = SafetyGovernor::new(inner, config()).unwrap();
+        let qos = catalog::masstree().qos_ms;
+        gov.decide().unwrap();
+        gov.observe(&report(qos * 0.5, true)).unwrap();
+        gov.decide().unwrap();
+        gov.observe(&report(qos * 0.5, false)).unwrap();
+        assert_eq!(gov.inner().degraded_calls, 1);
+        assert_eq!(gov.inner().observe_calls, 1);
+        assert_eq!(gov.stats().degraded_epochs, 1);
+    }
+
+    #[test]
+    fn governed_twig_survives_faults_and_recovers() {
+        use crate::TwigBuilder;
+        use twig_rl::{EpsilonSchedule, MaBdqConfig};
+        use twig_sim::fault::{FaultConfig, FaultPlan};
+        use twig_sim::{Server, ServerConfig};
+
+        // The acceptance scenario: 10% PMC corruption + 5% actuation
+        // rejection. The governed Twig must keep producing valid, finite
+        // decisions throughout and meet QoS again once the faults stop.
+        let spec = catalog::masstree();
+        let mut server =
+            Server::new(ServerConfig::default(), vec![spec.clone()], 31).unwrap();
+        server.set_load_fraction(0, 0.4).unwrap();
+        server.set_fault_plan(
+            FaultPlan::new(
+                FaultConfig {
+                    pmc_corrupt_rate: 0.10,
+                    actuation_reject_rate: 0.05,
+                    ..FaultConfig::default()
+                },
+                77,
+            )
+            .unwrap(),
+        );
+        let twig = TwigBuilder::new()
+            .services(vec![spec.clone()])
+            .agent(MaBdqConfig {
+                trunk_hidden: vec![32, 24],
+                head_hidden: 16,
+                dropout: 0.0,
+                batch_size: 8,
+                buffer_capacity: 2048,
+                ..MaBdqConfig::default()
+            })
+            .epsilon(EpsilonSchedule::scaled(60))
+            .seed(13)
+            .build()
+            .unwrap();
+        let mut gov = SafetyGovernor::new(
+            twig,
+            GovernorConfig { services: vec![spec.clone()], ..GovernorConfig::default() },
+        )
+        .unwrap();
+
+        let probe = vec![vec![0.5_f32; twig_sim::NUM_COUNTERS]];
+        for epoch in 0..80 {
+            let a = gov.decide().unwrap();
+            assert_eq!(a.len(), 1);
+            assert!((1..=18).contains(&a[0].core_count()));
+            let r = server.step(&a).unwrap();
+            gov.observe(&r).unwrap();
+            if epoch % 10 == 9 {
+                // Q-values stay finite while training on faulted telemetry.
+                let q = gov.inner().agent().clone().q_values(&probe).unwrap();
+                assert!(q
+                    .iter()
+                    .flatten()
+                    .flatten()
+                    .all(|v| v.is_finite()));
+            }
+        }
+        assert!(gov.stats().degraded_epochs > 0, "faults should have fired");
+
+        // Fault window over: drive to steady state and check recovery.
+        server.clear_fault_plan();
+        let mut met = 0;
+        for _ in 0..40 {
+            let a = gov.decide().unwrap();
+            let r = server.step(&a).unwrap();
+            if r.services[0].p99_ms <= spec.qos_ms {
+                met += 1;
+            }
+            gov.observe(&r).unwrap();
+        }
+        assert!(met >= 30, "recovered QoS in only {met}/40 epochs");
+    }
+}

@@ -50,13 +50,15 @@
 #![warn(missing_docs)]
 
 mod error;
+mod governor;
 mod manager;
 mod mapper;
 mod monitor;
 mod power_model;
 mod reward;
 
-pub use error::TwigError;
+pub use error::{ManagerError, TwigError};
+pub use governor::{GovernorConfig, GovernorStats, SafetyGovernor};
 pub use manager::{TaskManager, Twig, TwigBuilder, TwigConfig};
 pub use mapper::Mapper;
 pub use monitor::{select_counters, CounterRanking, SystemMonitor};

@@ -1,11 +1,15 @@
-use crate::{Eq2PowerModel, Mapper, RewardConfig, SystemMonitor, TwigError};
-use twig_rl::{EpsilonSchedule, MaBdq, MaBdqConfig, MultiTransition};
+use crate::{Eq2PowerModel, ManagerError, Mapper, RewardConfig, SystemMonitor, TwigError};
+use twig_rl::{EpsilonSchedule, MaBdq, MaBdqConfig, MultiTransition, RlError};
 use twig_sim::{Assignment, DvfsLadder, EpochReport, ServiceSpec};
 
 /// Common interface of every task manager in this workspace (Twig and the
 /// baselines), so experiments can drive them interchangeably:
 /// [`decide`](Self::decide) produces the next epoch's assignments,
 /// [`observe`](Self::observe) feeds back what the platform measured.
+///
+/// Errors are structured ([`ManagerError`]): `Recoverable` failures let a
+/// supervisor (see [`SafetyGovernor`](crate::SafetyGovernor)) substitute a
+/// fallback decision and keep the control loop alive, `Fatal` ones abort.
 pub trait TaskManager {
     /// The manager's display name (used in experiment output).
     fn name(&self) -> &str;
@@ -14,18 +18,30 @@ pub trait TaskManager {
     ///
     /// # Errors
     ///
-    /// Implementations return their own error types boxed.
-    fn decide(&mut self) -> Result<Vec<Assignment>, Box<dyn std::error::Error + Send + Sync>>;
+    /// [`ManagerError::Recoverable`] for transient failures a supervisor
+    /// can ride through, [`ManagerError::Fatal`] otherwise.
+    fn decide(&mut self) -> Result<Vec<Assignment>, ManagerError>;
 
     /// Consumes the epoch's measurements (tail latency, counters, power).
     ///
     /// # Errors
     ///
-    /// Implementations return their own error types boxed.
-    fn observe(
-        &mut self,
-        report: &EpochReport,
-    ) -> Result<(), Box<dyn std::error::Error + Send + Sync>>;
+    /// [`ManagerError::Recoverable`] for transient failures a supervisor
+    /// can ride through, [`ManagerError::Fatal`] otherwise.
+    fn observe(&mut self, report: &EpochReport) -> Result<(), ManagerError>;
+
+    /// Consumes an epoch whose telemetry is known to be corrupted
+    /// (`report.telemetry` flags a PMC fault). The default forwards to
+    /// [`observe`](Self::observe); learning managers override it to keep
+    /// their clocks and internal state consistent *without* training on the
+    /// garbage observation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`observe`](Self::observe).
+    fn observe_degraded(&mut self, report: &EpochReport) -> Result<(), ManagerError> {
+        self.observe(report)
+    }
 }
 
 /// Configuration of a [`Twig`] manager.
@@ -332,14 +348,13 @@ impl Twig {
             }
         }
         self.last_actions = Some(actions.clone());
-        let requests: Vec<(usize, twig_sim::Frequency)> = actions
-            .iter()
-            .map(|a| {
-                let cores = a[0] + 1; // branch 0: 1..=cores
-                let freq = self.config.dvfs.frequency_at(a[1]).expect("valid branch");
-                (cores.min(self.config.cores), freq)
-            })
-            .collect();
+        let mut requests: Vec<(usize, twig_sim::Frequency)> =
+            Vec::with_capacity(actions.len());
+        for a in &actions {
+            let cores = a[0] + 1; // branch 0: 1..=cores
+            let freq = self.config.dvfs.frequency_at(a[1]).map_err(TwigError::Sim)?;
+            requests.push((cores.min(self.config.cores), freq));
+        }
         let assignments = self.mapper.assign(&requests)?;
         self.pending = Some(Pending { states, actions });
         Ok(assignments)
@@ -384,14 +399,20 @@ impl Twig {
                     power_rew,
                 ) as f32);
             }
-            self.agent
-                .observe(MultiTransition {
-                    states: pending.states,
-                    actions: pending.actions,
-                    rewards,
-                    next_states,
-                })
-                .map_err(TwigError::Learning)?;
+            match self.agent.observe(MultiTransition {
+                states: pending.states,
+                actions: pending.actions,
+                rewards,
+                next_states,
+            }) {
+                Ok(()) => {}
+                // A non-finite state or reward slipped past the monitor
+                // (e.g. corrupted telemetry the platform did not flag):
+                // drop the transition rather than abort the epoch — the
+                // buffer must never hold it, but the control loop goes on.
+                Err(RlError::NonFinite { .. }) => {}
+                Err(e) => return Err(TwigError::Learning(e)),
+            }
             if !self.config.pure_exploitation {
                 for _ in 0..self.config.train_steps_per_epoch.max(1) {
                     self.agent.train_step().map_err(TwigError::Learning)?;
@@ -438,6 +459,31 @@ impl Twig {
     pub fn reset_exploration(&mut self) {
         self.time = 0;
     }
+
+    /// Consumes an epoch with known-corrupted telemetry: the monitor is
+    /// still updated (it substitutes last-known-good values for non-finite
+    /// counters) and the epoch clock advances, but the pending transition
+    /// is discarded so the replay buffer never stores a transition built on
+    /// a garbage observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TwigError::ReportMismatch`] when the report's service
+    /// count differs.
+    pub fn observe_degraded(&mut self, report: &EpochReport) -> Result<(), TwigError> {
+        let k = self.config.services.len();
+        if report.services.len() != k {
+            return Err(TwigError::ReportMismatch {
+                detail: format!("report has {} services, manager {k}", report.services.len()),
+            });
+        }
+        for (i, svc) in report.services.iter().enumerate() {
+            self.monitor.update(i, &svc.pmcs)?;
+        }
+        self.pending = None;
+        self.time += 1;
+        Ok(())
+    }
 }
 
 impl TaskManager for Twig {
@@ -445,15 +491,16 @@ impl TaskManager for Twig {
         &self.name
     }
 
-    fn decide(&mut self) -> Result<Vec<Assignment>, Box<dyn std::error::Error + Send + Sync>> {
+    fn decide(&mut self) -> Result<Vec<Assignment>, ManagerError> {
         Ok(Twig::decide(self)?)
     }
 
-    fn observe(
-        &mut self,
-        report: &EpochReport,
-    ) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    fn observe(&mut self, report: &EpochReport) -> Result<(), ManagerError> {
         Ok(Twig::observe(self, report)?)
+    }
+
+    fn observe_degraded(&mut self, report: &EpochReport) -> Result<(), ManagerError> {
+        Ok(Twig::observe_degraded(self, report)?)
     }
 }
 

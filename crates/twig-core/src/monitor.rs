@@ -23,6 +23,8 @@ use twig_stats::{MaxNormScaler, Pca};
 #[derive(Debug, Clone)]
 pub struct SystemMonitor {
     histories: Vec<VecDeque<PmcSample>>,
+    last_good: Vec<PmcSample>,
+    degraded: Vec<bool>,
     eta: usize,
     scaler: MaxNormScaler,
 }
@@ -45,6 +47,8 @@ impl SystemMonitor {
         let scaler = MaxNormScaler::new(maxima.to_vec()).map_err(TwigError::Stats)?;
         Ok(SystemMonitor {
             histories: vec![VecDeque::with_capacity(eta); services],
+            last_good: vec![PmcSample::zero(); services],
+            degraded: vec![false; services],
             eta,
             scaler,
         })
@@ -57,6 +61,11 @@ impl SystemMonitor {
 
     /// Records one epoch's raw counters for service `index`.
     ///
+    /// Non-finite counter readings (NaN/Inf from a dropped or corrupted PMC
+    /// read) never enter the history: each bad entry is replaced with that
+    /// counter's last-known-good value and the service is flagged degraded
+    /// until a fully clean sample arrives.
+    ///
     /// # Errors
     ///
     /// Returns [`TwigError::ReportMismatch`] for an unknown service.
@@ -64,11 +73,34 @@ impl SystemMonitor {
         let history = self.histories.get_mut(index).ok_or_else(|| {
             TwigError::ReportMismatch { detail: format!("service {index}") }
         })?;
+        let mut clean = *sample;
+        let mut any_bad = false;
+        for (i, &v) in sample.as_array().iter().enumerate() {
+            if !v.is_finite() {
+                any_bad = true;
+                clean.set(CounterId::ALL[i], self.last_good[index].as_array()[i]);
+            }
+        }
+        self.degraded[index] = any_bad;
+        if !any_bad {
+            self.last_good[index] = clean;
+        }
         if history.len() == self.eta {
             history.pop_front();
         }
-        history.push_back(*sample);
+        history.push_back(clean);
         Ok(())
+    }
+
+    /// Whether service `index`'s most recent sample contained corrupted
+    /// (non-finite) counter readings that had to be patched.
+    pub fn is_degraded(&self, index: usize) -> bool {
+        self.degraded.get(index).copied().unwrap_or(false)
+    }
+
+    /// Per-service degraded flags, in index order.
+    pub fn degraded_flags(&self) -> &[bool] {
+        &self.degraded
     }
 
     /// The smoothed, scaled state vector for service `index` — the MDP state
@@ -95,7 +127,9 @@ impl SystemMonitor {
             }
         }
         let scaled = self.scaler.scale(&smoothed).map_err(TwigError::Stats)?;
-        Ok(scaled.into_iter().map(|v| v as f32).collect())
+        // Belt and braces: max_norm_scale already clamps to [0, 1] and maps
+        // NaN to 0, so the MDP state can never carry a non-finite feature.
+        Ok(scaled.into_iter().map(|v| (v as f32).clamp(0.0, 1.0)).collect())
     }
 
     /// All services' states, in index order.
@@ -227,9 +261,8 @@ pub fn select_counters(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use twig_sim::pmc::{synthesize, Activity};
+    use twig_stats::rng::Xoshiro256;
 
     #[test]
     fn rejects_bad_config() {
@@ -306,12 +339,54 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_samples_fall_back_to_last_known_good() {
+        let mut mon = SystemMonitor::new(1, 2, 18).unwrap();
+        let mut good = PmcSample::zero();
+        good.set(CounterId::InstructionRetired, 1.0e9);
+        mon.update(0, &good).unwrap();
+        assert!(!mon.is_degraded(0));
+        let clean_state = mon.state(0).unwrap();
+
+        let mut bad = good;
+        bad.set(CounterId::InstructionRetired, f64::NAN);
+        bad.set(CounterId::LlcMisses, f64::INFINITY);
+        mon.update(0, &bad).unwrap();
+        assert!(mon.is_degraded(0));
+        let state = mon.state(0).unwrap();
+        assert!(state.iter().all(|v| v.is_finite()));
+        assert!(state.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // The NaN counter was patched with the last-known-good reading, so
+        // the smoothed state is unchanged for that feature.
+        assert_eq!(
+            state[CounterId::InstructionRetired.index()],
+            clean_state[CounterId::InstructionRetired.index()]
+        );
+
+        // A clean sample clears the degraded flag.
+        mon.update(0, &good).unwrap();
+        assert!(!mon.is_degraded(0));
+    }
+
+    #[test]
+    fn all_nan_first_sample_stays_finite() {
+        let mut mon = SystemMonitor::new(1, 3, 18).unwrap();
+        let mut bad = PmcSample::zero();
+        for c in CounterId::ALL {
+            bad.set(c, f64::NAN);
+        }
+        mon.update(0, &bad).unwrap();
+        assert!(mon.is_degraded(0));
+        let state = mon.state(0).unwrap();
+        assert_eq!(state, vec![0.0; NUM_COUNTERS]);
+    }
+
+    #[test]
     fn select_counters_ranks_latency_tracking_counters_first() {
         // Build a synthetic profile where activity (and latency) vary with
         // load; all counters correlate, but noise-only dead counters rank
         // last.
         let spec = twig_sim::catalog::masstree();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256::seed_from_u64(5);
         let mut profile = Vec::new();
         for i in 0..200 {
             let load = 0.1 + 0.8 * (i % 20) as f64 / 20.0;

@@ -1,6 +1,5 @@
 use crate::TwigError;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use twig_stats::rng::Xoshiro256;
 use twig_stats::{random_grid_search, LinearModel};
 
 /// The first-order per-service power model of Eq. 2:
@@ -127,7 +126,7 @@ pub fn fit_power_model(points: &[ProfilePoint], seed: u64) -> Result<PowerModelF
         .map(|p| vec![p.load, p.cores as f64, p.dvfs as f64])
         .collect();
     let ys: Vec<f64> = points.iter().map(|p| p.dynamic_power_w).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     let grid = random_grid_search(&xs, &ys, &[1], (1e-8, 1e-1), 20, 5, &mut rng)
         .map_err(TwigError::Stats)?;
     let best = grid[0];

@@ -58,14 +58,23 @@ impl RewardConfig {
     /// `measured_qos_ms` and `target_qos_ms` are tail latencies;
     /// `power_reward` is `P_max / P_estimated` (see
     /// [`Eq2PowerModel`](crate::Eq2PowerModel)).
+    /// Non-finite or negative inputs are sanitised so the learning signal
+    /// stays finite: a NaN latency is treated as the worst case (floor), a
+    /// negative latency as zero, and a NaN power reward as zero.
     pub fn reward(&self, measured_qos_ms: f64, target_qos_ms: f64, power_reward: f64) -> f64 {
+        let measured = if measured_qos_ms.is_nan() {
+            f64::INFINITY
+        } else {
+            measured_qos_ms.max(0.0)
+        };
         let qos_rew = if target_qos_ms > 0.0 {
-            measured_qos_ms / target_qos_ms
+            measured / target_qos_ms
         } else {
             f64::INFINITY
         };
+        let power_rew = if power_reward.is_nan() { 0.0 } else { power_reward };
         if qos_rew <= 1.0 {
-            qos_rew + self.theta * power_reward.clamp(0.0, self.power_reward_cap)
+            qos_rew + self.theta * power_rew.clamp(0.0, self.power_reward_cap)
         } else {
             (-self.violation_scale * qos_rew.powf(self.phi)).max(self.floor)
         }
@@ -74,17 +83,21 @@ impl RewardConfig {
     /// The `Power_rew` term: peak (stress-benchmark) power over the
     /// service's estimated power, clamped to the configured cap.
     pub fn power_reward(&self, peak_power_w: f64, estimated_power_w: f64) -> f64 {
-        if estimated_power_w <= 0.0 {
+        if estimated_power_w <= 0.0 || estimated_power_w.is_nan() {
             return self.power_reward_cap;
         }
-        (peak_power_w / estimated_power_w).clamp(0.0, self.power_reward_cap)
+        let ratio = peak_power_w / estimated_power_w;
+        if ratio.is_nan() {
+            return 0.0;
+        }
+        ratio.clamp(0.0, self.power_reward_cap)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use twig_stats::rng::{Rng, Xoshiro256};
 
     #[test]
     fn paper_constants_are_default() {
@@ -124,37 +137,90 @@ mod tests {
         assert!((r.power_reward(120.0, 60.0) - 2.0).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn met_qos_always_nonnegative(
-            tardiness in 0.0f64..=1.0,
-            power in 0.0f64..100.0,
-        ) {
-            let r = RewardConfig::default();
-            prop_assert!(r.reward(tardiness * 2.0, 2.0, power) >= 0.0);
+    #[test]
+    fn met_qos_always_nonnegative() {
+        let r = RewardConfig::default();
+        let mut rng = Xoshiro256::seed_from_u64(0x4e7);
+        for _ in 0..200 {
+            let tardiness = rng.next_f64();
+            let power = rng.range_f64(0.0, 100.0);
+            assert!(r.reward(tardiness * 2.0, 2.0, power) >= 0.0);
         }
+    }
 
-        #[test]
-        fn violations_always_negative_and_monotone(
-            t1 in 1.001f64..50.0,
-            t2 in 1.001f64..50.0,
-        ) {
-            let r = RewardConfig::default();
+    #[test]
+    fn violations_always_negative_and_monotone() {
+        let r = RewardConfig::default();
+        let mut rng = Xoshiro256::seed_from_u64(0x7a2d);
+        for _ in 0..200 {
+            let t1 = rng.range_f64(1.001, 50.0);
+            let t2 = rng.range_f64(1.001, 50.0);
             let r1 = r.reward(t1 * 2.0, 2.0, 10.0);
             let r2 = r.reward(t2 * 2.0, 2.0, 10.0);
-            prop_assert!(r1 < 0.0 && r2 < 0.0);
+            assert!(r1 < 0.0 && r2 < 0.0);
             if t1 < t2 {
-                prop_assert!(r1 >= r2);
+                assert!(r1 >= r2);
             }
         }
+    }
 
-        #[test]
-        fn reward_bounded_below_by_floor(
-            measured in 0.0f64..1e6,
-            power in 0.0f64..1e6,
-        ) {
-            let r = RewardConfig::default();
-            prop_assert!(r.reward(measured, 2.0, power) >= r.floor);
+    #[test]
+    fn reward_bounded_below_by_floor() {
+        let r = RewardConfig::default();
+        let mut rng = Xoshiro256::seed_from_u64(0xf100);
+        for _ in 0..200 {
+            let measured = rng.range_f64(0.0, 1e6);
+            let power = rng.range_f64(0.0, 1e6);
+            assert!(r.reward(measured, 2.0, power) >= r.floor);
         }
+    }
+
+    #[test]
+    fn qos_exactly_at_target_takes_met_branch() {
+        let r = RewardConfig::default();
+        // qos_rew == 1.0 is "met": reward = 1 + θ·power_rew, never a penalty.
+        let reward = r.reward(2.0, 2.0, 10.0);
+        assert_eq!(reward, 1.0 + r.theta * 10.0);
+        assert!(reward > 0.0);
+    }
+
+    #[test]
+    fn zero_peak_power_stays_in_bounds() {
+        let r = RewardConfig::default();
+        let pr = r.power_reward(0.0, 60.0);
+        assert_eq!(pr, 0.0);
+        let reward = r.reward(1.0, 2.0, pr);
+        assert!(reward.is_finite() && reward >= 0.0);
+        // Degenerate on both sides: 0/0 must not yield NaN.
+        let pr = r.power_reward(0.0, 0.0);
+        assert!(pr.is_finite());
+        assert!(r.reward(1.0, 2.0, pr).is_finite());
+    }
+
+    #[test]
+    fn negative_and_nan_latency_stay_finite_and_bounded() {
+        let r = RewardConfig::default();
+        let upper = 1.0 + r.theta * r.power_reward_cap;
+        for measured in [-5.0, -1e9, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let reward = r.reward(measured, 2.0, 10.0);
+            assert!(reward.is_finite(), "reward({measured}) = {reward}");
+            assert!(
+                (r.floor..=upper).contains(&reward),
+                "reward({measured}) = {reward} outside [{}, {upper}]",
+                r.floor
+            );
+        }
+        // NaN latency is treated as the worst case: the φ floor.
+        assert_eq!(r.reward(f64::NAN, 2.0, 10.0), r.floor);
+        // NaN power reward is treated as zero, not propagated: only the
+        // qos_rew term (1.0/2.0 = 0.5) remains.
+        assert_eq!(r.reward(1.0, 2.0, f64::NAN), 0.5);
+    }
+
+    #[test]
+    fn phi_floor_is_minus_one_hundred() {
+        let r = RewardConfig::default();
+        assert_eq!(r.reward(f64::INFINITY, 2.0, 0.0), -100.0);
+        assert_eq!(r.reward(1e12, 2.0, 0.0), -100.0);
     }
 }

@@ -1,6 +1,6 @@
 use crate::{NnError, Tensor};
-use rand::Rng;
 use rand_distr_like::he_std;
+use twig_stats::rng::Rng;
 
 /// Helper for weight-initialisation scales (no external distribution crate:
 /// we sample uniform and rescale to the He / Kaiming standard deviation).
@@ -57,9 +57,9 @@ pub trait Layer {
 ///
 /// ```
 /// use twig_nn::{Dense, Layer, Tensor};
-/// use rand::SeedableRng;
+/// use twig_stats::rng::Xoshiro256;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = Xoshiro256::seed_from_u64(0);
 /// let mut d = Dense::new(3, 2, &mut rng);
 /// let y = d.forward(&Tensor::zeros(4, 3), false);
 /// assert_eq!((y.rows(), y.cols()), (4, 2));
@@ -77,12 +77,12 @@ pub struct Dense {
 
 impl Dense {
     /// Creates a dense layer with He-initialised weights and zero bias.
-    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
         let std = he_std(in_dim);
         let mut w = Tensor::zeros(in_dim, out_dim);
         for v in w.as_mut_slice() {
             // Uniform(-a, a) has std a/sqrt(3); pick a = std * sqrt(3).
-            *v = rng.gen_range(-1.0f32..1.0) * std * 3f32.sqrt();
+            *v = rng.range_f32(-1.0, 1.0) * std * 3f32.sqrt();
         }
         Dense {
             in_dim,
@@ -107,7 +107,7 @@ impl Dense {
 
     /// Re-initialises weights and bias (used by transfer learning to reset
     /// the final, most task-specific layer).
-    pub fn reinitialize<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+    pub fn reinitialize<R: Rng>(&mut self, rng: &mut R) {
         let fresh = Dense::new(self.in_dim, self.out_dim, rng);
         self.w = fresh.w;
         self.b = fresh.b;
@@ -294,7 +294,7 @@ impl Layer for Relu {
 pub struct Dropout {
     p: f32,
     mask: Option<Vec<f32>>,
-    rng: rand::rngs::StdRng,
+    rng: twig_stats::rng::Xoshiro256,
 }
 
 impl Dropout {
@@ -306,8 +306,7 @@ impl Dropout {
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn new(p: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "dropout probability {p} outside [0, 1)");
-        use rand::SeedableRng;
-        Dropout { p, mask: None, rng: rand::rngs::StdRng::seed_from_u64(seed) }
+        Dropout { p, mask: None, rng: twig_stats::rng::Xoshiro256::seed_from_u64(seed) }
     }
 }
 
@@ -324,7 +323,7 @@ impl Layer for Dropout {
             .as_mut_slice()
             .iter_mut()
             .map(|v| {
-                if self.rng.gen::<f32>() < keep {
+                if self.rng.next_f32() < keep {
                     *v *= scale;
                     scale
                 } else {
@@ -369,12 +368,11 @@ impl Layer for Dropout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use twig_stats::rng::Xoshiro256;
 
     #[test]
     fn dense_forward_shape_and_bias() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256::seed_from_u64(1);
         let mut d = Dense::new(2, 3, &mut rng);
         let out = d.forward(&Tensor::zeros(5, 2), false);
         assert_eq!((out.rows(), out.cols()), (5, 3));
@@ -384,7 +382,7 @@ mod tests {
 
     #[test]
     fn dense_gradients_accumulate() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256::seed_from_u64(2);
         let mut d = Dense::new(1, 1, &mut rng);
         let x = Tensor::from_row(&[1.0]);
         d.forward(&x, true);
@@ -398,7 +396,7 @@ mod tests {
 
     #[test]
     fn dense_copy_weights_shape_check() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256::seed_from_u64(3);
         let mut a = Dense::new(2, 2, &mut rng);
         let b = Dense::new(2, 3, &mut rng);
         assert!(a.copy_weights_from(&b).is_err());
@@ -442,7 +440,7 @@ mod tests {
 
     #[test]
     fn param_counts() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256::seed_from_u64(0);
         assert_eq!(Dense::new(3, 4, &mut rng).param_count(), 16);
         assert_eq!(Relu::new().param_count(), 0);
         assert_eq!(Dropout::new(0.1, 0).param_count(), 0);

@@ -22,9 +22,9 @@
 //!
 //! ```
 //! use twig_nn::{Adam, Dense, Mlp, Relu, Tensor, mse_loss};
-//! use rand::SeedableRng;
+//! use twig_stats::rng::Xoshiro256;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = Xoshiro256::seed_from_u64(1);
 //! let mut net = Mlp::new()
 //!     .push(Dense::new(2, 8, &mut rng))
 //!     .push(Relu::new())

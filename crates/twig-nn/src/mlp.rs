@@ -1,5 +1,5 @@
 use crate::{Adam, Dense, Dropout, Layer, NnError, Relu, Tensor};
-use rand::Rng;
+use twig_stats::rng::Rng;
 
 /// A sequential stack of layers.
 ///
@@ -12,9 +12,9 @@ use rand::Rng;
 ///
 /// ```
 /// use twig_nn::{Dense, Mlp, Relu, Tensor};
-/// use rand::SeedableRng;
+/// use twig_stats::rng::Xoshiro256;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = Xoshiro256::seed_from_u64(0);
 /// let mut net = Mlp::new()
 ///     .push(Dense::new(4, 16, &mut rng))
 ///     .push(Relu::new())
@@ -207,7 +207,7 @@ impl Mlp {
     /// network … and re-initialising it with random weights").
     ///
     /// Returns `true` if a dense layer was found and reset.
-    pub fn reinitialize_last_dense<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+    pub fn reinitialize_last_dense<R: Rng>(&mut self, rng: &mut R) -> bool {
         for layer in self.layers.iter_mut().rev() {
             if let MlpLayer::Dense(d) = layer {
                 d.reinitialize(rng);
@@ -280,11 +280,10 @@ impl Mlp {
 mod tests {
     use super::*;
     use crate::mse_loss;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use twig_stats::rng::Xoshiro256;
 
     fn tiny_net(seed: u64) -> Mlp {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
         Mlp::new()
             .push(Dense::new(2, 6, &mut rng))
             .push(Relu::new())
@@ -342,7 +341,7 @@ mod tests {
     #[test]
     fn copy_weights_rejects_architecture_mismatch() {
         let mut a = tiny_net(1);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256::seed_from_u64(0);
         let b = Mlp::new().push(Dense::new(2, 6, &mut rng));
         assert!(a.copy_weights_from(&b).is_err());
     }
@@ -351,7 +350,7 @@ mod tests {
     fn reinitialize_last_dense_changes_only_last() {
         let mut net = tiny_net(3);
         let before = net.export_weights();
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Xoshiro256::seed_from_u64(99);
         assert!(net.reinitialize_last_dense(&mut rng));
         let after = net.export_weights();
         // First dense layer (2*6 = 12 weights) unchanged.

@@ -1,6 +1,5 @@
 use crate::{PrioritizedReplay, RlError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use twig_stats::rng::{Rng, Xoshiro256};
 use twig_nn::{Adam, Dense, Dropout, Mlp, Relu, Tensor};
 
 /// Configuration of a vanilla [`Dqn`].
@@ -91,7 +90,7 @@ pub struct Dqn {
     target: Mlp,
     adam: Adam,
     buffer: PrioritizedReplay<JointTransition>,
-    rng: StdRng,
+    rng: Xoshiro256,
     steps: u64,
 }
 
@@ -120,8 +119,8 @@ impl Dqn {
                 detail: format!("dropout {}", config.dropout),
             });
         }
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let build = |rng: &mut StdRng| {
+        let mut rng = Xoshiro256::seed_from_u64(config.seed);
+        let build = |rng: &mut Xoshiro256| {
             let mut net = Mlp::new();
             let mut prev = config.state_dim;
             for (i, &h) in config.hidden.iter().enumerate() {
@@ -193,8 +192,8 @@ impl Dqn {
     /// Returns [`RlError::DimensionMismatch`] for a wrongly sized state.
     pub fn select_action(&mut self, state: &[f32], epsilon: f64) -> Result<usize, RlError> {
         self.check_state(state)?;
-        if self.rng.gen::<f64>() < epsilon {
-            return Ok(self.rng.gen_range(0..self.config.actions));
+        if self.rng.next_f64() < epsilon {
+            return Ok(self.rng.range_usize(0, self.config.actions));
         }
         let q = self.q_values(state)?;
         Ok(argmax(&q))
@@ -333,10 +332,10 @@ mod tests {
     #[test]
     fn learns_contextual_bandit() {
         let mut dqn = Dqn::new(tiny()).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256::seed_from_u64(1);
         // Action = context (0..4) pays off.
         for step in 0..800 {
-            let ctx = rng.gen_range(0..4usize);
+            let ctx = rng.range_usize(0, 4);
             let state = vec![(ctx % 2) as f32, (ctx / 2) as f32];
             let eps = (1.0 - step as f64 / 400.0).max(0.05);
             let a = dqn.select_action(&state, eps).unwrap();

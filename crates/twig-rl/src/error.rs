@@ -31,6 +31,11 @@ pub enum RlError {
         /// Items available.
         available: usize,
     },
+    /// An input contained a non-finite (NaN or infinite) value.
+    NonFinite {
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RlError {
@@ -42,6 +47,9 @@ impl fmt::Display for RlError {
             }
             RlError::NotEnoughData { needed, available } => {
                 write!(f, "need {needed} samples but only {available} available")
+            }
+            RlError::NonFinite { detail } => {
+                write!(f, "non-finite input: {detail}")
             }
         }
     }
@@ -59,6 +67,7 @@ mod tests {
             RlError::InvalidConfig { detail: "x".into() },
             RlError::DimensionMismatch { detail: "y".into() },
             RlError::NotEnoughData { needed: 2, available: 1 },
+            RlError::NonFinite { detail: "z".into() },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -1,6 +1,5 @@
 use crate::{EpsilonSchedule, PrioritizedReplay, RlError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use twig_stats::rng::{Rng, Xoshiro256};
 use twig_nn::{Adam, Dense, Dropout, Mlp, Relu, Tensor};
 
 /// Configuration of a [`MaBdq`] agent.
@@ -132,6 +131,9 @@ pub struct TrainStats {
     pub mean_abs_td: f32,
     /// Global gradient norm before clipping.
     pub grad_norm: f32,
+    /// `true` when the step was skipped because the loss or gradients were
+    /// non-finite (no weights were updated).
+    pub skipped: bool,
 }
 
 /// The networks: a shared trunk, one state-value head per agent, and one
@@ -145,7 +147,7 @@ struct Net {
 }
 
 impl Net {
-    fn new(config: &MaBdqConfig, rng: &mut StdRng) -> Self {
+    fn new(config: &MaBdqConfig, rng: &mut Xoshiro256) -> Self {
         let mut trunk = Mlp::new();
         let mut prev = config.agents * config.state_dim;
         for (i, &h) in config.trunk_hidden.iter().enumerate() {
@@ -156,7 +158,7 @@ impl Net {
             prev = h;
         }
         let head_input = prev + config.state_dim;
-        let head = |out: usize, rng: &mut StdRng, seed: u64| {
+        let head = |out: usize, rng: &mut Xoshiro256, seed: u64| {
             Mlp::new()
                 .push(Dense::new(head_input, config.head_hidden, rng))
                 .push(Relu::new())
@@ -293,8 +295,9 @@ pub struct MaBdq {
     target: Net,
     adam: Adam,
     buffer: PrioritizedReplay<MultiTransition>,
-    rng: StdRng,
+    rng: Xoshiro256,
     steps: u64,
+    skipped_steps: u64,
 }
 
 impl MaBdq {
@@ -305,7 +308,7 @@ impl MaBdq {
     /// Returns [`RlError::InvalidConfig`] for an invalid configuration.
     pub fn new(config: MaBdqConfig) -> Result<Self, RlError> {
         config.validate()?;
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Xoshiro256::seed_from_u64(config.seed);
         let online = Net::new(&config, &mut rng);
         let mut target = Net::new(&config, &mut rng);
         target.copy_weights_from(&online);
@@ -316,7 +319,7 @@ impl MaBdq {
             config.per_beta0,
             config.per_beta_steps,
         );
-        Ok(MaBdq { config, online, target, adam, buffer, rng, steps: 0 })
+        Ok(MaBdq { config, online, target, adam, buffer, rng, steps: 0, skipped_steps: 0 })
     }
 
     /// The configuration.
@@ -327,6 +330,13 @@ impl MaBdq {
     /// Completed gradient steps.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Gradient steps skipped because the loss or gradients went
+    /// non-finite (the NaN guard — no weights were touched on those
+    /// steps).
+    pub fn skipped_steps(&self) -> u64 {
+        self.skipped_steps
     }
 
     /// Transitions currently buffered.
@@ -377,8 +387,8 @@ impl MaBdq {
             let mut agent_actions = Vec::with_capacity(branches.len());
             for (d, qd) in branches.iter().enumerate() {
                 let n = self.config.branches[d];
-                let a = if self.rng.gen::<f64>() < epsilon {
-                    self.rng.gen_range(0..n)
+                let a = if self.rng.next_f64() < epsilon {
+                    self.rng.range_usize(0, n)
                 } else {
                     argmax(qd.row(0))
                 };
@@ -433,6 +443,20 @@ impl MaBdq {
                     detail: format!("action {a} out of range {n}"),
                 });
             }
+        }
+        // NaN guard: a corrupted observation must never enter the replay
+        // buffer — one non-finite state or reward poisons every minibatch
+        // it is sampled into.
+        let finite_states = transition
+            .states
+            .iter()
+            .chain(&transition.next_states)
+            .flatten()
+            .all(|v| v.is_finite());
+        if !finite_states || !transition.rewards.iter().all(|r| r.is_finite()) {
+            return Err(RlError::NonFinite {
+                detail: "transition state or reward".into(),
+            });
         }
         self.buffer.push(transition);
         Ok(())
@@ -547,8 +571,22 @@ impl MaBdq {
         trunk_grad.scale(1.0 / num_branches as f32);
         self.online.trunk.backward(&trunk_grad);
 
-        // Global-norm clipping, then Adam.
+        // NaN guard: a numerically blown-up minibatch (non-finite loss or
+        // gradients) must not reach the weights — one bad Adam step can
+        // permanently poison the network. Skip the update and report it.
         let grad_norm = self.online.grad_sq_norm().sqrt();
+        if !loss.is_finite() || !grad_norm.is_finite() {
+            self.online.zero_grads();
+            self.skipped_steps += 1;
+            return Ok(Some(TrainStats {
+                loss,
+                mean_abs_td: (abs_td.iter().sum::<f64>() / batch_size as f64) as f32,
+                grad_norm,
+                skipped: true,
+            }));
+        }
+
+        // Global-norm clipping, then Adam.
         if self.config.grad_clip > 0.0 && grad_norm > self.config.grad_clip {
             self.online.scale_all_grads(self.config.grad_clip / grad_norm);
         }
@@ -563,6 +601,7 @@ impl MaBdq {
             loss,
             mean_abs_td: (abs_td.iter().sum::<f64>() / batch_size as f64) as f32,
             grad_norm,
+            skipped: false,
         }))
     }
 
@@ -735,6 +774,61 @@ mod tests {
     }
 
     #[test]
+    fn observe_rejects_non_finite_transitions() {
+        let mut agent = MaBdq::new(tiny_config(1)).unwrap();
+        let good = MultiTransition {
+            states: vec![vec![0.0, 0.0]],
+            actions: vec![vec![1, 1]],
+            rewards: vec![1.0],
+            next_states: vec![vec![0.0, 0.0]],
+        };
+        let nan_state =
+            MultiTransition { states: vec![vec![f32::NAN, 0.0]], ..good.clone() };
+        let inf_next = MultiTransition {
+            next_states: vec![vec![0.0, f32::INFINITY]],
+            ..good.clone()
+        };
+        let nan_reward = MultiTransition { rewards: vec![f32::NAN], ..good.clone() };
+        for bad in [nan_state, inf_next, nan_reward] {
+            assert!(matches!(agent.observe(bad), Err(RlError::NonFinite { .. })));
+        }
+        assert_eq!(agent.buffer_len(), 0, "nothing poisoned the buffer");
+        agent.observe(good).unwrap();
+        assert_eq!(agent.buffer_len(), 1);
+    }
+
+    #[test]
+    fn non_finite_loss_skips_weight_update() {
+        let mut agent = MaBdq::new(tiny_config(1)).unwrap();
+        // Rewards large enough that the squared TD error overflows f32:
+        // the loss goes infinite and the NaN guard must refuse the step.
+        for _ in 0..agent.config().batch_size {
+            agent
+                .observe(MultiTransition {
+                    states: vec![vec![0.1, 0.2]],
+                    actions: vec![vec![0, 0]],
+                    rewards: vec![1.0e30],
+                    next_states: vec![vec![0.1, 0.2]],
+                })
+                .unwrap();
+        }
+        let probe = vec![vec![0.1, 0.2]];
+        let before = agent.q_values(&probe).unwrap();
+        let stats = agent.train_step().unwrap().expect("batch available");
+        assert!(stats.skipped, "blown-up loss must be skipped");
+        assert!(!stats.loss.is_finite());
+        assert_eq!(agent.steps(), 0);
+        assert_eq!(agent.skipped_steps(), 1);
+        let after = agent.q_values(&probe).unwrap();
+        assert_eq!(before, after, "weights untouched by the skipped step");
+        assert!(after
+            .iter()
+            .flatten()
+            .flatten()
+            .all(|v| v.is_finite()));
+    }
+
+    #[test]
     fn train_step_none_until_batch_full() {
         let mut agent = MaBdq::new(tiny_config(1)).unwrap();
         assert_eq!(agent.train_step().unwrap(), None);
@@ -771,9 +865,9 @@ mod tests {
     #[test]
     fn learns_contextual_bandit_single_agent() {
         let mut agent = MaBdq::new(tiny_config(1)).unwrap();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256::seed_from_u64(9);
         for step in 0..600 {
-            let s = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let s = if rng.next_bool(0.5) { 1.0 } else { -1.0 };
             let state = vec![vec![s, 0.5]];
             let eps = (1.0 - step as f64 / 300.0).max(0.05);
             let acts = agent.select_actions(&state, eps).unwrap();
@@ -799,10 +893,10 @@ mod tests {
     #[test]
     fn learns_with_two_agents_distinct_contexts() {
         let mut agent = MaBdq::new(tiny_config(2)).unwrap();
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Xoshiro256::seed_from_u64(10);
         for step in 0..900 {
-            let s0 = if rng.gen::<bool>() { 1.0 } else { -1.0 };
-            let s1 = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let s0 = if rng.next_bool(0.5) { 1.0 } else { -1.0 };
+            let s1 = if rng.next_bool(0.5) { 1.0 } else { -1.0 };
             let states = vec![vec![s0, 0.0], vec![s1, 0.0]];
             let eps = (1.0 - step as f64 / 450.0).max(0.05);
             let acts = agent.select_actions(&states, eps).unwrap();

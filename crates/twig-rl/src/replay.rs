@@ -1,12 +1,12 @@
 use crate::RlError;
-use rand::Rng;
+use twig_stats::rng::Rng;
 
 /// Fixed-capacity uniform experience-replay ring buffer.
 ///
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use twig_stats::rng::Xoshiro256;
 /// use twig_rl::ReplayBuffer;
 ///
 /// let mut buf = ReplayBuffer::new(3);
@@ -14,7 +14,7 @@ use rand::Rng;
 ///     buf.push(i);
 /// }
 /// assert_eq!(buf.len(), 3); // oldest evicted
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = Xoshiro256::seed_from_u64(0);
 /// let batch = buf.sample(2, &mut rng).unwrap();
 /// assert_eq!(batch.len(), 2);
 /// ```
@@ -66,7 +66,7 @@ impl<T> ReplayBuffer<T> {
     /// # Errors
     ///
     /// Returns [`RlError::NotEnoughData`] when the buffer is empty.
-    pub fn sample<R: Rng + ?Sized>(
+    pub fn sample<R: Rng>(
         &self,
         n: usize,
         rng: &mut R,
@@ -75,7 +75,7 @@ impl<T> ReplayBuffer<T> {
             return Err(RlError::NotEnoughData { needed: n, available: 0 });
         }
         Ok((0..n)
-            .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+            .map(|_| &self.items[rng.range_usize(0, self.items.len())])
             .collect())
     }
 }
@@ -83,8 +83,7 @@ impl<T> ReplayBuffer<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use twig_stats::rng::Xoshiro256;
 
     #[test]
     fn fills_then_wraps() {
@@ -96,7 +95,7 @@ mod tests {
         assert_eq!(b.len(), 2);
         assert_eq!(b.capacity(), 2);
         // After wrap the oldest (1) is gone.
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256::seed_from_u64(0);
         for _ in 0..20 {
             let s = b.sample(1, &mut rng).unwrap();
             assert!(*s[0] == 2 || *s[0] == 3);
@@ -106,7 +105,7 @@ mod tests {
     #[test]
     fn sample_empty_errors() {
         let b: ReplayBuffer<u8> = ReplayBuffer::new(4);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256::seed_from_u64(0);
         assert!(matches!(
             b.sample(1, &mut rng),
             Err(RlError::NotEnoughData { available: 0, .. })
@@ -126,7 +125,7 @@ mod tests {
             b.push(i);
         }
         // Items 4, 5, 6 remain.
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256::seed_from_u64(1);
         let all: Vec<i32> = (0..100)
             .map(|_| **b.sample(1, &mut rng).unwrap().first().unwrap())
             .collect();

@@ -1,5 +1,5 @@
 use crate::RlError;
-use rand::Rng;
+use twig_stats::rng::Rng;
 
 /// Tabular Q-learning over discrete states and actions.
 ///
@@ -12,11 +12,11 @@ use rand::Rng;
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use twig_stats::rng::Xoshiro256;
 /// use twig_rl::QTable;
 ///
 /// let mut q = QTable::new(4, 2, 0.6, 0.9).unwrap();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = Xoshiro256::seed_from_u64(0);
 /// // Reward action 1 in state 0 a few times.
 /// for _ in 0..100 {
 ///     q.update(0, 1, 1.0, 0);
@@ -92,10 +92,10 @@ impl QTable {
     /// # Panics
     ///
     /// Panics when `state` is out of range.
-    pub fn select<R: Rng + ?Sized>(&self, state: usize, epsilon: f64, rng: &mut R) -> usize {
+    pub fn select<R: Rng>(&self, state: usize, epsilon: f64, rng: &mut R) -> usize {
         assert!(state < self.states, "state {state} out of range");
-        if rng.gen::<f64>() < epsilon {
-            return rng.gen_range(0..self.actions);
+        if rng.next_f64() < epsilon {
+            return rng.range_usize(0, self.actions);
         }
         self.greedy(state)
     }
@@ -142,8 +142,7 @@ impl QTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use twig_stats::rng::Xoshiro256;
 
     #[test]
     fn rejects_bad_config() {
@@ -171,7 +170,7 @@ mod tests {
     #[test]
     fn epsilon_one_is_uniform_random() {
         let q = QTable::new(1, 4, 0.5, 0.9).unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256::seed_from_u64(5);
         let mut counts = [0usize; 4];
         for _ in 0..4000 {
             counts[q.select(0, 1.0, &mut rng)] += 1;

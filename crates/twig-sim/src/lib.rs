@@ -41,6 +41,7 @@
 
 mod cores;
 mod error;
+pub mod fault;
 mod load;
 pub mod pmc;
 mod power;
@@ -52,6 +53,7 @@ pub mod catalog;
 
 pub use cores::{CoreId, DvfsLadder, Frequency};
 pub use error::SimError;
+pub use fault::{AppliedAssignment, FaultConfig, FaultPlan, PmcFaultKind, TelemetryHealth};
 pub use load::LoadGenerator;
 pub use pmc::{CounterId, PmcSample, NUM_COUNTERS};
 pub use power::PowerModel;

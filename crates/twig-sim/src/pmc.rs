@@ -11,7 +11,7 @@
 
 use crate::queue::standard_normal;
 use crate::{ServiceSpec, SimError};
-use rand::Rng;
+use twig_stats::rng::Rng;
 use std::fmt;
 use std::ops::Index;
 
@@ -165,7 +165,7 @@ const NOISE_SD: f64 = 0.03;
 /// cycle counters come from (frequency-weighted) busy time; instruction-side
 /// counters from completed work scaled by the service's instruction mix;
 /// LLC misses from memory-bound work inflated by cache pressure.
-pub fn synthesize<R: Rng + ?Sized>(
+pub fn synthesize<R: Rng>(
     spec: &ServiceSpec,
     activity: &Activity,
     rng: &mut R,
@@ -240,8 +240,7 @@ pub fn calibration_maxima(cores: usize) -> Result<[f64; NUM_COUNTERS], SimError>
 mod tests {
     use super::*;
     use crate::catalog;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use twig_stats::rng::Xoshiro256;
 
     fn activity() -> Activity {
         Activity {
@@ -271,7 +270,7 @@ mod tests {
     #[test]
     fn synthesis_is_nonnegative_and_scales_with_activity() {
         let spec = catalog::masstree();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256::seed_from_u64(1);
         let base = synthesize(&spec, &activity(), &mut rng);
         for &v in base.as_array() {
             assert!(v >= 0.0);
@@ -291,7 +290,7 @@ mod tests {
     #[test]
     fn cache_pressure_inflates_llc_misses() {
         let spec = catalog::moses();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256::seed_from_u64(2);
         let calm = synthesize(&spec, &Activity { cache_pressure: 0.0, ..activity() }, &mut rng);
         let hot = synthesize(&spec, &Activity { cache_pressure: 1.0, ..activity() }, &mut rng);
         assert!(hot[CounterId::LlcMisses] > calm[CounterId::LlcMisses] * 1.5);
@@ -305,7 +304,7 @@ mod tests {
     #[test]
     fn idle_activity_gives_zero_counters() {
         let spec = catalog::xapian();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256::seed_from_u64(3);
         let s = synthesize(&spec, &Activity::default(), &mut rng);
         for &v in s.as_array() {
             assert_eq!(v, 0.0);
@@ -317,7 +316,7 @@ mod tests {
         // A service flat-out on 9 cores for a second must stay below the
         // 18-core calibration maxima in every counter.
         let spec = catalog::moses();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256::seed_from_u64(4);
         let act = Activity {
             weighted_busy_core_s: 9.0,
             busy_core_s: 9.0,

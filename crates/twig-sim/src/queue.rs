@@ -1,4 +1,4 @@
-use rand::Rng;
+use twig_stats::rng::Rng;
 use std::collections::VecDeque;
 
 /// FCFS request queue of one service.
@@ -16,11 +16,11 @@ use std::collections::VecDeque;
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use twig_stats::rng::Xoshiro256;
 /// use twig_sim::ServiceQueue;
 ///
 /// let mut q = ServiceQueue::new();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = Xoshiro256::seed_from_u64(1);
 /// // One epoch: 1000 RPS with 0.3 ms requests — lightly loaded.
 /// let stats = q.run_epoch(0.0, 1.0, 1000.0, 0.3, 0.5, &mut rng);
 /// assert!(stats.completed > 800);
@@ -97,7 +97,7 @@ impl ServiceQueue {
     /// # Panics
     ///
     /// Panics if `t1 <= t0` or any parameter is negative/NaN.
-    pub fn run_epoch<R: Rng + ?Sized>(
+    pub fn run_epoch<R: Rng>(
         &mut self,
         t0: f64,
         t1: f64,
@@ -120,7 +120,7 @@ impl ServiceQueue {
     ///
     /// Panics if `t1 <= t0` or any parameter is negative/NaN.
     #[allow(clippy::too_many_arguments)]
-    pub fn run_epoch_with_timeout<R: Rng + ?Sized>(
+    pub fn run_epoch_with_timeout<R: Rng>(
         &mut self,
         t0: f64,
         t1: f64,
@@ -213,14 +213,14 @@ impl ServiceQueue {
 }
 
 /// Samples an exponential inter-arrival gap with the given rate.
-fn exponential<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
-    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+fn exponential<R: Rng>(rate: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.range_f64(f64::EPSILON, 1.0);
     -u.ln() / rate
 }
 
 /// Samples a lognormal value with the given mean and coefficient of
 /// variation (standard Box-Muller under the hood).
-fn lognormal<R: Rng + ?Sized>(mean: f64, cv: f64, rng: &mut R) -> f64 {
+fn lognormal<R: Rng>(mean: f64, cv: f64, rng: &mut R) -> f64 {
     if cv == 0.0 {
         return mean;
     }
@@ -231,20 +231,19 @@ fn lognormal<R: Rng + ?Sized>(mean: f64, cv: f64, rng: &mut R) -> f64 {
 }
 
 /// Samples a standard normal via Box-Muller.
-pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
+pub(crate) fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.range_f64(f64::EPSILON, 1.0);
+    let u2: f64 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use twig_stats::rng::Xoshiro256;
 
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(seed)
     }
 
     #[test]

@@ -1,11 +1,11 @@
+use crate::fault::{AppliedAssignment, FaultPlan, TelemetryHealth};
 use crate::pmc::{self, Activity, PmcSample};
 use crate::queue::ServiceQueue;
 use crate::{
     CoreId, DvfsLadder, Frequency, LoadGenerator, PowerModel, ServiceSpec, SimError,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
+use twig_stats::rng::Xoshiro256;
 
 /// Platform configuration of the simulated socket.
 ///
@@ -245,6 +245,13 @@ pub struct EpochReport {
     pub energy_j: f64,
     /// Total cores remapped across all services this epoch.
     pub migrations: usize,
+    /// What the platform *actually applied* per service, which can diverge
+    /// from the request under actuation faults (rejection, DVFS clamping,
+    /// offline cores). Without a fault plan this echoes the request.
+    pub actuation: Vec<AppliedAssignment>,
+    /// Telemetry-health flags for this epoch (which readings were
+    /// corrupted, delayed or glitched). Clean without a fault plan.
+    pub telemetry: TelemetryHealth,
 }
 
 /// The simulated server socket hosting latency-critical services.
@@ -259,7 +266,11 @@ pub struct Server {
     prev_cores: Vec<BTreeSet<CoreId>>,
     time_s: u64,
     energy_j: f64,
-    rng: StdRng,
+    rng: Xoshiro256,
+    fault: Option<FaultPlan>,
+    last_applied: Vec<Option<AppliedAssignment>>,
+    last_pmcs: Vec<PmcSample>,
+    pmc_history: Vec<VecDeque<PmcSample>>,
 }
 
 impl Server {
@@ -291,8 +302,30 @@ impl Server {
             prev_cores: vec![BTreeSet::new(); n],
             time_s: 0,
             energy_j: 0.0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256::seed_from_u64(seed),
+            fault: None,
+            last_applied: vec![None; n],
+            last_pmcs: vec![PmcSample::zero(); n],
+            pmc_history: vec![VecDeque::new(); n],
         })
+    }
+
+    /// Installs a fault plan. Faults draw from the plan's own RNG stream,
+    /// so a plan with all rates zero (or clearing it again with
+    /// [`clear_fault_plan`](Self::clear_fault_plan)) leaves the simulation
+    /// bit-identical to a fault-free run.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Removes any installed fault plan.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault = None;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// The platform configuration.
@@ -373,6 +406,9 @@ impl Server {
         self.specs[index] = spec;
         self.queues[index].reset();
         self.prev_cores[index].clear();
+        self.last_applied[index] = None;
+        self.last_pmcs[index] = PmcSample::zero();
+        self.pmc_history[index].clear();
         Ok(())
     }
 
@@ -390,6 +426,40 @@ impl Server {
                 want: self.specs.len(),
             });
         }
+        // Actuation stage: resolve what the platform actually applies. The
+        // fault plan can reject a request (keeping the previous applied
+        // assignment), clamp its DVFS setting or drop offline cores; with
+        // no (or an all-zero) plan the request is applied verbatim and no
+        // RNG stream is touched.
+        CorePlan::from_assignments(assignments, &self.config)?; // validate request
+        let faults_on = self.fault.as_ref().is_some_and(FaultPlan::enabled);
+        let actuation: Vec<AppliedAssignment> = if faults_on {
+            let plan = self.fault.as_mut().expect("fault plan present");
+            plan.begin_epoch(self.config.cores);
+            assignments
+                .iter()
+                .enumerate()
+                .map(|(svc, a)| {
+                    plan.actuate(
+                        &a.cores,
+                        a.freq,
+                        self.last_applied[svc].as_ref(),
+                        &self.config.dvfs,
+                    )
+                })
+                .collect()
+        } else {
+            assignments
+                .iter()
+                .map(|a| AppliedAssignment::verbatim(a.cores.clone(), a.freq))
+                .collect()
+        };
+        let applied: Vec<Assignment> = actuation
+            .iter()
+            .map(|a| Assignment::new(a.cores.clone(), a.freq))
+            .collect();
+        let assignments = &applied[..];
+
         let plan = CorePlan::from_assignments(assignments, &self.config)?;
         let t0 = self.time_s as f64;
         let t1 = t0 + 1.0;
@@ -439,6 +509,7 @@ impl Server {
         // Per-service queue simulation.
         let mut service_epochs = Vec::with_capacity(self.specs.len());
         let mut busy_fracs = vec![0.0; self.specs.len()];
+        let mut telemetry = TelemetryHealth::clean(self.specs.len());
         for svc in 0..self.specs.len() {
             let spec = &self.specs[svc];
             let (cpu_rate, eff_cores, max_speed) =
@@ -501,7 +572,33 @@ impl Server {
                 cache_pressure,
                 clock_ghz: assignments[svc].freq.ghz(),
             };
-            let pmcs = pmc::synthesize(spec, &activity, &mut self.rng);
+            let fresh = pmc::synthesize(spec, &activity, &mut self.rng);
+
+            // Telemetry stage: the manager sees the fault plan's view of
+            // the counters — possibly delayed by k epochs, possibly
+            // corrupted (NaN/Inf/zero/stale). Ground-truth simulation state
+            // is never touched.
+            let pmcs = if faults_on {
+                let delay =
+                    self.fault.as_ref().expect("fault plan present").telemetry_delay();
+                let history = &mut self.pmc_history[svc];
+                history.push_back(fresh);
+                while history.len() > delay + 1 {
+                    history.pop_front();
+                }
+                telemetry.delayed_epochs = history.len() - 1;
+                let mut delivered = *history.front().expect("history non-empty");
+                let previous = self.last_pmcs[svc];
+                telemetry.pmc_faults[svc] = self
+                    .fault
+                    .as_mut()
+                    .expect("fault plan present")
+                    .corrupt_pmcs(&mut delivered, &previous);
+                self.last_pmcs[svc] = delivered;
+                delivered
+            } else {
+                fresh
+            };
 
             service_epochs.push(ServiceEpoch {
                 name: spec.name.clone(),
@@ -534,9 +631,19 @@ impl Server {
             .config
             .power
             .socket_power_with_parked(&active, self.config.cores);
-        let measured = self.config.power.rapl_reading(truth, &mut self.rng);
+        let mut measured = self.config.power.rapl_reading(truth, &mut self.rng);
+        if faults_on {
+            let plan = self.fault.as_mut().expect("fault plan present");
+            let (reading, glitched) = plan.glitch_power(measured);
+            measured = reading;
+            telemetry.power_glitched = glitched;
+            telemetry.offline_cores = plan.offline_cores().len();
+        }
         self.energy_j += truth; // 1-second epoch
 
+        for (svc, applied) in actuation.iter().enumerate() {
+            self.last_applied[svc] = Some(applied.clone());
+        }
         let report = EpochReport {
             time_s: self.time_s,
             services: service_epochs,
@@ -544,6 +651,8 @@ impl Server {
             true_power_w: truth,
             energy_j: self.energy_j,
             migrations: migrated.iter().sum(),
+            actuation,
+            telemetry,
         };
         self.time_s += 1;
         Ok(report)
@@ -793,6 +902,170 @@ mod tests {
             .unwrap();
         // Queue was drained on replacement.
         assert!(r.services[0].queue_len < 1000);
+    }
+
+    #[test]
+    fn disabled_fault_plan_is_bit_identical() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let run = |with_plan: bool| {
+            let mut server =
+                Server::new(ServerConfig::default(), vec![catalog::masstree()], 13)
+                    .unwrap();
+            if with_plan {
+                server.set_fault_plan(
+                    FaultPlan::new(FaultConfig::default(), 99).unwrap(),
+                );
+            }
+            server.set_load_fraction(0, 0.6).unwrap();
+            run_epochs(&mut server, 20)
+        };
+        fn run_epochs(server: &mut Server, epochs: usize) -> Vec<(u64, u64, u64)> {
+            (0..epochs)
+                .map(|_| {
+                    let r = server
+                        .step(&[Assignment::first_n(9, ServerConfig::default().dvfs.max())])
+                        .unwrap();
+                    (
+                        r.services[0].p99_ms.to_bits(),
+                        r.power_w.to_bits(),
+                        r.services[0].pmcs.as_array()[0].to_bits(),
+                    )
+                })
+                .collect()
+        }
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn actuation_faults_reported_and_applied() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut server =
+            Server::new(ServerConfig::default(), vec![catalog::masstree()], 14).unwrap();
+        server.set_fault_plan(
+            FaultPlan::new(
+                FaultConfig { actuation_reject_rate: 1.0, ..FaultConfig::default() },
+                3,
+            )
+            .unwrap(),
+        );
+        server.set_load_fraction(0, 0.5).unwrap();
+        let a1 = Assignment::first_n(6, max_freq());
+        let r1 = server.step(std::slice::from_ref(&a1)).unwrap();
+        // First epoch: no prior applied state, so the request goes through.
+        assert!(!r1.actuation[0].rejected);
+        assert_eq!(r1.services[0].core_count, 6);
+        // Every later request is rejected; the platform stays on epoch 1's
+        // applied assignment, and the report says so.
+        let a2 = Assignment::new((10..18).map(CoreId).collect(), max_freq());
+        let r2 = server.step(&[a2]).unwrap();
+        assert!(r2.actuation[0].rejected);
+        assert_eq!(
+            r2.actuation[0].cores,
+            (0..6).map(CoreId).collect::<Vec<_>>()
+        );
+        assert_eq!(r2.services[0].core_count, 6);
+        assert_eq!(r2.migrations, 0, "rejected remap causes no migration");
+    }
+
+    #[test]
+    fn pmc_corruption_surfaces_in_telemetry_health() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut server =
+            Server::new(ServerConfig::default(), vec![catalog::masstree()], 15).unwrap();
+        server.set_fault_plan(
+            FaultPlan::new(
+                FaultConfig { pmc_corrupt_rate: 1.0, ..FaultConfig::default() },
+                4,
+            )
+            .unwrap(),
+        );
+        server.set_load_fraction(0, 0.5).unwrap();
+        for _ in 0..10 {
+            let r = server.step(&[full_assignment(9)]).unwrap();
+            assert!(r.telemetry.degraded());
+            assert!(r.telemetry.service_degraded(0));
+            assert!(r.telemetry.pmc_faults[0].is_some());
+        }
+    }
+
+    #[test]
+    fn telemetry_delay_serves_old_samples() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        // Two servers, same workload seed: one with a 3-epoch telemetry
+        // delay. The delayed server's epoch-t PMCs must equal the fresh
+        // server's epoch-(t-3) PMCs.
+        let mut fresh =
+            Server::new(ServerConfig::default(), vec![catalog::xapian()], 16).unwrap();
+        let mut delayed =
+            Server::new(ServerConfig::default(), vec![catalog::xapian()], 16).unwrap();
+        delayed.set_fault_plan(
+            FaultPlan::new(
+                FaultConfig { telemetry_delay_epochs: 3, ..FaultConfig::default() },
+                5,
+            )
+            .unwrap(),
+        );
+        fresh.set_load_fraction(0, 0.5).unwrap();
+        delayed.set_load_fraction(0, 0.5).unwrap();
+        let a = [full_assignment(9)];
+        let fresh_pmcs: Vec<_> =
+            (0..10).map(|_| fresh.step(&a).unwrap().services[0].pmcs).collect();
+        let delayed_reports: Vec<_> = (0..10).map(|_| delayed.step(&a).unwrap()).collect();
+        for t in 3..10 {
+            assert_eq!(delayed_reports[t].services[0].pmcs, fresh_pmcs[t - 3]);
+            assert_eq!(delayed_reports[t].telemetry.delayed_epochs, 3);
+        }
+    }
+
+    #[test]
+    fn offline_cores_never_strand_a_service() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut server =
+            Server::new(ServerConfig::default(), vec![catalog::moses()], 17).unwrap();
+        server.set_fault_plan(
+            FaultPlan::new(
+                FaultConfig {
+                    core_fail_rate: 0.8,
+                    max_offline_cores: 17,
+                    ..FaultConfig::default()
+                },
+                6,
+            )
+            .unwrap(),
+        );
+        server.set_load_fraction(0, 0.5).unwrap();
+        for _ in 0..40 {
+            let r = server.step(&[full_assignment(18)]).unwrap();
+            assert!(r.services[0].core_count >= 1);
+            assert_eq!(
+                r.services[0].core_count + r.actuation[0].cores_lost_offline,
+                18
+            );
+        }
+    }
+
+    #[test]
+    fn power_glitch_leaves_truth_untouched() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut server =
+            Server::new(ServerConfig::default(), vec![catalog::img_dnn()], 18).unwrap();
+        server.set_fault_plan(
+            FaultPlan::new(
+                FaultConfig { power_glitch_rate: 1.0, ..FaultConfig::default() },
+                7,
+            )
+            .unwrap(),
+        );
+        server.set_load_fraction(0, 0.5).unwrap();
+        let mut last_energy = 0.0;
+        for _ in 0..10 {
+            let r = server.step(&[full_assignment(9)]).unwrap();
+            assert!(r.telemetry.power_glitched);
+            assert!(r.power_w == 0.0 || r.power_w > r.true_power_w * 2.0);
+            assert!(r.true_power_w > 0.0, "ground truth survives the glitch");
+            assert!(r.energy_j > last_energy, "energy accounting uses truth");
+            last_energy = r.energy_j;
+        }
     }
 
     #[test]

@@ -91,7 +91,7 @@ pub fn correlation_matrix(columns: &[Vec<f64>]) -> Result<Matrix, StatsError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::{Rng, Xoshiro256};
 
     #[test]
     fn perfect_positive_correlation() {
@@ -136,40 +136,48 @@ mod tests {
         assert_eq!(m[(0, 0)], 1.0);
     }
 
-    proptest! {
-        #[test]
-        fn pearson_in_unit_interval(
-            xs in proptest::collection::vec(-1e3f64..1e3, 3..100),
-        ) {
+    fn random_series<R: Rng>(rng: &mut R, lo_n: usize, hi_n: usize) -> Vec<f64> {
+        let n = rng.range_usize(lo_n, hi_n);
+        (0..n).map(|_| rng.range_f64(-1e3, 1e3)).collect()
+    }
+
+    #[test]
+    fn pearson_in_unit_interval() {
+        let mut rng = Xoshiro256::seed_from_u64(0x9ea5);
+        for _ in 0..200 {
+            let xs = random_series(&mut rng, 3, 100);
             let ys: Vec<f64> = xs.iter().rev().map(|x| x * 0.5 + 1.0).collect();
             if let Ok(r) = pearson(&xs, &ys) {
-                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+                assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
             }
         }
+    }
 
-        #[test]
-        fn pearson_symmetric(
-            xs in proptest::collection::vec(-1e3f64..1e3, 3..50),
-            ys in proptest::collection::vec(-1e3f64..1e3, 3..50),
-        ) {
-            if xs.len() == ys.len() {
-                match (pearson(&xs, &ys), pearson(&ys, &xs)) {
-                    (Ok(a), Ok(b)) => prop_assert!((a - b).abs() < 1e-12),
-                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
-                    _ => prop_assert!(false, "asymmetric result"),
-                }
+    #[test]
+    fn pearson_symmetric() {
+        let mut rng = Xoshiro256::seed_from_u64(0x5b33);
+        for _ in 0..200 {
+            let n = rng.range_usize(3, 50);
+            let xs: Vec<f64> = (0..n).map(|_| rng.range_f64(-1e3, 1e3)).collect();
+            let ys: Vec<f64> = (0..n).map(|_| rng.range_f64(-1e3, 1e3)).collect();
+            match (pearson(&xs, &ys), pearson(&ys, &xs)) {
+                (Ok(a), Ok(b)) => assert!((a - b).abs() < 1e-12),
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                _ => panic!("asymmetric result"),
             }
         }
+    }
 
-        #[test]
-        fn pearson_scale_invariant(
-            xs in proptest::collection::vec(-1e3f64..1e3, 3..50),
-            scale in 0.1f64..100.0,
-        ) {
+    #[test]
+    fn pearson_scale_invariant() {
+        let mut rng = Xoshiro256::seed_from_u64(0x5ca1e);
+        for _ in 0..200 {
+            let xs = random_series(&mut rng, 3, 50);
+            let scale = rng.range_f64(0.1, 100.0);
             let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + 3.0).collect();
             let xs2: Vec<f64> = xs.iter().map(|x| x * scale).collect();
             if let (Ok(a), Ok(b)) = (pearson(&xs, &ys), pearson(&xs2, &ys)) {
-                prop_assert!((a - b).abs() < 1e-6);
+                assert!((a - b).abs() < 1e-6);
             }
         }
     }

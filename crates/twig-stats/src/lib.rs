@@ -30,6 +30,7 @@ mod model_select;
 mod pca;
 mod percentile;
 mod regress;
+pub mod rng;
 mod scale;
 
 pub use corr::{correlation_matrix, pearson};

@@ -243,7 +243,7 @@ impl fmt::Display for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::{Rng, Xoshiro256};
 
     #[test]
     fn from_rows_rejects_ragged() {
@@ -293,30 +293,32 @@ mod tests {
         assert!(!format!("{m}").is_empty());
     }
 
-    fn small_square() -> impl Strategy<Value = Matrix> {
-        (2usize..5).prop_flat_map(|n| {
-            proptest::collection::vec(-10.0f64..10.0, n * n).prop_map(move |data| Matrix {
-                rows: n,
-                cols: n,
-                data,
-            })
-        })
+    fn small_square<R: Rng>(rng: &mut R) -> Matrix {
+        let n = rng.range_usize(2, 5);
+        let data: Vec<f64> = (0..n * n).map(|_| rng.range_f64(-10.0, 10.0)).collect();
+        Matrix { rows: n, cols: n, data }
     }
 
-    proptest! {
-        #[test]
-        fn transpose_is_involution(m in small_square()) {
-            prop_assert_eq!(m.transpose().transpose(), m);
+    #[test]
+    fn transpose_is_involution() {
+        let mut rng = Xoshiro256::seed_from_u64(0x7a05);
+        for _ in 0..100 {
+            let m = small_square(&mut rng);
+            assert_eq!(m.transpose().transpose(), m);
         }
+    }
 
-        #[test]
-        fn solve_then_multiply_recovers_rhs(m in small_square()) {
+    #[test]
+    fn solve_then_multiply_recovers_rhs() {
+        let mut rng = Xoshiro256::seed_from_u64(0x501e);
+        for _ in 0..100 {
+            let m = small_square(&mut rng);
             let n = m.rows();
             let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
             if let Ok(x) = m.solve(&b) {
                 let back = m.matvec(&x).unwrap();
                 for (got, want) in back.iter().zip(&b) {
-                    prop_assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+                    assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
                 }
             }
         }

@@ -1,6 +1,5 @@
+use crate::rng::Rng;
 use crate::{LinearModel, StatsError};
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// Splits `n` sample indices into `k` contiguous-size folds after a shuffle
 /// driven by `rng`. Each element appears in exactly one fold.
@@ -12,14 +11,14 @@ use rand::Rng;
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use twig_stats::rng::Xoshiro256;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = Xoshiro256::seed_from_u64(1);
 /// let folds = twig_stats::k_fold_indices(10, 5, &mut rng).unwrap();
 /// assert_eq!(folds.len(), 5);
 /// assert_eq!(folds.iter().map(Vec::len).sum::<usize>(), 10);
 /// ```
-pub fn k_fold_indices<R: Rng + ?Sized>(
+pub fn k_fold_indices<R: Rng>(
     n: usize,
     k: usize,
     rng: &mut R,
@@ -30,7 +29,7 @@ pub fn k_fold_indices<R: Rng + ?Sized>(
         });
     }
     let mut indices: Vec<usize> = (0..n).collect();
-    indices.shuffle(rng);
+    rng.shuffle(&mut indices);
     let base = n / k;
     let extra = n % k;
     let mut folds = Vec::with_capacity(k);
@@ -51,12 +50,12 @@ pub fn k_fold_indices<R: Rng + ?Sized>(
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use twig_stats::rng::Xoshiro256;
 /// use twig_stats::CrossValidation;
 ///
 /// let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
 /// let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + 1.0).collect();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = Xoshiro256::seed_from_u64(7);
 /// let cv = CrossValidation::new(5);
 /// let mse = cv.score(&xs, &ys, 1, 0.0, &mut rng).unwrap();
 /// assert!(mse < 1e-9);
@@ -78,7 +77,7 @@ impl CrossValidation {
     /// # Errors
     ///
     /// Propagates fold-construction and fitting errors.
-    pub fn score<R: Rng + ?Sized>(
+    pub fn score<R: Rng>(
         &self,
         xs: &[Vec<f64>],
         ys: &[f64],
@@ -143,11 +142,11 @@ pub struct GridPoint {
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use twig_stats::rng::Xoshiro256;
 ///
 /// let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 4.0]).collect();
 /// let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = Xoshiro256::seed_from_u64(3);
 /// let points = twig_stats::random_grid_search(
 ///     &xs, &ys, &[1, 2, 3], (1e-9, 1e-2), 10, 5, &mut rng,
 /// ).unwrap();
@@ -155,7 +154,7 @@ pub struct GridPoint {
 /// assert!(points[0].degree >= 2);
 /// ```
 #[allow(clippy::too_many_arguments)]
-pub fn random_grid_search<R: Rng + ?Sized>(
+pub fn random_grid_search<R: Rng>(
     xs: &[Vec<f64>],
     ys: &[f64],
     degrees: &[usize],
@@ -173,10 +172,10 @@ pub fn random_grid_search<R: Rng + ?Sized>(
     let (lo, hi) = lambda_range;
     let mut points = Vec::with_capacity(samples);
     for _ in 0..samples {
-        let degree = degrees[rng.gen_range(0..degrees.len())];
+        let degree = degrees[rng.range_usize(0, degrees.len())];
         // Log-uniform sampling over the lambda range.
         let lambda = if lo > 0.0 && hi > lo {
-            (rng.gen_range(lo.ln()..=hi.ln())).exp()
+            rng.range_f64(lo.ln(), hi.ln()).exp()
         } else {
             lo
         };
@@ -196,20 +195,18 @@ pub fn random_grid_search<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Xoshiro256;
 
     #[test]
     fn k_fold_rejects_bad_k() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256::seed_from_u64(0);
         assert!(k_fold_indices(5, 0, &mut rng).is_err());
         assert!(k_fold_indices(5, 6, &mut rng).is_err());
     }
 
     #[test]
     fn k_fold_partitions_all_indices() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256::seed_from_u64(0);
         let folds = k_fold_indices(23, 5, &mut rng).unwrap();
         let mut all: Vec<usize> = folds.into_iter().flatten().collect();
         all.sort_unstable();
@@ -220,7 +217,7 @@ mod tests {
     fn cv_score_zero_on_perfect_fit() {
         let xs: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0]).collect();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256::seed_from_u64(1);
         let mse = CrossValidation::new(5).score(&xs, &ys, 1, 0.0, &mut rng).unwrap();
         assert!(mse < 1e-12);
     }
@@ -229,7 +226,7 @@ mod tests {
     fn grid_search_prefers_correct_degree() {
         let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 10.0]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 1.0 + x[0].powi(3)).collect();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256::seed_from_u64(5);
         let points =
             random_grid_search(&xs, &ys, &[1, 2, 3], (1e-10, 1e-4), 30, 5, &mut rng)
                 .unwrap();
@@ -242,37 +239,39 @@ mod tests {
 
     #[test]
     fn grid_search_rejects_empty_degrees() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256::seed_from_u64(0);
         let err = random_grid_search(&[vec![1.0]], &[1.0], &[], (0.0, 0.0), 1, 1, &mut rng)
             .unwrap_err();
         assert!(matches!(err, StatsError::InvalidParameter { .. }));
     }
 
-    proptest! {
-        #[test]
-        fn folds_are_disjoint(n in 2usize..100, seed in 0u64..100) {
+    #[test]
+    fn folds_are_disjoint() {
+        for (n, seed) in (2usize..100).zip(0u64..) {
             let k = (n / 2).clamp(1, 7);
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Xoshiro256::seed_from_u64(seed);
             let folds = k_fold_indices(n, k, &mut rng).unwrap();
             let mut seen = vec![false; n];
             for fold in &folds {
                 for &i in fold {
-                    prop_assert!(!seen[i], "index {i} appears twice");
+                    assert!(!seen[i], "index {i} appears twice");
                     seen[i] = true;
                 }
             }
-            prop_assert!(seen.into_iter().all(|s| s));
+            assert!(seen.into_iter().all(|s| s));
         }
+    }
 
-        #[test]
-        fn fold_sizes_balanced(n in 5usize..200, seed in 0u64..50) {
+    #[test]
+    fn fold_sizes_balanced() {
+        for (n, seed) in (5usize..200).zip(0u64..) {
             let k = 5;
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Xoshiro256::seed_from_u64(seed);
             let folds = k_fold_indices(n, k, &mut rng).unwrap();
             let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
             let min = *sizes.iter().min().unwrap();
             let max = *sizes.iter().max().unwrap();
-            prop_assert!(max - min <= 1);
+            assert!(max - min <= 1, "n = {n}: sizes {sizes:?}");
         }
     }
 }

@@ -21,7 +21,9 @@ pub fn percentile(data: &mut [f64], p: f64) -> Result<f64, StatsError> {
     if data.is_empty() {
         return Err(StatsError::Empty);
     }
-    data.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    // total_cmp keeps this panic-free on NaN input (NaN sorts last); a
+    // corrupted sample must degrade the estimate, not abort the simulation.
+    data.sort_by(f64::total_cmp);
     percentile_sorted(data, p)
 }
 
@@ -149,7 +151,7 @@ impl FromIterator<f64> for PercentileTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::{Rng, Xoshiro256};
 
     #[test]
     fn percentile_rejects_out_of_range() {
@@ -201,26 +203,32 @@ mod tests {
         assert_eq!(t.percentile(0.0).unwrap(), 1.0);
     }
 
-    proptest! {
-        #[test]
-        fn percentile_monotone_in_p(
-            mut data in proptest::collection::vec(-1e6f64..1e6, 1..200),
-            p1 in 0.0f64..100.0,
-            p2 in 0.0f64..100.0,
-        ) {
+    #[test]
+    fn percentile_monotone_in_p() {
+        let mut rng = Xoshiro256::seed_from_u64(0x9e3779b9);
+        for _ in 0..200 {
+            let n = rng.range_usize(1, 200);
+            let mut data: Vec<f64> =
+                (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
+            let p1 = rng.range_f64(0.0, 100.0);
+            let p2 = rng.range_f64(0.0, 100.0);
             let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
             let a = percentile(&mut data, lo).unwrap();
             let b = percentile(&mut data, hi).unwrap();
-            prop_assert!(a <= b);
+            assert!(a <= b, "p{lo} gave {a} > p{hi} giving {b}");
         }
+    }
 
-        #[test]
-        fn percentile_bounded_by_min_max(
-            mut data in proptest::collection::vec(-1e6f64..1e6, 1..200),
-            p in 0.0f64..=100.0,
-        ) {
+    #[test]
+    fn percentile_bounded_by_min_max() {
+        let mut rng = Xoshiro256::seed_from_u64(0x51c3);
+        for _ in 0..200 {
+            let n = rng.range_usize(1, 200);
+            let mut data: Vec<f64> =
+                (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
+            let p = rng.range_f64(0.0, 100.0);
             let v = percentile(&mut data, p).unwrap();
-            prop_assert!(v >= data[0] && v <= data[data.len() - 1]);
+            assert!(v >= data[0] && v <= data[data.len() - 1]);
         }
     }
 }

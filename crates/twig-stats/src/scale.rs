@@ -13,7 +13,7 @@ use crate::StatsError;
 /// assert_eq!(twig_stats::max_norm_scale(200.0, 100.0), 1.0);
 /// ```
 pub fn max_norm_scale(value: f64, max: f64) -> f64 {
-    if max <= 0.0 {
+    if max <= 0.0 || !max.is_finite() || value.is_nan() {
         return 0.0;
     }
     (value / max).clamp(0.0, 1.0)
@@ -175,12 +175,26 @@ impl MinMaxScaler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::{Rng, Xoshiro256};
 
     #[test]
     fn max_norm_handles_zero_max() {
         assert_eq!(max_norm_scale(5.0, 0.0), 0.0);
         assert_eq!(max_norm_scale(5.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn max_norm_never_emits_non_finite() {
+        for value in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 5.0] {
+            for max in [f64::NAN, f64::INFINITY, 0.0, 100.0] {
+                let out = max_norm_scale(value, max);
+                assert!(out.is_finite(), "scale({value}, {max}) = {out}");
+                assert!((0.0..=1.0).contains(&out));
+            }
+        }
+        assert_eq!(max_norm_scale(f64::INFINITY, 100.0), 1.0);
+        assert_eq!(max_norm_scale(f64::NEG_INFINITY, 100.0), 0.0);
+        assert_eq!(max_norm_scale(f64::NAN, 100.0), 0.0);
     }
 
     #[test]
@@ -208,30 +222,33 @@ mod tests {
         assert_eq!(s.scale(&[3.0]).unwrap(), vec![0.0]);
     }
 
-    proptest! {
-        #[test]
-        fn scaled_values_in_unit_interval(
-            values in proptest::collection::vec(0.0f64..1e6, 1..20),
-            factor in 0.1f64..10.0,
-        ) {
+    #[test]
+    fn scaled_values_in_unit_interval() {
+        let mut rng = Xoshiro256::seed_from_u64(0xca1e);
+        for _ in 0..200 {
+            let n = rng.range_usize(1, 20);
+            let values: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 1e6)).collect();
+            let factor = rng.range_f64(0.1, 10.0);
             let maxima: Vec<f64> = values.iter().map(|v| v.max(1.0) * factor).collect();
             let s = MaxNormScaler::new(maxima).unwrap();
             for v in s.scale(&values).unwrap() {
-                prop_assert!((0.0..=1.0).contains(&v));
+                assert!((0.0..=1.0).contains(&v));
             }
         }
+    }
 
-        #[test]
-        fn min_max_training_data_in_unit_interval(
-            rows in proptest::collection::vec(
-                proptest::collection::vec(-1e3f64..1e3, 3),
-                2..50,
-            ),
-        ) {
+    #[test]
+    fn min_max_training_data_in_unit_interval() {
+        let mut rng = Xoshiro256::seed_from_u64(0x317a);
+        for _ in 0..200 {
+            let rows_n = rng.range_usize(2, 50);
+            let rows: Vec<Vec<f64>> = (0..rows_n)
+                .map(|_| (0..3).map(|_| rng.range_f64(-1e3, 1e3)).collect())
+                .collect();
             let s = MinMaxScaler::fit(&rows).unwrap();
             for row in &rows {
                 for v in s.scale(row).unwrap() {
-                    prop_assert!((0.0..=1.0).contains(&v));
+                    assert!((0.0..=1.0).contains(&v));
                 }
             }
         }

@@ -1,0 +1,75 @@
+//! Fault tolerance: ride out a misbehaving platform with the safety governor.
+//!
+//! Arms the simulator's fault-injection layer (corrupted performance
+//! counters, rejected actuations) against a Twig-S manager wrapped in the
+//! [`SafetyGovernor`], then disarms it and watches QoS recover. The
+//! governor validates every decision, substitutes the last-known-good
+//! assignment when the inner manager stumbles, and routes epochs with
+//! corrupted telemetry around the learner so it never trains on garbage.
+//!
+//! Run with: `cargo run --release --example fault_tolerance`
+
+use twig::manager::{GovernorConfig, SafetyGovernor, TaskManager, TwigBuilder};
+use twig::rl::EpsilonSchedule;
+use twig::sim::{catalog, FaultConfig, FaultPlan, Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = catalog::masstree();
+    let cfg = ServerConfig::default();
+    let mut server = Server::new(cfg.clone(), vec![spec.clone()], 42)?;
+    server.set_load_fraction(0, 0.5)?;
+
+    let learn = 600;
+    let twig = TwigBuilder::new()
+        .services(vec![spec.clone()])
+        .epsilon(EpsilonSchedule::scaled(learn))
+        .seed(7)
+        .build()?;
+    let mut gov = SafetyGovernor::new(
+        twig,
+        GovernorConfig {
+            services: vec![spec.clone()],
+            cores: cfg.cores,
+            dvfs: cfg.dvfs.clone(),
+            ..GovernorConfig::default()
+        },
+    )?;
+    println!("manager: {}", gov.name());
+
+    let phase = |server: &mut Server, gov: &mut SafetyGovernor<_>, label: &str, epochs: u64| {
+        let mut met = 0u64;
+        for _ in 0..epochs {
+            let actions = gov.decide().expect("decide");
+            let report = server.step(&actions).expect("step");
+            if report.services[0].p99_ms <= spec.qos_ms {
+                met += 1;
+            }
+            gov.observe(&report).expect("observe");
+        }
+        println!(
+            "{label:<10} {epochs:>4} epochs | QoS met {:>5.1} % | governor: {} fallbacks, {} degraded epochs, {} watchdog trips",
+            100.0 * met as f64 / epochs as f64,
+            gov.stats().fallback_decisions,
+            gov.stats().degraded_epochs,
+            gov.stats().watchdog_trips,
+        );
+    };
+
+    phase(&mut server, &mut gov, "learn", learn);
+
+    // 15% of PMC readings corrupted (NaN/Inf/zero/stale) and 10% of
+    // actuations silently rejected by the platform.
+    server.set_fault_plan(FaultPlan::new(
+        FaultConfig {
+            pmc_corrupt_rate: 0.15,
+            actuation_reject_rate: 0.10,
+            ..FaultConfig::default()
+        },
+        1234,
+    )?);
+    phase(&mut server, &mut gov, "faulted", 100);
+
+    server.clear_fault_plan();
+    phase(&mut server, &mut gov, "recovered", 100);
+    Ok(())
+}

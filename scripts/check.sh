@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything must pass offline (the workspace has no external
+# dependencies — see DESIGN.md §6). Run from the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline -- -D warnings

@@ -1,22 +1,21 @@
 //! Cross-crate property tests: the invariants the learning stack relies on
 //! must hold at the integration boundary between `twig-sim` and
-//! `twig-core`.
+//! `twig-core`. Each test sweeps a deterministic sample of the input space
+//! (seeded in-repo RNG, no external generators).
 
-use proptest::prelude::*;
 use twig::manager::SystemMonitor;
 use twig::sim::{catalog, Assignment, CoreId, Frequency, Server, ServerConfig};
+use twig::stats::rng::{Rng, Xoshiro256};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Monitor states stay in [0, 1] for any reachable simulator output.
-    #[test]
-    fn monitor_states_always_normalised(
-        load in 0.0f64..1.0,
-        cores in 1usize..=18,
-        dvfs_idx in 0usize..9,
-        seed in 0u64..50,
-    ) {
+/// Monitor states stay in [0, 1] for any reachable simulator output.
+#[test]
+fn monitor_states_always_normalised() {
+    let mut rng = Xoshiro256::seed_from_u64(0x51a7e5);
+    for _ in 0..16 {
+        let load = rng.next_f64();
+        let cores = rng.range_usize_inclusive(1, 18);
+        let dvfs_idx = rng.range_usize(0, 9);
+        let seed = rng.next_u64() % 50;
         let cfg = ServerConfig::default();
         let freq = cfg.dvfs.frequency_at(dvfs_idx).unwrap();
         let mut server = Server::new(cfg, vec![catalog::moses()], seed).unwrap();
@@ -27,20 +26,22 @@ proptest! {
             let r = server.step(&a).unwrap();
             monitor.update(0, &r.services[0].pmcs).unwrap();
             let state = monitor.state(0).unwrap();
-            prop_assert_eq!(state.len(), twig::sim::NUM_COUNTERS);
+            assert_eq!(state.len(), twig::sim::NUM_COUNTERS);
             for &v in &state {
-                prop_assert!((0.0..=1.0).contains(&v), "state value {v}");
+                assert!((0.0..=1.0).contains(&v), "state value {v}");
             }
         }
     }
+}
 
-    /// Energy accumulates monotonically and power stays within the socket's
-    /// physical envelope.
-    #[test]
-    fn power_within_physical_envelope(
-        cores in 1usize..=18,
-        seed in 0u64..50,
-    ) {
+/// Energy accumulates monotonically and power stays within the socket's
+/// physical envelope.
+#[test]
+fn power_within_physical_envelope() {
+    let mut rng = Xoshiro256::seed_from_u64(0xe17e);
+    for _ in 0..16 {
+        let cores = rng.range_usize_inclusive(1, 18);
+        let seed = rng.next_u64() % 50;
         let cfg = ServerConfig::default();
         let peak = cfg.power.stress_peak_power(cfg.cores);
         let mut server = Server::new(cfg, vec![catalog::img_dnn()], seed).unwrap();
@@ -49,17 +50,23 @@ proptest! {
         let mut last_energy = 0.0;
         for _ in 0..6 {
             let r = server.step(&a).unwrap();
-            prop_assert!(r.true_power_w > 0.0);
-            prop_assert!(r.true_power_w <= peak * 1.01, "power {} vs peak {peak}", r.true_power_w);
-            prop_assert!(r.energy_j > last_energy);
+            assert!(r.true_power_w > 0.0);
+            assert!(
+                r.true_power_w <= peak * 1.01,
+                "power {} vs peak {peak}",
+                r.true_power_w
+            );
+            assert!(r.energy_j > last_energy);
             last_energy = r.energy_j;
         }
     }
+}
 
-    /// More resources never hurt steady-state tail latency (on average over
-    /// a window, same seed).
-    #[test]
-    fn more_cores_never_hurt(seed in 0u64..20) {
+/// More resources never hurt steady-state tail latency (on average over a
+/// window, same seed).
+#[test]
+fn more_cores_never_hurt() {
+    for seed in 0u64..16 {
         let cfg = ServerConfig::default();
         let freq = cfg.dvfs.max();
         let mut p99 = Vec::new();
@@ -77,7 +84,12 @@ proptest! {
             }
             p99.push(sum / 20.0);
         }
-        prop_assert!(p99[1] <= p99[0] * 1.1, "18 cores {} vs 4 cores {}", p99[1], p99[0]);
+        assert!(
+            p99[1] <= p99[0] * 1.1,
+            "seed {seed}: 18 cores {} vs 4 cores {}",
+            p99[1],
+            p99[0]
+        );
     }
 }
 
