@@ -219,7 +219,10 @@ mod tests {
             catalog::masstree(),
             18,
             DvfsLadder::default(),
-            HeraclesConfig { lockout: 50, ..HeraclesConfig::default() },
+            HeraclesConfig {
+                lockout: 50,
+                ..HeraclesConfig::default()
+            },
         )
         .unwrap();
         // High load (>85%) trips the main controller at t=0 observe.
@@ -242,7 +245,11 @@ mod tests {
         .unwrap();
         let before = h.cores();
         drive(&mut h, &mut server, 40);
-        assert!(h.cores() < before, "cores {} should shrink from {before}", h.cores());
+        assert!(
+            h.cores() < before,
+            "cores {} should shrink from {before}",
+            h.cores()
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 use crate::{config_error, BaselineError};
-use twig_stats::rng::Xoshiro256;
 use twig_core::{Eq2PowerModel, Mapper, RewardConfig, TaskManager};
-use twig_sim::{Assignment, DvfsLadder, EpochReport, Frequency, ServiceSpec};
 use twig_rl::QTable;
+use twig_sim::{Assignment, DvfsLadder, EpochReport, Frequency, ServiceSpec};
+use twig_stats::rng::Xoshiro256;
 
 /// Configuration of the [`Hipster`] baseline.
 #[derive(Debug, Clone, PartialEq)]
@@ -207,7 +207,9 @@ impl TaskManager for Hipster {
 
         if let Some((state, action)) = self.pending.take() {
             let (cores, dvfs_idx) = self.action_order[action];
-            let est = self.power_model.estimate(svc.load_fraction, cores, dvfs_idx);
+            let est = self
+                .power_model
+                .estimate(svc.load_fraction, cores, dvfs_idx);
             let power_rew = self.reward.power_reward(self.peak_power_w, est);
             let r = self.reward.reward(svc.p99_ms, self.spec.qos_ms, power_rew);
             self.table.update(state, action, r, next_state);
@@ -239,7 +241,10 @@ mod tests {
             catalog::masstree(),
             18,
             DvfsLadder::default(),
-            HipsterConfig { learning_phase: phase, ..HipsterConfig::default() },
+            HipsterConfig {
+                learning_phase: phase,
+                ..HipsterConfig::default()
+            },
         )
         .unwrap()
     }
@@ -257,7 +262,10 @@ mod tests {
             catalog::moses(),
             18,
             DvfsLadder::default(),
-            HipsterConfig { bucket_width: 0.0, ..HipsterConfig::default() }
+            HipsterConfig {
+                bucket_width: 0.0,
+                ..HipsterConfig::default()
+            }
         )
         .is_err());
     }

@@ -1,7 +1,7 @@
 use crate::{config_error, BaselineError};
-use twig_stats::rng::{Rng, Xoshiro256};
 use twig_core::{Mapper, TaskManager};
 use twig_sim::{Assignment, DvfsLadder, EpochReport, ServiceSpec};
+use twig_stats::rng::{Rng, Xoshiro256};
 
 /// Configuration of the [`Parties`] baseline.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,7 +21,12 @@ pub struct PartiesConfig {
 
 impl Default for PartiesConfig {
     fn default() -> Self {
-        PartiesConfig { period: 2, upsize_threshold: 0.95, slack_threshold: 0.7, seed: 0 }
+        PartiesConfig {
+            period: 2,
+            upsize_threshold: 0.95,
+            slack_threshold: 0.7,
+            seed: 0,
+        }
     }
 }
 
@@ -140,7 +145,11 @@ impl Parties {
     }
 
     fn pick_resource(&mut self, service: usize) -> Resource {
-        let preferred = if self.rng.next_bool(0.5) { Resource::Cores } else { Resource::Dvfs };
+        let preferred = if self.rng.next_bool(0.5) {
+            Resource::Cores
+        } else {
+            Resource::Dvfs
+        };
         match self.avoid_resource[service] {
             Some(avoid) if avoid == preferred => match preferred {
                 Resource::Cores => Resource::Dvfs,
@@ -164,8 +173,7 @@ impl Parties {
             }
             Resource::Dvfs => {
                 let new = (self.dvfs_idx[service] as i64 + delta as i64)
-                    .clamp(0, self.dvfs.len() as i64 - 1)
-                    as usize;
+                    .clamp(0, self.dvfs.len() as i64 - 1) as usize;
                 if new == self.dvfs_idx[service] {
                     return false;
                 }
@@ -212,8 +220,7 @@ impl TaskManager for Parties {
 
         // Revert an adjustment that pushed its service into violation.
         if let Some(adj) = self.last_adjustment.take() {
-            if tardiness[adj.service] > 1.0 && adj.tardiness_before <= 1.0 && adj.delta < 0
-            {
+            if tardiness[adj.service] > 1.0 && adj.tardiness_before <= 1.0 && adj.delta < 0 {
                 self.apply(adj.service, adj.resource, -adj.delta);
                 self.avoid_resource[adj.service] = Some(adj.resource);
                 return Ok(());
@@ -294,8 +301,7 @@ mod tests {
 
     #[test]
     fn constructor_validation() {
-        assert!(Parties::new(vec![], 18, DvfsLadder::default(), PartiesConfig::default())
-            .is_err());
+        assert!(Parties::new(vec![], 18, DvfsLadder::default(), PartiesConfig::default()).is_err());
         assert!(Parties::new(
             vec![catalog::moses(), catalog::masstree()],
             1,
@@ -362,7 +368,10 @@ mod tests {
             specs,
             18,
             DvfsLadder::default(),
-            PartiesConfig { period: 10, ..PartiesConfig::default() },
+            PartiesConfig {
+                period: 10,
+                ..PartiesConfig::default()
+            },
         )
         .unwrap();
         drive(&mut p, &mut server, 9);

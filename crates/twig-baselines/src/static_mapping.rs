@@ -43,7 +43,11 @@ impl StaticMapping {
         if cores == 0 {
             return Err(config_error("static mapping needs at least one core"));
         }
-        Ok(StaticMapping { services: services.len(), cores, dvfs })
+        Ok(StaticMapping {
+            services: services.len(),
+            cores,
+            dvfs,
+        })
     }
 }
 

@@ -44,8 +44,22 @@ fn ready_agent(config: MaBdqConfig) -> MaBdq {
 
 fn bench_gradient_descent() {
     for (label, config, iters) in [
-        ("fast_net_2_agents", MaBdqConfig { agents: 2, ..MaBdqConfig::default() }, 40),
-        ("paper_net_2_agents", MaBdqConfig { agents: 2, ..MaBdqConfig::paper() }, 10),
+        (
+            "fast_net_2_agents",
+            MaBdqConfig {
+                agents: 2,
+                ..MaBdqConfig::default()
+            },
+            40,
+        ),
+        (
+            "paper_net_2_agents",
+            MaBdqConfig {
+                agents: 2,
+                ..MaBdqConfig::paper()
+            },
+            10,
+        ),
     ] {
         let mut agent = ready_agent(config);
         bench(&format!("table3/gradient_descent/{label}"), iters, || {
@@ -55,7 +69,10 @@ fn bench_gradient_descent() {
 }
 
 fn bench_action_selection() {
-    let mut agent = ready_agent(MaBdqConfig { agents: 2, ..MaBdqConfig::default() });
+    let mut agent = ready_agent(MaBdqConfig {
+        agents: 2,
+        ..MaBdqConfig::default()
+    });
     let state = vec![vec![0.5f32; 11]; 2];
     bench("table3/action_selection/fast_net_2_agents", 200, || {
         agent.select_actions(&state, 0.1).expect("select");

@@ -11,8 +11,7 @@
 
 use std::time::Instant;
 use twig_baselines::{
-    Heracles, HeraclesConfig, Hipster, HipsterConfig, Parties, PartiesConfig,
-    StaticMapping,
+    Heracles, HeraclesConfig, Hipster, HipsterConfig, Parties, PartiesConfig, StaticMapping,
 };
 use twig_bench::{drive, make_twig, summarize, total_energy, window};
 use twig_core::{fit_power_model, select_counters, ProfilePoint};
@@ -106,10 +105,10 @@ fn fig05_to_09() {
         let reports = drive(&mut server, &mut twig, EPOCHS).expect("drive");
         assert!(total_energy(window(&reports, 10)) > 0.0);
     });
-    let mut twig =
-        make_twig(vec![catalog::moses(), catalog::masstree()], EPOCHS, 1).expect("twig");
+    let mut twig = make_twig(vec![catalog::moses(), catalog::masstree()], EPOCHS, 1).expect("twig");
     bench("fig05_09/twig_c_transfer_reset", 10, || {
-        twig.transfer_service(0, catalog::xapian()).expect("transfer");
+        twig.transfer_service(0, catalog::xapian())
+            .expect("transfer");
     });
 }
 
@@ -124,7 +123,9 @@ fn fig06_12() {
             HeraclesConfig::default(),
         )
         .expect("heracles");
-        assert!(!drive(&mut server, &mut m, EPOCHS).expect("drive").is_empty());
+        assert!(!drive(&mut server, &mut m, EPOCHS)
+            .expect("drive")
+            .is_empty());
     });
     bench("fig06_12/parties_40_epochs", 3, || {
         let specs = vec![catalog::masstree(), catalog::moses()];
@@ -136,7 +137,9 @@ fn fig06_12() {
             PartiesConfig::default(),
         )
         .expect("parties");
-        assert!(!drive(&mut server, &mut m, EPOCHS).expect("drive").is_empty());
+        assert!(!drive(&mut server, &mut m, EPOCHS)
+            .expect("drive")
+            .is_empty());
     });
 }
 
@@ -151,7 +154,9 @@ fn fig07() {
             HipsterConfig::default(),
         )
         .expect("hipster");
-        assert!(!drive(&mut server, &mut m, EPOCHS).expect("drive").is_empty());
+        assert!(!drive(&mut server, &mut m, EPOCHS)
+            .expect("drive")
+            .is_empty());
     });
 }
 
@@ -162,12 +167,8 @@ fn fig10_11() {
         server
             .set_load_generator(0, LoadGenerator::step(0.2, 1.0, 1.2, 5).expect("gen"))
             .expect("set");
-        let mut m = StaticMapping::new(
-            vec![catalog::img_dnn()],
-            18,
-            ServerConfig::default().dvfs,
-        )
-        .expect("static");
+        let mut m = StaticMapping::new(vec![catalog::img_dnn()], 18, ServerConfig::default().dvfs)
+            .expect("static");
         let reports = drive(&mut server, &mut m, EPOCHS).expect("drive");
         let pct = summarize(&reports, &[catalog::img_dnn()])[0].qos_guarantee_pct;
         assert!((0.0..=100.0).contains(&pct));
@@ -179,8 +180,8 @@ fn fig13() {
     bench("fig13/pair_static_40_epochs", 3, || {
         let specs = vec![catalog::xapian(), catalog::img_dnn()];
         let mut server = mini_server(specs.clone(), 0.4);
-        let mut m = StaticMapping::new(specs.clone(), 18, ServerConfig::default().dvfs)
-            .expect("static");
+        let mut m =
+            StaticMapping::new(specs.clone(), 18, ServerConfig::default().dvfs).expect("static");
         let reports = drive(&mut server, &mut m, EPOCHS).expect("drive");
         assert!(total_energy(&reports) > 0.0);
     });

@@ -1,0 +1,10 @@
+//! Binary wrapper for the `telemetry_report` experiment; see
+//! `twig_bench::experiments::telemetry_report` for what it prints.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::telemetry_report::run(&opts) {
+        eprintln!("telemetry_report failed: {e}");
+        std::process::exit(1);
+    }
+}

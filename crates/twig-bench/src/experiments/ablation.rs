@@ -29,7 +29,10 @@ fn scaled_twig(
         .services(services)
         .epsilon(EpsilonSchedule::new(0.1, 0.005, learn * 3 / 5, learn))
         .agent(MaBdqConfig::default())
-        .reward(RewardConfig { theta: 1.0, ..RewardConfig::default() })
+        .reward(RewardConfig {
+            theta: 1.0,
+            ..RewardConfig::default()
+        })
         .train_steps_per_epoch(3)
         .action_stickiness(0.02)
         .seed(seed);
@@ -85,7 +88,10 @@ pub fn coordination(opts: &Options) -> Result<(), ExpError> {
         "energy (J)",
         "core overlap/epoch",
     ]);
-    for (name, tail) in [("coordinated (twig-c)", coord_tail), ("independent agents", indep_tail)] {
+    for (name, tail) in [
+        ("coordinated (twig-c)", coord_tail),
+        ("independent agents", indep_tail),
+    ] {
         let s = summarize(tail, &specs);
         let overlap: f64 = tail
             .iter()
@@ -119,8 +125,7 @@ pub fn eta(opts: &Options) -> Result<(), ExpError> {
     println!("Ablation: PMC smoothing window eta (paper: eta = 5), masstree @ 50%\n");
     let mut t = TextTable::new(vec!["eta", "QoS guarantee (%)", "energy (J)"]);
     for eta in [1usize, 3, 5, 10] {
-        let mut server =
-            Server::new(ServerConfig::default(), vec![spec.clone()], opts.seed)?;
+        let mut server = Server::new(ServerConfig::default(), vec![spec.clone()], opts.seed)?;
         server.set_load_fraction(0, 0.5)?;
         let mut twig = scaled_twig(vec![spec.clone()], learn, opts.seed, |b| b)?;
         // Rebuild with the desired eta via the config path.
@@ -152,11 +157,13 @@ pub fn replay(opts: &Options) -> Result<(), ExpError> {
     println!("Ablation: prioritised (alpha = 0.6) vs uniform (alpha = 0) replay, img-dnn @ 50%\n");
     let mut t = TextTable::new(vec!["replay", "QoS guarantee (%)", "energy (J)"]);
     for (label, alpha) in [("prioritised", 0.6), ("uniform", 0.0)] {
-        let mut server =
-            Server::new(ServerConfig::default(), vec![spec.clone()], opts.seed)?;
+        let mut server = Server::new(ServerConfig::default(), vec![spec.clone()], opts.seed)?;
         server.set_load_fraction(0, 0.5)?;
         let mut twig = scaled_twig(vec![spec.clone()], learn, opts.seed, |b| {
-            b.agent(MaBdqConfig { per_alpha: alpha, ..MaBdqConfig::default() })
+            b.agent(MaBdqConfig {
+                per_alpha: alpha,
+                ..MaBdqConfig::default()
+            })
         })?;
         let reports = drive(&mut server, &mut twig, learn + measure)?;
         let tail = window(&reports, measure);
@@ -209,7 +216,10 @@ pub fn branching(opts: &Options) -> Result<(), ExpError> {
     let dqn_params = dqn.param_count();
     let mut monitor = SystemMonitor::new(1, 5, cfg.cores)?;
     let mapper = Mapper::new(cfg.cores)?;
-    let reward = RewardConfig { theta: 1.0, ..RewardConfig::default() };
+    let reward = RewardConfig {
+        theta: 1.0,
+        ..RewardConfig::default()
+    };
     let power = Eq2PowerModel::default();
     let schedule = EpsilonSchedule::new(0.1, 0.005, learn * 3 / 5, learn);
     let mut dqn_reports = Vec::new();
@@ -245,7 +255,12 @@ pub fn branching(opts: &Options) -> Result<(), ExpError> {
         "energy (J)",
     ]);
     for (name, outputs, params, tail) in [
-        ("bdq (twig-s)", cfg.cores + dvfs_levels, twig_params, twig_tail),
+        (
+            "bdq (twig-s)",
+            cfg.cores + dvfs_levels,
+            twig_params,
+            twig_tail,
+        ),
         ("joint dqn", cfg.cores * dvfs_levels, dqn_params, dqn_tail),
     ] {
         let s = summarize(tail, std::slice::from_ref(&spec));

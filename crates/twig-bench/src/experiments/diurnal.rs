@@ -45,13 +45,8 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
     // Twig-S per service.
     for spec in catalog::tailbench() {
         let mut server = diurnal_server(vec![spec.clone()], period, opts.seed)?;
-        let mut stat = StaticMapping::new(
-            vec![spec.clone()],
-            18,
-            ServerConfig::default().dvfs,
-        )?;
-        let static_reports =
-            drive(&mut server, &mut stat, opts.controller_warmup() + measure)?;
+        let mut stat = StaticMapping::new(vec![spec.clone()], 18, ServerConfig::default().dvfs)?;
+        let static_reports = drive(&mut server, &mut stat, opts.controller_warmup() + measure)?;
         let e_static = total_energy(window(&static_reports, measure));
 
         let mut server = diurnal_server(vec![spec.clone()], period, opts.seed)?;
@@ -81,7 +76,10 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
     t.row(vec![
         "masstree+moses".into(),
         "twig-c".into(),
-        format!("{:.1} / {:.1}", s[0].qos_guarantee_pct, s[1].qos_guarantee_pct),
+        format!(
+            "{:.1} / {:.1}",
+            s[0].qos_guarantee_pct, s[1].qos_guarantee_pct
+        ),
         format!("{:.3}", total_energy(tail) / e_static),
     ]);
     println!("{t}");

@@ -13,9 +13,9 @@
 
 use crate::{ExpError, Options, TextTable};
 use twig_nn::{mse_loss, Adam, Dense, Mlp, Relu, Tensor};
-use twig_stats::rng::{Rng, Xoshiro256};
 use twig_sim::pmc::calibration_maxima;
 use twig_sim::{catalog, Assignment, Server, ServerConfig, ServiceSpec};
+use twig_stats::rng::{Rng, Xoshiro256};
 use twig_stats::{Histogram, Summary, ViolinSummary};
 
 struct Dataset {
@@ -55,7 +55,8 @@ fn gather(spec: &ServiceSpec, samples: usize, seed: u64) -> Result<Dataset, ExpE
             .collect();
         data.pmc_features.push(scaled);
         data.ipc_features.push(vec![(svc.pmcs.ipc() / 4.0) as f32]);
-        data.latencies_ms.push(svc.p99_ms.min(spec.qos_ms * 10.0) as f32);
+        data.latencies_ms
+            .push(svc.p99_ms.min(spec.qos_ms * 10.0) as f32);
     }
     Ok(data)
 }
@@ -86,12 +87,8 @@ fn train_and_eval(
             order.swap(i, rng.range_usize_inclusive(0, i));
         }
         for chunk in order.chunks(batch) {
-            let x = Tensor::from_rows(
-                &chunk.iter().map(|&i| xs[i].clone()).collect::<Vec<_>>(),
-            )?;
-            let y = Tensor::from_rows(
-                &chunk.iter().map(|&i| vec![ys[i]]).collect::<Vec<_>>(),
-            )?;
+            let x = Tensor::from_rows(&chunk.iter().map(|&i| xs[i].clone()).collect::<Vec<_>>())?;
+            let y = Tensor::from_rows(&chunk.iter().map(|&i| vec![ys[i]]).collect::<Vec<_>>())?;
             let pred = net.forward(&x, true);
             let (_, grad) = mse_loss(&pred, &y, None)?;
             net.zero_grads();
@@ -162,7 +159,11 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             format!("{:.3}", s_ipc.stddev),
             format!("{d_ipc:.3}"),
         ]);
-        let ratio = if d_ipc > 0.0 { d_pmc / d_ipc } else { f64::INFINITY };
+        let ratio = if d_ipc > 0.0 {
+            d_pmc / d_ipc
+        } else {
+            f64::INFINITY
+        };
         println!(
             "{}: zero-error density ratio PMC/IPC = {ratio:.2}x (paper: >= 1.91x)",
             spec.name
@@ -191,7 +192,8 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         let si = v_ipc.bucket_summaries();
         for b in 0..buckets {
             let fmt = |s: &Option<Summary>, f: fn(&Summary) -> f64| {
-                s.as_ref().map_or("-".to_string(), |s| format!("{:+.3}", f(s)))
+                s.as_ref()
+                    .map_or("-".to_string(), |s| format!("{:+.3}", f(s)))
             };
             violin.row(vec![
                 format!("[{:.2}, {:.2})", edges[b], edges[b + 1]),
@@ -201,7 +203,10 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
                 fmt(&si[b], |s| s.stddev),
             ]);
         }
-        println!("\n{} error-by-latency (violin) summary:\n{violin}", spec.name);
+        println!(
+            "\n{} error-by-latency (violin) summary:\n{violin}",
+            spec.name
+        );
     }
     println!("{stats_table}");
     Ok(())

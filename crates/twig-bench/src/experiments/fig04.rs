@@ -26,8 +26,7 @@ fn profile(spec: &ServiceSpec, opts: &Options) -> Result<Vec<ProfilePoint>, ExpE
     for &load in &[0.2, 0.5, 0.8] {
         for cores in (2..=cfg.cores).step_by(2) {
             for dvfs in (0..cfg.dvfs.len()).step_by(2) {
-                let mut server =
-                    Server::new(cfg.clone(), vec![spec.clone()], opts.seed)?;
+                let mut server = Server::new(cfg.clone(), vec![spec.clone()], opts.seed)?;
                 server.set_load_fraction(0, load)?;
                 let freq = cfg.dvfs.frequency_at(dvfs)?;
                 let assignment = vec![Assignment::first_n(cores, freq)];
@@ -44,7 +43,12 @@ fn profile(spec: &ServiceSpec, opts: &Options) -> Result<Vec<ProfilePoint>, ExpE
                 // outright and are not part of the paper's profile; they
                 // only blow up relative-error metrics.
                 if dynamic >= 10.0 {
-                    points.push(ProfilePoint { load, cores, dvfs, dynamic_power_w: dynamic });
+                    points.push(ProfilePoint {
+                        load,
+                        cores,
+                        dvfs,
+                        dynamic_power_w: dynamic,
+                    });
                 }
             }
         }

@@ -59,7 +59,11 @@ pub fn grid(opts: &Options) -> Result<Vec<(String, f64, Vec<Cell>)>, ExpError> {
             let mut stat = StaticMapping::new(vec![spec.clone()], cfg.cores, cfg.dvfs.clone())?;
             let (q, e_static) =
                 run_manager(&spec, load, &mut stat, warm + measure, measure, opts.seed)?;
-            cells.push(Cell { manager: "static".into(), qos_pct: q, energy_norm: 1.0 });
+            cells.push(Cell {
+                manager: "static".into(),
+                qos_pct: q,
+                energy_norm: 1.0,
+            });
 
             let mut heracles = Heracles::new(
                 spec.clone(),
@@ -106,8 +110,7 @@ pub fn grid(opts: &Options) -> Result<Vec<(String, f64, Vec<Cell>)>, ExpError> {
             });
 
             let mut twig = make_twig(vec![spec.clone()], learn, opts.seed)?;
-            let (q, e) =
-                run_manager(&spec, load, &mut twig, learn + measure, measure, opts.seed)?;
+            let (q, e) = run_manager(&spec, load, &mut twig, learn + measure, measure, opts.seed)?;
             cells.push(Cell {
                 manager: "twig-s".into(),
                 qos_pct: q,
@@ -134,7 +137,11 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
     );
     let results = grid(opts)?;
     let mut t = TextTable::new(vec![
-        "service", "load", "manager", "QoS guarantee (%)", "energy (norm. to static)",
+        "service",
+        "load",
+        "manager",
+        "QoS guarantee (%)",
+        "energy (norm. to static)",
     ]);
     let mut sums: std::collections::BTreeMap<String, (f64, f64, usize)> = Default::default();
     for (service, load, cells) in &results {

@@ -63,7 +63,10 @@ fn report_manager(
         ]);
     }
     let over = hist.overflow();
-    ht.row(vec![">= 2.0".into(), format!("{:.1}", 100.0 * over as f64 / total as f64)]);
+    ht.row(vec![
+        ">= 2.0".into(),
+        format!("{:.1}", 100.0 * over as f64 / total as f64),
+    ]);
     println!("tardiness histogram (violation when > 1.0):\n{ht}");
 
     let mean_cores: f64 = dist.iter().map(|&(c, p)| c as f64 * p / 100.0).sum();
@@ -72,7 +75,10 @@ fn report_manager(
         .filter(|r| r.services[0].p99_ms > spec.qos_ms)
         .count() as f64
         / tail.len() as f64;
-    println!("mean cores {mean_cores:.1}, violations {:.1}%\n", violations * 100.0);
+    println!(
+        "mean cores {mean_cores:.1}, violations {:.1}%\n",
+        violations * 100.0
+    );
     Ok(())
 }
 

@@ -12,11 +12,7 @@ use crate::{drive, make_twig, summarize, ExpError, Options, TextTable};
 use twig_baselines::{Hipster, HipsterConfig};
 use twig_sim::{catalog, EpochReport, Server, ServerConfig};
 
-fn guarantee_series(
-    reports: &[EpochReport],
-    qos_ms: f64,
-    bucket: usize,
-) -> Vec<(u64, f64)> {
+fn guarantee_series(reports: &[EpochReport], qos_ms: f64, bucket: usize) -> Vec<(u64, f64)> {
     reports
         .chunks(bucket)
         .filter(|c| !c.is_empty())
@@ -56,7 +52,11 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         spec.clone(),
         cfg.cores,
         cfg.dvfs.clone(),
-        HipsterConfig { learning_phase: ramp, seed: opts.seed, ..HipsterConfig::default() },
+        HipsterConfig {
+            learning_phase: ramp,
+            seed: opts.seed,
+            ..HipsterConfig::default()
+        },
     )?;
     let hipster_reports = drive(&mut server, &mut hipster, total)?;
 
@@ -72,9 +72,8 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
     }
     println!("{t}");
 
-    let first_above = |series: &[(u64, f64)]| {
-        series.iter().find(|(_, q)| *q >= 80.0).map(|(t, _)| *t)
-    };
+    let first_above =
+        |series: &[(u64, f64)]| series.iter().find(|(_, q)| *q >= 80.0).map(|(t, _)| *t);
     println!(
         "first bucket at >= 80% guarantee: twig-s {:?}, hipster {:?} (paper: Twig reaches 80% faster)",
         first_above(&twig_series),

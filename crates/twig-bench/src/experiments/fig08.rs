@@ -61,8 +61,11 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
 
     // Pre-train once on masstree at 50%.
     let mut donor = fresh_twig(catalog::masstree(), learn, opts.seed)?;
-    let mut server =
-        Server::new(ServerConfig::default(), vec![catalog::masstree()], opts.seed)?;
+    let mut server = Server::new(
+        ServerConfig::default(),
+        vec![catalog::masstree()],
+        opts.seed,
+    )?;
     server.set_load_fraction(0, 0.5)?;
     drive(&mut server, &mut donor, learn)?;
 
@@ -79,19 +82,16 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         // Transfer: clone the trained manager, swap the service.
         let mut transferred = donor.clone();
         transferred.transfer_service(0, target.clone())?;
-        let mut server =
-            Server::new(ServerConfig::default(), vec![target.clone()], opts.seed)?;
+        let mut server = Server::new(ServerConfig::default(), vec![target.clone()], opts.seed)?;
         server.set_load_fraction(0, 0.5)?;
         let (s_transfer, v_transfer) =
             series(&mut server, &mut transferred, &target, after, bucket)?;
 
         // Scratch: a fresh manager learning the new service from zero.
         let mut scratch = fresh_twig(target.clone(), learn, opts.seed ^ 0x5c)?;
-        let mut server =
-            Server::new(ServerConfig::default(), vec![target.clone()], opts.seed)?;
+        let mut server = Server::new(ServerConfig::default(), vec![target.clone()], opts.seed)?;
         server.set_load_fraction(0, 0.5)?;
-        let (s_scratch, v_scratch) =
-            series(&mut server, &mut scratch, &target, after, bucket)?;
+        let (s_scratch, v_scratch) = series(&mut server, &mut scratch, &target, after, bucket)?;
 
         for (mode, s, v) in [
             ("transfer", &s_transfer, v_transfer),

@@ -99,7 +99,11 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         "mean cores",
         "mean freq (MHz)",
     ]);
-    for (name, o) in [("twig-s", &o_twig), ("hipster", &o_hip), ("heracles", &o_her)] {
+    for (name, o) in [
+        ("twig-s", &o_twig),
+        ("hipster", &o_hip),
+        ("heracles", &o_her),
+    ] {
         t.row(vec![
             name.into(),
             format!("{:.1}", o.qos_pct),

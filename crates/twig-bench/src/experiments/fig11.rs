@@ -81,7 +81,10 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         specs.clone(),
         18,
         ServerConfig::default().dvfs,
-        PartiesConfig { seed: opts.seed, ..PartiesConfig::default() },
+        PartiesConfig {
+            seed: opts.seed,
+            ..PartiesConfig::default()
+        },
     )?;
     let mut server = setup_server(opts, step_period)?;
     let p_reports = drive(

@@ -62,10 +62,17 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         specs.clone(),
         18,
         ServerConfig::default().dvfs,
-        PartiesConfig { seed: opts.seed, ..PartiesConfig::default() },
+        PartiesConfig {
+            seed: opts.seed,
+            ..PartiesConfig::default()
+        },
     )?;
     let mut server = setup(opts.seed)?;
-    let p_reports = drive(&mut server, &mut parties, opts.controller_warmup() + measure)?;
+    let p_reports = drive(
+        &mut server,
+        &mut parties,
+        opts.controller_warmup() + measure,
+    )?;
     let p_tail = window(&p_reports, measure);
 
     let mut twig = make_twig(specs.clone(), learn, opts.seed)?;
@@ -80,9 +87,8 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         let all_cores: std::collections::BTreeSet<usize> =
             pd.iter().chain(&td).map(|&(c, _)| c).collect();
         for c in all_cores {
-            let find = |d: &[(usize, f64)]| {
-                d.iter().find(|&&(cc, _)| cc == c).map_or(0.0, |&(_, p)| p)
-            };
+            let find =
+                |d: &[(usize, f64)]| d.iter().find(|&&(cc, _)| cc == c).map_or(0.0, |&(_, p)| p);
             t.row(vec![
                 c.to_string(),
                 format!("{:.1}", find(&pd)),

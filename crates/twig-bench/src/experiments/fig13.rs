@@ -85,11 +85,7 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             for &level in &[0.2, 0.5, 0.8] {
                 let load = level * max;
 
-                let mut stat = StaticMapping::new(
-                    specs.clone(),
-                    18,
-                    ServerConfig::default().dvfs,
-                )?;
+                let mut stat = StaticMapping::new(specs.clone(), 18, ServerConfig::default().dvfs)?;
                 let c_static =
                     run_pair(&specs, load, &mut stat, warm + measure, measure, opts.seed)?;
 
@@ -97,7 +93,10 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
                     specs.clone(),
                     18,
                     ServerConfig::default().dvfs,
-                    PartiesConfig { seed: opts.seed, ..PartiesConfig::default() },
+                    PartiesConfig {
+                        seed: opts.seed,
+                        ..PartiesConfig::default()
+                    },
                 )?;
                 let c_parties = run_pair(
                     &specs,

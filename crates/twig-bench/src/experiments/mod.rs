@@ -21,3 +21,4 @@ pub mod resilience;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod telemetry_report;

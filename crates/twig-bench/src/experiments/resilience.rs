@@ -20,6 +20,7 @@ use crate::{drive, make_twig, ExpError, Options, TextTable};
 use twig_baselines::StaticMapping;
 use twig_core::{GovernorConfig, SafetyGovernor, TaskManager};
 use twig_sim::{catalog, EpochReport, FaultConfig, FaultPlan, Server, ServerConfig, ServiceSpec};
+use twig_telemetry::Telemetry;
 
 /// Consecutive QoS-met epochs that count as "recovered".
 const RECOVERY_STREAK: usize = 5;
@@ -53,8 +54,9 @@ fn pct_met(reports: &[EpochReport], spec: &ServiceSpec) -> f64 {
 
 fn recovery_time(reports: &[EpochReport], spec: &ServiceSpec) -> Option<usize> {
     let met: Vec<bool> = reports.iter().map(|r| qos_met(r, spec)).collect();
-    (0..met.len())
-        .find(|&i| i + RECOVERY_STREAK <= met.len() && met[i..i + RECOVERY_STREAK].iter().all(|&m| m))
+    (0..met.len()).find(|&i| {
+        i + RECOVERY_STREAK <= met.len() && met[i..i + RECOVERY_STREAK].iter().all(|&m| m)
+    })
 }
 
 /// Phase lengths of the fault protocol.
@@ -183,7 +185,11 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         "QoS% (after)",
         "recovery",
         "mean cores (faults)",
-        "governor interventions",
+        "gov fallbacks",
+        "gov trips",
+        "gov safe epochs",
+        "gov degraded",
+        "gov backoff",
     ]);
     for (label, fault) in fault_levels() {
         let mut stat = StaticMapping::new(vec![spec.clone()], cfg.cores, cfg.dvfs.clone())?;
@@ -195,6 +201,10 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             format!("{:.1}", o.post_qos_pct),
             fmt_recovery(&o),
             format!("{:.1}", o.fault_mean_cores),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
             "-".into(),
         ]);
 
@@ -208,6 +218,10 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             fmt_recovery(&o),
             format!("{:.1}", o.fault_mean_cores),
             "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
         ]);
 
         let inner = make_twig(vec![spec.clone()], phases.learn, opts.seed)?;
@@ -220,8 +234,13 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
                 ..GovernorConfig::default()
             },
         )?;
+        // Intervention counts come from the telemetry registry, not the
+        // governor's internal stats — this is the observable surface an
+        // operator would scrape in production.
+        let telemetry = Telemetry::enabled();
+        gov.set_telemetry(telemetry.clone());
         let o = evaluate(&mut gov, &spec, &fault, phases, opts.seed)?;
-        let s = gov.stats();
+        let m = telemetry.metrics().ok_or("telemetry disabled")?;
         t.row(vec![
             label.into(),
             "twig-s+governor".into(),
@@ -229,10 +248,11 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             format!("{:.1}", o.post_qos_pct),
             fmt_recovery(&o),
             format!("{:.1}", o.fault_mean_cores),
-            format!(
-                "{} fallbacks, {} trips, {} safe epochs, {} degraded",
-                s.fallback_decisions, s.watchdog_trips, s.safe_mode_epochs, s.degraded_epochs
-            ),
+            m.counter("governor.fallback_decisions").to_string(),
+            m.counter("governor.watchdog_trips").to_string(),
+            m.counter("governor.safe_mode_epochs").to_string(),
+            m.counter("governor.degraded_epochs").to_string(),
+            format!("{:.0}", m.gauge("governor.backoff_epochs").unwrap_or(0.0)),
         ]);
     }
     println!("{t}");
@@ -259,7 +279,11 @@ mod tests {
             actuation_reject_rate: 0.05,
             ..FaultConfig::default()
         };
-        let phases = Phases { learn: 60, fault: 40, recovery: 40 };
+        let phases = Phases {
+            learn: 60,
+            fault: 40,
+            recovery: 40,
+        };
         let inner = make_twig(vec![spec.clone()], phases.learn, 7).unwrap();
         let mut gov = SafetyGovernor::new(
             inner,
@@ -271,8 +295,21 @@ mod tests {
             },
         )
         .unwrap();
+        let telemetry = Telemetry::enabled();
+        gov.set_telemetry(telemetry.clone());
         let o = evaluate(&mut gov, &spec, &fault, phases, 7).unwrap();
         assert!(gov.stats().degraded_epochs > 0, "faults should have fired");
+        // The telemetry counters are the same events the internal stats
+        // track; the two surfaces must agree.
+        let m = telemetry.metrics().unwrap();
+        let s = gov.stats();
+        assert_eq!(
+            m.counter("governor.fallback_decisions"),
+            s.fallback_decisions
+        );
+        assert_eq!(m.counter("governor.watchdog_trips"), s.watchdog_trips);
+        assert_eq!(m.counter("governor.safe_mode_epochs"), s.safe_mode_epochs);
+        assert_eq!(m.counter("governor.degraded_epochs"), s.degraded_epochs);
         assert!(
             o.post_qos_pct >= 75.0,
             "post-fault QoS {:.1}% too low",
@@ -287,11 +324,16 @@ mod tests {
         // its allocation; only actuation faults could, and none are armed.
         let spec = catalog::masstree();
         let cfg = ServerConfig::default();
-        let fault =
-            FaultConfig { pmc_corrupt_rate: 0.5, ..FaultConfig::default() };
-        let phases = Phases { learn: 10, fault: 30, recovery: 10 };
-        let mut stat =
-            StaticMapping::new(vec![spec.clone()], cfg.cores, cfg.dvfs.clone()).unwrap();
+        let fault = FaultConfig {
+            pmc_corrupt_rate: 0.5,
+            ..FaultConfig::default()
+        };
+        let phases = Phases {
+            learn: 10,
+            fault: 30,
+            recovery: 10,
+        };
+        let mut stat = StaticMapping::new(vec![spec.clone()], cfg.cores, cfg.dvfs.clone()).unwrap();
         let o = evaluate(&mut stat, &spec, &fault, phases, 3).unwrap();
         assert!((o.fault_mean_cores - cfg.cores as f64).abs() < 1e-9);
         assert_eq!(o.fault_qos_pct, 100.0);

@@ -23,8 +23,7 @@ fn gather_profile(opts: &Options) -> Result<Vec<(PmcSample, f64)>, ExpError> {
         for &load in &[0.2, 0.4, 0.6, 0.8] {
             for cores in [4, 9, 14, 18] {
                 for dvfs in [0, 4, 8] {
-                    let mut server =
-                        Server::new(cfg.clone(), vec![spec.clone()], opts.seed)?;
+                    let mut server = Server::new(cfg.clone(), vec![spec.clone()], opts.seed)?;
                     server.set_load_fraction(0, load)?;
                     let freq = cfg.dvfs.frequency_at(dvfs)?;
                     let a = vec![Assignment::first_n(cores, freq)];
@@ -70,7 +69,10 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         ]);
     }
     println!("{t}");
-    println!("paper's top counter: PERF_COUNT_HW_BRANCH_MISSES; ours: {}", ranking[0].counter);
+    println!(
+        "paper's top counter: PERF_COUNT_HW_BRANCH_MISSES; ours: {}",
+        ranking[0].counter
+    );
     Ok(())
 }
 

@@ -29,7 +29,5 @@ mod runner;
 mod table;
 
 pub use options::Options;
-pub use runner::{
-    drive, make_twig, summarize, total_energy, window, ExpError, ServiceSummary,
-};
+pub use runner::{drive, make_twig, summarize, total_energy, window, ExpError, ServiceSummary};
 pub use table::{fmt_f, TextTable};

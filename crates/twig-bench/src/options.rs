@@ -16,11 +16,18 @@ pub struct Options {
     pub full: bool,
     /// Base RNG seed for the simulator and managers.
     pub seed: u64,
+    /// Where to write a JSONL telemetry trace (experiments that export one;
+    /// `telemetry_report` defaults to `results/telemetry_trace.jsonl`).
+    pub trace: Option<String>,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { full: false, seed: 42 }
+        Options {
+            full: false,
+            seed: 42,
+            trace: None,
+        }
     }
 }
 
@@ -41,8 +48,11 @@ impl Options {
                     let v = iter.next().ok_or("--seed needs a value")?;
                     opts.seed = v.parse().map_err(|e| format!("bad seed {v}: {e}"))?;
                 }
+                "--trace" => {
+                    opts.trace = Some(iter.next().ok_or("--trace needs a path")?);
+                }
                 "--help" | "-h" => {
-                    return Err("usage: [--full|--fast] [--seed N]".to_string())
+                    return Err("usage: [--full|--fast] [--seed N] [--trace PATH]".to_string())
                 }
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -117,5 +127,15 @@ mod tests {
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--seed", "x"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn trace_parsing() {
+        assert_eq!(parse(&[]).unwrap().trace, None);
+        assert_eq!(
+            parse(&["--trace", "/tmp/t.jsonl"]).unwrap().trace,
+            Some("/tmp/t.jsonl".to_string())
+        );
+        assert!(parse(&["--trace"]).is_err());
     }
 }

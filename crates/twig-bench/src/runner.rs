@@ -58,9 +58,17 @@ pub fn make_twig(
     // platform's best point (the paper's testbed used 0.5).
     Ok(TwigBuilder::new()
         .services(services)
-        .epsilon(EpsilonSchedule::new(0.1, 0.005, learn_epochs * 3 / 5, learn_epochs))
+        .epsilon(EpsilonSchedule::new(
+            0.1,
+            0.005,
+            learn_epochs * 3 / 5,
+            learn_epochs,
+        ))
         .agent(MaBdqConfig::default())
-        .reward(RewardConfig { theta: 1.0, ..RewardConfig::default() })
+        .reward(RewardConfig {
+            theta: 1.0,
+            ..RewardConfig::default()
+        })
         .train_steps_per_epoch(replay_ratio)
         .action_stickiness(0.02)
         .seed(seed)
@@ -154,8 +162,7 @@ mod tests {
         let specs = vec![catalog::masstree()];
         let mut server = Server::new(ServerConfig::default(), specs.clone(), 1).unwrap();
         server.set_load_fraction(0, 0.5).unwrap();
-        let mut manager =
-            StaticMapping::new(specs.clone(), 18, DvfsLadder::default()).unwrap();
+        let mut manager = StaticMapping::new(specs.clone(), 18, DvfsLadder::default()).unwrap();
         let reports = drive(&mut server, &mut manager, 20).unwrap();
         assert_eq!(reports.len(), 20);
         let tail = window(&reports, 10);
@@ -171,8 +178,7 @@ mod tests {
     fn window_clamps_to_len() {
         let specs = vec![catalog::moses()];
         let mut server = Server::new(ServerConfig::default(), specs.clone(), 2).unwrap();
-        let mut manager =
-            StaticMapping::new(specs, 18, DvfsLadder::default()).unwrap();
+        let mut manager = StaticMapping::new(specs, 18, DvfsLadder::default()).unwrap();
         let reports = drive(&mut server, &mut manager, 5).unwrap();
         assert_eq!(window(&reports, 100).len(), 5);
     }
@@ -191,8 +197,7 @@ mod tests {
         let specs = vec![catalog::img_dnn()];
         let mut server = Server::new(ServerConfig::default(), specs.clone(), 4).unwrap();
         server.set_load_fraction(0, 0.0).unwrap();
-        let mut manager =
-            StaticMapping::new(specs.clone(), 18, DvfsLadder::default()).unwrap();
+        let mut manager = StaticMapping::new(specs.clone(), 18, DvfsLadder::default()).unwrap();
         let reports = drive(&mut server, &mut manager, 5).unwrap();
         let s = summarize(&reports, &specs);
         assert_eq!(s[0].qos_guarantee_pct, 0.0);

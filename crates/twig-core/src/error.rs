@@ -120,12 +120,16 @@ pub enum ManagerError {
 impl ManagerError {
     /// Creates a recoverable error.
     pub fn recoverable(detail: impl Into<String>) -> Self {
-        ManagerError::Recoverable { detail: detail.into() }
+        ManagerError::Recoverable {
+            detail: detail.into(),
+        }
     }
 
     /// Creates a fatal error.
     pub fn fatal(detail: impl Into<String>) -> Self {
-        ManagerError::Fatal { detail: detail.into() }
+        ManagerError::Fatal {
+            detail: detail.into(),
+        }
     }
 
     /// `true` when a supervisor may substitute a fallback and continue.
@@ -152,12 +156,16 @@ impl From<TwigError> for ManagerError {
         match &e {
             // Broken configuration or wiring cannot be retried away.
             TwigError::InvalidConfig { .. } | TwigError::ReportMismatch { .. } => {
-                ManagerError::Fatal { detail: e.to_string() }
+                ManagerError::Fatal {
+                    detail: e.to_string(),
+                }
             }
             // Runtime failures of the learning/simulation substrate: a
             // supervisor can fall back and continue.
             TwigError::Learning(_) | TwigError::Sim(_) | TwigError::Stats(_) => {
-                ManagerError::Recoverable { detail: e.to_string() }
+                ManagerError::Recoverable {
+                    detail: e.to_string(),
+                }
             }
         }
     }
@@ -166,23 +174,29 @@ impl From<TwigError> for ManagerError {
 impl From<SimError> for ManagerError {
     fn from(e: SimError) -> Self {
         match &e {
-            SimError::InvalidConfig { .. } => {
-                ManagerError::Fatal { detail: e.to_string() }
-            }
-            _ => ManagerError::Recoverable { detail: e.to_string() },
+            SimError::InvalidConfig { .. } => ManagerError::Fatal {
+                detail: e.to_string(),
+            },
+            _ => ManagerError::Recoverable {
+                detail: e.to_string(),
+            },
         }
     }
 }
 
 impl From<RlError> for ManagerError {
     fn from(e: RlError) -> Self {
-        ManagerError::Recoverable { detail: e.to_string() }
+        ManagerError::Recoverable {
+            detail: e.to_string(),
+        }
     }
 }
 
 impl From<StatsError> for ManagerError {
     fn from(e: StatsError) -> Self {
-        ManagerError::Recoverable { detail: e.to_string() }
+        ManagerError::Recoverable {
+            detail: e.to_string(),
+        }
     }
 }
 
@@ -192,21 +206,23 @@ mod tests {
 
     #[test]
     fn manager_error_classification() {
-        let fatal: ManagerError =
-            TwigError::InvalidConfig { detail: "x".into() }.into();
+        let fatal: ManagerError = TwigError::InvalidConfig { detail: "x".into() }.into();
         assert!(!fatal.is_recoverable());
-        let fatal: ManagerError =
-            TwigError::ReportMismatch { detail: "x".into() }.into();
+        let fatal: ManagerError = TwigError::ReportMismatch { detail: "x".into() }.into();
         assert!(!fatal.is_recoverable());
-        let rec: ManagerError =
-            TwigError::Learning(RlError::NotEnoughData { needed: 1, available: 0 })
-                .into();
+        let rec: ManagerError = TwigError::Learning(RlError::NotEnoughData {
+            needed: 1,
+            available: 0,
+        })
+        .into();
         assert!(rec.is_recoverable());
-        let rec: ManagerError =
-            SimError::UnknownCore { core: 40, count: 18 }.into();
+        let rec: ManagerError = SimError::UnknownCore {
+            core: 40,
+            count: 18,
+        }
+        .into();
         assert!(rec.is_recoverable());
-        let fatal: ManagerError =
-            SimError::InvalidConfig { detail: "x".into() }.into();
+        let fatal: ManagerError = SimError::InvalidConfig { detail: "x".into() }.into();
         assert!(!fatal.is_recoverable());
     }
 
@@ -227,7 +243,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = TwigError::Learning(RlError::NotEnoughData { needed: 1, available: 0 });
+        let e = TwigError::Learning(RlError::NotEnoughData {
+            needed: 1,
+            available: 0,
+        });
         assert!(!e.to_string().is_empty());
         assert!(e.source().is_some());
         let e = TwigError::InvalidConfig { detail: "x".into() };

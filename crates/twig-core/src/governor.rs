@@ -23,6 +23,7 @@
 
 use crate::{ManagerError, TaskManager};
 use twig_sim::{Assignment, DvfsLadder, EpochReport, ServiceSpec};
+use twig_telemetry::Telemetry;
 
 /// Configuration of a [`SafetyGovernor`].
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +112,7 @@ pub struct SafetyGovernor<M> {
     safe_remaining: u64,
     backoff: u64,
     stats: GovernorStats,
+    telemetry: Telemetry,
 }
 
 impl<M: TaskManager> SafetyGovernor<M> {
@@ -145,7 +147,18 @@ impl<M: TaskManager> SafetyGovernor<M> {
             safe_remaining: 0,
             backoff,
             stats: GovernorStats::default(),
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle: every intervention (recoverable error,
+    /// invalid decision, fallback, watchdog trip, safe-mode epoch,
+    /// degraded-telemetry routing) is mirrored into `governor.*` counters,
+    /// and the current re-entry backoff into a gauge. Note this does NOT
+    /// forward the handle to the wrapped manager — attach one there
+    /// directly (e.g. [`crate::Twig::set_telemetry`]).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The wrapped manager.
@@ -222,6 +235,7 @@ impl<M: TaskManager> SafetyGovernor<M> {
 
     fn fallback(&mut self) -> Vec<Assignment> {
         self.stats.fallback_decisions += 1;
+        self.telemetry.counter_add("governor.fallback_decisions", 1);
         match &self.last_good {
             Some(a) => a.clone(),
             None => self.safe_assignments(),
@@ -262,12 +276,14 @@ impl<M: TaskManager> TaskManager for SafetyGovernor<M> {
                 }
                 Err(detail) => {
                     self.stats.invalid_decisions += 1;
+                    self.telemetry.counter_add("governor.invalid_decisions", 1);
                     let _ = detail;
                     Ok(self.fallback())
                 }
             },
             Err(e) if e.is_recoverable() => {
                 self.stats.recoverable_errors += 1;
+                self.telemetry.counter_add("governor.recoverable_errors", 1);
                 Ok(self.fallback())
             }
             Err(fatal) => Err(fatal),
@@ -291,6 +307,7 @@ impl<M: TaskManager> TaskManager for SafetyGovernor<M> {
 
         if self.in_safe_mode() {
             self.stats.safe_mode_epochs += 1;
+            self.telemetry.counter_add("governor.safe_mode_epochs", 1);
             self.safe_remaining -= 1;
             if self.safe_remaining == 0 {
                 // Hand control back with a clean slate: the violations that
@@ -299,6 +316,7 @@ impl<M: TaskManager> TaskManager for SafetyGovernor<M> {
             }
         } else if self.violation_streak >= self.config.watchdog_epochs {
             self.stats.watchdog_trips += 1;
+            self.telemetry.counter_add("governor.watchdog_trips", 1);
             self.safe_remaining = self.backoff;
             self.backoff = (self.backoff * 2).min(self.config.max_backoff_epochs);
             // The policy that produced this streak is not to be trusted:
@@ -306,10 +324,13 @@ impl<M: TaskManager> TaskManager for SafetyGovernor<M> {
             self.last_good = None;
             self.violation_streak = 0;
         }
+        self.telemetry
+            .gauge_set("governor.backoff_epochs", self.backoff as f64);
 
         let degraded = report.telemetry.degraded();
         if degraded {
             self.stats.degraded_epochs += 1;
+            self.telemetry.counter_add("governor.degraded_epochs", 1);
         }
         let result = if degraded {
             self.inner.observe_degraded(report)
@@ -322,6 +343,7 @@ impl<M: TaskManager> TaskManager for SafetyGovernor<M> {
                 // A transient observation failure must not kill the loop;
                 // the decision path already has its fallback.
                 self.stats.recoverable_errors += 1;
+                self.telemetry.counter_add("governor.recoverable_errors", 1);
                 Ok(())
             }
             Err(fatal) => Err(fatal),
@@ -345,7 +367,12 @@ mod tests {
 
     impl Scripted {
         fn new(decisions: Vec<Result<Vec<Assignment>, ManagerError>>) -> Self {
-            Scripted { decisions, decide_calls: 0, observe_calls: 0, degraded_calls: 0 }
+            Scripted {
+                decisions,
+                decide_calls: 0,
+                observe_calls: 0,
+                degraded_calls: 0,
+            }
         }
 
         fn good() -> Vec<Assignment> {
@@ -424,15 +451,26 @@ mod tests {
         let mk = || Scripted::new(vec![Ok(Scripted::good())]);
         assert!(SafetyGovernor::new(
             mk(),
-            GovernorConfig { services: vec![], ..config() }
+            GovernorConfig {
+                services: vec![],
+                ..config()
+            }
         )
         .is_err());
-        assert!(
-            SafetyGovernor::new(mk(), GovernorConfig { cores: 0, ..config() }).is_err()
-        );
         assert!(SafetyGovernor::new(
             mk(),
-            GovernorConfig { watchdog_epochs: 0, ..config() }
+            GovernorConfig {
+                cores: 0,
+                ..config()
+            }
+        )
+        .is_err());
+        assert!(SafetyGovernor::new(
+            mk(),
+            GovernorConfig {
+                watchdog_epochs: 0,
+                ..config()
+            }
         )
         .is_err());
     }
@@ -472,8 +510,10 @@ mod tests {
 
     #[test]
     fn invalid_decisions_are_replaced() {
-        let out_of_range =
-            vec![Assignment::new(vec![CoreId(99)], DvfsLadder::default().max())];
+        let out_of_range = vec![Assignment::new(
+            vec![CoreId(99)],
+            DvfsLadder::default().max(),
+        )];
         let off_ladder = vec![Assignment::first_n(4, Frequency::from_mhz(1234))];
         let empty = vec![Assignment::new(vec![], DvfsLadder::default().max())];
         let wrong_count = vec![];
@@ -555,7 +595,10 @@ mod tests {
         let inner = Scripted::new(vec![Ok(Scripted::good())]);
         let mut gov = SafetyGovernor::new(
             inner,
-            GovernorConfig { backoff_reset_epochs: 5, ..config() },
+            GovernorConfig {
+                backoff_reset_epochs: 5,
+                ..config()
+            },
         )
         .unwrap();
         let qos = catalog::masstree().qos_ms;
@@ -600,8 +643,7 @@ mod tests {
         // rejection. The governed Twig must keep producing valid, finite
         // decisions throughout and meet QoS again once the faults stop.
         let spec = catalog::masstree();
-        let mut server =
-            Server::new(ServerConfig::default(), vec![spec.clone()], 31).unwrap();
+        let mut server = Server::new(ServerConfig::default(), vec![spec.clone()], 31).unwrap();
         server.set_load_fraction(0, 0.4).unwrap();
         server.set_fault_plan(
             FaultPlan::new(
@@ -630,7 +672,10 @@ mod tests {
             .unwrap();
         let mut gov = SafetyGovernor::new(
             twig,
-            GovernorConfig { services: vec![spec.clone()], ..GovernorConfig::default() },
+            GovernorConfig {
+                services: vec![spec.clone()],
+                ..GovernorConfig::default()
+            },
         )
         .unwrap();
 
@@ -644,11 +689,7 @@ mod tests {
             if epoch % 10 == 9 {
                 // Q-values stay finite while training on faulted telemetry.
                 let q = gov.inner().agent().clone().q_values(&probe).unwrap();
-                assert!(q
-                    .iter()
-                    .flatten()
-                    .flatten()
-                    .all(|v| v.is_finite()));
+                assert!(q.iter().flatten().flatten().all(|v| v.is_finite()));
             }
         }
         assert!(gov.stats().degraded_epochs > 0, "faults should have fired");

@@ -1,6 +1,7 @@
 use crate::{Eq2PowerModel, ManagerError, Mapper, RewardConfig, SystemMonitor, TwigError};
 use twig_rl::{EpsilonSchedule, MaBdq, MaBdqConfig, MultiTransition, RlError};
 use twig_sim::{Assignment, DvfsLadder, EpochReport, ServiceSpec};
+use twig_telemetry::{Phase, Telemetry};
 
 /// Common interface of every task manager in this workspace (Twig and the
 /// baselines), so experiments can drive them interchangeably:
@@ -125,12 +126,21 @@ impl Default for TwigConfig {
 #[derive(Debug, Clone, Default)]
 pub struct TwigBuilder {
     config: TwigConfig,
+    telemetry: Telemetry,
 }
 
 impl TwigBuilder {
     /// Starts from the default configuration.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a telemetry handle to the built manager (kept outside
+    /// [`TwigConfig`], which stays plain comparable data). Equivalent to
+    /// calling [`Twig::set_telemetry`] after [`build`](Self::build).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Sets the managed services.
@@ -214,7 +224,11 @@ impl TwigBuilder {
     /// Returns [`TwigError::InvalidConfig`] when no services are configured
     /// or the platform/agent configuration is invalid.
     pub fn build(self) -> Result<Twig, TwigError> {
-        Twig::new(self.config)
+        let mut twig = Twig::new(self.config)?;
+        if self.telemetry.is_enabled() {
+            twig.set_telemetry(self.telemetry);
+        }
+        Ok(twig)
     }
 }
 
@@ -234,6 +248,7 @@ pub struct Twig {
     time: u64,
     pending: Option<Pending>,
     last_actions: Option<Vec<Vec<usize>>>,
+    telemetry: Telemetry,
 }
 
 #[derive(Debug, Clone)]
@@ -251,13 +266,17 @@ impl Twig {
     /// invalid platform/agent configuration.
     pub fn new(config: TwigConfig) -> Result<Self, TwigError> {
         if config.services.is_empty() {
-            return Err(TwigError::InvalidConfig { detail: "no services".into() });
+            return Err(TwigError::InvalidConfig {
+                detail: "no services".into(),
+            });
         }
         for s in &config.services {
             s.validate().map_err(TwigError::Sim)?;
         }
         if config.cores == 0 {
-            return Err(TwigError::InvalidConfig { detail: "zero cores".into() });
+            return Err(TwigError::InvalidConfig {
+                detail: "zero cores".into(),
+            });
         }
         let k = config.services.len();
         let agent_config = MaBdqConfig {
@@ -270,7 +289,11 @@ impl Twig {
         let agent = MaBdq::new(agent_config).map_err(TwigError::Learning)?;
         let monitor = SystemMonitor::new(k, config.eta, config.cores)?;
         let mapper = Mapper::new(config.cores)?;
-        let name = if k == 1 { "twig-s".to_string() } else { "twig-c".to_string() };
+        let name = if k == 1 {
+            "twig-s".to_string()
+        } else {
+            "twig-c".to_string()
+        };
         Ok(Twig {
             config,
             agent,
@@ -280,7 +303,19 @@ impl Twig {
             time: 0,
             pending: None,
             last_actions: None,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle: [`decide`](Self::decide) and
+    /// [`observe`](Self::observe) then record phase timings (PMC read,
+    /// inference, mapping, reward update, learn step), the exploration
+    /// rate, and degraded-epoch counts. The handle is forwarded to the
+    /// learning agent for its own metrics. Telemetry never feeds back into
+    /// decisions, so the policy is identical with or without it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.agent.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// The configuration.
@@ -317,8 +352,12 @@ impl Twig {
     ///
     /// Propagates learning and mapping errors.
     pub fn decide(&mut self) -> Result<Vec<Assignment>, TwigError> {
+        let mut stopwatch = self.telemetry.stopwatch();
         let states = self.monitor.states()?;
+        self.telemetry
+            .phase_add(self.time, Phase::PmcRead, stopwatch.lap_ms());
         let epsilon = self.epsilon();
+        self.telemetry.gauge_set("twig.epsilon", epsilon);
         let mut actions = self
             .agent
             .select_actions(&states, epsilon)
@@ -335,8 +374,7 @@ impl Twig {
                         let row = &q[k][d];
                         let lo = row.iter().cloned().fold(f32::INFINITY, f32::min);
                         let hi = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                        let margin =
-                            (self.config.action_stickiness * f64::from(hi - lo)) as f32;
+                        let margin = (self.config.action_stickiness * f64::from(hi - lo)) as f32;
                         // Keep the previous choice unless the new one is a
                         // clear improvement (never overrides exploration
                         // moves that beat it by the margin).
@@ -348,14 +386,21 @@ impl Twig {
             }
         }
         self.last_actions = Some(actions.clone());
-        let mut requests: Vec<(usize, twig_sim::Frequency)> =
-            Vec::with_capacity(actions.len());
+        self.telemetry
+            .phase_add(self.time, Phase::Inference, stopwatch.lap_ms());
+        let mut requests: Vec<(usize, twig_sim::Frequency)> = Vec::with_capacity(actions.len());
         for a in &actions {
             let cores = a[0] + 1; // branch 0: 1..=cores
-            let freq = self.config.dvfs.frequency_at(a[1]).map_err(TwigError::Sim)?;
+            let freq = self
+                .config
+                .dvfs
+                .frequency_at(a[1])
+                .map_err(TwigError::Sim)?;
             requests.push((cores.min(self.config.cores), freq));
         }
         let assignments = self.mapper.assign(&requests)?;
+        self.telemetry
+            .phase_add(self.time, Phase::Mapping, stopwatch.lap_ms());
         self.pending = Some(Pending { states, actions });
         Ok(assignments)
     }
@@ -375,6 +420,7 @@ impl Twig {
                 detail: format!("report has {} services, manager {k}", report.services.len()),
             });
         }
+        let mut stopwatch = self.telemetry.stopwatch();
         for (i, svc) in report.services.iter().enumerate() {
             self.monitor.update(i, &svc.pmcs)?;
         }
@@ -386,18 +432,19 @@ impl Twig {
                 let spec = &self.config.services[i];
                 let dvfs_idx = pending.actions[i][1];
                 let cores = pending.actions[i][0] + 1;
-                let est = self.config.power_model.estimate(
-                    svc.load_fraction,
-                    cores,
-                    dvfs_idx,
+                let est = self
+                    .config
+                    .power_model
+                    .estimate(svc.load_fraction, cores, dvfs_idx);
+                let power_rew = self
+                    .config
+                    .reward
+                    .power_reward(self.config.peak_power_w, est);
+                rewards.push(
+                    self.config
+                        .reward
+                        .reward(svc.p99_ms, spec.qos_ms, power_rew) as f32,
                 );
-                let power_rew =
-                    self.config.reward.power_reward(self.config.peak_power_w, est);
-                rewards.push(self.config.reward.reward(
-                    svc.p99_ms,
-                    spec.qos_ms,
-                    power_rew,
-                ) as f32);
             }
             match self.agent.observe(MultiTransition {
                 states: pending.states,
@@ -410,14 +457,20 @@ impl Twig {
                 // (e.g. corrupted telemetry the platform did not flag):
                 // drop the transition rather than abort the epoch — the
                 // buffer must never hold it, but the control loop goes on.
-                Err(RlError::NonFinite { .. }) => {}
+                Err(RlError::NonFinite { .. }) => {
+                    self.telemetry.counter_add("twig.dropped_transitions", 1);
+                }
                 Err(e) => return Err(TwigError::Learning(e)),
             }
+            self.telemetry
+                .phase_add(self.time, Phase::RewardUpdate, stopwatch.lap_ms());
             if !self.config.pure_exploitation {
                 for _ in 0..self.config.train_steps_per_epoch.max(1) {
                     self.agent.train_step().map_err(TwigError::Learning)?;
                 }
             }
+            self.telemetry
+                .phase_add(self.time, Phase::LearnStep, stopwatch.lap_ms());
         }
         self.time += 1;
         Ok(())
@@ -432,11 +485,7 @@ impl Twig {
     ///
     /// Returns [`TwigError::ReportMismatch`] for an unknown service and
     /// [`TwigError::Sim`] for an invalid spec.
-    pub fn transfer_service(
-        &mut self,
-        index: usize,
-        spec: ServiceSpec,
-    ) -> Result<(), TwigError> {
+    pub fn transfer_service(&mut self, index: usize, spec: ServiceSpec) -> Result<(), TwigError> {
         if index >= self.config.services.len() {
             return Err(TwigError::ReportMismatch {
                 detail: format!("service {index}"),
@@ -481,6 +530,7 @@ impl Twig {
             self.monitor.update(i, &svc.pmcs)?;
         }
         self.pending = None;
+        self.telemetry.counter_add("twig.degraded_epochs", 1);
         self.time += 1;
         Ok(())
     }
@@ -558,8 +608,7 @@ mod tests {
     #[test]
     fn full_loop_against_simulator() {
         let spec = catalog::masstree();
-        let mut server =
-            Server::new(ServerConfig::default(), vec![spec.clone()], 3).unwrap();
+        let mut server = Server::new(ServerConfig::default(), vec![spec.clone()], 3).unwrap();
         server.set_load_fraction(0, 0.5).unwrap();
         let mut twig = build_twig(vec![spec]);
         for _ in 0..30 {
@@ -575,8 +624,7 @@ mod tests {
     #[test]
     fn pure_exploitation_skips_training() {
         let spec = catalog::masstree();
-        let mut server =
-            Server::new(ServerConfig::default(), vec![spec.clone()], 4).unwrap();
+        let mut server = Server::new(ServerConfig::default(), vec![spec.clone()], 4).unwrap();
         let mut twig = build_twig(vec![spec]);
         twig.set_pure_exploitation(true);
         for _ in 0..20 {
@@ -591,8 +639,7 @@ mod tests {
     fn epsilon_follows_schedule() {
         let mut twig = build_twig(vec![catalog::moses()]);
         assert_eq!(twig.epsilon(), 1.0);
-        let mut server =
-            Server::new(ServerConfig::default(), vec![catalog::moses()], 5).unwrap();
+        let mut server = Server::new(ServerConfig::default(), vec![catalog::moses()], 5).unwrap();
         for _ in 0..100 {
             let a = Twig::decide(&mut twig).unwrap();
             let report = server.step(&a).unwrap();
@@ -607,7 +654,10 @@ mod tests {
         let mut server =
             Server::new(ServerConfig::default(), vec![catalog::masstree()], 6).unwrap();
         let report = server
-            .step(&[twig_sim::Assignment::first_n(4, DvfsLadder::default().max())])
+            .step(&[twig_sim::Assignment::first_n(
+                4,
+                DvfsLadder::default().max(),
+            )])
             .unwrap();
         assert!(Twig::observe(&mut twig, &report).is_err());
     }
@@ -645,8 +695,7 @@ mod tests {
                 .seed(21)
                 .build()
                 .unwrap();
-            let mut server =
-                Server::new(ServerConfig::default(), vec![spec.clone()], 22).unwrap();
+            let mut server = Server::new(ServerConfig::default(), vec![spec.clone()], 22).unwrap();
             server.set_load_fraction(0, 0.5).unwrap();
             let mut changes = 0;
             let mut prev_cores = None;

@@ -40,7 +40,9 @@ impl Mapper {
     /// Returns [`TwigError::InvalidConfig`] when `total_cores == 0`.
     pub fn new(total_cores: usize) -> Result<Self, TwigError> {
         if total_cores == 0 {
-            return Err(TwigError::InvalidConfig { detail: "zero cores".into() });
+            return Err(TwigError::InvalidConfig {
+                detail: "zero cores".into(),
+            });
         }
         Ok(Mapper { total_cores })
     }
@@ -56,10 +58,7 @@ impl Mapper {
     ///
     /// Returns [`TwigError::InvalidConfig`] when a single request exceeds
     /// the socket or requests no cores.
-    pub fn assign(
-        &self,
-        requests: &[(usize, Frequency)],
-    ) -> Result<Vec<Assignment>, TwigError> {
+    pub fn assign(&self, requests: &[(usize, Frequency)]) -> Result<Vec<Assignment>, TwigError> {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
@@ -137,7 +136,9 @@ mod tests {
     fn overflow_creates_time_shared_overlap() {
         let mapper = Mapper::new(10).unwrap();
         // Section IV example: sv-1 wants 8, sv-2 wants 5 on 10 cores.
-        let a = mapper.assign(&[(8, f()), (5, Frequency::from_mhz(2000))]).unwrap();
+        let a = mapper
+            .assign(&[(8, f()), (5, Frequency::from_mhz(2000))])
+            .unwrap();
         let s0: BTreeSet<_> = a[0].cores.iter().collect();
         let s1: BTreeSet<_> = a[1].cores.iter().collect();
         let overlap = s0.intersection(&s1).count();

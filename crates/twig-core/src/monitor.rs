@@ -70,9 +70,12 @@ impl SystemMonitor {
     ///
     /// Returns [`TwigError::ReportMismatch`] for an unknown service.
     pub fn update(&mut self, index: usize, sample: &PmcSample) -> Result<(), TwigError> {
-        let history = self.histories.get_mut(index).ok_or_else(|| {
-            TwigError::ReportMismatch { detail: format!("service {index}") }
-        })?;
+        let history = self
+            .histories
+            .get_mut(index)
+            .ok_or_else(|| TwigError::ReportMismatch {
+                detail: format!("service {index}"),
+            })?;
         let mut clean = *sample;
         let mut any_bad = false;
         for (i, &v) in sample.as_array().iter().enumerate() {
@@ -110,9 +113,12 @@ impl SystemMonitor {
     ///
     /// Returns [`TwigError::ReportMismatch`] for an unknown service.
     pub fn state(&self, index: usize) -> Result<Vec<f32>, TwigError> {
-        let history = self.histories.get(index).ok_or_else(|| {
-            TwigError::ReportMismatch { detail: format!("service {index}") }
-        })?;
+        let history = self
+            .histories
+            .get(index)
+            .ok_or_else(|| TwigError::ReportMismatch {
+                detail: format!("service {index}"),
+            })?;
         if history.is_empty() {
             return Ok(vec![0.0; NUM_COUNTERS]);
         }
@@ -129,7 +135,10 @@ impl SystemMonitor {
         let scaled = self.scaler.scale(&smoothed).map_err(TwigError::Stats)?;
         // Belt and braces: max_norm_scale already clamps to [0, 1] and maps
         // NaN to 0, so the MDP state can never carry a non-finite feature.
-        Ok(scaled.into_iter().map(|v| (v as f32).clamp(0.0, 1.0)).collect())
+        Ok(scaled
+            .into_iter()
+            .map(|v| (v as f32).clamp(0.0, 1.0))
+            .collect())
     }
 
     /// All services' states, in index order.
@@ -148,9 +157,12 @@ impl SystemMonitor {
     ///
     /// Returns [`TwigError::ReportMismatch`] for an unknown service.
     pub fn reset_service(&mut self, index: usize) -> Result<(), TwigError> {
-        let history = self.histories.get_mut(index).ok_or_else(|| {
-            TwigError::ReportMismatch { detail: format!("service {index}") }
-        })?;
+        let history = self
+            .histories
+            .get_mut(index)
+            .ok_or_else(|| TwigError::ReportMismatch {
+                detail: format!("service {index}"),
+            })?;
         history.clear();
         Ok(())
     }
@@ -217,7 +229,11 @@ pub fn select_counters(
     // get zero.
     let correlations: Vec<f64> = columns
         .iter()
-        .map(|col| twig_stats::pearson(col, &latencies).map(f64::abs).unwrap_or(0.0))
+        .map(|col| {
+            twig_stats::pearson(col, &latencies)
+                .map(f64::abs)
+                .unwrap_or(0.0)
+        })
         .collect();
 
     // PCA over the (max-scaled) counter matrix.
@@ -253,7 +269,9 @@ pub fn select_counters(
         })
         .collect();
     ranking.sort_by(|a, b| {
-        b.importance.partial_cmp(&a.importance).expect("NaN importance")
+        b.importance
+            .partial_cmp(&a.importance)
+            .expect("NaN importance")
     });
     Ok(ranking)
 }

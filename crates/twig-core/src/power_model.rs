@@ -40,7 +40,12 @@ impl Default for Eq2PowerModel {
     /// Coefficients from fitting Eq. 2 against the default simulator
     /// platform (see `fig04_power_paae` in `twig-bench` for the fit).
     fn default() -> Self {
-        Eq2PowerModel { kappa: 17.0, sigma: 2.0, omega_sq: 1.1, offset: 1.0 }
+        Eq2PowerModel {
+            kappa: 17.0,
+            sigma: 2.0,
+            omega_sq: 1.1,
+            offset: 1.0,
+        }
     }
 }
 
@@ -130,11 +135,15 @@ pub fn fit_power_model(points: &[ProfilePoint], seed: u64) -> Result<PowerModelF
     let grid = random_grid_search(&xs, &ys, &[1], (1e-8, 1e-1), 20, 5, &mut rng)
         .map_err(TwigError::Stats)?;
     let best = grid[0];
-    let fit = LinearModel::fit(&xs, &ys, best.degree, best.lambda)
-        .map_err(TwigError::Stats)?;
+    let fit = LinearModel::fit(&xs, &ys, best.degree, best.lambda).map_err(TwigError::Stats)?;
     let w = fit.model.weights();
     Ok(PowerModelFit {
-        model: Eq2PowerModel { offset: w[0], kappa: w[1], sigma: w[2], omega_sq: w[3] },
+        model: Eq2PowerModel {
+            offset: w[0],
+            kappa: w[1],
+            sigma: w[2],
+            omega_sq: w[3],
+        },
         mse: fit.mse,
         r_squared: fit.r_squared,
     })
@@ -201,7 +210,11 @@ mod tests {
     #[test]
     fn recovers_generating_coefficients() {
         let fit = fit_power_model(&synthetic_points(0.0), 1).unwrap();
-        assert!((fit.model.kappa - 15.0).abs() < 0.1, "kappa {}", fit.model.kappa);
+        assert!(
+            (fit.model.kappa - 15.0).abs() < 0.1,
+            "kappa {}",
+            fit.model.kappa
+        );
         assert!((fit.model.sigma - 2.2).abs() < 0.05);
         assert!((fit.model.omega_sq - 0.7).abs() < 0.05);
         assert!(fit.r_squared > 0.999);
@@ -231,14 +244,24 @@ mod tests {
 
     #[test]
     fn estimate_never_negative() {
-        let m = Eq2PowerModel { kappa: -100.0, sigma: 0.0, omega_sq: 0.0, offset: 0.0 };
+        let m = Eq2PowerModel {
+            kappa: -100.0,
+            sigma: 0.0,
+            omega_sq: 0.0,
+            offset: 0.0,
+        };
         assert_eq!(m.estimate(1.0, 0, 0), 0.0);
     }
 
     #[test]
     fn paae_skips_zero_measurements() {
         let m = Eq2PowerModel::default();
-        let zero = ProfilePoint { load: 0.0, cores: 0, dvfs: 0, dynamic_power_w: 0.0 };
+        let zero = ProfilePoint {
+            load: 0.0,
+            cores: 0,
+            dvfs: 0,
+            dynamic_power_w: 0.0,
+        };
         assert_eq!(paae(&m, &[zero]), 0.0);
     }
 }

@@ -72,7 +72,11 @@ impl RewardConfig {
         } else {
             f64::INFINITY
         };
-        let power_rew = if power_reward.is_nan() { 0.0 } else { power_reward };
+        let power_rew = if power_reward.is_nan() {
+            0.0
+        } else {
+            power_reward
+        };
         if qos_rew <= 1.0 {
             qos_rew + self.theta * power_rew.clamp(0.0, self.power_reward_cap)
         } else {

@@ -41,9 +41,11 @@ mod tests {
     #[test]
     fn display_nonempty() {
         assert!(!NnError::Empty.to_string().is_empty());
-        assert!(!NnError::ShapeMismatch { detail: "2x2 vs 3x3".into() }
-            .to_string()
-            .is_empty());
+        assert!(!NnError::ShapeMismatch {
+            detail: "2x2 vs 3x3".into()
+        }
+        .to_string()
+        .is_empty());
     }
 
     #[test]

@@ -186,7 +186,9 @@ impl Layer for Dense {
         for (gb, g) in self.grad_b.iter_mut().zip(grad_output.sum_rows()) {
             *gb += g;
         }
-        grad_output.matmul_t(&self.w).expect("dense input grad shape")
+        grad_output
+            .matmul_t(&self.w)
+            .expect("dense input grad shape")
     }
 
     fn zero_grads(&mut self) {
@@ -305,8 +307,15 @@ impl Dropout {
     ///
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability {p} outside [0, 1)");
-        Dropout { p, mask: None, rng: twig_stats::rng::Xoshiro256::seed_from_u64(seed) }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability {p} outside [0, 1)"
+        );
+        Dropout {
+            p,
+            mask: None,
+            rng: twig_stats::rng::Xoshiro256::seed_from_u64(seed),
+        }
     }
 }
 

@@ -96,11 +96,7 @@ pub fn huber_loss(
     Ok((loss / n, grad))
 }
 
-fn check_shapes(
-    pred: &Tensor,
-    target: &Tensor,
-    weights: Option<&[f32]>,
-) -> Result<(), NnError> {
+fn check_shapes(pred: &Tensor, target: &Tensor, weights: Option<&[f32]>) -> Result<(), NnError> {
     if pred.rows() == 0 || pred.cols() == 0 {
         return Err(NnError::Empty);
     }

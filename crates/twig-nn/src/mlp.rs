@@ -160,7 +160,10 @@ impl Mlp {
 
     /// Squared L2 norm of all accumulated gradients.
     pub fn grad_sq_norm(&self) -> f32 {
-        self.layers.iter().map(|l| l.as_layer().grad_sq_norm()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.as_layer().grad_sq_norm())
+            .sum()
     }
 
     /// Scales all accumulated gradients, e.g. for global-norm clipping or

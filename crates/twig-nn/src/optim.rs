@@ -79,8 +79,14 @@ impl Adam {
             grad.len(),
             "parameter/gradient length mismatch for id {param_id}"
         );
-        let m = self.m.entry(param_id).or_insert_with(|| vec![0.0; param.len()]);
-        let v = self.v.entry(param_id).or_insert_with(|| vec![0.0; param.len()]);
+        let m = self
+            .m
+            .entry(param_id)
+            .or_insert_with(|| vec![0.0; param.len()]);
+        let v = self
+            .v
+            .entry(param_id)
+            .or_insert_with(|| vec![0.0; param.len()]);
         assert_eq!(
             m.len(),
             param.len(),

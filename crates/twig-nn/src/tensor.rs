@@ -22,7 +22,11 @@ pub struct Tensor {
 impl Tensor {
     /// Creates a `rows x cols` tensor of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a tensor from a flat row-major buffer.
@@ -57,12 +61,20 @@ impl Tensor {
             }
             data.extend_from_slice(r);
         }
-        Ok(Tensor { rows: rows.len(), cols, data })
+        Ok(Tensor {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Creates a single-row tensor from a feature slice.
     pub fn from_row(row: &[f32]) -> Self {
-        Tensor { rows: 1, cols: row.len(), data: row.to_vec() }
+        Tensor {
+            rows: 1,
+            cols: row.len(),
+            data: row.to_vec(),
+        }
     }
 
     /// Number of rows (batch size).
@@ -186,8 +198,7 @@ impl Tensor {
             let a_row = self.row(i);
             for j in 0..other.rows {
                 let b_row = other.row(j);
-                out.data[i * other.rows + j] =
-                    a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
+                out.data[i * other.rows + j] = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
             }
         }
         Ok(out)
@@ -276,7 +287,11 @@ impl Tensor {
     ///
     /// Panics if `left_cols > self.cols()`.
     pub fn split_cols(&self, left_cols: usize) -> (Tensor, Tensor) {
-        assert!(left_cols <= self.cols, "split at {left_cols} beyond {}", self.cols);
+        assert!(
+            left_cols <= self.cols,
+            "split at {left_cols} beyond {}",
+            self.cols
+        );
         let mut left = Tensor::zeros(self.rows, left_cols);
         let mut right = Tensor::zeros(self.rows, self.cols - left_cols);
         for r in 0..self.rows {
@@ -370,8 +385,9 @@ mod tests {
     }
 
     fn random_tensor<R: Rng>(rng: &mut R, rows: usize, cols: usize) -> Tensor {
-        let data: Vec<f32> =
-            (0..rows * cols).map(|_| rng.range_f32(-10.0, 10.0)).collect();
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|_| rng.range_f32(-10.0, 10.0))
+            .collect();
         Tensor::from_vec(rows, cols, data).unwrap()
     }
 

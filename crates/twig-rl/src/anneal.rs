@@ -88,7 +88,12 @@ impl EpsilonSchedule {
     /// experiments: the same shape compressed so phase 1 ends at
     /// `learning_steps`.
     pub fn scaled(learning_steps: u64) -> Self {
-        Self::new(0.1, 0.01, learning_steps, learning_steps.saturating_mul(5) / 2)
+        Self::new(
+            0.1,
+            0.01,
+            learning_steps,
+            learning_steps.saturating_mul(5) / 2,
+        )
     }
 
     /// ε at step `t`.

@@ -33,7 +33,12 @@ impl Bdq {
     ///
     /// Returns [`RlError::InvalidConfig`] for an invalid configuration.
     pub fn new(config: MaBdqConfig) -> Result<Self, RlError> {
-        Ok(Bdq { inner: MaBdq::new(MaBdqConfig { agents: 1, ..config })? })
+        Ok(Bdq {
+            inner: MaBdq::new(MaBdqConfig {
+                agents: 1,
+                ..config
+            })?,
+        })
     }
 
     /// ε-greedy per-branch action selection: `actions[d]`.
@@ -41,11 +46,7 @@ impl Bdq {
     /// # Errors
     ///
     /// Returns [`RlError::DimensionMismatch`] for a wrongly sized state.
-    pub fn select_actions(
-        &mut self,
-        state: &[f32],
-        epsilon: f64,
-    ) -> Result<Vec<usize>, RlError> {
+    pub fn select_actions(&mut self, state: &[f32], epsilon: f64) -> Result<Vec<usize>, RlError> {
         let mut actions = self.inner.select_actions(&[state.to_vec()], epsilon)?;
         Ok(actions.remove(0))
     }
@@ -143,7 +144,11 @@ mod tests {
 
     #[test]
     fn forces_single_agent() {
-        let bdq = Bdq::new(MaBdqConfig { agents: 7, ..config() }).unwrap();
+        let bdq = Bdq::new(MaBdqConfig {
+            agents: 7,
+            ..config()
+        })
+        .unwrap();
         assert_eq!(bdq.as_multi_agent().config().agents, 1);
     }
 
@@ -163,7 +168,8 @@ mod tests {
     fn observe_and_train_roundtrip() {
         let mut bdq = Bdq::new(config()).unwrap();
         for i in 0..8 {
-            bdq.observe(&[i as f32, 0.0], &[0, 0], 1.0, &[i as f32, 0.0]).unwrap();
+            bdq.observe(&[i as f32, 0.0], &[0, 0], 1.0, &[i as f32, 0.0])
+                .unwrap();
         }
         assert_eq!(bdq.buffer_len(), 8);
         assert!(bdq.train_step().unwrap().is_some());

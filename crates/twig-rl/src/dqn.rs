@@ -1,6 +1,6 @@
 use crate::{PrioritizedReplay, RlError};
-use twig_stats::rng::{Rng, Xoshiro256};
 use twig_nn::{Adam, Dense, Dropout, Mlp, Relu, Tensor};
+use twig_stats::rng::{Rng, Xoshiro256};
 
 /// Configuration of a vanilla [`Dqn`].
 #[derive(Debug, Clone, PartialEq)]
@@ -127,14 +127,19 @@ impl Dqn {
                 net = net
                     .push(Dense::new(prev, h, rng))
                     .push(Relu::new())
-                    .push(Dropout::new(config.dropout, config.seed.wrapping_add(i as u64)));
+                    .push(Dropout::new(
+                        config.dropout,
+                        config.seed.wrapping_add(i as u64),
+                    ));
                 prev = h;
             }
             net.push(Dense::new(prev, config.actions, rng))
         };
         let online = build(&mut rng);
         let mut target = build(&mut rng);
-        target.copy_weights_from(&online).expect("same architecture");
+        target
+            .copy_weights_from(&online)
+            .expect("same architecture");
         let adam = Adam::new(config.lr);
         let buffer = PrioritizedReplay::new(
             config.buffer_capacity,
@@ -142,7 +147,15 @@ impl Dqn {
             config.per_beta0,
             config.per_beta_steps,
         );
-        Ok(Dqn { config, online, target, adam, buffer, rng, steps: 0 })
+        Ok(Dqn {
+            config,
+            online,
+            target,
+            adam,
+            buffer,
+            rng,
+            steps: 0,
+        })
     }
 
     /// The configuration.
@@ -182,7 +195,11 @@ impl Dqn {
     /// Returns [`RlError::DimensionMismatch`] for a wrongly sized state.
     pub fn q_values(&mut self, state: &[f32]) -> Result<Vec<f32>, RlError> {
         self.check_state(state)?;
-        Ok(self.online.forward(&Tensor::from_row(state), false).row(0).to_vec())
+        Ok(self
+            .online
+            .forward(&Tensor::from_row(state), false)
+            .row(0)
+            .to_vec())
     }
 
     /// ε-greedy action selection over the joint action space.
@@ -246,13 +263,19 @@ impl Dqn {
             .collect();
 
         let next = Tensor::from_rows(
-            &transitions.iter().map(|t| t.next_state.clone()).collect::<Vec<_>>(),
+            &transitions
+                .iter()
+                .map(|t| t.next_state.clone())
+                .collect::<Vec<_>>(),
         )
         .expect("rectangular batch");
         let q_next_online = self.online.forward(&next, false);
         let q_next_target = self.target.forward(&next, false);
         let x = Tensor::from_rows(
-            &transitions.iter().map(|t| t.state.clone()).collect::<Vec<_>>(),
+            &transitions
+                .iter()
+                .map(|t| t.state.clone())
+                .collect::<Vec<_>>(),
         )
         .expect("rectangular batch");
         let q = self.online.forward(&x, true);
@@ -275,7 +298,9 @@ impl Dqn {
         self.buffer.update_priorities(&batch.indices, &abs_td);
         self.steps += 1;
         if self.steps.is_multiple_of(self.config.target_update_every) {
-            self.target.copy_weights_from(&self.online).expect("same architecture");
+            self.target
+                .copy_weights_from(&self.online)
+                .expect("same architecture");
         }
         Ok(Some(loss))
     }
@@ -314,11 +339,31 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(Dqn::new(DqnConfig { state_dim: 0, ..tiny() }).is_err());
-        assert!(Dqn::new(DqnConfig { actions: 0, ..tiny() }).is_err());
-        assert!(Dqn::new(DqnConfig { hidden: vec![], ..tiny() }).is_err());
-        assert!(Dqn::new(DqnConfig { dropout: 1.0, ..tiny() }).is_err());
-        assert!(Dqn::new(DqnConfig { batch_size: 0, ..tiny() }).is_err());
+        assert!(Dqn::new(DqnConfig {
+            state_dim: 0,
+            ..tiny()
+        })
+        .is_err());
+        assert!(Dqn::new(DqnConfig {
+            actions: 0,
+            ..tiny()
+        })
+        .is_err());
+        assert!(Dqn::new(DqnConfig {
+            hidden: vec![],
+            ..tiny()
+        })
+        .is_err());
+        assert!(Dqn::new(DqnConfig {
+            dropout: 1.0,
+            ..tiny()
+        })
+        .is_err());
+        assert!(Dqn::new(DqnConfig {
+            batch_size: 0,
+            ..tiny()
+        })
+        .is_err());
     }
 
     #[test]

@@ -66,7 +66,10 @@ mod tests {
         for e in [
             RlError::InvalidConfig { detail: "x".into() },
             RlError::DimensionMismatch { detail: "y".into() },
-            RlError::NotEnoughData { needed: 2, available: 1 },
+            RlError::NotEnoughData {
+                needed: 2,
+                available: 1,
+            },
             RlError::NonFinite { detail: "z".into() },
         ] {
             assert!(!e.to_string().is_empty());

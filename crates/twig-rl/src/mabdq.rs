@@ -1,6 +1,7 @@
 use crate::{EpsilonSchedule, PrioritizedReplay, RlError};
-use twig_stats::rng::{Rng, Xoshiro256};
 use twig_nn::{Adam, Dense, Dropout, Mlp, Relu, Tensor};
+use twig_stats::rng::{Rng, Xoshiro256};
+use twig_telemetry::Telemetry;
 
 /// Configuration of a [`MaBdq`] agent.
 ///
@@ -154,7 +155,10 @@ impl Net {
             trunk = trunk
                 .push(Dense::new(prev, h, rng))
                 .push(Relu::new())
-                .push(Dropout::new(config.dropout, config.seed.wrapping_add(i as u64)));
+                .push(Dropout::new(
+                    config.dropout,
+                    config.seed.wrapping_add(i as u64),
+                ));
             prev = h;
         }
         let head_input = prev + config.state_dim;
@@ -174,7 +178,11 @@ impl Net {
             .enumerate()
             .map(|(d, &n)| head(n, rng, config.seed.wrapping_add(200 + d as u64)))
             .collect();
-        Net { trunk, value_heads, adv_heads }
+        Net {
+            trunk,
+            value_heads,
+            adv_heads,
+        }
     }
 
     fn zero_grads(&mut self) {
@@ -209,7 +217,9 @@ impl Net {
     }
 
     fn copy_weights_from(&mut self, other: &Net) {
-        self.trunk.copy_weights_from(&other.trunk).expect("same architecture");
+        self.trunk
+            .copy_weights_from(&other.trunk)
+            .expect("same architecture");
         for (dst, src) in self
             .value_heads
             .iter_mut()
@@ -298,6 +308,7 @@ pub struct MaBdq {
     rng: Xoshiro256,
     steps: u64,
     skipped_steps: u64,
+    telemetry: Telemetry,
 }
 
 impl MaBdq {
@@ -319,7 +330,26 @@ impl MaBdq {
             config.per_beta0,
             config.per_beta_steps,
         );
-        Ok(MaBdq { config, online, target, adam, buffer, rng, steps: 0, skipped_steps: 0 })
+        Ok(MaBdq {
+            config,
+            online,
+            target,
+            adam,
+            buffer,
+            rng,
+            steps: 0,
+            skipped_steps: 0,
+            telemetry: Telemetry::disabled(),
+        })
+    }
+
+    /// Attaches a telemetry handle: [`observe`](Self::observe) and
+    /// [`train_step`](Self::train_step) then record learner health (loss,
+    /// TD error, gradient norm, buffer occupancy, rejected non-finite
+    /// transitions). Telemetry never feeds back into training, so learning
+    /// trajectories are identical with or without it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The configuration.
@@ -432,12 +462,12 @@ impl MaBdq {
                 detail: "transition actions/rewards shape".into(),
             });
         }
-        for (a, &n) in transition
-            .actions
-            .iter()
-            .flatten()
-            .zip(transition.actions.iter().flat_map(|_| &self.config.branches))
-        {
+        for (a, &n) in transition.actions.iter().flatten().zip(
+            transition
+                .actions
+                .iter()
+                .flat_map(|_| &self.config.branches),
+        ) {
             if *a >= n {
                 return Err(RlError::DimensionMismatch {
                     detail: format!("action {a} out of range {n}"),
@@ -454,11 +484,14 @@ impl MaBdq {
             .flatten()
             .all(|v| v.is_finite());
         if !finite_states || !transition.rewards.iter().all(|r| r.is_finite()) {
+            self.telemetry.counter_add("rl.nonfinite_rejected", 1);
             return Err(RlError::NonFinite {
                 detail: "transition state or reward".into(),
             });
         }
         self.buffer.push(transition);
+        self.telemetry
+            .gauge_set("rl.buffer_len", self.buffer.len() as f64);
         Ok(())
     }
 
@@ -486,8 +519,10 @@ impl MaBdq {
             .collect();
 
         // --- Targets: double-DQN style, averaged over branches. ---
-        let next_states: Vec<&[Vec<f32>]> =
-            transitions.iter().map(|t| t.next_states.as_slice()).collect();
+        let next_states: Vec<&[Vec<f32>]> = transitions
+            .iter()
+            .map(|t| t.next_states.as_slice())
+            .collect();
         let q_next_online = self.online.q_values(&next_states, false);
         let q_next_target = self.target.q_values(&next_states, false);
         // y[b][k]
@@ -500,8 +535,7 @@ impl MaBdq {
                     let a_star = argmax(q_next_online[k][d].row(b));
                     acc += q_next_target[k][d][(b, a_star)];
                 }
-                targets[b][k] =
-                    transitions[b].rewards[k] + gamma * acc / num_branches as f32;
+                targets[b][k] = transitions[b].rewards[k] + gamma * acc / num_branches as f32;
             }
         }
 
@@ -578,17 +612,20 @@ impl MaBdq {
         if !loss.is_finite() || !grad_norm.is_finite() {
             self.online.zero_grads();
             self.skipped_steps += 1;
-            return Ok(Some(TrainStats {
+            let stats = TrainStats {
                 loss,
                 mean_abs_td: (abs_td.iter().sum::<f64>() / batch_size as f64) as f32,
                 grad_norm,
                 skipped: true,
-            }));
+            };
+            self.record_train_stats(&stats);
+            return Ok(Some(stats));
         }
 
         // Global-norm clipping, then Adam.
         if self.config.grad_clip > 0.0 && grad_norm > self.config.grad_clip {
-            self.online.scale_all_grads(self.config.grad_clip / grad_norm);
+            self.online
+                .scale_all_grads(self.config.grad_clip / grad_norm);
         }
         self.online.apply(&mut self.adam);
 
@@ -597,12 +634,34 @@ impl MaBdq {
         if self.steps.is_multiple_of(self.config.target_update_every) {
             self.target.copy_weights_from(&self.online);
         }
-        Ok(Some(TrainStats {
+        let stats = TrainStats {
             loss,
             mean_abs_td: (abs_td.iter().sum::<f64>() / batch_size as f64) as f32,
             grad_norm,
             skipped: false,
-        }))
+        };
+        self.record_train_stats(&stats);
+        Ok(Some(stats))
+    }
+
+    /// Feeds one gradient step's diagnostics into the attached telemetry
+    /// handle. No-op when telemetry is disabled.
+    fn record_train_stats(&self, stats: &TrainStats) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let tl = &self.telemetry;
+        if stats.skipped {
+            tl.counter_add("rl.skipped_steps", 1);
+        } else {
+            tl.counter_add("rl.train_steps", 1);
+        }
+        // LogHistogram drops non-finite samples itself, so a blown-up loss
+        // is counted but cannot poison the digest.
+        tl.record("rl.loss", stats.loss as f64);
+        tl.record("rl.td_error", stats.mean_abs_td as f64);
+        tl.record("rl.grad_norm", stats.grad_norm as f64);
+        tl.gauge_set("rl.buffer_len", self.buffer.len() as f64);
     }
 
     /// Transfer learning (Section IV): re-initialise the final (most
@@ -633,7 +692,12 @@ impl MaBdq {
     /// same configuration.
     pub fn save_checkpoint(&self) -> Vec<f32> {
         let mut out = self.online.trunk.export_parameters();
-        for head in self.online.value_heads.iter().chain(self.online.adv_heads.iter()) {
+        for head in self
+            .online
+            .value_heads
+            .iter()
+            .chain(self.online.adv_heads.iter())
+        {
             out.extend(head.export_parameters());
         }
         out
@@ -669,7 +733,8 @@ impl MaBdq {
             .chain(self.online.adv_heads.iter_mut())
         {
             let n = head.param_count();
-            head.import_parameters(&params[offset..offset + n]).expect("length checked");
+            head.import_parameters(&params[offset..offset + n])
+                .expect("length checked");
             offset += n;
         }
         self.adam.reset_state();
@@ -721,14 +786,38 @@ mod tests {
     #[test]
     fn config_validation() {
         for bad in [
-            MaBdqConfig { agents: 0, ..tiny_config(1) },
-            MaBdqConfig { state_dim: 0, ..tiny_config(1) },
-            MaBdqConfig { branches: vec![], ..tiny_config(1) },
-            MaBdqConfig { branches: vec![3, 0], ..tiny_config(1) },
-            MaBdqConfig { trunk_hidden: vec![], ..tiny_config(1) },
-            MaBdqConfig { dropout: 1.0, ..tiny_config(1) },
-            MaBdqConfig { gamma: 1.5, ..tiny_config(1) },
-            MaBdqConfig { batch_size: 0, ..tiny_config(1) },
+            MaBdqConfig {
+                agents: 0,
+                ..tiny_config(1)
+            },
+            MaBdqConfig {
+                state_dim: 0,
+                ..tiny_config(1)
+            },
+            MaBdqConfig {
+                branches: vec![],
+                ..tiny_config(1)
+            },
+            MaBdqConfig {
+                branches: vec![3, 0],
+                ..tiny_config(1)
+            },
+            MaBdqConfig {
+                trunk_hidden: vec![],
+                ..tiny_config(1)
+            },
+            MaBdqConfig {
+                dropout: 1.0,
+                ..tiny_config(1)
+            },
+            MaBdqConfig {
+                gamma: 1.5,
+                ..tiny_config(1)
+            },
+            MaBdqConfig {
+                batch_size: 0,
+                ..tiny_config(1)
+            },
         ] {
             assert!(MaBdq::new(bad).is_err());
         }
@@ -767,9 +856,15 @@ mod tests {
             next_states: vec![vec![0.0, 0.0]],
         };
         agent.observe(good.clone()).unwrap();
-        let bad_action = MultiTransition { actions: vec![vec![5, 0]], ..good.clone() };
+        let bad_action = MultiTransition {
+            actions: vec![vec![5, 0]],
+            ..good.clone()
+        };
         assert!(agent.observe(bad_action).is_err());
-        let bad_reward = MultiTransition { rewards: vec![], ..good };
+        let bad_reward = MultiTransition {
+            rewards: vec![],
+            ..good
+        };
         assert!(agent.observe(bad_reward).is_err());
     }
 
@@ -782,13 +877,18 @@ mod tests {
             rewards: vec![1.0],
             next_states: vec![vec![0.0, 0.0]],
         };
-        let nan_state =
-            MultiTransition { states: vec![vec![f32::NAN, 0.0]], ..good.clone() };
+        let nan_state = MultiTransition {
+            states: vec![vec![f32::NAN, 0.0]],
+            ..good.clone()
+        };
         let inf_next = MultiTransition {
             next_states: vec![vec![0.0, f32::INFINITY]],
             ..good.clone()
         };
-        let nan_reward = MultiTransition { rewards: vec![f32::NAN], ..good.clone() };
+        let nan_reward = MultiTransition {
+            rewards: vec![f32::NAN],
+            ..good.clone()
+        };
         for bad in [nan_state, inf_next, nan_reward] {
             assert!(matches!(agent.observe(bad), Err(RlError::NonFinite { .. })));
         }
@@ -821,11 +921,7 @@ mod tests {
         assert_eq!(agent.skipped_steps(), 1);
         let after = agent.q_values(&probe).unwrap();
         assert_eq!(before, after, "weights untouched by the skipped step");
-        assert!(after
-            .iter()
-            .flatten()
-            .flatten()
-            .all(|v| v.is_finite()));
+        assert!(after.iter().flatten().flatten().all(|v| v.is_finite()));
     }
 
     #[test]
@@ -967,7 +1063,10 @@ mod tests {
         })
         .unwrap();
         assert!(paper.param_count() > small.param_count());
-        assert!(paper.memory_bytes() < 5_000_000, "paper net must fit in 5 MB");
+        assert!(
+            paper.memory_bytes() < 5_000_000,
+            "paper net must fit in 5 MB"
+        );
     }
 
     #[test]

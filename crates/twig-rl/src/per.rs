@@ -101,13 +101,12 @@ impl<T> PrioritizedReplay<T> {
     /// # Errors
     ///
     /// Returns [`RlError::NotEnoughData`] when the buffer is empty.
-    pub fn sample<R: Rng>(
-        &mut self,
-        n: usize,
-        rng: &mut R,
-    ) -> Result<PerBatch, RlError> {
+    pub fn sample<R: Rng>(&mut self, n: usize, rng: &mut R) -> Result<PerBatch, RlError> {
         if self.items.is_empty() {
-            return Err(RlError::NotEnoughData { needed: n, available: 0 });
+            return Err(RlError::NotEnoughData {
+                needed: n,
+                available: 0,
+            });
         }
         let beta = self.beta.value_at(self.step);
         self.step += 1;
@@ -137,7 +136,11 @@ impl<T> PrioritizedReplay<T> {
     ///
     /// Panics if the slices have different lengths.
     pub fn update_priorities(&mut self, indices: &[usize], errors: &[f64]) {
-        assert_eq!(indices.len(), errors.len(), "indices/errors length mismatch");
+        assert_eq!(
+            indices.len(),
+            errors.len(),
+            "indices/errors length mismatch"
+        );
         const EPS: f64 = 1e-6;
         for (&idx, &err) in indices.iter().zip(errors) {
             if idx >= self.items.len() {
@@ -160,7 +163,10 @@ struct SumTree {
 impl SumTree {
     fn new(capacity: usize) -> Self {
         let leaves = capacity.next_power_of_two();
-        SumTree { nodes: vec![0.0; 2 * leaves], leaves }
+        SumTree {
+            nodes: vec![0.0; 2 * leaves],
+            leaves,
+        }
     }
 
     fn total(&self) -> f64 {

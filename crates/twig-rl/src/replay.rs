@@ -33,7 +33,11 @@ impl<T> ReplayBuffer<T> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay buffer capacity must be positive");
-        ReplayBuffer { items: Vec::with_capacity(capacity.min(4096)), capacity, next: 0 }
+        ReplayBuffer {
+            items: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            next: 0,
+        }
     }
 
     /// Adds an item, evicting the oldest once at capacity.
@@ -66,13 +70,12 @@ impl<T> ReplayBuffer<T> {
     /// # Errors
     ///
     /// Returns [`RlError::NotEnoughData`] when the buffer is empty.
-    pub fn sample<R: Rng>(
-        &self,
-        n: usize,
-        rng: &mut R,
-    ) -> Result<Vec<&T>, RlError> {
+    pub fn sample<R: Rng>(&self, n: usize, rng: &mut R) -> Result<Vec<&T>, RlError> {
         if self.items.is_empty() {
-            return Err(RlError::NotEnoughData { needed: n, available: 0 });
+            return Err(RlError::NotEnoughData {
+                needed: n,
+                available: 0,
+            });
         }
         Ok((0..n)
             .map(|_| &self.items[rng.range_usize(0, self.items.len())])

@@ -56,7 +56,9 @@ impl QTable {
             });
         }
         if !(0.0..1.0).contains(&discount) {
-            return Err(RlError::InvalidConfig { detail: format!("discount {discount}") });
+            return Err(RlError::InvalidConfig {
+                detail: format!("discount {discount}"),
+            });
         }
         Ok(QTable {
             states,
@@ -83,7 +85,10 @@ impl QTable {
     ///
     /// Panics when out of range.
     pub fn q_value(&self, state: usize, action: usize) -> f64 {
-        assert!(state < self.states && action < self.actions, "q index out of range");
+        assert!(
+            state < self.states && action < self.actions,
+            "q index out of range"
+        );
         self.q[state * self.actions + action]
     }
 

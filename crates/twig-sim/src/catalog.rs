@@ -164,7 +164,14 @@ pub fn web_search() -> ServiceSpec {
 
 /// All calibrated services, evaluation set first.
 pub fn all() -> Vec<ServiceSpec> {
-    vec![masstree(), xapian(), moses(), img_dnn(), memcached(), web_search()]
+    vec![
+        masstree(),
+        xapian(),
+        moses(),
+        img_dnn(),
+        memcached(),
+        web_search(),
+    ]
 }
 
 /// The four Tailbench evaluation services of Table II, in paper order.

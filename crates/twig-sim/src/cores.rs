@@ -97,7 +97,11 @@ pub struct DvfsLadder {
 
 impl Default for DvfsLadder {
     fn default() -> Self {
-        DvfsLadder { min_mhz: 1200, step_mhz: 100, levels: 9 }
+        DvfsLadder {
+            min_mhz: 1200,
+            step_mhz: 100,
+            levels: 9,
+        }
     }
 }
 
@@ -117,7 +121,11 @@ impl DvfsLadder {
                 ),
             });
         }
-        Ok(DvfsLadder { min_mhz, step_mhz, levels })
+        Ok(DvfsLadder {
+            min_mhz,
+            step_mhz,
+            levels,
+        })
     }
 
     /// Number of DVFS settings.

@@ -52,7 +52,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::UnknownService { index, count } => {
-                write!(f, "service index {index} out of range (server hosts {count})")
+                write!(
+                    f,
+                    "service index {index} out of range (server hosts {count})"
+                )
             }
             SimError::UnknownCore { core, count } => {
                 write!(f, "core {core} out of range (platform has {count} cores)")
@@ -78,10 +81,15 @@ mod tests {
     fn display_messages_nonempty() {
         let errors = [
             SimError::UnknownService { index: 3, count: 2 },
-            SimError::UnknownCore { core: 40, count: 18 },
+            SimError::UnknownCore {
+                core: 40,
+                count: 18,
+            },
             SimError::InvalidFrequency { mhz: 1234 },
             SimError::AssignmentCount { got: 1, want: 2 },
-            SimError::InvalidConfig { detail: "zero cores".into() },
+            SimError::InvalidConfig {
+                detail: "zero cores".into(),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

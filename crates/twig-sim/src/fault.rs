@@ -264,7 +264,11 @@ impl FaultPlan {
             self.offline.remove(&back);
         }
         if self.config.core_fail_rate > 0.0
-            && self.offline.len() < self.config.max_offline_cores.min(total_cores.saturating_sub(1))
+            && self.offline.len()
+                < self
+                    .config
+                    .max_offline_cores
+                    .min(total_cores.saturating_sub(1))
             && self.rng.next_bool(self.config.core_fail_rate)
         {
             let online: Vec<CoreId> = (0..total_cores)
@@ -292,8 +296,8 @@ impl FaultPlan {
     ) -> AppliedAssignment {
         let rejected = self.config.actuation_reject_rate > 0.0
             && self.rng.next_bool(self.config.actuation_reject_rate);
-        let clamped = self.config.dvfs_clamp_rate > 0.0
-            && self.rng.next_bool(self.config.dvfs_clamp_rate);
+        let clamped =
+            self.config.dvfs_clamp_rate > 0.0 && self.rng.next_bool(self.config.dvfs_clamp_rate);
 
         let (mut cores, mut freq) = if rejected {
             match last_applied {
@@ -339,8 +343,7 @@ impl FaultPlan {
         sample: &mut PmcSample,
         previous: &PmcSample,
     ) -> Option<PmcFaultKind> {
-        if self.config.pmc_corrupt_rate <= 0.0
-            || !self.rng.next_bool(self.config.pmc_corrupt_rate)
+        if self.config.pmc_corrupt_rate <= 0.0 || !self.rng.next_bool(self.config.pmc_corrupt_rate)
         {
             return None;
         }
@@ -371,7 +374,11 @@ impl FaultPlan {
         {
             return (measured, false);
         }
-        let reading = if self.rng.next_bool(0.5) { 0.0 } else { measured * 10.0 };
+        let reading = if self.rng.next_bool(0.5) {
+            0.0
+        } else {
+            measured * 10.0
+        };
         (reading, true)
     }
 
@@ -400,7 +407,10 @@ mod tests {
     #[test]
     fn invalid_rates_rejected() {
         for bad in [-0.1, 1.5, f64::NAN] {
-            let c = FaultConfig { pmc_corrupt_rate: bad, ..FaultConfig::default() };
+            let c = FaultConfig {
+                pmc_corrupt_rate: bad,
+                ..FaultConfig::default()
+            };
             assert!(c.validate().is_err(), "rate {bad} should be rejected");
         }
     }
@@ -446,8 +456,10 @@ mod tests {
 
     #[test]
     fn rejection_keeps_last_applied() {
-        let config =
-            FaultConfig { actuation_reject_rate: 1.0, ..FaultConfig::default() };
+        let config = FaultConfig {
+            actuation_reject_rate: 1.0,
+            ..FaultConfig::default()
+        };
         let mut plan = FaultPlan::new(config, 1).unwrap();
         let first: Vec<CoreId> = (0..4).map(CoreId).collect();
         let a1 = plan.actuate(&first, ladder().max(), None, &ladder());
@@ -458,12 +470,19 @@ mod tests {
         let a2 = plan.actuate(&second, ladder().min(), Some(&a1), &ladder());
         assert!(a2.rejected);
         assert_eq!(a2.cores, first, "rejected request keeps previous cores");
-        assert_eq!(a2.freq, ladder().max(), "rejected request keeps previous freq");
+        assert_eq!(
+            a2.freq,
+            ladder().max(),
+            "rejected request keeps previous freq"
+        );
     }
 
     #[test]
     fn clamp_steps_down_one_dvfs_level() {
-        let config = FaultConfig { dvfs_clamp_rate: 1.0, ..FaultConfig::default() };
+        let config = FaultConfig {
+            dvfs_clamp_rate: 1.0,
+            ..FaultConfig::default()
+        };
         let mut plan = FaultPlan::new(config, 2).unwrap();
         let cores = vec![CoreId(0)];
         let a = plan.actuate(&cores, ladder().max(), None, &ladder());
@@ -497,7 +516,10 @@ mod tests {
 
     #[test]
     fn pmc_corruption_covers_all_kinds() {
-        let config = FaultConfig { pmc_corrupt_rate: 1.0, ..FaultConfig::default() };
+        let config = FaultConfig {
+            pmc_corrupt_rate: 1.0,
+            ..FaultConfig::default()
+        };
         let mut plan = FaultPlan::new(config, 4).unwrap();
         let prev = PmcSample::from_array([7.0; NUM_COUNTERS]);
         let mut seen = std::collections::BTreeSet::new();
@@ -519,7 +541,10 @@ mod tests {
 
     #[test]
     fn power_glitch_zero_or_spike() {
-        let config = FaultConfig { power_glitch_rate: 1.0, ..FaultConfig::default() };
+        let config = FaultConfig {
+            power_glitch_rate: 1.0,
+            ..FaultConfig::default()
+        };
         let mut plan = FaultPlan::new(config, 5).unwrap();
         for _ in 0..50 {
             let (reading, glitched) = plan.glitch_power(80.0);

@@ -77,12 +77,7 @@ impl LoadGenerator {
     ///
     /// Returns [`SimError::InvalidConfig`] for fractions outside `[0, 1]`,
     /// `min > max`, a change factor not greater than 1, or a zero period.
-    pub fn step(
-        min: f64,
-        max: f64,
-        change_factor: f64,
-        period_s: u64,
-    ) -> Result<Self, SimError> {
+    pub fn step(min: f64, max: f64, change_factor: f64, period_s: u64) -> Result<Self, SimError> {
         if !(0.0..=1.0).contains(&min) || !(0.0..=1.0).contains(&max) || min > max {
             return Err(SimError::InvalidConfig {
                 detail: format!("step load range [{min}, {max}]"),
@@ -94,9 +89,16 @@ impl LoadGenerator {
             });
         }
         if period_s == 0 {
-            return Err(SimError::InvalidConfig { detail: "zero step period".into() });
+            return Err(SimError::InvalidConfig {
+                detail: "zero step period".into(),
+            });
         }
-        Ok(LoadGenerator::Step { min, max, change_factor, period_s })
+        Ok(LoadGenerator::Step {
+            min,
+            max,
+            change_factor,
+            period_s,
+        })
     }
 
     /// Creates a diurnal generator.
@@ -112,7 +114,9 @@ impl LoadGenerator {
             });
         }
         if period_s == 0 {
-            return Err(SimError::InvalidConfig { detail: "zero diurnal period".into() });
+            return Err(SimError::InvalidConfig {
+                detail: "zero diurnal period".into(),
+            });
         }
         Ok(LoadGenerator::Diurnal { min, max, period_s })
     }
@@ -121,18 +125,25 @@ impl LoadGenerator {
     pub fn fraction_at(&self, t: u64) -> f64 {
         match *self {
             LoadGenerator::Fixed { fraction } => fraction,
-            LoadGenerator::Step { min, max, change_factor, period_s } => {
+            LoadGenerator::Step {
+                min,
+                max,
+                change_factor,
+                period_s,
+            } => {
                 // Number of up-steps to get from min to max.
-                let steps_up =
-                    ((max / min).ln() / change_factor.ln()).ceil().max(1.0) as u64;
+                let steps_up = ((max / min).ln() / change_factor.ln()).ceil().max(1.0) as u64;
                 let cycle = 2 * steps_up;
                 let phase = (t / period_s) % cycle;
-                let level = if phase < steps_up { phase } else { cycle - phase };
+                let level = if phase < steps_up {
+                    phase
+                } else {
+                    cycle - phase
+                };
                 (min * change_factor.powi(level as i32)).min(max)
             }
             LoadGenerator::Diurnal { min, max, period_s } => {
-                let theta = 2.0 * std::f64::consts::PI * (t % period_s) as f64
-                    / period_s as f64;
+                let theta = 2.0 * std::f64::consts::PI * (t % period_s) as f64 / period_s as f64;
                 let mid = (min + max) / 2.0;
                 let amp = (max - min) / 2.0;
                 mid - amp * theta.cos()

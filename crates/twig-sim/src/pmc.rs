@@ -11,9 +11,9 @@
 
 use crate::queue::standard_normal;
 use crate::{ServiceSpec, SimError};
-use twig_stats::rng::Rng;
 use std::fmt;
 use std::ops::Index;
+use twig_stats::rng::Rng;
 
 /// Number of hardware counters tracked (Table I).
 pub const NUM_COUNTERS: usize = 11;
@@ -53,7 +53,10 @@ impl CounterId {
 
     /// Zero-based index in Table I order.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("counter in ALL")
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("counter in ALL")
     }
 
     /// The libpfm-style event name used in Table I.
@@ -165,11 +168,7 @@ const NOISE_SD: f64 = 0.03;
 /// cycle counters come from (frequency-weighted) busy time; instruction-side
 /// counters from completed work scaled by the service's instruction mix;
 /// LLC misses from memory-bound work inflated by cache pressure.
-pub fn synthesize<R: Rng>(
-    spec: &ServiceSpec,
-    activity: &Activity,
-    rng: &mut R,
-) -> PmcSample {
+pub fn synthesize<R: Rng>(spec: &ServiceSpec, activity: &Activity, rng: &mut R) -> PmcSample {
     let mut noisy = |v: f64| (v * (1.0 + NOISE_SD * standard_normal(rng))).max(0.0);
 
     let cycles = activity.weighted_busy_core_s * 2.0e9; // f_rel 1.0 = 2.0 GHz
@@ -179,9 +178,7 @@ pub fn synthesize<R: Rng>(
         + activity.mem_work_ms * spec.instructions_per_ms * 0.25;
     let branches = instr * spec.branch_frac;
     let br_miss = branches * spec.branch_miss_rate * (1.0 + 0.3 * activity.cache_pressure);
-    let llc = activity.mem_work_ms
-        * spec.llc_miss_per_mem_ms
-        * (1.0 + activity.cache_pressure);
+    let llc = activity.mem_work_ms * spec.llc_miss_per_mem_ms * (1.0 + activity.cache_pressure);
 
     let mut s = PmcSample::zero();
     s.set(CounterId::UnhaltedCoreCycles, noisy(cycles));
@@ -193,8 +190,14 @@ pub fn synthesize<R: Rng>(
     s.set(CounterId::MispredictedBranchRetired, noisy(br_miss));
     s.set(CounterId::PerfCountHwBranchMisses, noisy(br_miss));
     s.set(CounterId::LlcMisses, noisy(llc));
-    s.set(CounterId::PerfCountHwCacheL1d, noisy(instr * spec.l1d_per_instr));
-    s.set(CounterId::PerfCountHwCacheL1i, noisy(instr * spec.l1i_per_instr));
+    s.set(
+        CounterId::PerfCountHwCacheL1d,
+        noisy(instr * spec.l1d_per_instr),
+    );
+    s.set(
+        CounterId::PerfCountHwCacheL1i,
+        noisy(instr * spec.l1i_per_instr),
+    );
     s
 }
 
@@ -209,7 +212,9 @@ pub fn synthesize<R: Rng>(
 /// Returns [`SimError::InvalidConfig`] when `cores == 0`.
 pub fn calibration_maxima(cores: usize) -> Result<[f64; NUM_COUNTERS], SimError> {
     if cores == 0 {
-        return Err(SimError::InvalidConfig { detail: "zero cores".into() });
+        return Err(SimError::InvalidConfig {
+            detail: "zero cores".into(),
+        });
     }
     let n = cores as f64;
     let cycles = n * 2.0e9;
@@ -222,17 +227,17 @@ pub fn calibration_maxima(cores: usize) -> Result<[f64; NUM_COUNTERS], SimError>
     // STREAM saturates the memory system.
     let llc_max = n * 3.0e8;
     Ok([
-        cycles,            // UNHALTED_CORE_CYCLES
-        instr_max,         // INSTRUCTION_RETIRED
-        cycles,            // PERF_COUNT_HW_CPU_CYCLES
-        cycles,            // UNHALTED_REFERENCE_CYCLES
-        instr_max * 1.4,   // UOPS_RETIRED
-        branch_max,        // BRANCH_INSTRUCTIONS_RETIRED
-        branch_miss_max,   // MISPREDICTED_BRANCH_RETIRED
-        branch_miss_max,   // PERF_COUNT_HW_BRANCH_MISSES
-        llc_max,           // LLC_MISSES
-        instr_max * 0.6,   // PERF_COUNT_HW_CACHE_L1D
-        instr_max * 1.1,   // PERF_COUNT_HW_CACHE_L1I
+        cycles,          // UNHALTED_CORE_CYCLES
+        instr_max,       // INSTRUCTION_RETIRED
+        cycles,          // PERF_COUNT_HW_CPU_CYCLES
+        cycles,          // UNHALTED_REFERENCE_CYCLES
+        instr_max * 1.4, // UOPS_RETIRED
+        branch_max,      // BRANCH_INSTRUCTIONS_RETIRED
+        branch_miss_max, // MISPREDICTED_BRANCH_RETIRED
+        branch_miss_max, // PERF_COUNT_HW_BRANCH_MISSES
+        llc_max,         // LLC_MISSES
+        instr_max * 0.6, // PERF_COUNT_HW_CACHE_L1D
+        instr_max * 1.1, // PERF_COUNT_HW_CACHE_L1I
     ])
 }
 
@@ -263,7 +268,10 @@ mod tests {
 
     #[test]
     fn event_names_match_table1() {
-        assert_eq!(CounterId::UnhaltedCoreCycles.event_name(), "UNHALTED_CORE_CYCLES");
+        assert_eq!(
+            CounterId::UnhaltedCoreCycles.event_name(),
+            "UNHALTED_CORE_CYCLES"
+        );
         assert_eq!(CounterId::LlcMisses.to_string(), "LLC_MISSES");
     }
 
@@ -281,9 +289,7 @@ mod tests {
         double.weighted_busy_core_s *= 2.0;
         double.busy_core_s *= 2.0;
         let bigger = synthesize(&spec, &double, &mut rng);
-        assert!(
-            bigger[CounterId::InstructionRetired] > base[CounterId::InstructionRetired]
-        );
+        assert!(bigger[CounterId::InstructionRetired] > base[CounterId::InstructionRetired]);
         assert!(bigger[CounterId::LlcMisses] > base[CounterId::LlcMisses]);
     }
 
@@ -291,8 +297,22 @@ mod tests {
     fn cache_pressure_inflates_llc_misses() {
         let spec = catalog::moses();
         let mut rng = Xoshiro256::seed_from_u64(2);
-        let calm = synthesize(&spec, &Activity { cache_pressure: 0.0, ..activity() }, &mut rng);
-        let hot = synthesize(&spec, &Activity { cache_pressure: 1.0, ..activity() }, &mut rng);
+        let calm = synthesize(
+            &spec,
+            &Activity {
+                cache_pressure: 0.0,
+                ..activity()
+            },
+            &mut rng,
+        );
+        let hot = synthesize(
+            &spec,
+            &Activity {
+                cache_pressure: 1.0,
+                ..activity()
+            },
+            &mut rng,
+        );
         assert!(hot[CounterId::LlcMisses] > calm[CounterId::LlcMisses] * 1.5);
     }
 

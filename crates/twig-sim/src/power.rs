@@ -115,8 +115,7 @@ impl PowerModel {
     /// no-memory-access stress microbenchmark on every core at the highest
     /// DVFS setting (used to normalise Twig's power reward).
     pub fn stress_peak_power(&self, total_cores: usize) -> f64 {
-        let cores: Vec<(Frequency, f64)> =
-            (0..total_cores).map(|_| (self.f_max, 1.0)).collect();
+        let cores: Vec<(Frequency, f64)> = (0..total_cores).map(|_| (self.f_max, 1.0)).collect();
         self.socket_power(&cores)
     }
 }
@@ -166,8 +165,7 @@ mod tests {
         let m = PowerModel::default();
         let mut rng = Xoshiro256::seed_from_u64(0);
         let n = 10_000;
-        let mean: f64 =
-            (0..n).map(|_| m.rapl_reading(80.0, &mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| m.rapl_reading(80.0, &mut rng)).sum::<f64>() / n as f64;
         assert!((mean - 80.0).abs() < 0.1, "mean {mean}");
     }
 

@@ -1,5 +1,5 @@
-use twig_stats::rng::Rng;
 use std::collections::VecDeque;
+use twig_stats::rng::Rng;
 
 /// FCFS request queue of one service.
 ///
@@ -106,7 +106,15 @@ impl ServiceQueue {
         cv: f64,
         rng: &mut R,
     ) -> EpochQueueStats {
-        self.run_epoch_with_timeout(t0, t1, arrival_rate, mean_duration_ms, cv, f64::INFINITY, rng)
+        self.run_epoch_with_timeout(
+            t0,
+            t1,
+            arrival_rate,
+            mean_duration_ms,
+            cv,
+            f64::INFINITY,
+            rng,
+        )
     }
 
     /// Like [`run_epoch`](Self::run_epoch), but requests that have waited
@@ -188,7 +196,10 @@ impl ServiceQueue {
                 if completion <= t1 {
                     stats.latencies_ms.push((completion - arrival) * 1000.0);
                 } else {
-                    self.in_flight = Some(InFlight { arrival, completion });
+                    self.in_flight = Some(InFlight {
+                        arrival,
+                        completion,
+                    });
                     break;
                 }
             }
@@ -269,9 +280,16 @@ mod tests {
             // 1.5x overload: 1500 RPS of 1ms requests.
             last = q.run_epoch(e as f64, e as f64 + 1.0, 1500.0, 1.0, 0.3, &mut r);
         }
-        assert!(last.queue_len > 5000, "queue should grow: {}", last.queue_len);
+        assert!(
+            last.queue_len > 5000,
+            "queue should grow: {}",
+            last.queue_len
+        );
         let max_latency = last.latencies_ms.iter().cloned().fold(0.0, f64::max);
-        assert!(max_latency > 1000.0, "latency should blow up: {max_latency}");
+        assert!(
+            max_latency > 1000.0,
+            "latency should blow up: {max_latency}"
+        );
     }
 
     #[test]

@@ -1,11 +1,10 @@
 use crate::fault::{AppliedAssignment, FaultPlan, TelemetryHealth};
 use crate::pmc::{self, Activity, PmcSample};
 use crate::queue::ServiceQueue;
-use crate::{
-    CoreId, DvfsLadder, Frequency, LoadGenerator, PowerModel, ServiceSpec, SimError,
-};
+use crate::{CoreId, DvfsLadder, Frequency, LoadGenerator, PowerModel, ServiceSpec, SimError};
 use std::collections::{BTreeSet, VecDeque};
 use twig_stats::rng::Xoshiro256;
+use twig_telemetry::{Phase, Telemetry};
 
 /// Platform configuration of the simulated socket.
 ///
@@ -56,7 +55,9 @@ impl ServerConfig {
     /// LLC, a knee outside `[0, 1)` or a negative migration penalty.
     pub fn validate(&self) -> Result<(), SimError> {
         if self.cores == 0 {
-            return Err(SimError::InvalidConfig { detail: "zero cores".into() });
+            return Err(SimError::InvalidConfig {
+                detail: "zero cores".into(),
+            });
         }
         if self.llc_mb <= 0.0 {
             return Err(SimError::InvalidConfig {
@@ -100,7 +101,10 @@ impl Assignment {
 
     /// Convenience: the first `n` cores of the socket at `freq`.
     pub fn first_n(n: usize, freq: Frequency) -> Self {
-        Assignment { cores: (0..n).map(CoreId).collect(), freq }
+        Assignment {
+            cores: (0..n).map(CoreId).collect(),
+            freq,
+        }
     }
 
     /// Number of requested cores.
@@ -271,6 +275,7 @@ pub struct Server {
     last_applied: Vec<Option<AppliedAssignment>>,
     last_pmcs: Vec<PmcSample>,
     pmc_history: Vec<VecDeque<PmcSample>>,
+    telemetry: Telemetry,
 }
 
 impl Server {
@@ -281,14 +286,12 @@ impl Server {
     ///
     /// Returns [`SimError::InvalidConfig`] when the configuration or any
     /// service specification is invalid, or no services are given.
-    pub fn new(
-        config: ServerConfig,
-        specs: Vec<ServiceSpec>,
-        seed: u64,
-    ) -> Result<Self, SimError> {
+    pub fn new(config: ServerConfig, specs: Vec<ServiceSpec>, seed: u64) -> Result<Self, SimError> {
         config.validate()?;
         if specs.is_empty() {
-            return Err(SimError::InvalidConfig { detail: "no services".into() });
+            return Err(SimError::InvalidConfig {
+                detail: "no services".into(),
+            });
         }
         for s in &specs {
             s.validate()?;
@@ -307,7 +310,17 @@ impl Server {
             last_applied: vec![None; n],
             last_pmcs: vec![PmcSample::zero(); n],
             pmc_history: vec![VecDeque::new(); n],
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle: each [`step`](Self::step) then records
+    /// the actuation phase timing, power/QoS gauges and fault-injection
+    /// counters. Telemetry reads feed nothing back into the simulation, so
+    /// outputs stay bit-identical to a run without it (the default is the
+    /// inert [`Telemetry::disabled`]).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Installs a fault plan. Faults draw from the plan's own RNG stream,
@@ -350,7 +363,9 @@ impl Server {
 
     /// Socket power with all cores parked.
     pub fn idle_power_w(&self) -> f64 {
-        self.config.power.socket_power_with_parked(&[], self.config.cores)
+        self.config
+            .power
+            .socket_power_with_parked(&[], self.config.cores)
     }
 
     /// The stress-microbenchmark peak power used to normalise Twig's power
@@ -380,7 +395,10 @@ impl Server {
         generator: LoadGenerator,
     ) -> Result<(), SimError> {
         if index >= self.specs.len() {
-            return Err(SimError::UnknownService { index, count: self.specs.len() });
+            return Err(SimError::UnknownService {
+                index,
+                count: self.specs.len(),
+            });
         }
         self.loads[index] = generator;
         Ok(())
@@ -394,13 +412,12 @@ impl Server {
     ///
     /// Returns [`SimError::UnknownService`] for a bad index and
     /// [`SimError::InvalidConfig`] for an invalid spec.
-    pub fn replace_service(
-        &mut self,
-        index: usize,
-        spec: ServiceSpec,
-    ) -> Result<(), SimError> {
+    pub fn replace_service(&mut self, index: usize, spec: ServiceSpec) -> Result<(), SimError> {
         if index >= self.specs.len() {
-            return Err(SimError::UnknownService { index, count: self.specs.len() });
+            return Err(SimError::UnknownService {
+                index,
+                count: self.specs.len(),
+            });
         }
         spec.validate()?;
         self.specs[index] = spec;
@@ -426,6 +443,7 @@ impl Server {
                 want: self.specs.len(),
             });
         }
+        let mut stopwatch = self.telemetry.stopwatch();
         // Actuation stage: resolve what the platform actually applies. The
         // fault plan can reject a request (keeping the previous applied
         // assignment), clamp its DVFS setting or drop offline cores; with
@@ -485,8 +503,7 @@ impl Server {
             .filter(|((_, _), a)| !a.cores.is_empty())
             .map(|((s, f), _)| s.bw_demand_frac * f)
             .sum();
-        let bw_pressure =
-            ((total_bw - self.config.bw_knee) / (1.0 - self.config.bw_knee)).max(0.0);
+        let bw_pressure = ((total_bw - self.config.bw_knee) / (1.0 - self.config.bw_knee)).max(0.0);
         let total_cache: f64 = self
             .specs
             .iter()
@@ -512,18 +529,14 @@ impl Server {
         let mut telemetry = TelemetryHealth::clean(self.specs.len());
         for svc in 0..self.specs.len() {
             let spec = &self.specs[svc];
-            let (cpu_rate, eff_cores, max_speed) =
-                plan.service_capacity(svc, &self.config.dvfs);
-            let mut contention = 1.0
-                + spec.bw_sensitivity * bw_pressure
-                + spec.cache_sensitivity * cache_pressure;
+            let (cpu_rate, eff_cores, max_speed) = plan.service_capacity(svc, &self.config.dvfs);
+            let mut contention =
+                1.0 + spec.bw_sensitivity * bw_pressure + spec.cache_sensitivity * cache_pressure;
             if migrated[svc] > 0 && !assignments[svc].cores.is_empty() {
-                let frac =
-                    migrated[svc] as f64 / assignments[svc].cores.len().max(1) as f64;
+                let frac = migrated[svc] as f64 / assignments[svc].cores.len().max(1) as f64;
                 contention *= 1.0 + self.config.migration_penalty * frac.min(1.0);
             }
-            let duration_ms =
-                spec.request_duration_ms(cpu_rate, eff_cores, max_speed, contention);
+            let duration_ms = spec.request_duration_ms(cpu_rate, eff_cores, max_speed, contention);
             let stats = self.queues[svc].run_epoch_with_timeout(
                 t0,
                 t1,
@@ -541,22 +554,22 @@ impl Server {
             let drop_count = (stats.dropped as usize).min(5000);
             latencies.extend(std::iter::repeat_n(spec.qos_ms * 100.0, drop_count));
             let timeout_count = (stats.timed_out as usize).min(5000);
-            latencies.extend(
-                std::iter::repeat_n(self.config.request_timeout_s * 1000.0, timeout_count),
-            );
+            latencies.extend(std::iter::repeat_n(
+                self.config.request_timeout_s * 1000.0,
+                timeout_count,
+            ));
             let (p99, mean) = if latencies.is_empty() {
                 if stats.queue_len > 0 {
                     // Nothing completed but work is waiting: report the age
                     // of the queue head as the observed tail.
-                    let stuck = (t1 - (t0 - stats.queue_len as f64 / rates[svc].max(1.0)))
-                        * 1000.0;
+                    let stuck = (t1 - (t0 - stats.queue_len as f64 / rates[svc].max(1.0))) * 1000.0;
                     (stuck.max(spec.qos_ms * 10.0), 0.0)
                 } else {
                     (0.0, 0.0)
                 }
             } else {
-                let p99 = twig_stats::percentile(&mut latencies, 99.0)
-                    .expect("non-empty latency sample");
+                let p99 =
+                    twig_stats::percentile(&mut latencies, 99.0).expect("non-empty latency sample");
                 let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
                 (p99, mean)
             };
@@ -579,8 +592,11 @@ impl Server {
             // corrupted (NaN/Inf/zero/stale). Ground-truth simulation state
             // is never touched.
             let pmcs = if faults_on {
-                let delay =
-                    self.fault.as_ref().expect("fault plan present").telemetry_delay();
+                let delay = self
+                    .fault
+                    .as_ref()
+                    .expect("fault plan present")
+                    .telemetry_delay();
                 let history = &mut self.pmc_history[svc];
                 history.push_back(fresh);
                 while history.len() > delay + 1 {
@@ -654,8 +670,62 @@ impl Server {
             actuation,
             telemetry,
         };
+        self.record_epoch_telemetry(&report, stopwatch.lap_ms());
         self.time_s += 1;
         Ok(report)
+    }
+
+    /// Feeds one epoch's observables into the attached telemetry handle.
+    /// No-op (and allocation-free) when telemetry is disabled.
+    fn record_epoch_telemetry(&self, report: &EpochReport, step_ms: f64) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let tl = &self.telemetry;
+        tl.phase_add(report.time_s, Phase::Actuation, step_ms);
+        tl.counter_add("sim.epochs", 1);
+        tl.counter_add("sim.migrations", report.migrations as u64);
+        tl.gauge_set("sim.power_w", report.power_w);
+        tl.gauge_set("sim.true_power_w", report.true_power_w);
+        tl.gauge_set("sim.energy_j", report.energy_j);
+        tl.record("sim.power_w", report.true_power_w);
+        for (svc, epoch) in report.services.iter().enumerate() {
+            tl.record(&format!("sim.p99_ms.{}", epoch.name), epoch.p99_ms);
+            tl.gauge_set(&format!("sim.load.{}", epoch.name), epoch.load_fraction);
+            tl.counter_add(&format!("sim.dropped.{}", epoch.name), epoch.dropped);
+            let qos = self.specs[svc].qos_ms;
+            if epoch.p99_ms > qos {
+                tl.counter_add(&format!("sim.qos_violations.{}", epoch.name), 1);
+            }
+        }
+        // Fault-injection events, as seen by the platform this epoch.
+        for applied in &report.actuation {
+            if applied.rejected {
+                tl.counter_add("fault.actuation_rejected", 1);
+            }
+            if applied.clamped {
+                tl.counter_add("fault.dvfs_clamped", 1);
+            }
+            tl.counter_add(
+                "fault.cores_lost_offline",
+                applied.cores_lost_offline as u64,
+            );
+        }
+        let pmc_faults = report
+            .telemetry
+            .pmc_faults
+            .iter()
+            .filter(|f| f.is_some())
+            .count();
+        tl.counter_add("fault.pmc_corruptions", pmc_faults as u64);
+        if report.telemetry.power_glitched {
+            tl.counter_add("fault.power_glitches", 1);
+        }
+        tl.gauge_set("fault.offline_cores", report.telemetry.offline_cores as f64);
+        tl.gauge_set(
+            "fault.delayed_epochs",
+            report.telemetry.delayed_epochs as f64,
+        );
     }
 }
 
@@ -672,12 +742,10 @@ mod tests {
         Assignment::first_n(cores, max_freq())
     }
 
-    fn run(
-        server: &mut Server,
-        assignments: &[Assignment],
-        epochs: usize,
-    ) -> Vec<EpochReport> {
-        (0..epochs).map(|_| server.step(assignments).unwrap()).collect()
+    fn run(server: &mut Server, assignments: &[Assignment], epochs: usize) -> Vec<EpochReport> {
+        (0..epochs)
+            .map(|_| server.step(assignments).unwrap())
+            .collect()
     }
 
     #[test]
@@ -689,8 +757,7 @@ mod tests {
             server.set_load_fraction(0, 1.0).unwrap();
             let reports = run(&mut server, &[full_assignment(18)], 60);
             // Skip warmup, average p99 over the tail.
-            let p99s: Vec<f64> =
-                reports[20..].iter().map(|r| r.services[0].p99_ms).collect();
+            let p99s: Vec<f64> = reports[20..].iter().map(|r| r.services[0].p99_ms).collect();
             let mean_p99 = p99s.iter().sum::<f64>() / p99s.len() as f64;
             assert!(
                 mean_p99 <= qos,
@@ -706,8 +773,7 @@ mod tests {
         let qos = spec.qos_ms;
         let mut spec_overloaded = spec;
         spec_overloaded.max_load_rps *= 1.4;
-        let mut server =
-            Server::new(ServerConfig::default(), vec![spec_overloaded], 2).unwrap();
+        let mut server = Server::new(ServerConfig::default(), vec![spec_overloaded], 2).unwrap();
         server.set_load_fraction(0, 1.0).unwrap();
         let reports = run(&mut server, &[full_assignment(18)], 60);
         let tail_mean: f64 = reports[30..]
@@ -724,11 +790,13 @@ mod tests {
         let mut server = Server::new(ServerConfig::default(), vec![spec], 3).unwrap();
         server.set_load_fraction(0, 0.5).unwrap();
         let big = run(&mut server, &[full_assignment(18)], 40);
-        let p99_big: f64 =
-            big[10..].iter().map(|r| r.services[0].p99_ms).sum::<f64>() / 30.0;
+        let p99_big: f64 = big[10..].iter().map(|r| r.services[0].p99_ms).sum::<f64>() / 30.0;
         let small = run(&mut server, &[full_assignment(4)], 40);
-        let p99_small: f64 =
-            small[10..].iter().map(|r| r.services[0].p99_ms).sum::<f64>() / 30.0;
+        let p99_small: f64 = small[10..]
+            .iter()
+            .map(|r| r.services[0].p99_ms)
+            .sum::<f64>()
+            / 30.0;
         assert!(
             p99_small > p99_big,
             "4 cores ({p99_small:.2} ms) should be slower than 18 ({p99_big:.2} ms)"
@@ -743,17 +811,10 @@ mod tests {
         let mut server = Server::new(cfg, vec![spec], 4).unwrap();
         server.set_load_fraction(0, 0.5).unwrap();
         let fast = run(&mut server, &[full_assignment(10)], 40);
-        let slow = run(
-            &mut server,
-            &[Assignment::first_n(10, f_lo)],
-            40,
-        );
-        let p99 = |rs: &[EpochReport]| {
-            rs[10..].iter().map(|r| r.services[0].p99_ms).sum::<f64>() / 30.0
-        };
-        let pw = |rs: &[EpochReport]| {
-            rs[10..].iter().map(|r| r.true_power_w).sum::<f64>() / 30.0
-        };
+        let slow = run(&mut server, &[Assignment::first_n(10, f_lo)], 40);
+        let p99 =
+            |rs: &[EpochReport]| rs[10..].iter().map(|r| r.services[0].p99_ms).sum::<f64>() / 30.0;
+        let pw = |rs: &[EpochReport]| rs[10..].iter().map(|r| r.true_power_w).sum::<f64>() / 30.0;
         assert!(p99(&slow) > p99(&fast));
         assert!(pw(&slow) < pw(&fast));
     }
@@ -763,18 +824,12 @@ mod tests {
         // Masstree alone vs masstree colocated with bandwidth-hungry moses.
         let cfg = ServerConfig::default();
         let f = cfg.dvfs.max();
-        let mut solo =
-            Server::new(cfg.clone(), vec![catalog::masstree()], 5).unwrap();
+        let mut solo = Server::new(cfg.clone(), vec![catalog::masstree()], 5).unwrap();
         solo.set_load_fraction(0, 0.6).unwrap();
         let solo_assign = vec![Assignment::first_n(9, f)];
         let solo_reports = run(&mut solo, &solo_assign, 40);
 
-        let mut colo = Server::new(
-            cfg,
-            vec![catalog::masstree(), catalog::moses()],
-            5,
-        )
-        .unwrap();
+        let mut colo = Server::new(cfg, vec![catalog::masstree(), catalog::moses()], 5).unwrap();
         colo.set_load_fraction(0, 0.6).unwrap();
         colo.set_load_fraction(1, 0.9).unwrap();
         let colo_assign = vec![
@@ -783,9 +838,8 @@ mod tests {
         ];
         let colo_reports = run(&mut colo, &colo_assign, 40);
 
-        let p99 = |rs: &[EpochReport]| {
-            rs[10..].iter().map(|r| r.services[0].p99_ms).sum::<f64>() / 30.0
-        };
+        let p99 =
+            |rs: &[EpochReport]| rs[10..].iter().map(|r| r.services[0].p99_ms).sum::<f64>() / 30.0;
         assert!(
             p99(&colo_reports) > p99(&solo_reports) * 1.1,
             "colocated {:.3} vs solo {:.3}",
@@ -838,10 +892,12 @@ mod tests {
         let mut server = Server::new(ServerConfig::default(), vec![spec], 7).unwrap();
         server.set_load_fraction(0, 0.8).unwrap();
         let many = run(&mut server, &[full_assignment(18)], 20);
-        let few = run(&mut server, &[Assignment::first_n(6, Frequency::from_mhz(1400))], 20);
-        let pw = |rs: &[EpochReport]| {
-            rs[5..].iter().map(|r| r.true_power_w).sum::<f64>() / 15.0
-        };
+        let few = run(
+            &mut server,
+            &[Assignment::first_n(6, Frequency::from_mhz(1400))],
+            20,
+        );
+        let pw = |rs: &[EpochReport]| rs[5..].iter().map(|r| r.true_power_w).sum::<f64>() / 15.0;
         assert!(pw(&few) < pw(&many));
         // Energy is cumulative and increasing.
         assert!(few.last().unwrap().energy_j > many.last().unwrap().energy_j);
@@ -849,8 +905,7 @@ mod tests {
 
     #[test]
     fn report_contains_pmcs_and_rates() {
-        let mut server =
-            Server::new(ServerConfig::default(), vec![catalog::xapian()], 8).unwrap();
+        let mut server = Server::new(ServerConfig::default(), vec![catalog::xapian()], 8).unwrap();
         server.set_load_fraction(0, 0.5).unwrap();
         let reports = run(&mut server, &[full_assignment(18)], 5);
         let last = &reports[4];
@@ -898,7 +953,10 @@ mod tests {
         server.replace_service(0, catalog::xapian()).unwrap();
         assert_eq!(server.specs()[0].name, "xapian");
         let r = server
-            .step(&[full_assignment(9), Assignment::new((9..12).map(CoreId).collect(), max_freq())])
+            .step(&[
+                full_assignment(9),
+                Assignment::new((9..12).map(CoreId).collect(), max_freq()),
+            ])
             .unwrap();
         // Queue was drained on replacement.
         assert!(r.services[0].queue_len < 1000);
@@ -909,12 +967,9 @@ mod tests {
         use crate::fault::{FaultConfig, FaultPlan};
         let run = |with_plan: bool| {
             let mut server =
-                Server::new(ServerConfig::default(), vec![catalog::masstree()], 13)
-                    .unwrap();
+                Server::new(ServerConfig::default(), vec![catalog::masstree()], 13).unwrap();
             if with_plan {
-                server.set_fault_plan(
-                    FaultPlan::new(FaultConfig::default(), 99).unwrap(),
-                );
+                server.set_fault_plan(FaultPlan::new(FaultConfig::default(), 99).unwrap());
             }
             server.set_load_fraction(0, 0.6).unwrap();
             run_epochs(&mut server, 20)
@@ -943,7 +998,10 @@ mod tests {
             Server::new(ServerConfig::default(), vec![catalog::masstree()], 14).unwrap();
         server.set_fault_plan(
             FaultPlan::new(
-                FaultConfig { actuation_reject_rate: 1.0, ..FaultConfig::default() },
+                FaultConfig {
+                    actuation_reject_rate: 1.0,
+                    ..FaultConfig::default()
+                },
                 3,
             )
             .unwrap(),
@@ -974,7 +1032,10 @@ mod tests {
             Server::new(ServerConfig::default(), vec![catalog::masstree()], 15).unwrap();
         server.set_fault_plan(
             FaultPlan::new(
-                FaultConfig { pmc_corrupt_rate: 1.0, ..FaultConfig::default() },
+                FaultConfig {
+                    pmc_corrupt_rate: 1.0,
+                    ..FaultConfig::default()
+                },
                 4,
             )
             .unwrap(),
@@ -994,13 +1055,15 @@ mod tests {
         // Two servers, same workload seed: one with a 3-epoch telemetry
         // delay. The delayed server's epoch-t PMCs must equal the fresh
         // server's epoch-(t-3) PMCs.
-        let mut fresh =
-            Server::new(ServerConfig::default(), vec![catalog::xapian()], 16).unwrap();
+        let mut fresh = Server::new(ServerConfig::default(), vec![catalog::xapian()], 16).unwrap();
         let mut delayed =
             Server::new(ServerConfig::default(), vec![catalog::xapian()], 16).unwrap();
         delayed.set_fault_plan(
             FaultPlan::new(
-                FaultConfig { telemetry_delay_epochs: 3, ..FaultConfig::default() },
+                FaultConfig {
+                    telemetry_delay_epochs: 3,
+                    ..FaultConfig::default()
+                },
                 5,
             )
             .unwrap(),
@@ -1008,8 +1071,9 @@ mod tests {
         fresh.set_load_fraction(0, 0.5).unwrap();
         delayed.set_load_fraction(0, 0.5).unwrap();
         let a = [full_assignment(9)];
-        let fresh_pmcs: Vec<_> =
-            (0..10).map(|_| fresh.step(&a).unwrap().services[0].pmcs).collect();
+        let fresh_pmcs: Vec<_> = (0..10)
+            .map(|_| fresh.step(&a).unwrap().services[0].pmcs)
+            .collect();
         let delayed_reports: Vec<_> = (0..10).map(|_| delayed.step(&a).unwrap()).collect();
         for t in 3..10 {
             assert_eq!(delayed_reports[t].services[0].pmcs, fresh_pmcs[t - 3]);
@@ -1020,8 +1084,7 @@ mod tests {
     #[test]
     fn offline_cores_never_strand_a_service() {
         use crate::fault::{FaultConfig, FaultPlan};
-        let mut server =
-            Server::new(ServerConfig::default(), vec![catalog::moses()], 17).unwrap();
+        let mut server = Server::new(ServerConfig::default(), vec![catalog::moses()], 17).unwrap();
         server.set_fault_plan(
             FaultPlan::new(
                 FaultConfig {
@@ -1051,7 +1114,10 @@ mod tests {
             Server::new(ServerConfig::default(), vec![catalog::img_dnn()], 18).unwrap();
         server.set_fault_plan(
             FaultPlan::new(
-                FaultConfig { power_glitch_rate: 1.0, ..FaultConfig::default() },
+                FaultConfig {
+                    power_glitch_rate: 1.0,
+                    ..FaultConfig::default()
+                },
                 7,
             )
             .unwrap(),

@@ -101,8 +101,7 @@ impl ServiceSpec {
         if self.qos_ms <= 0.0 {
             return fail(format!("{}: qos {}", self.name, self.qos_ms));
         }
-        if self.work_cpu_ms < 0.0 || self.work_mem_ms < 0.0 || self.total_work_ms() == 0.0
-        {
+        if self.work_cpu_ms < 0.0 || self.work_mem_ms < 0.0 || self.total_work_ms() == 0.0 {
             return fail(format!("{}: non-positive request work", self.name));
         }
         for (label, v) in [
@@ -154,7 +153,8 @@ mod tests {
     #[test]
     fn catalog_specs_validate() {
         for spec in catalog::all() {
-            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         }
     }
 
@@ -193,8 +193,7 @@ mod tests {
         let masstree = catalog::masstree();
         let img = catalog::img_dnn();
         let ratio = |s: &ServiceSpec| {
-            s.request_duration_ms(8.0, 8.0, 1.0, 2.0)
-                / s.request_duration_ms(8.0, 8.0, 1.0, 1.0)
+            s.request_duration_ms(8.0, 8.0, 1.0, 2.0) / s.request_duration_ms(8.0, 8.0, 1.0, 1.0)
         };
         assert!(ratio(&masstree) > ratio(&img));
     }

@@ -20,7 +20,10 @@ use crate::{Matrix, StatsError};
 /// ```
 pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
     if xs.len() != ys.len() {
-        return Err(StatsError::LengthMismatch { left: xs.len(), right: ys.len() });
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
     }
     if xs.is_empty() {
         return Err(StatsError::Empty);
@@ -69,7 +72,10 @@ pub fn correlation_matrix(columns: &[Vec<f64>]) -> Result<Matrix, StatsError> {
     let first = columns.first().ok_or(StatsError::Empty)?;
     for c in columns {
         if c.len() != first.len() {
-            return Err(StatsError::LengthMismatch { left: first.len(), right: c.len() });
+            return Err(StatsError::LengthMismatch {
+                left: first.len(),
+                right: c.len(),
+            });
         }
     }
     let k = columns.len();
@@ -101,7 +107,10 @@ mod tests {
 
     #[test]
     fn constant_input_errors() {
-        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), Err(StatsError::ZeroVariance));
+        assert_eq!(
+            pearson(&[1.0, 1.0], &[1.0, 2.0]),
+            Err(StatsError::ZeroVariance)
+        );
     }
 
     #[test]

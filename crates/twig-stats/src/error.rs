@@ -45,7 +45,10 @@ impl fmt::Display for StatsError {
         match self {
             StatsError::Empty => write!(f, "input data is empty"),
             StatsError::LengthMismatch { left, right } => {
-                write!(f, "paired inputs have different lengths ({left} vs {right})")
+                write!(
+                    f,
+                    "paired inputs have different lengths ({left} vs {right})"
+                )
             }
             StatsError::ZeroVariance => write!(f, "input has zero variance"),
             StatsError::DimensionMismatch { detail } => {
@@ -71,9 +74,13 @@ mod tests {
             StatsError::Empty,
             StatsError::LengthMismatch { left: 1, right: 2 },
             StatsError::ZeroVariance,
-            StatsError::DimensionMismatch { detail: "3x2 * 4x1".into() },
+            StatsError::DimensionMismatch {
+                detail: "3x2 * 4x1".into(),
+            },
             StatsError::Singular,
-            StatsError::InvalidParameter { detail: "p = 101".into() },
+            StatsError::InvalidParameter {
+                detail: "p = 101".into(),
+            },
         ];
         for e in errors {
             let msg = e.to_string();

@@ -40,7 +40,13 @@ impl Histogram {
                 detail: format!("histogram over [{lo}, {hi}) with {bins} bins"),
             });
         }
-        Ok(Histogram { lo, hi, counts: vec![0; bins], below: 0, above: 0 })
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+        })
     }
 
     /// Records one sample. Samples outside `[lo, hi)` are counted in
@@ -158,7 +164,11 @@ impl ViolinSummary {
                 detail: format!("violin over [{lo}, {hi}) with {buckets} buckets"),
             });
         }
-        Ok(ViolinSummary { lo, hi, buckets: vec![Vec::new(); buckets] })
+        Ok(ViolinSummary {
+            lo,
+            hi,
+            buckets: vec![Vec::new(); buckets],
+        })
     }
 
     /// Records a `(x, y)` pair; out-of-range `x` values are clamped into the

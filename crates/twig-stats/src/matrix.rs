@@ -27,7 +27,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -57,7 +61,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -86,7 +94,11 @@ impl Matrix {
     ///
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column {c} out of bounds ({} cols)", self.cols);
+        assert!(
+            c < self.cols,
+            "column {c} out of bounds ({} cols)",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -277,7 +289,10 @@ mod tests {
     #[test]
     fn solve_needs_square() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(a.solve(&[1.0, 2.0]), Err(StatsError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -296,7 +311,11 @@ mod tests {
     fn small_square<R: Rng>(rng: &mut R) -> Matrix {
         let n = rng.range_usize(2, 5);
         let data: Vec<f64> = (0..n * n).map(|_| rng.range_f64(-10.0, 10.0)).collect();
-        Matrix { rows: n, cols: n, data }
+        Matrix {
+            rows: n,
+            cols: n,
+            data,
+        }
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl CrossValidation {
         rng: &mut R,
     ) -> Result<f64, StatsError> {
         if xs.len() != ys.len() {
-            return Err(StatsError::LengthMismatch { left: xs.len(), right: ys.len() });
+            return Err(StatsError::LengthMismatch {
+                left: xs.len(),
+                right: ys.len(),
+            });
         }
         let folds = k_fold_indices(xs.len(), self.folds, rng)?;
         let mut total = 0.0;
@@ -180,7 +183,11 @@ pub fn random_grid_search<R: Rng>(
             lo
         };
         match cv.score(xs, ys, degree, lambda, rng) {
-            Ok(cv_mse) => points.push(GridPoint { degree, lambda, cv_mse }),
+            Ok(cv_mse) => points.push(GridPoint {
+                degree,
+                lambda,
+                cv_mse,
+            }),
             Err(StatsError::Singular) => continue,
             Err(e) => return Err(e),
         }
@@ -218,7 +225,9 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0]).collect();
         let mut rng = Xoshiro256::seed_from_u64(1);
-        let mse = CrossValidation::new(5).score(&xs, &ys, 1, 0.0, &mut rng).unwrap();
+        let mse = CrossValidation::new(5)
+            .score(&xs, &ys, 1, 0.0, &mut rng)
+            .unwrap();
         assert!(mse < 1e-12);
     }
 
@@ -228,8 +237,7 @@ mod tests {
         let ys: Vec<f64> = xs.iter().map(|x| 1.0 + x[0].powi(3)).collect();
         let mut rng = Xoshiro256::seed_from_u64(5);
         let points =
-            random_grid_search(&xs, &ys, &[1, 2, 3], (1e-10, 1e-4), 30, 5, &mut rng)
-                .unwrap();
+            random_grid_search(&xs, &ys, &[1, 2, 3], (1e-10, 1e-4), 30, 5, &mut rng).unwrap();
         assert_eq!(points[0].degree, 3);
         // Sorted ascending by cv mse.
         for w in points.windows(2) {
@@ -240,8 +248,8 @@ mod tests {
     #[test]
     fn grid_search_rejects_empty_degrees() {
         let mut rng = Xoshiro256::seed_from_u64(0);
-        let err = random_grid_search(&[vec![1.0]], &[1.0], &[], (0.0, 0.0), 1, 1, &mut rng)
-            .unwrap_err();
+        let err =
+            random_grid_search(&[vec![1.0]], &[1.0], &[], (0.0, 0.0), 1, 1, &mut rng).unwrap_err();
         assert!(matches!(err, StatsError::InvalidParameter { .. }));
     }
 

@@ -33,7 +33,10 @@ pub struct Pca {
 
 impl Default for Pca {
     fn default() -> Self {
-        Pca { max_sweeps: 100, tolerance: 1e-12 }
+        Pca {
+            max_sweeps: 100,
+            tolerance: 1e-12,
+        }
     }
 }
 
@@ -68,8 +71,9 @@ impl Pca {
             });
         }
         // Centre.
-        let means: Vec<f64> =
-            (0..d).map(|c| x.col(c).iter().sum::<f64>() / n as f64).collect();
+        let means: Vec<f64> = (0..d)
+            .map(|c| x.col(c).iter().sum::<f64>() / n as f64)
+            .collect();
         let mut cov = Matrix::zeros(d, d);
         for r in 0..n {
             let row = x.row(r);
@@ -88,7 +92,11 @@ impl Pca {
             }
         }
         let (eigenvalues, eigenvectors) = self.jacobi(cov);
-        Ok(PcaModel { means, eigenvalues, eigenvectors })
+        Ok(PcaModel {
+            means,
+            eigenvalues,
+            eigenvectors,
+        })
     }
 
     /// Cyclic Jacobi eigendecomposition of a symmetric matrix. Returns
@@ -138,9 +146,7 @@ impl Pca {
             }
         }
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| {
-            a[(j, j)].partial_cmp(&a[(i, i)]).expect("NaN eigenvalue")
-        });
+        order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).expect("NaN eigenvalue"));
         let eigenvalues: Vec<f64> = order.iter().map(|&i| a[(i, i)].max(0.0)).collect();
         let mut vectors = Matrix::zeros(n, n);
         for (new_c, &old_c) in order.iter().enumerate() {
@@ -247,9 +253,7 @@ impl PcaModel {
     pub fn rank_features(&self, k: usize) -> Vec<usize> {
         let scores = self.feature_importance(k);
         let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&i, &j| {
-            scores[j].partial_cmp(&scores[i]).expect("NaN importance")
-        });
+        order.sort_by(|&i, &j| scores[j].partial_cmp(&scores[i]).expect("NaN importance"));
         order
     }
 }

@@ -87,7 +87,9 @@ impl PercentileTracker {
 
     /// Creates a tracker pre-allocating room for `capacity` samples.
     pub fn with_capacity(capacity: usize) -> Self {
-        PercentileTracker { samples: Vec::with_capacity(capacity) }
+        PercentileTracker {
+            samples: Vec::with_capacity(capacity),
+        }
     }
 
     /// Records one sample.
@@ -144,7 +146,9 @@ impl Extend<f64> for PercentileTracker {
 
 impl FromIterator<f64> for PercentileTracker {
     fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
-        PercentileTracker { samples: iter.into_iter().collect() }
+        PercentileTracker {
+            samples: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -208,8 +212,7 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(0x9e3779b9);
         for _ in 0..200 {
             let n = rng.range_usize(1, 200);
-            let mut data: Vec<f64> =
-                (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
+            let mut data: Vec<f64> = (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
             let p1 = rng.range_f64(0.0, 100.0);
             let p2 = rng.range_f64(0.0, 100.0);
             let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
@@ -224,8 +227,7 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(0x51c3);
         for _ in 0..200 {
             let n = rng.range_usize(1, 200);
-            let mut data: Vec<f64> =
-                (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
+            let mut data: Vec<f64> = (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
             let p = rng.range_f64(0.0, 100.0);
             let v = percentile(&mut data, p).unwrap();
             assert!(v >= data[0] && v <= data[data.len() - 1]);

@@ -77,11 +77,13 @@ impl LinearModel {
             return Err(StatsError::Empty);
         }
         if xs.len() != ys.len() {
-            return Err(StatsError::LengthMismatch { left: xs.len(), right: ys.len() });
+            return Err(StatsError::LengthMismatch {
+                left: xs.len(),
+                right: ys.len(),
+            });
         }
         let input_dim = xs[0].len();
-        let rows: Vec<Vec<f64>> =
-            xs.iter().map(|x| polynomial_features(x, degree)).collect();
+        let rows: Vec<Vec<f64>> = xs.iter().map(|x| polynomial_features(x, degree)).collect();
         let phi = Matrix::from_rows(&rows)?;
         let phit = phi.transpose();
         let mut gram = phit.matmul(&phi)?;
@@ -90,7 +92,11 @@ impl LinearModel {
         }
         let rhs = phit.matvec(ys)?;
         let weights = gram.solve(&rhs)?;
-        let model = LinearModel { weights, degree, input_dim };
+        let model = LinearModel {
+            weights,
+            degree,
+            input_dim,
+        };
         let preds: Vec<f64> = xs.iter().map(|x| model.predict(x)).collect();
         let mse = preds
             .iter()
@@ -101,8 +107,16 @@ impl LinearModel {
         let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
         let ss_tot: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
         let ss_res: f64 = preds.iter().zip(ys).map(|(p, y)| (p - y) * (p - y)).sum();
-        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-        Ok(RegressionFit { model, mse, r_squared })
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Ok(RegressionFit {
+            model,
+            mse,
+            r_squared,
+        })
     }
 
     /// Predicts the target for one input.
@@ -150,7 +164,10 @@ mod tests {
     fn fits_quadratic_exactly() {
         // y = 1 + 2x + 3x^2
         let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x[0] + 3.0 * x[0] * x[0]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.0 + 2.0 * x[0] + 3.0 * x[0] * x[0])
+            .collect();
         let fit = LinearModel::fit(&xs, &ys, 2, 0.0).unwrap();
         assert!(fit.mse < 1e-12);
         assert!((fit.model.predict(&[20.0]) - (1.0 + 40.0 + 1200.0)).abs() < 1e-6);
@@ -181,7 +198,10 @@ mod tests {
         // All-identical inputs are singular for OLS but fine with ridge.
         let xs = vec![vec![1.0]; 5];
         let ys = vec![2.0; 5];
-        assert_eq!(LinearModel::fit(&xs, &ys, 1, 0.0).unwrap_err(), StatsError::Singular);
+        assert_eq!(
+            LinearModel::fit(&xs, &ys, 1, 0.0).unwrap_err(),
+            StatsError::Singular
+        );
         let fit = LinearModel::fit(&xs, &ys, 1, 1e-3).unwrap();
         assert!((fit.model.predict(&[1.0]) - 2.0).abs() < 0.01);
     }

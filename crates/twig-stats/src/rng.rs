@@ -175,7 +175,9 @@ impl Xoshiro256 {
     /// Seeds the 256-bit state from a single `u64` via [`SplitMix64`].
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
-        Xoshiro256 { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
     }
 }
 

@@ -137,7 +137,10 @@ impl MinMaxScaler {
         let mut maxs = vec![f64::NEG_INFINITY; d];
         for row in samples {
             if row.len() != d {
-                return Err(StatsError::LengthMismatch { left: d, right: row.len() });
+                return Err(StatsError::LengthMismatch {
+                    left: d,
+                    right: row.len(),
+                });
             }
             for i in 0..d {
                 mins[i] = mins[i].min(row[i]);

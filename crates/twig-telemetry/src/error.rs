@@ -1,0 +1,37 @@
+use std::fmt;
+
+/// Errors of the telemetry subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelemetryError {
+    /// A constructor was given a degenerate parameter.
+    InvalidConfig {
+        /// What was wrong.
+        detail: String,
+    },
+    /// An exporter failed to write its output.
+    Export {
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::InvalidConfig { detail } => {
+                write!(f, "invalid telemetry config: {detail}")
+            }
+            TelemetryError::Export { detail } => write!(f, "telemetry export failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+impl From<std::io::Error> for TelemetryError {
+    fn from(e: std::io::Error) -> Self {
+        TelemetryError::Export {
+            detail: e.to_string(),
+        }
+    }
+}

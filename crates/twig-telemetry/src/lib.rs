@@ -1,0 +1,372 @@
+//! Zero-dependency tracing and metrics for the Twig control loop.
+//!
+//! The Twig paper argues the manager's viability through overhead
+//! accounting (Table III): every phase of the 1 s decision epoch must fit
+//! comfortably inside the epoch. This crate makes that accounting — and
+//! the rest of the loop's runtime behaviour (governor trips, learner
+//! health, QoS slack, fault-injection events) — continuously observable
+//! without adding any external dependency or perturbing the simulation.
+//!
+//! # Architecture
+//!
+//! - [`MetricsRegistry`] — named counters, gauges and log-scaled
+//!   histograms ([`LogHistogram`]) with p50/p95/p99 queries.
+//! - [`EpochSpan`] — per-epoch wall-clock phase timings (PMC read →
+//!   inference → mapping → actuation → reward update → learn step),
+//!   assembled cooperatively by manager and platform, kept in a bounded
+//!   [`RingBuffer`].
+//! - [`Sink`] — pluggable output: [`NoopSink`] (default), [`MemorySink`]
+//!   (recorder), [`JsonlSink`] / [`CsvSink`] (streaming exporters built on
+//!   the in-repo [`json`] serializer).
+//! - [`Telemetry`] — the cheap, cloneable handle threaded through
+//!   `twig-sim`, `twig-core` and `twig-rl`.
+//!
+//! # The disabled path costs nothing
+//!
+//! [`Telemetry::disabled`] is a `None` — every instrumentation call
+//! short-circuits on one branch, allocates nothing, and never reads the
+//! clock ([`Stopwatch::disarmed`]). Timing reads feed only this layer, so
+//! simulation outputs and RNG streams are bit-identical with telemetry
+//! disabled, enabled with the no-op sink, or enabled with a recorder
+//! (asserted by the workspace determinism tests).
+//!
+//! # Examples
+//!
+//! ```
+//! use twig_telemetry::{Phase, Telemetry};
+//!
+//! let tl = Telemetry::recorder();
+//! tl.counter_add("governor.trips", 1);
+//! tl.gauge_set("twig.epsilon", 0.08);
+//! tl.record("rl.loss", 0.31);
+//! tl.phase_add(0, Phase::Inference, 0.4);
+//! tl.phase_add(1, Phase::Inference, 0.5); // epoch 0's span completes
+//! tl.flush().unwrap();
+//! let m = tl.metrics().unwrap();
+//! assert_eq!(m.counter("governor.trips"), 1);
+//! assert_eq!(tl.spans().len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod json;
+mod metrics;
+mod ring;
+mod sink;
+mod span;
+
+pub use error::TelemetryError;
+pub use metrics::{HistogramSummary, LogHistogram, MetricsRegistry, MetricsSnapshot};
+pub use ring::RingBuffer;
+pub use sink::{snapshot_to_jsonl, span_to_json, CsvSink, JsonlSink, MemorySink, NoopSink, Sink};
+pub use span::{EpochSpan, Phase, Stopwatch, NUM_PHASES};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Default bound on the span ring buffer (epochs of history kept).
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+#[derive(Debug)]
+struct Inner {
+    registry: RefCell<MetricsRegistry>,
+    spans: RefCell<RingBuffer<EpochSpan>>,
+    current: RefCell<Option<EpochSpan>>,
+    sink: RefCell<Box<dyn Sink>>,
+}
+
+/// The instrumentation handle threaded through the control loop.
+///
+/// Cloning is cheap (an `Rc` bump) and clones share state, so the
+/// simulator, manager and learner can all write into one registry. The
+/// handle is single-threaded by design — the control loop it instruments
+/// is a single 1 s-epoch loop.
+///
+/// [`Telemetry::disabled`] (also the `Default`) is inert: every method is
+/// a no-op returning zero/`None`, with no allocation and no clock reads.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<Inner>>,
+}
+
+impl Telemetry {
+    /// The inert handle: all instrumentation short-circuits.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle discarding spans into [`NoopSink`] — metrics and
+    /// the ring buffer still accumulate for later inspection.
+    pub fn enabled() -> Self {
+        Self::with_sink(DEFAULT_SPAN_CAPACITY, Box::new(NoopSink))
+    }
+
+    /// An enabled handle recording every span into a [`MemorySink`].
+    pub fn recorder() -> Self {
+        Self::with_sink(DEFAULT_SPAN_CAPACITY, Box::new(MemorySink::new()))
+    }
+
+    /// An enabled handle with a custom sink and span-ring capacity.
+    pub fn with_sink(span_capacity: usize, sink: Box<dyn Sink>) -> Self {
+        Telemetry {
+            inner: Some(Rc::new(Inner {
+                registry: RefCell::new(MetricsRegistry::new()),
+                spans: RefCell::new(RingBuffer::new(span_capacity)),
+                current: RefCell::new(None),
+                sink: RefCell::new(sink),
+            })),
+        }
+    }
+
+    /// `true` when instrumentation calls actually record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.borrow_mut().counter_add(name, delta);
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.borrow_mut().gauge_set(name, value);
+        }
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn record(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.borrow_mut().record(name, value);
+        }
+    }
+
+    /// Current value of counter `name` (zero when disabled or untouched).
+    pub fn counter(&self, name: &str) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.registry.borrow().counter(name),
+            None => 0,
+        }
+    }
+
+    /// Current value of gauge `name` (`None` when disabled or unset).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.registry.borrow().gauge(name))
+    }
+
+    /// A stopwatch: armed when enabled, inert ([`Stopwatch::disarmed`])
+    /// when disabled, so the hot path never reads the clock.
+    pub fn stopwatch(&self) -> Stopwatch {
+        if self.inner.is_some() {
+            Stopwatch::armed()
+        } else {
+            Stopwatch::disarmed()
+        }
+    }
+
+    /// Adds `ms` to `phase` of `epoch`'s span.
+    ///
+    /// Spans are assembled incrementally: contributions for the same epoch
+    /// (from the manager's `decide`/`observe` and the platform's step)
+    /// merge into one [`EpochSpan`]; the first contribution for a
+    /// *different* epoch completes the open span, pushing it into the ring
+    /// buffer and the sink. Each phase's time also feeds a
+    /// `phase_ms.<name>` histogram.
+    pub fn phase_add(&self, epoch: u64, phase: Phase, ms: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut current = inner.current.borrow_mut();
+        match current.as_mut() {
+            Some(span) if span.epoch == epoch => span.add(phase, ms),
+            _ => {
+                if let Some(done) = current.take() {
+                    inner.spans.borrow_mut().push(done);
+                    inner.sink.borrow_mut().record_span(&done);
+                }
+                let mut span = EpochSpan::new(epoch);
+                span.add(phase, ms);
+                *current = Some(span);
+            }
+        }
+        inner
+            .registry
+            .borrow_mut()
+            .record(&format!("phase_ms.{}", phase.name()), ms);
+    }
+
+    /// Completes the open span (if any) and flushes the sink with a final
+    /// metrics snapshot. Idempotent; `Ok(())` when disabled.
+    pub fn flush(&self) -> Result<(), TelemetryError> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if let Some(done) = inner.current.borrow_mut().take() {
+            inner.spans.borrow_mut().push(done);
+            inner.sink.borrow_mut().record_span(&done);
+        }
+        let snapshot = inner.registry.borrow().snapshot();
+        inner.sink.borrow_mut().flush(&snapshot)
+    }
+
+    /// A point-in-time metrics snapshot (`None` when disabled).
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.registry.borrow().snapshot())
+    }
+
+    /// The retained spans, oldest → newest, including the still-open one.
+    /// Empty when disabled.
+    pub fn spans(&self) -> Vec<EpochSpan> {
+        match &self.inner {
+            Some(inner) => {
+                let mut out = inner.spans.borrow().to_vec();
+                if let Some(open) = *inner.current.borrow() {
+                    out.push(open);
+                }
+                out
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Spans evicted from the ring buffer so far (zero when disabled).
+    pub fn spans_dropped(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.spans.borrow().dropped(),
+            None => 0,
+        }
+    }
+
+    /// Runs `f` against the sink — for draining a recorder after a run:
+    ///
+    /// ```
+    /// use twig_telemetry::{MemorySink, Telemetry};
+    ///
+    /// let tl = Telemetry::recorder();
+    /// tl.phase_add(0, twig_telemetry::Phase::Mapping, 0.1);
+    /// tl.flush().unwrap();
+    /// let n = tl.with_sink_mut(|s| {
+    ///     s.as_any_mut().downcast_mut::<MemorySink>().map_or(0, |m| m.spans.len())
+    /// });
+    /// assert_eq!(n, Some(1));
+    /// ```
+    ///
+    /// Returns `None` when disabled.
+    pub fn with_sink_mut<R>(&self, f: impl FnOnce(&mut dyn Sink) -> R) -> Option<R> {
+        self.inner
+            .as_ref()
+            .map(|inner| f(inner.sink.borrow_mut().as_mut()))
+    }
+
+    /// Writes the full trace (all retained spans, then the metrics
+    /// snapshot) as JSON Lines. Does nothing when disabled.
+    pub fn export_jsonl(&self, w: &mut dyn std::io::Write) -> Result<(), TelemetryError> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        for span in self.spans() {
+            writeln!(w, "{}", span_to_json(&span))?;
+        }
+        let snapshot = inner.registry.borrow().snapshot();
+        w.write_all(snapshot_to_jsonl(&snapshot).as_bytes())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tl = Telemetry::disabled();
+        assert!(!tl.is_enabled());
+        tl.counter_add("c", 1);
+        tl.gauge_set("g", 1.0);
+        tl.record("h", 1.0);
+        tl.phase_add(0, Phase::PmcRead, 1.0);
+        assert_eq!(tl.counter("c"), 0);
+        assert_eq!(tl.gauge("g"), None);
+        assert!(tl.metrics().is_none());
+        assert!(tl.spans().is_empty());
+        assert!(tl.flush().is_ok());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let tl = Telemetry::enabled();
+        let clone = tl.clone();
+        clone.counter_add("shared", 2);
+        tl.counter_add("shared", 3);
+        assert_eq!(tl.counter("shared"), 5);
+    }
+
+    #[test]
+    fn spans_complete_on_epoch_rollover() {
+        let tl = Telemetry::enabled();
+        tl.phase_add(0, Phase::PmcRead, 1.0);
+        tl.phase_add(0, Phase::Inference, 2.0);
+        tl.phase_add(1, Phase::PmcRead, 3.0);
+        let spans = tl.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].epoch, 0);
+        assert_eq!(spans[0].get(Phase::Inference), 2.0);
+        assert_eq!(spans[1].epoch, 1);
+        // Only epoch 0 is complete; epoch 1 is still open.
+        tl.flush().unwrap();
+        assert_eq!(tl.spans().len(), 2);
+        let m = tl.metrics().unwrap();
+        assert_eq!(m.histogram("phase_ms.pmc_read").unwrap().count, 2);
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let tl = Telemetry::enabled();
+        tl.phase_add(0, Phase::Mapping, 0.5);
+        tl.flush().unwrap();
+        tl.flush().unwrap();
+        assert_eq!(tl.spans().len(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_bounds_span_history() {
+        let tl = Telemetry::with_sink(4, Box::new(NoopSink));
+        for epoch in 0..10 {
+            tl.phase_add(epoch, Phase::Actuation, 1.0);
+        }
+        tl.flush().unwrap();
+        let spans = tl.spans();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans.first().unwrap().epoch, 6);
+        assert_eq!(spans.last().unwrap().epoch, 9);
+        assert_eq!(tl.spans_dropped(), 6);
+    }
+
+    #[test]
+    fn export_jsonl_covers_spans_and_metrics() {
+        let tl = Telemetry::enabled();
+        tl.phase_add(0, Phase::LearnStep, 2.0);
+        tl.counter_add("c", 1);
+        tl.flush().unwrap();
+        let mut buf = Vec::new();
+        tl.export_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().any(|l| l.contains(r#""kind":"span""#)));
+        assert!(text.lines().any(|l| l.contains(r#""kind":"counter""#)));
+        assert!(text.lines().any(|l| l.contains(r#""kind":"histogram""#)));
+    }
+
+    #[test]
+    fn stopwatch_armed_only_when_enabled() {
+        let mut off = Telemetry::disabled().stopwatch();
+        assert_eq!(off.lap_ms(), 0.0);
+        let mut on = Telemetry::enabled().stopwatch();
+        assert!(on.lap_ms() >= 0.0);
+    }
+}

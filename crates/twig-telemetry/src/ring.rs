@@ -1,0 +1,161 @@
+/// A fixed-capacity ring buffer: pushing beyond capacity overwrites the
+/// oldest element. Used to bound the memory of span traces — a long run
+/// keeps only its most recent history, like a flight recorder.
+///
+/// # Examples
+///
+/// ```
+/// let mut ring = twig_telemetry::RingBuffer::new(3);
+/// for i in 0..5 {
+///     ring.push(i);
+/// }
+/// assert_eq!(ring.len(), 3);
+/// assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+/// assert_eq!(ring.dropped(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingBuffer<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Index of the oldest element once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a ring holding at most `capacity` elements. A zero capacity
+    /// is clamped to 1 (an unbuffered recorder is never useful).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBuffer {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends `value`, overwriting the oldest element when full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(value);
+        } else {
+            self.buf[self.head] = value;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of elements currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of elements held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Elements evicted to make room (total pushes minus capacity, once
+    /// wrapped).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (tail, head) = self.buf.split_at(self.head);
+        head.iter().chain(tail.iter())
+    }
+
+    /// Drops all elements (the eviction counter is kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+impl<T: Clone> RingBuffer<T> {
+    /// The held elements oldest → newest, as an owned vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let mut ring = RingBuffer::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(7);
+        ring.push(8);
+        assert_eq!(ring.to_vec(), vec![8]);
+    }
+
+    #[test]
+    fn fills_without_wrapping() {
+        let mut ring = RingBuffer::new(4);
+        ring.push(1);
+        ring.push(2);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.to_vec(), vec![1, 2]);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_in_order() {
+        let mut ring = RingBuffer::new(3);
+        for i in 0..10 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        assert_eq!(ring.to_vec(), vec![7, 8, 9]);
+        // Another push continues the rotation.
+        ring.push(10);
+        assert_eq!(ring.to_vec(), vec![8, 9, 10]);
+    }
+
+    #[test]
+    fn wraparound_exactly_at_capacity_boundary() {
+        let mut ring = RingBuffer::new(3);
+        for i in 0..3 {
+            ring.push(i);
+        }
+        assert_eq!(ring.to_vec(), vec![0, 1, 2]);
+        ring.push(3);
+        assert_eq!(ring.to_vec(), vec![1, 2, 3]);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_resets_contents_not_eviction_count() {
+        let mut ring = RingBuffer::new(2);
+        for i in 0..5 {
+            ring.push(i);
+        }
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 3);
+        ring.push(42);
+        assert_eq!(ring.to_vec(), vec![42]);
+    }
+
+    #[test]
+    fn iter_order_matches_push_order_across_many_wraps() {
+        let mut ring = RingBuffer::new(7);
+        for i in 0..1000 {
+            ring.push(i);
+        }
+        let got = ring.to_vec();
+        assert_eq!(got, (993..1000).collect::<Vec<_>>());
+    }
+}

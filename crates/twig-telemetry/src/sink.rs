@@ -1,0 +1,338 @@
+use crate::json::JsonObject;
+use crate::metrics::MetricsSnapshot;
+use crate::span::{EpochSpan, Phase};
+use crate::TelemetryError;
+use std::fmt::Debug;
+use std::io::Write;
+
+/// Destination for completed spans and end-of-run metric snapshots.
+///
+/// Sinks are called from inside the control loop, so implementations must
+/// be cheap and must never panic on I/O trouble — errors are surfaced from
+/// [`flush`](Sink::flush), while [`record_span`](Sink::record_span) buffers
+/// failures silently (a broken trace file must not crash a running
+/// manager; the error is reported at flush time).
+pub trait Sink: Debug {
+    /// Called once per completed epoch span.
+    fn record_span(&mut self, span: &EpochSpan);
+
+    /// Called when the owner flushes: write the final snapshot and any
+    /// buffered output.
+    fn flush(&mut self, snapshot: &MetricsSnapshot) -> Result<(), TelemetryError>;
+
+    /// Concrete-type recovery, so a recorder's contents can be drained
+    /// after a run (`sink.as_any_mut().downcast_mut::<MemorySink>()`).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// The default sink: discards everything. Keeping the trait object a no-op
+/// (rather than making the sink optional) keeps the enabled hot path
+/// branch-free.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record_span(&mut self, _span: &EpochSpan) {}
+
+    fn flush(&mut self, _snapshot: &MetricsSnapshot) -> Result<(), TelemetryError> {
+        Ok(())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// In-memory recorder: keeps every span and the last flushed snapshot.
+/// The test-and-report sink — drive a run, then inspect what happened.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    /// Every span recorded, in arrival order.
+    pub spans: Vec<EpochSpan>,
+    /// The snapshot from the most recent flush, if any.
+    pub last_snapshot: Option<MetricsSnapshot>,
+}
+
+impl MemorySink {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record_span(&mut self, span: &EpochSpan) {
+        self.spans.push(*span);
+    }
+
+    fn flush(&mut self, snapshot: &MetricsSnapshot) -> Result<(), TelemetryError> {
+        self.last_snapshot = Some(snapshot.clone());
+        Ok(())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Streams records as JSON Lines: one `{"kind":"span",...}` object per
+/// epoch, then `counter`/`gauge`/`histogram` objects at flush.
+///
+/// Write errors during the run are held and returned from the next
+/// [`flush`](Sink::flush).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Debug> {
+    writer: W,
+    deferred: Option<TelemetryError>,
+}
+
+impl<W: Write + Debug> JsonlSink<W> {
+    /// Wraps `writer` (e.g. a `BufWriter<File>` or `Vec<u8>`).
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            deferred: None,
+        }
+    }
+
+    /// Consumes the sink and returns the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.deferred.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.writer, "{line}") {
+            self.deferred = Some(e.into());
+        }
+    }
+}
+
+/// Renders one span as a JSON object.
+pub fn span_to_json(span: &EpochSpan) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("kind", "span").field_u64("epoch", span.epoch);
+    for p in Phase::ALL {
+        o.field_f64(&format!("{}_ms", p.name()), span.get(p));
+    }
+    o.field_f64("total_ms", span.total_ms());
+    o.finish()
+}
+
+/// Renders a metrics snapshot as JSON Lines (one object per metric).
+pub fn snapshot_to_jsonl(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let mut o = JsonObject::new();
+        o.field_str("kind", "counter")
+            .field_str("name", name)
+            .field_u64("value", *value);
+        out.push_str(&o.finish());
+        out.push('\n');
+    }
+    for (name, value) in &snapshot.gauges {
+        let mut o = JsonObject::new();
+        o.field_str("kind", "gauge")
+            .field_str("name", name)
+            .field_f64("value", *value);
+        out.push_str(&o.finish());
+        out.push('\n');
+    }
+    for (name, h) in &snapshot.histograms {
+        let mut o = JsonObject::new();
+        o.field_str("kind", "histogram")
+            .field_str("name", name)
+            .field_u64("count", h.count)
+            .field_f64("mean", h.mean)
+            .field_f64("min", h.min)
+            .field_f64("max", h.max)
+            .field_f64("p50", h.p50)
+            .field_f64("p95", h.p95)
+            .field_f64("p99", h.p99);
+        out.push_str(&o.finish());
+        out.push('\n');
+    }
+    out
+}
+
+impl<W: Write + Debug + 'static> Sink for JsonlSink<W> {
+    fn record_span(&mut self, span: &EpochSpan) {
+        let line = span_to_json(span);
+        self.write_line(&line);
+    }
+
+    fn flush(&mut self, snapshot: &MetricsSnapshot) -> Result<(), TelemetryError> {
+        for line in snapshot_to_jsonl(snapshot).lines() {
+            self.write_line(line);
+        }
+        if let Some(e) = self.deferred.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Streams spans as CSV rows (header written lazily before the first row).
+/// Metric snapshots do not fit a single rectangular schema, so `flush`
+/// only flushes the writer; pair with [`JsonlSink`] when metrics are
+/// needed too.
+#[derive(Debug)]
+pub struct CsvSink<W: Write + Debug> {
+    writer: W,
+    wrote_header: bool,
+    deferred: Option<TelemetryError>,
+}
+
+impl<W: Write + Debug> CsvSink<W> {
+    /// Wraps `writer`.
+    pub fn new(writer: W) -> Self {
+        CsvSink {
+            writer,
+            wrote_header: false,
+            deferred: None,
+        }
+    }
+
+    /// Consumes the sink and returns the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.deferred.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.writer, "{line}") {
+            self.deferred = Some(e.into());
+        }
+    }
+}
+
+impl<W: Write + Debug + 'static> Sink for CsvSink<W> {
+    fn record_span(&mut self, span: &EpochSpan) {
+        if !self.wrote_header {
+            self.wrote_header = true;
+            let mut header = String::from("epoch");
+            for p in Phase::ALL {
+                header.push(',');
+                header.push_str(p.name());
+                header.push_str("_ms");
+            }
+            header.push_str(",total_ms");
+            self.write_line(&header);
+        }
+        let mut row = span.epoch.to_string();
+        for p in Phase::ALL {
+            row.push(',');
+            row.push_str(&format!("{}", span.get(p)));
+        }
+        row.push_str(&format!(",{}", span.total_ms()));
+        self.write_line(&row);
+    }
+
+    fn flush(&mut self, _snapshot: &MetricsSnapshot) -> Result<(), TelemetryError> {
+        if let Some(e) = self.deferred.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_span() -> EpochSpan {
+        let mut s = EpochSpan::new(2);
+        s.add(Phase::PmcRead, 0.5);
+        s.add(Phase::LearnStep, 1.5);
+        s
+    }
+
+    #[test]
+    fn memory_sink_records_everything() {
+        let mut sink = MemorySink::new();
+        sink.record_span(&sample_span());
+        sink.record_span(&EpochSpan::new(3));
+        let mut m = MetricsRegistry::new();
+        m.counter_add("c", 7);
+        sink.flush(&m.snapshot()).unwrap();
+        assert_eq!(sink.spans.len(), 2);
+        assert_eq!(sink.spans[0].epoch, 2);
+        assert_eq!(sink.last_snapshot.as_ref().unwrap().counter("c"), 7);
+    }
+
+    #[test]
+    fn jsonl_sink_emits_valid_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record_span(&sample_span());
+        let mut m = MetricsRegistry::new();
+        m.counter_add("governor.trips", 1);
+        m.gauge_set("twig.epsilon", 0.5);
+        m.record("rl.loss", 0.25);
+        sink.flush(&m.snapshot()).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[0].starts_with(r#"{"kind":"span","epoch":2,"#));
+        assert!(lines[0].contains(r#""pmc_read_ms":0.5"#));
+        assert!(lines[0].contains(r#""total_ms":2"#));
+        assert!(lines[1].contains(r#""kind":"counter""#) && lines[1].contains("governor.trips"));
+        assert!(lines[2].contains(r#""kind":"gauge""#) && lines[2].contains("0.5"));
+        assert!(lines[3].contains(r#""kind":"histogram""#) && lines[3].contains(r#""count":1"#));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn csv_sink_writes_header_once() {
+        let mut sink = CsvSink::new(Vec::new());
+        sink.record_span(&sample_span());
+        sink.record_span(&sample_span());
+        sink.flush(&MetricsRegistry::new().snapshot()).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "epoch,pmc_read_ms,inference_ms,mapping_ms,actuation_ms,reward_update_ms,learn_step_ms,total_ms"
+        );
+        assert_eq!(lines[1], "2,0.5,0,0,0,0,1.5,2");
+    }
+
+    /// A writer that always fails, to exercise error deferral.
+    #[derive(Debug)]
+    struct BrokenWriter;
+
+    impl Write for BrokenWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk on fire"))
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_defers_write_errors_to_flush() {
+        let mut sink = JsonlSink::new(BrokenWriter);
+        sink.record_span(&sample_span()); // must not panic
+        let err = sink.flush(&MetricsRegistry::new().snapshot()).unwrap_err();
+        assert!(matches!(err, TelemetryError::Export { .. }));
+    }
+}

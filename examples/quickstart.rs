@@ -54,6 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         twig.observe(&report)?;
     }
-    println!("\ndone: {} gradient steps, {} buffered transitions", twig.agent().steps(), twig.agent().buffer_len());
+    println!(
+        "\ndone: {} gradient steps, {} buffered transitions",
+        twig.agent().steps(),
+        twig.agent().buffer_len()
+    );
     Ok(())
 }

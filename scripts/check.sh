@@ -5,6 +5,26 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline --workspace
-cargo test -q --offline --workspace
-cargo clippy --offline -- -D warnings
+fail=0
+
+step() {
+    name="$1"
+    shift
+    if "$@"; then
+        echo "PASS: $name"
+    else
+        echo "FAIL: $name"
+        fail=1
+    fi
+}
+
+step "fmt"    cargo fmt --all -- --check
+step "build"  cargo build --release --offline --workspace
+step "test"   cargo test -q --offline --workspace
+step "clippy" cargo clippy --offline -- -D warnings
+
+if [ "$fail" -ne 0 ]; then
+    echo "check.sh: FAILED"
+    exit 1
+fi
+echo "check.sh: all steps passed"

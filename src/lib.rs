@@ -10,6 +10,8 @@
 //! - [`rl`] — deep Q-learning: replay buffers, prioritised experience replay,
 //!   DQN, branching dueling Q-networks (BDQ) and the paper's multi-agent BDQ;
 //! - [`stats`] — PCA, Pearson correlation, regression, percentiles;
+//! - [`telemetry`] — zero-dependency tracing and metrics (spans, counters,
+//!   gauges, log-scaled histograms, JSONL/CSV export);
 //! - [`manager`] — the Twig task manager itself (Twig-S / Twig-C);
 //! - [`baselines`] — Static, Hipster, Heracles and PARTIES reimplementations.
 //!
@@ -45,3 +47,4 @@ pub use twig_nn as nn;
 pub use twig_rl as rl;
 pub use twig_sim as sim;
 pub use twig_stats as stats;
+pub use twig_telemetry as telemetry;

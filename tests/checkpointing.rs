@@ -24,6 +24,7 @@ fn train_against_simulator(agent: &mut MaBdq) {
     let mut server = Server::new(cfg.clone(), vec![catalog::masstree()], 13).unwrap();
     server.set_load_fraction(0, 0.5).unwrap();
     let mut state = vec![vec![0.0f32; twig::sim::NUM_COUNTERS]];
+    let maxima = twig::sim::pmc::calibration_maxima(cfg.cores).unwrap();
     for step in 0..120u64 {
         let eps = (1.0 - step as f64 / 80.0).max(0.1);
         let actions = agent.select_actions(&state, eps).unwrap();
@@ -32,7 +33,6 @@ fn train_against_simulator(agent: &mut MaBdq) {
         let assignment = Assignment::new((0..cores).map(CoreId).collect(), freq);
         let report = server.step(std::slice::from_ref(&assignment)).unwrap();
         let svc = &report.services[0];
-        let maxima = twig::sim::pmc::calibration_maxima(cfg.cores).unwrap();
         let next: Vec<f32> = svc
             .pmcs
             .as_array()
@@ -40,7 +40,11 @@ fn train_against_simulator(agent: &mut MaBdq) {
             .zip(&maxima)
             .map(|(&v, &m)| (v / m) as f32)
             .collect();
-        let reward = if svc.p99_ms <= catalog::masstree().qos_ms { 1.0 } else { -1.0 };
+        let reward = if svc.p99_ms <= catalog::masstree().qos_ms {
+            1.0
+        } else {
+            -1.0
+        };
         agent
             .observe(MultiTransition {
                 states: state.clone(),
@@ -61,7 +65,11 @@ fn checkpoint_transfers_policy_between_processes() {
     let checkpoint = trained.save_checkpoint();
 
     // A "new process": fresh agent from the same config, restored weights.
-    let mut restored = MaBdq::new(MaBdqConfig { seed: 99, ..small_config() }).unwrap();
+    let mut restored = MaBdq::new(MaBdqConfig {
+        seed: 99,
+        ..small_config()
+    })
+    .unwrap();
     restored.load_checkpoint(&checkpoint).unwrap();
 
     // Greedy decisions must agree everywhere we probe.

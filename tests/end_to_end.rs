@@ -6,11 +6,7 @@ use twig::manager::{TaskManager, TwigBuilder};
 use twig::rl::EpsilonSchedule;
 use twig::sim::{catalog, DvfsLadder, EpochReport, Server, ServerConfig};
 
-fn drive(
-    server: &mut Server,
-    manager: &mut dyn TaskManager,
-    epochs: u64,
-) -> Vec<EpochReport> {
+fn drive(server: &mut Server, manager: &mut dyn TaskManager, epochs: u64) -> Vec<EpochReport> {
     (0..epochs)
         .map(|_| {
             let a = manager.decide().expect("decide");
@@ -38,7 +34,10 @@ fn twig_meets_qos_and_saves_energy_vs_static() {
         .unwrap();
     let reports = drive(&mut server, &mut twig, learn + measure as u64);
     let tail = &reports[reports.len() - measure..];
-    let met = tail.iter().filter(|r| r.services[0].p99_ms <= spec.qos_ms).count();
+    let met = tail
+        .iter()
+        .filter(|r| r.services[0].p99_ms <= spec.qos_ms)
+        .count();
     let twig_energy: f64 = tail.iter().map(|r| r.true_power_w).sum();
     assert!(
         met as f64 / measure as f64 > 0.85,
@@ -76,7 +75,10 @@ fn twig_c_manages_colocated_pair() {
     let reports = drive(&mut server, &mut twig, learn + 150);
     let tail = &reports[reports.len() - 150..];
     for (i, spec) in specs.iter().enumerate() {
-        let met = tail.iter().filter(|r| r.services[i].p99_ms <= spec.qos_ms).count();
+        let met = tail
+            .iter()
+            .filter(|r| r.services[i].p99_ms <= spec.qos_ms)
+            .count();
         assert!(
             met > 110,
             "{}: colocated QoS too low ({met}/150)",
@@ -102,7 +104,9 @@ fn learning_reduces_violations_over_time() {
     let early = &reports[..200];
     let late = &reports[reports.len() - 200..];
     let violations = |rs: &[EpochReport]| {
-        rs.iter().filter(|r| r.services[0].p99_ms > spec.qos_ms).count()
+        rs.iter()
+            .filter(|r| r.services[0].p99_ms > spec.qos_ms)
+            .count()
     };
     assert!(
         violations(late) <= violations(early),

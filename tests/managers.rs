@@ -2,8 +2,7 @@
 //! `TaskManager` trait.
 
 use twig::baselines::{
-    Heracles, HeraclesConfig, Hipster, HipsterConfig, Parties, PartiesConfig,
-    StaticMapping,
+    Heracles, HeraclesConfig, Hipster, HipsterConfig, Parties, PartiesConfig, StaticMapping,
 };
 use twig::manager::{TaskManager, TwigBuilder};
 use twig::rl::EpsilonSchedule;
@@ -14,10 +13,7 @@ fn single_service_managers() -> Vec<Box<dyn TaskManager>> {
     let dvfs = DvfsLadder::default();
     vec![
         Box::new(StaticMapping::new(vec![spec.clone()], 18, dvfs.clone()).unwrap()),
-        Box::new(
-            Heracles::new(spec.clone(), 18, dvfs.clone(), HeraclesConfig::default())
-                .unwrap(),
-        ),
+        Box::new(Heracles::new(spec.clone(), 18, dvfs.clone(), HeraclesConfig::default()).unwrap()),
         Box::new(Hipster::new(spec.clone(), 18, dvfs, HipsterConfig::default()).unwrap()),
         Box::new(
             TwigBuilder::new()
@@ -34,8 +30,7 @@ fn single_service_managers() -> Vec<Box<dyn TaskManager>> {
 fn every_single_service_manager_produces_valid_assignments() {
     let cfg = ServerConfig::default();
     for mut manager in single_service_managers() {
-        let mut server =
-            Server::new(cfg.clone(), vec![catalog::img_dnn()], 3).unwrap();
+        let mut server = Server::new(cfg.clone(), vec![catalog::img_dnn()], 3).unwrap();
         server.set_load_fraction(0, 0.5).unwrap();
         for _ in 0..30 {
             let assignments = manager.decide().unwrap();
@@ -61,8 +56,13 @@ fn colocated_managers_share_the_socket() {
     let managers: Vec<Box<dyn TaskManager>> = vec![
         Box::new(StaticMapping::new(specs.clone(), 18, cfg.dvfs.clone()).unwrap()),
         Box::new(
-            Parties::new(specs.clone(), 18, cfg.dvfs.clone(), PartiesConfig::default())
-                .unwrap(),
+            Parties::new(
+                specs.clone(),
+                18,
+                cfg.dvfs.clone(),
+                PartiesConfig::default(),
+            )
+            .unwrap(),
         ),
         Box::new(
             TwigBuilder::new()
@@ -96,7 +96,11 @@ fn managers_have_distinct_names() {
     let mut sorted = names.clone();
     sorted.sort();
     sorted.dedup();
-    assert_eq!(sorted.len(), names.len(), "duplicate manager names: {names:?}");
+    assert_eq!(
+        sorted.len(),
+        names.len(),
+        "duplicate manager names: {names:?}"
+    );
 }
 
 #[test]
@@ -104,9 +108,13 @@ fn heracles_lockout_visible_through_trait() {
     // Trip the main controller via high load and confirm the full-socket
     // allocation appears at the trait level.
     let spec = catalog::masstree();
-    let heracles =
-        Heracles::new(spec.clone(), 18, DvfsLadder::default(), HeraclesConfig::default())
-            .unwrap();
+    let heracles = Heracles::new(
+        spec.clone(),
+        18,
+        DvfsLadder::default(),
+        HeraclesConfig::default(),
+    )
+    .unwrap();
     let mut server = Server::new(ServerConfig::default(), vec![spec], 6).unwrap();
     server.set_load_fraction(0, 0.95).unwrap();
     let mut manager: Box<dyn TaskManager> = Box::new(heracles.clone());

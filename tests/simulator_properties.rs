@@ -71,8 +71,7 @@ fn more_cores_never_hurt() {
         let freq = cfg.dvfs.max();
         let mut p99 = Vec::new();
         for cores in [4usize, 18] {
-            let mut server =
-                Server::new(cfg.clone(), vec![catalog::xapian()], seed).unwrap();
+            let mut server = Server::new(cfg.clone(), vec![catalog::xapian()], seed).unwrap();
             server.set_load_fraction(0, 0.6).unwrap();
             let a = vec![Assignment::first_n(cores, freq)];
             let mut sum = 0.0;
