@@ -1,0 +1,181 @@
+//! CI perf smoke for the fleet + hot-path memory discipline.
+//!
+//! Times a compressed Figure 1 workload — four independent
+//! (service, replicate-seed) units — serially and at `--jobs 2` / `--jobs
+//! 4`, asserts the three outputs are bit-identical, measures steady-state
+//! heap allocations of the decide+learn hot path under the counting
+//! global allocator, and writes everything to a JSON report (default
+//! `results/BENCH_fleet.json`, override with a positional path argument).
+//!
+//! Speedup floors are enforced only when the host actually has the cores:
+//! `>= 1.2x` at 2 jobs on >= 2 cores, `>= 1.5x` at 4 jobs on >= 4 cores.
+//! Bit-identity and the zero-allocation assertion are enforced
+//! everywhere. Exit code is non-zero on any violation.
+
+use std::time::Instant;
+use twig_bench::{experiments::fig01, run_fleet, Unit};
+use twig_nn::count_alloc;
+use twig_rl::{MaBdq, MaBdqConfig, MultiTransition};
+use twig_sim::catalog;
+
+#[global_allocator]
+static ALLOC: twig_nn::CountingAlloc = twig_nn::CountingAlloc;
+
+const SAMPLES: usize = 700;
+const PASSES: usize = 4;
+const UNITS: usize = 4;
+const BASE_SEED: u64 = 42;
+
+/// Runs the 4-unit compressed fig01 workload at the given job count,
+/// returning (concatenated output, wall seconds).
+fn fleet_pass(jobs: usize) -> (String, f64) {
+    let specs = [catalog::memcached(), catalog::web_search()];
+    let units = (0..UNITS)
+        .map(|i| {
+            let spec = specs[i % specs.len()].clone();
+            Unit::new(
+                format!("fig01/{}/r{}", spec.name, i / specs.len()),
+                move |seed| {
+                    let (section, _rows) = fig01::service_unit(&spec, SAMPLES, PASSES, seed)?;
+                    Ok(section)
+                },
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    let run = run_fleet(units, jobs, BASE_SEED);
+    let wall = t0.elapsed().as_secs_f64();
+    let out = run
+        .into_outputs()
+        .expect("bench units must succeed")
+        .concat();
+    (out, wall)
+}
+
+/// Steady-state heap allocations over ten decide+learn epochs after
+/// warm-up (the `alloc_discipline` gate, repeated here so the number
+/// lands in the CI artifact).
+fn steady_state_allocs() -> u64 {
+    let mut agent = MaBdq::new(MaBdqConfig {
+        agents: 2,
+        state_dim: 4,
+        branches: vec![5, 3],
+        batch_size: 16,
+        buffer_capacity: 512,
+        target_update_every: 3,
+        seed: 7,
+        ..MaBdqConfig::default()
+    })
+    .expect("agent");
+    let states = vec![vec![0.1, 0.2, 0.3, 0.4]; 2];
+    for i in 0..48 {
+        let f = i as f32 * 0.01;
+        agent
+            .observe(MultiTransition {
+                states: vec![vec![f, -f, 0.5, 1.0 - f]; 2],
+                actions: vec![vec![i % 5, i % 3]; 2],
+                rewards: vec![f.sin(), -f.sin()],
+                next_states: vec![vec![f + 0.01, -f, 0.5, 0.99 - f]; 2],
+            })
+            .expect("observe");
+    }
+    let mut actions: Vec<Vec<usize>> = Vec::new();
+    for _ in 0..3 {
+        agent.train_step().expect("train").expect("batch");
+        agent
+            .select_actions_into(&states, 0.5, &mut actions)
+            .expect("select");
+    }
+    let start = count_alloc::allocation_count();
+    for _ in 0..10 {
+        agent.train_step().expect("train").expect("batch");
+        agent
+            .select_actions_into(&states, 0.5, &mut actions)
+            .expect("select");
+    }
+    count_alloc::allocations_since(start)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_fleet.json".to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!("bench_fleet: {UNITS} units x {SAMPLES} samples, host has {cores} core(s)");
+    let (serial_out, serial_s) = fleet_pass(1);
+    let (jobs2_out, jobs2_s) = fleet_pass(2);
+    let (jobs4_out, jobs4_s) = fleet_pass(4);
+    let identical = serial_out == jobs2_out && serial_out == jobs4_out;
+    let speedup2 = serial_s / jobs2_s;
+    let speedup4 = serial_s / jobs4_s;
+    let allocs = steady_state_allocs();
+
+    let enforce2 = cores >= 2;
+    let enforce4 = cores >= 4;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fleet\",\n",
+            "  \"workload\": \"fig01 compressed, {units} units x {samples} samples x {passes} passes\",\n",
+            "  \"cores_available\": {cores},\n",
+            "  \"serial_wall_s\": {serial:.3},\n",
+            "  \"jobs2_wall_s\": {j2:.3},\n",
+            "  \"jobs4_wall_s\": {j4:.3},\n",
+            "  \"speedup_jobs2\": {s2:.3},\n",
+            "  \"speedup_jobs4\": {s4:.3},\n",
+            "  \"speedup_jobs2_enforced\": {e2},\n",
+            "  \"speedup_jobs4_enforced\": {e4},\n",
+            "  \"outputs_bit_identical\": {ident},\n",
+            "  \"steady_state_allocations\": {allocs}\n",
+            "}}\n"
+        ),
+        units = UNITS,
+        samples = SAMPLES,
+        passes = PASSES,
+        cores = cores,
+        serial = serial_s,
+        j2 = jobs2_s,
+        j4 = jobs4_s,
+        s2 = speedup2,
+        s4 = speedup4,
+        e2 = enforce2,
+        e4 = enforce4,
+        ident = identical,
+        allocs = allocs,
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write bench report");
+    print!("{json}");
+
+    let mut violations = Vec::new();
+    if !identical {
+        violations.push("serial and parallel outputs differ (determinism broken)".to_string());
+    }
+    if allocs != 0 {
+        violations.push(format!("hot path allocated {allocs} times in steady state"));
+    }
+    if enforce2 && speedup2 < 1.2 {
+        violations.push(format!(
+            "speedup at 2 jobs {speedup2:.2}x < 1.2x on {cores} cores"
+        ));
+    }
+    if enforce4 && speedup4 < 1.5 {
+        violations.push(format!(
+            "speedup at 4 jobs {speedup4:.2}x < 1.5x on {cores} cores"
+        ));
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("bench_fleet FAIL: {v}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("bench_fleet: ok (report at {out_path})");
+}

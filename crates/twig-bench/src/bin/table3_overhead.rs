@@ -1,5 +1,13 @@
 //! Binary wrapper for the `table3` experiment; see
 //! `twig_bench::experiments::table3` for what it regenerates.
+//!
+//! This binary installs the counting global allocator from `twig-nn` so
+//! the table's "steady-state heap allocations" row measures (and asserts)
+//! the zero-allocation discipline of the decide+learn hot path. Library
+//! and test hosts without the allocator print "n/a" for that row instead.
+
+#[global_allocator]
+static ALLOC: twig_nn::CountingAlloc = twig_nn::CountingAlloc;
 
 fn main() {
     let opts = twig_bench::Options::from_env();

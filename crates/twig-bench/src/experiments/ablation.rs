@@ -14,7 +14,10 @@
 //!   experience replay with α = 0.6; setting α = 0 degrades PER to uniform
 //!   sampling, quantifying what prioritisation buys.
 
-use crate::{drive, summarize, total_energy, window, ExpError, Options, TextTable};
+use crate::{
+    drive, run_sections, summarize, total_energy, window, ExpError, Options, TextTable, Unit,
+};
+use std::fmt::Write as _;
 use twig_core::{Eq2PowerModel, Mapper, RewardConfig, SystemMonitor, Twig, TwigBuilder};
 use twig_rl::{Dqn, DqnConfig, EpsilonSchedule, MaBdqConfig};
 use twig_sim::{catalog, Server, ServerConfig};
@@ -44,12 +47,18 @@ fn scaled_twig(
 /// # Errors
 ///
 /// Propagates simulator and manager errors.
-pub fn coordination(opts: &Options) -> Result<(), ExpError> {
+pub fn coordination(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     let specs = vec![catalog::masstree(), catalog::moses()];
     let learn = opts.learn_epochs();
     let measure = opts.measure_epochs(false);
-    println!("Ablation: coordinated multi-agent BDQ vs independent per-service agents");
-    println!("(masstree @ 30% + moses @ 50%, {measure}-epoch window)\n");
+    writeln!(
+        out,
+        "Ablation: coordinated multi-agent BDQ vs independent per-service agents"
+    )?;
+    writeln!(
+        out,
+        "(masstree @ 30% + moses @ 50%, {measure}-epoch window)\n"
+    )?;
 
     // Coordinated: the real Twig-C.
     let mut server = Server::new(ServerConfig::default(), specs.clone(), opts.seed)?;
@@ -109,7 +118,7 @@ pub fn coordination(opts: &Options) -> Result<(), ExpError> {
             format!("{overlap:.1}"),
         ]);
     }
-    println!("{t}");
+    writeln!(out, "{t}")?;
     Ok(())
 }
 
@@ -118,11 +127,14 @@ pub fn coordination(opts: &Options) -> Result<(), ExpError> {
 /// # Errors
 ///
 /// Propagates simulator and manager errors.
-pub fn eta(opts: &Options) -> Result<(), ExpError> {
+pub fn eta(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     let spec = catalog::masstree();
     let learn = opts.learn_epochs();
     let measure = opts.measure_epochs(false);
-    println!("Ablation: PMC smoothing window eta (paper: eta = 5), masstree @ 50%\n");
+    writeln!(
+        out,
+        "Ablation: PMC smoothing window eta (paper: eta = 5), masstree @ 50%\n"
+    )?;
     let mut t = TextTable::new(vec!["eta", "QoS guarantee (%)", "energy (J)"]);
     for eta in [1usize, 3, 5, 10] {
         let mut server = Server::new(ServerConfig::default(), vec![spec.clone()], opts.seed)?;
@@ -141,7 +153,7 @@ pub fn eta(opts: &Options) -> Result<(), ExpError> {
             format!("{:.0}", total_energy(tail)),
         ]);
     }
-    println!("{t}");
+    writeln!(out, "{t}")?;
     Ok(())
 }
 
@@ -150,11 +162,14 @@ pub fn eta(opts: &Options) -> Result<(), ExpError> {
 /// # Errors
 ///
 /// Propagates simulator and manager errors.
-pub fn replay(opts: &Options) -> Result<(), ExpError> {
+pub fn replay(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     let spec = catalog::img_dnn();
     let learn = opts.learn_epochs();
     let measure = opts.measure_epochs(false);
-    println!("Ablation: prioritised (alpha = 0.6) vs uniform (alpha = 0) replay, img-dnn @ 50%\n");
+    writeln!(
+        out,
+        "Ablation: prioritised (alpha = 0.6) vs uniform (alpha = 0) replay, img-dnn @ 50%\n"
+    )?;
     let mut t = TextTable::new(vec!["replay", "QoS guarantee (%)", "energy (J)"]);
     for (label, alpha) in [("prioritised", 0.6), ("uniform", 0.0)] {
         let mut server = Server::new(ServerConfig::default(), vec![spec.clone()], opts.seed)?;
@@ -174,7 +189,7 @@ pub fn replay(opts: &Options) -> Result<(), ExpError> {
             format!("{:.0}", total_energy(tail)),
         ]);
     }
-    println!("{t}");
+    writeln!(out, "{t}")?;
     Ok(())
 }
 
@@ -187,12 +202,15 @@ pub fn replay(opts: &Options) -> Result<(), ExpError> {
 /// # Errors
 ///
 /// Propagates simulator and learning errors.
-pub fn branching(opts: &Options) -> Result<(), ExpError> {
+pub fn branching(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     let spec = catalog::masstree();
     let cfg = ServerConfig::default();
     let learn = opts.learn_epochs();
     let measure = opts.measure_epochs(false);
-    println!("Ablation: branching (BDQ) vs joint-action (vanilla DQN), masstree @ 50%\n");
+    writeln!(
+        out,
+        "Ablation: branching (BDQ) vs joint-action (vanilla DQN), masstree @ 50%\n"
+    )?;
 
     // Twig-S (branching).
     let mut server = Server::new(cfg.clone(), vec![spec.clone()], opts.seed)?;
@@ -272,21 +290,47 @@ pub fn branching(opts: &Options) -> Result<(), ExpError> {
             format!("{:.0}", total_energy(tail)),
         ]);
     }
-    println!("{t}");
+    writeln!(out, "{t}")?;
     Ok(())
 }
 
-/// Runs every ablation.
+/// Runs every ablation, printing to stdout (see [`run_to`]).
 ///
 /// # Errors
 ///
-/// Propagates the individual ablation errors.
+/// Propagates [`run_to`] errors.
 pub fn run(opts: &Options) -> Result<(), ExpError> {
-    coordination(opts)?;
-    println!();
-    eta(opts)?;
-    println!();
-    replay(opts)?;
-    println!();
-    branching(opts)
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Runs every ablation as an independent fleet unit (`--jobs` parallel),
+/// appending the sections to `out` in a fixed order.
+///
+/// # Errors
+///
+/// Propagates the individual ablation errors, naming failed units.
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
+    type Section = fn(&mut String, &Options) -> Result<(), ExpError>;
+    let sections: [(&str, Section); 4] = [
+        ("coordination", coordination),
+        ("eta", eta),
+        ("replay", replay),
+        ("branching", branching),
+    ];
+    let units = sections
+        .into_iter()
+        .map(|(name, section)| {
+            Unit::new(name, move |_seed| {
+                let mut s = String::new();
+                section(&mut s, opts)?;
+                s.push('\n');
+                Ok(s)
+            })
+        })
+        .collect();
+    run_sections(out, units, opts)?;
+    Ok(())
 }

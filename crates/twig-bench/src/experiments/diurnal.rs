@@ -7,6 +7,7 @@
 //! guarantee and energy against the static baseline.
 
 use crate::{drive, make_twig, summarize, total_energy, window, ExpError, Options, TextTable};
+use std::fmt::Write as _;
 use twig_baselines::StaticMapping;
 use twig_sim::{catalog, LoadGenerator, Server, ServerConfig};
 
@@ -25,16 +26,28 @@ fn diurnal_server(
     Ok(server)
 }
 
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
 /// Runs the diurnal evaluation.
 ///
 /// # Errors
 ///
 /// Propagates simulator and manager errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     let learn = opts.learn_epochs();
     let period = if opts.full { 2_000 } else { 500 };
     let measure = period * 2; // two full day/night cycles
-    println!("Diurnal load (15-85% solo / 15-50% colocated, period {period} epochs), measured over {measure} epochs\n");
+    writeln!(out, "Diurnal load (15-85% solo / 15-50% colocated, period {period} epochs), measured over {measure} epochs\n")?;
 
     let mut t = TextTable::new(vec![
         "workload",
@@ -82,6 +95,6 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         ),
         format!("{:.3}", total_energy(tail) / e_static),
     ]);
-    println!("{t}");
+    writeln!(out, "{t}")?;
     Ok(())
 }

@@ -11,7 +11,8 @@
 //! PMCs. The shapes that must reproduce: multi-PMC error is much tighter,
 //! and per-latency-bucket medians sit near zero only for multi-PMC.
 
-use crate::{ExpError, Options, TextTable};
+use crate::{run_fleet, ExpError, Options, TextTable, Unit};
+use std::fmt::Write as _;
 use twig_nn::{mse_loss, Adam, Dense, Mlp, Relu, Tensor};
 use twig_sim::pmc::calibration_maxima;
 use twig_sim::{catalog, Assignment, Server, ServerConfig, ServiceSpec};
@@ -112,17 +113,154 @@ fn zero_density(errors: &[(f64, f64)], half_range: f64) -> f64 {
     d[d.len() / 2]
 }
 
-/// Regenerates Figure 1.
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// One fleet unit's worth of Figure 1: gather + train both models for one
+/// service with the given seed, returning the narrative/violin section and
+/// the two rows destined for the combined stats table. Exposed so the CI
+/// perf-smoke bench (`bench_fleet`) can reuse the exact workload.
 ///
 /// # Errors
 ///
 /// Propagates simulator and training errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
-    let samples = if opts.full { 30_000 } else { 6_000 };
-    let passes = if opts.full { 30 } else { 15 };
-    println!("Figure 1: tail-latency prediction error, multi-PMC vs IPC-only");
-    println!("({samples} samples per service, max cores, max DVFS, varying load)\n");
+pub fn service_unit(
+    spec: &twig_sim::ServiceSpec,
+    samples: usize,
+    passes: usize,
+    seed: u64,
+) -> Result<(String, Vec<Vec<String>>), ExpError> {
+    let mut out = String::new();
+    let data = gather(spec, samples, seed)?;
+    let pmc_err = train_and_eval(&data.pmc_features, &data.latencies_ms, seed, passes)?;
+    let ipc_err = train_and_eval(&data.ipc_features, &data.latencies_ms, seed, passes)?;
 
+    let summarise = |errs: &[(f64, f64)]| {
+        Summary::from_data(&errs.iter().map(|&(e, _)| e).collect::<Vec<_>>())
+            .expect("non-empty errors")
+    };
+    let s_pmc = summarise(&pmc_err);
+    let s_ipc = summarise(&ipc_err);
+    let half = (3.0 * s_ipc.stddev).max(0.5);
+    let d_pmc = zero_density(&pmc_err, half);
+    let d_ipc = zero_density(&ipc_err, half);
+
+    let rows = vec![
+        vec![
+            spec.name.clone(),
+            "multi-PMC".into(),
+            format!("{:+.3}", s_pmc.mean),
+            format!("{:.3}", s_pmc.stddev),
+            format!("{d_pmc:.3}"),
+        ],
+        vec![
+            spec.name.clone(),
+            "IPC only".into(),
+            format!("{:+.3}", s_ipc.mean),
+            format!("{:.3}", s_ipc.stddev),
+            format!("{d_ipc:.3}"),
+        ],
+    ];
+    let ratio = if d_ipc > 0.0 {
+        d_pmc / d_ipc
+    } else {
+        f64::INFINITY
+    };
+    writeln!(
+        out,
+        "{}: zero-error density ratio PMC/IPC = {ratio:.2}x (paper: >= 1.91x)",
+        spec.name
+    )?;
+
+    // Violin view: prediction error by measured-latency bucket.
+    let max_lat = pmc_err.iter().map(|&(_, l)| l).fold(0.0f64, f64::max);
+    let mut violin = TextTable::new(vec![
+        "latency bucket (ms)",
+        "PMC median err",
+        "PMC std",
+        "IPC median err",
+        "IPC std",
+    ]);
+    let buckets = 5;
+    let mut v_pmc = ViolinSummary::new(0.0, max_lat + 1e-9, buckets)?;
+    let mut v_ipc = ViolinSummary::new(0.0, max_lat + 1e-9, buckets)?;
+    for &(e, l) in &pmc_err {
+        v_pmc.record(l, e);
+    }
+    for &(e, l) in &ipc_err {
+        v_ipc.record(l, e);
+    }
+    let edges = v_pmc.bucket_edges();
+    let sp = v_pmc.bucket_summaries();
+    let si = v_ipc.bucket_summaries();
+    for b in 0..buckets {
+        let fmt = |s: &Option<Summary>, f: fn(&Summary) -> f64| {
+            s.as_ref()
+                .map_or("-".to_string(), |s| format!("{:+.3}", f(s)))
+        };
+        violin.row(vec![
+            format!("[{:.2}, {:.2})", edges[b], edges[b + 1]),
+            fmt(&sp[b], |s| s.median),
+            fmt(&sp[b], |s| s.stddev),
+            fmt(&si[b], |s| s.median),
+            fmt(&si[b], |s| s.stddev),
+        ]);
+    }
+    writeln!(
+        out,
+        "\n{} error-by-latency (violin) summary:\n{violin}",
+        spec.name
+    )?;
+    Ok((out, rows))
+}
+
+/// Sample count / training passes at the current scale.
+pub fn scale(opts: &Options) -> (usize, usize) {
+    if opts.smoke {
+        (1_200, 6)
+    } else if opts.full {
+        (30_000, 30)
+    } else {
+        (6_000, 15)
+    }
+}
+
+/// Regenerates Figure 1, appending to `out`. One fleet unit per service
+/// (`--jobs` parallel); each unit derives its own seed, so the figure is
+/// bit-identical at any job count.
+///
+/// # Errors
+///
+/// Propagates simulator and training errors, naming failed units.
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
+    let (samples, passes) = scale(opts);
+    writeln!(
+        out,
+        "Figure 1: tail-latency prediction error, multi-PMC vs IPC-only"
+    )?;
+    writeln!(
+        out,
+        "({samples} samples per service, max cores, max DVFS, varying load)\n"
+    )?;
+
+    let units = [catalog::memcached(), catalog::web_search()]
+        .into_iter()
+        .map(|spec| {
+            Unit::new(format!("fig01/{}", spec.name), move |seed| {
+                service_unit(&spec, samples, passes, seed)
+            })
+        })
+        .collect();
+    let run = run_fleet(units, opts.jobs, opts.seed);
     let mut stats_table = TextTable::new(vec![
         "service",
         "model",
@@ -130,85 +268,13 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         "std (ms)",
         "P(err ~ 0) density",
     ]);
-    for spec in [catalog::memcached(), catalog::web_search()] {
-        let data = gather(&spec, samples, opts.seed)?;
-        let pmc_err = train_and_eval(&data.pmc_features, &data.latencies_ms, opts.seed, passes)?;
-        let ipc_err = train_and_eval(&data.ipc_features, &data.latencies_ms, opts.seed, passes)?;
-
-        let summarise = |errs: &[(f64, f64)]| {
-            Summary::from_data(&errs.iter().map(|&(e, _)| e).collect::<Vec<_>>())
-                .expect("non-empty errors")
-        };
-        let s_pmc = summarise(&pmc_err);
-        let s_ipc = summarise(&ipc_err);
-        let half = (3.0 * s_ipc.stddev).max(0.5);
-        let d_pmc = zero_density(&pmc_err, half);
-        let d_ipc = zero_density(&ipc_err, half);
-
-        stats_table.row(vec![
-            spec.name.clone(),
-            "multi-PMC".into(),
-            format!("{:+.3}", s_pmc.mean),
-            format!("{:.3}", s_pmc.stddev),
-            format!("{d_pmc:.3}"),
-        ]);
-        stats_table.row(vec![
-            spec.name.clone(),
-            "IPC only".into(),
-            format!("{:+.3}", s_ipc.mean),
-            format!("{:.3}", s_ipc.stddev),
-            format!("{d_ipc:.3}"),
-        ]);
-        let ratio = if d_ipc > 0.0 {
-            d_pmc / d_ipc
-        } else {
-            f64::INFINITY
-        };
-        println!(
-            "{}: zero-error density ratio PMC/IPC = {ratio:.2}x (paper: >= 1.91x)",
-            spec.name
-        );
-
-        // Violin view: prediction error by measured-latency bucket.
-        let max_lat = pmc_err.iter().map(|&(_, l)| l).fold(0.0f64, f64::max);
-        let mut violin = TextTable::new(vec![
-            "latency bucket (ms)",
-            "PMC median err",
-            "PMC std",
-            "IPC median err",
-            "IPC std",
-        ]);
-        let buckets = 5;
-        let mut v_pmc = ViolinSummary::new(0.0, max_lat + 1e-9, buckets)?;
-        let mut v_ipc = ViolinSummary::new(0.0, max_lat + 1e-9, buckets)?;
-        for &(e, l) in &pmc_err {
-            v_pmc.record(l, e);
+    for (section, rows) in run.into_outputs()? {
+        out.push_str(&section);
+        for row in rows {
+            stats_table.row(row);
         }
-        for &(e, l) in &ipc_err {
-            v_ipc.record(l, e);
-        }
-        let edges = v_pmc.bucket_edges();
-        let sp = v_pmc.bucket_summaries();
-        let si = v_ipc.bucket_summaries();
-        for b in 0..buckets {
-            let fmt = |s: &Option<Summary>, f: fn(&Summary) -> f64| {
-                s.as_ref()
-                    .map_or("-".to_string(), |s| format!("{:+.3}", f(s)))
-            };
-            violin.row(vec![
-                format!("[{:.2}, {:.2})", edges[b], edges[b + 1]),
-                fmt(&sp[b], |s| s.median),
-                fmt(&sp[b], |s| s.stddev),
-                fmt(&si[b], |s| s.median),
-                fmt(&si[b], |s| s.stddev),
-            ]);
-        }
-        println!(
-            "\n{} error-by-latency (violin) summary:\n{violin}",
-            spec.name
-        );
     }
-    println!("{stats_table}");
+    writeln!(out, "{stats_table}")?;
     Ok(())
 }
 

@@ -9,7 +9,8 @@
 //! percentage absolute average error per configuration (mean 5.46 %, max
 //! 7 %).
 
-use crate::{window, ExpError, Options, TextTable};
+use crate::{run_fleet, window, ExpError, Options, TextTable, Unit};
+use std::fmt::Write as _;
 use twig_core::{fit_power_model, paae, ProfilePoint};
 use twig_sim::{catalog, Assignment, Server, ServerConfig, ServiceSpec};
 
@@ -56,20 +57,47 @@ fn profile(spec: &ServiceSpec, opts: &Options) -> Result<Vec<ProfilePoint>, ExpE
     Ok(points)
 }
 
-/// Regenerates Figure 4 and the Eq. 2 fit statistics.
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates Figure 4 and the Eq. 2 fit statistics, appending to `out`.
 ///
 /// # Errors
 ///
 /// Propagates simulator and fitting errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
-    println!("Figure 4: PAAE of the Eq. 2 per-service power model");
-    println!("(paper: MSE 2.91 mW, R^2 0.92; PAAE mean 5.46%, max 7%)\n");
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
+    writeln!(out, "Figure 4: PAAE of the Eq. 2 per-service power model")?;
+    writeln!(
+        out,
+        "(paper: MSE 2.91 mW, R^2 0.92; PAAE mean 5.46%, max 7%)\n"
+    )?;
     let mut table = TextTable::new(vec![
         "service", "load", "PAAE (%)", "fit R^2", "kappa", "sigma", "omega^2",
     ]);
     let mut all_paae = Vec::new();
-    for spec in [catalog::xapian(), catalog::masstree()] {
-        let points = profile(&spec, opts)?;
+    // The expensive per-service profiling sweeps run as fleet units; the
+    // cheap model fit and table assembly stay serial, so the table is
+    // bit-identical at any `--jobs`.
+    let specs = [catalog::xapian(), catalog::masstree()];
+    let units = specs
+        .iter()
+        .map(|spec| {
+            Unit::new(format!("fig04/{}", spec.name), move |_seed| {
+                profile(spec, opts)
+            })
+        })
+        .collect();
+    let profiles = run_fleet(units, opts.jobs, opts.seed).into_outputs()?;
+    for (spec, points) in specs.iter().zip(profiles) {
         let fit = fit_power_model(&points, opts.seed)?;
         for &load in &[0.2, 0.5, 0.8] {
             let subset: Vec<ProfilePoint> = points
@@ -90,10 +118,13 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             ]);
         }
     }
-    println!("{table}");
+    writeln!(out, "{table}")?;
     let mean = all_paae.iter().sum::<f64>() / all_paae.len() as f64;
     let max = all_paae.iter().cloned().fold(0.0f64, f64::max);
-    println!("mean PAAE {mean:.2}% (paper 5.46%), max {max:.2}% (paper 7%)");
+    writeln!(
+        out,
+        "mean PAAE {mean:.2}% (paper 5.46%), max {max:.2}% (paper 7%)"
+    )?;
     Ok(())
 }
 

@@ -7,7 +7,11 @@
 //! energy(heracles) < energy(static) on average, at comparable (high) QoS
 //! guarantees.
 
-use crate::{drive, make_twig, summarize, total_energy, window, ExpError, Options, TextTable};
+use crate::{
+    drive, make_twig, run_fleet, summarize, total_energy, window, ExpError, Options, TextTable,
+    Unit,
+};
+use std::fmt::Write as _;
 use twig_baselines::{Heracles, HeraclesConfig, Hipster, HipsterConfig, StaticMapping};
 use twig_core::TaskManager;
 use twig_sim::{catalog, Server, ServerConfig, ServiceSpec};
@@ -40,101 +44,131 @@ fn run_manager(
     Ok((summary[0].qos_guarantee_pct, total_energy(tail)))
 }
 
-/// Runs the full grid, returning all cells (exposed for fig06/fig07 reuse
-/// and integration tests).
-///
-/// # Errors
-///
-/// Propagates simulator and manager errors.
-pub fn grid(opts: &Options) -> Result<Vec<(String, f64, Vec<Cell>)>, ExpError> {
+/// One (service, load) cell of the Figure 5 grid: all four manager
+/// variants at that point, energies normalised to static mapping.
+fn grid_cell(
+    spec: &ServiceSpec,
+    load: f64,
+    opts: &Options,
+) -> Result<(String, f64, Vec<Cell>), ExpError> {
     let cfg = ServerConfig::default();
     let learn = opts.learn_epochs();
     let measure = opts.measure_epochs(false);
     let warm = opts.controller_warmup();
-    let mut out = Vec::new();
-    for spec in catalog::tailbench() {
-        for &load in &[0.2, 0.5, 0.8] {
-            let mut cells = Vec::new();
+    let mut cells = Vec::new();
 
-            let mut stat = StaticMapping::new(vec![spec.clone()], cfg.cores, cfg.dvfs.clone())?;
-            let (q, e_static) =
-                run_manager(&spec, load, &mut stat, warm + measure, measure, opts.seed)?;
-            cells.push(Cell {
-                manager: "static".into(),
-                qos_pct: q,
-                energy_norm: 1.0,
-            });
+    let mut stat = StaticMapping::new(vec![spec.clone()], cfg.cores, cfg.dvfs.clone())?;
+    let (q, e_static) = run_manager(spec, load, &mut stat, warm + measure, measure, opts.seed)?;
+    cells.push(Cell {
+        manager: "static".into(),
+        qos_pct: q,
+        energy_norm: 1.0,
+    });
 
-            let mut heracles = Heracles::new(
-                spec.clone(),
-                cfg.cores,
-                cfg.dvfs.clone(),
-                HeraclesConfig::default(),
-            )?;
-            let (q, e) = run_manager(
-                &spec,
-                load,
-                &mut heracles,
-                warm + measure,
-                measure,
-                opts.seed,
-            )?;
-            cells.push(Cell {
-                manager: "heracles".into(),
-                qos_pct: q,
-                energy_norm: e / e_static,
-            });
+    let mut heracles = Heracles::new(
+        spec.clone(),
+        cfg.cores,
+        cfg.dvfs.clone(),
+        HeraclesConfig::default(),
+    )?;
+    let (q, e) = run_manager(
+        spec,
+        load,
+        &mut heracles,
+        warm + measure,
+        measure,
+        opts.seed,
+    )?;
+    cells.push(Cell {
+        manager: "heracles".into(),
+        qos_pct: q,
+        energy_norm: e / e_static,
+    });
 
-            let mut hipster = Hipster::new(
-                spec.clone(),
-                cfg.cores,
-                cfg.dvfs.clone(),
-                HipsterConfig {
-                    learning_phase: learn * 3 / 4,
-                    seed: opts.seed,
-                    ..HipsterConfig::default()
-                },
-            )?;
-            let (q, e) = run_manager(
-                &spec,
-                load,
-                &mut hipster,
-                learn + measure,
-                measure,
-                opts.seed,
-            )?;
-            cells.push(Cell {
-                manager: "hipster".into(),
-                qos_pct: q,
-                energy_norm: e / e_static,
-            });
+    let mut hipster = Hipster::new(
+        spec.clone(),
+        cfg.cores,
+        cfg.dvfs.clone(),
+        HipsterConfig {
+            learning_phase: learn * 3 / 4,
+            seed: opts.seed,
+            ..HipsterConfig::default()
+        },
+    )?;
+    let (q, e) = run_manager(
+        spec,
+        load,
+        &mut hipster,
+        learn + measure,
+        measure,
+        opts.seed,
+    )?;
+    cells.push(Cell {
+        manager: "hipster".into(),
+        qos_pct: q,
+        energy_norm: e / e_static,
+    });
 
-            let mut twig = make_twig(vec![spec.clone()], learn, opts.seed)?;
-            let (q, e) = run_manager(&spec, load, &mut twig, learn + measure, measure, opts.seed)?;
-            cells.push(Cell {
-                manager: "twig-s".into(),
-                qos_pct: q,
-                energy_norm: e / e_static,
-            });
+    let mut twig = make_twig(vec![spec.clone()], learn, opts.seed)?;
+    let (q, e) = run_manager(spec, load, &mut twig, learn + measure, measure, opts.seed)?;
+    cells.push(Cell {
+        manager: "twig-s".into(),
+        qos_pct: q,
+        energy_norm: e / e_static,
+    });
 
-            out.push((spec.name.clone(), load, cells));
-        }
-    }
-    Ok(out)
+    Ok((spec.name.clone(), load, cells))
 }
 
-/// Regenerates Figure 5.
+/// Runs the full grid, returning all cells (exposed for fig06/fig07 reuse
+/// and integration tests). Each (service, load, manager-variant set) cell
+/// is an independent fleet unit run with `opts.jobs` workers; results come
+/// back in grid order, so the output is identical at any job count.
+///
+/// # Errors
+///
+/// Propagates simulator and manager errors, naming failed units.
+pub fn grid(opts: &Options) -> Result<Vec<(String, f64, Vec<Cell>)>, ExpError> {
+    let mut units = Vec::new();
+    for spec in catalog::tailbench() {
+        for &load in &[0.2, 0.5, 0.8] {
+            let spec = spec.clone();
+            units.push(Unit::new(
+                format!("fig05/{}@{:.0}%", spec.name, load * 100.0),
+                move |_seed| grid_cell(&spec, load, opts),
+            ));
+        }
+    }
+    run_fleet(units, opts.jobs, opts.seed).into_outputs()
+}
+
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates Figure 5, appending to `out`.
 ///
 /// # Errors
 ///
 /// Propagates simulator and manager errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
-    println!("Figure 5: Twig-S vs Hipster / Heracles / static at fixed loads");
-    println!(
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
+    writeln!(
+        out,
+        "Figure 5: Twig-S vs Hipster / Heracles / static at fixed loads"
+    )?;
+    writeln!(out,
         "(learning {} epochs, measuring last {}; paper: Twig saves 11.8% vs Hipster, 38% vs Heracles)\n",
         opts.learn_epochs(),
         opts.measure_epochs(false)
-    );
+    )?;
     let results = grid(opts)?;
     let mut t = TextTable::new(vec![
         "service",
@@ -159,7 +193,7 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             e.2 += 1;
         }
     }
-    println!("{t}");
+    writeln!(out, "{t}")?;
     let mut avg = TextTable::new(vec!["manager", "avg QoS (%)", "avg energy (norm.)"]);
     let mut energies: std::collections::BTreeMap<String, f64> = Default::default();
     for (name, (q, e, n)) in &sums {
@@ -170,17 +204,17 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         ]);
         energies.insert(name.clone(), e / *n as f64);
     }
-    println!("averages across all services and loads:\n{avg}");
+    writeln!(out, "averages across all services and loads:\n{avg}")?;
     if let (Some(&tw), Some(&hip), Some(&her)) = (
         energies.get("twig-s"),
         energies.get("hipster"),
         energies.get("heracles"),
     ) {
-        println!(
+        writeln!(out,
             "Twig-S energy savings: {:.1}% vs Hipster (paper 11.8%), {:.1}% vs Heracles (paper 38%)",
             100.0 * (1.0 - tw / hip),
             100.0 * (1.0 - tw / her)
-        );
+        )?;
     }
     Ok(())
 }

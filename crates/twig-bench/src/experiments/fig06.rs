@@ -8,7 +8,8 @@
 //! allocates the most cores; Twig's tardiness mass sits just under 1.0
 //! with few violations (< 4 %, due to residual exploration).
 
-use crate::{drive, make_twig, window, ExpError, Options, TextTable};
+use crate::{drive, make_twig, run_sections, window, ExpError, Options, TextTable, Unit};
+use std::fmt::Write as _;
 use twig_baselines::{Heracles, HeraclesConfig, Hipster, HipsterConfig};
 use twig_core::TaskManager;
 use twig_sim::{catalog, EpochReport, Server, ServerConfig};
@@ -32,6 +33,7 @@ fn tardiness_histogram(tail: &[EpochReport], qos: f64) -> Histogram {
 }
 
 fn report_manager(
+    out: &mut String,
     name: &str,
     manager: &mut dyn TaskManager,
     epochs: u64,
@@ -44,13 +46,13 @@ fn report_manager(
     let reports = drive(&mut server, manager, epochs)?;
     let tail = window(&reports, measure);
 
-    println!("== {name} ==");
+    writeln!(out, "== {name} ==")?;
     let mut t = TextTable::new(vec!["cores", "time share (%)"]);
     let dist = mapping_distribution(tail);
     for (cores, pct) in &dist {
         t.row(vec![cores.to_string(), format!("{pct:.1}")]);
     }
-    println!("{t}");
+    writeln!(out, "{t}")?;
 
     let hist = tardiness_histogram(tail, spec.qos_ms);
     let mut ht = TextTable::new(vec!["tardiness bucket", "share (%)"]);
@@ -67,7 +69,7 @@ fn report_manager(
         ">= 2.0".into(),
         format!("{:.1}", 100.0 * over as f64 / total as f64),
     ]);
-    println!("tardiness histogram (violation when > 1.0):\n{ht}");
+    writeln!(out, "tardiness histogram (violation when > 1.0):\n{ht}")?;
 
     let mean_cores: f64 = dist.iter().map(|&(c, p)| c as f64 * p / 100.0).sum();
     let violations: f64 = tail
@@ -75,46 +77,97 @@ fn report_manager(
         .filter(|r| r.services[0].p99_ms > spec.qos_ms)
         .count() as f64
         / tail.len() as f64;
-    println!(
+    writeln!(
+        out,
         "mean cores {mean_cores:.1}, violations {:.1}%\n",
         violations * 100.0
-    );
+    )?;
     Ok(())
 }
 
-/// Regenerates Figure 6.
+/// Prints the regenerated output to stdout (see [`run_to`]).
 ///
 /// # Errors
 ///
-/// Propagates simulator and manager errors.
+/// Propagates [`run_to`] errors.
 pub fn run(opts: &Options) -> Result<(), ExpError> {
-    println!("Figure 6: core-mapping and QoS-tardiness distributions, masstree @ 50%\n");
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates Figure 6, appending to `out`. Each manager variant runs as
+/// an independent fleet unit (`--jobs` parallel); the managers are built
+/// inside their units because Twig's telemetry handle is single-threaded.
+///
+/// # Errors
+///
+/// Propagates simulator and manager errors, naming failed units.
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
+    writeln!(
+        out,
+        "Figure 6: core-mapping and QoS-tardiness distributions, masstree @ 50%\n"
+    )?;
     let cfg = ServerConfig::default();
     let learn = opts.learn_epochs();
     let measure = opts.measure_epochs(false);
     let warm = opts.controller_warmup();
 
-    let mut heracles = Heracles::new(
-        catalog::masstree(),
-        cfg.cores,
-        cfg.dvfs.clone(),
-        HeraclesConfig::default(),
-    )?;
-    report_manager("heracles", &mut heracles, warm + measure, measure, opts)?;
-
-    let mut hipster = Hipster::new(
-        catalog::masstree(),
-        cfg.cores,
-        cfg.dvfs.clone(),
-        HipsterConfig {
-            learning_phase: learn * 3 / 4,
-            seed: opts.seed,
-            ..HipsterConfig::default()
-        },
-    )?;
-    report_manager("hipster", &mut hipster, learn + measure, measure, opts)?;
-
-    let mut twig = make_twig(vec![catalog::masstree()], learn, opts.seed)?;
-    report_manager("twig-s", &mut twig, learn + measure, measure, opts)?;
+    let units = vec![
+        Unit::new("fig06/heracles", {
+            let cfg = cfg.clone();
+            move |_seed| {
+                let mut s = String::new();
+                let mut heracles = Heracles::new(
+                    catalog::masstree(),
+                    cfg.cores,
+                    cfg.dvfs.clone(),
+                    HeraclesConfig::default(),
+                )?;
+                report_manager(
+                    &mut s,
+                    "heracles",
+                    &mut heracles,
+                    warm + measure,
+                    measure,
+                    opts,
+                )?;
+                Ok(s)
+            }
+        }),
+        Unit::new("fig06/hipster", {
+            let cfg = cfg.clone();
+            move |_seed| {
+                let mut s = String::new();
+                let mut hipster = Hipster::new(
+                    catalog::masstree(),
+                    cfg.cores,
+                    cfg.dvfs.clone(),
+                    HipsterConfig {
+                        learning_phase: learn * 3 / 4,
+                        seed: opts.seed,
+                        ..HipsterConfig::default()
+                    },
+                )?;
+                report_manager(
+                    &mut s,
+                    "hipster",
+                    &mut hipster,
+                    learn + measure,
+                    measure,
+                    opts,
+                )?;
+                Ok(s)
+            }
+        }),
+        Unit::new("fig06/twig-s", move |_seed| {
+            let mut s = String::new();
+            let mut twig = make_twig(vec![catalog::masstree()], learn, opts.seed)?;
+            report_manager(&mut s, "twig-s", &mut twig, learn + measure, measure, opts)?;
+            Ok(s)
+        }),
+    ];
+    run_sections(out, units, opts)?;
     Ok(())
 }

@@ -9,6 +9,7 @@
 //! post-ramp guarantee is at least as high.
 
 use crate::{drive, make_twig, summarize, ExpError, Options, TextTable};
+use std::fmt::Write as _;
 use twig_baselines::{Hipster, HipsterConfig};
 use twig_sim::{catalog, EpochReport, Server, ServerConfig};
 
@@ -26,12 +27,24 @@ fn guarantee_series(reports: &[EpochReport], qos_ms: f64, bucket: usize) -> Vec<
         .collect()
 }
 
-/// Regenerates Figure 7.
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates Figure 7, appending to `out`.
 ///
 /// # Errors
 ///
 /// Propagates simulator and manager errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     let cfg = ServerConfig::default();
     let spec = catalog::masstree();
     // Figure 7 halves the paper's ramps: epsilon to 0.1 in 5000 s; fast
@@ -39,7 +52,7 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
     let ramp = opts.learn_epochs() / 2;
     let total = ramp * 2;
     let bucket = (total / 10).max(1) as usize;
-    println!("Figure 7: QoS guarantee over time, masstree (ramp {ramp} epochs, {bucket}-epoch buckets)\n");
+    writeln!(out, "Figure 7: QoS guarantee over time, masstree (ramp {ramp} epochs, {bucket}-epoch buckets)\n")?;
 
     let mut server = Server::new(cfg.clone(), vec![spec.clone()], opts.seed)?;
     server.set_load_fraction(0, 0.5)?;
@@ -70,14 +83,14 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             format!("{:.1}", hp.1),
         ]);
     }
-    println!("{t}");
+    writeln!(out, "{t}")?;
 
     let first_above =
         |series: &[(u64, f64)]| series.iter().find(|(_, q)| *q >= 80.0).map(|(t, _)| *t);
-    println!(
+    writeln!(out,
         "first bucket at >= 80% guarantee: twig-s {:?}, hipster {:?} (paper: Twig reaches 80% faster)",
         first_above(&twig_series),
         first_above(&hip_series)
-    );
+    )?;
     Ok(())
 }

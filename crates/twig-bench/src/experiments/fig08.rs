@@ -8,6 +8,7 @@
 //! from scratch.
 
 use crate::{drive, make_twig, summarize, ExpError, Options, TextTable};
+use std::fmt::Write as _;
 use twig_core::Twig;
 use twig_sim::{catalog, Server, ServerConfig, ServiceSpec};
 
@@ -48,16 +49,28 @@ fn ramp_buckets(series: &[(f64, f64)]) -> Option<usize> {
     series.iter().position(|&(q, _)| q >= 95.0)
 }
 
-/// Regenerates Figure 8.
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates Figure 8, appending to `out`.
 ///
 /// # Errors
 ///
 /// Propagates simulator and manager errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     let learn = opts.learn_epochs();
     let after = learn; // observation span after the swap
     let bucket = (after / 40).max(1) as usize;
-    println!("Figure 8: Twig-S transfer learning (pre-train on masstree {learn} epochs, {bucket}-epoch buckets)\n");
+    writeln!(out, "Figure 8: Twig-S transfer learning (pre-train on masstree {learn} epochs, {bucket}-epoch buckets)\n")?;
 
     // Pre-train once on masstree at 50%.
     let mut donor = fresh_twig(catalog::masstree(), learn, opts.seed)?;
@@ -109,15 +122,15 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         }
         ramps.push((target.name.clone(), v_transfer, v_scratch));
     }
-    println!("{table}");
+    writeln!(out, "{table}")?;
     for (name, vt, vs) in ramps {
         if vs > 0 {
-            println!(
+            writeln!(out,
                 "{name}: transfer pays {vt} violation epochs while adapting vs {vs} from scratch                  ({:.0}% less; the paper reports ~33% shorter learning time)",
                 100.0 * (1.0 - vt as f64 / vs as f64)
-            );
+            )?;
         } else {
-            println!("{name}: neither mode violated while adapting");
+            writeln!(out, "{name}: neither mode violated while adapting")?;
         }
     }
     Ok(())

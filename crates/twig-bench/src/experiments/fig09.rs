@@ -8,20 +8,36 @@
 //! QoS guarantee in far fewer epochs than the from-scratch run.
 
 use crate::{drive, make_twig, summarize, total_energy, ExpError, Options, TextTable};
+use std::fmt::Write as _;
 use twig_sim::{catalog, Server, ServerConfig};
 
-/// Regenerates Figure 9.
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates Figure 9, appending to `out`.
 ///
 /// # Errors
 ///
 /// Propagates simulator and manager errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     // Colocated (K = 2) policies see a joint state space; double the
     // compressed learning phase so both agents converge.
     let learn = opts.learn_epochs() * 2;
     let after = learn;
     let bucket = (after / 10).max(1) as usize;
-    println!("Figure 9: Twig-C transfer learning (moses+masstree -> xapian+masstree)\n");
+    writeln!(
+        out,
+        "Figure 9: Twig-C transfer learning (moses+masstree -> xapian+masstree)\n"
+    )?;
 
     let pair_before = vec![catalog::moses(), catalog::masstree()];
     let pair_after = vec![catalog::xapian(), catalog::masstree()];
@@ -83,10 +99,11 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             format!("{:.0}", total_energy(sc)),
         ]);
     }
-    println!("{t}");
-    println!(
+    writeln!(out, "{t}")?;
+    writeln!(
+        out,
         "buckets to 80% xapian QoS: transfer {transfer_ramp:?}, scratch {scratch_ramp:?} \
          (paper: transfer adapts in under 10 time steps)"
-    );
+    )?;
     Ok(())
 }

@@ -10,6 +10,7 @@
 //! ~ QoS(twig) > QoS(hipster); energy(twig) < energy(heracles).
 
 use crate::{drive, summarize, total_energy, window, ExpError, Options, TextTable};
+use std::fmt::Write as _;
 use twig_baselines::{Heracles, HeraclesConfig, Hipster, HipsterConfig};
 use twig_core::TaskManager;
 use twig_sim::{catalog, LoadGenerator, Server, ServerConfig};
@@ -44,12 +45,24 @@ fn run_one(
     })
 }
 
-/// Regenerates Figure 10.
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates Figure 10, appending to `out`.
 ///
 /// # Errors
 ///
 /// Propagates simulator and manager errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     let cfg = ServerConfig::default();
     // A varying-load policy must cover every load level, so the compressed
     // learning phase is doubled relative to the fixed-load experiments.
@@ -58,9 +71,9 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
     // Measure over several full load cycles after learning.
     let measure = step_period * 20;
     let epochs = learn + measure;
-    println!(
+    writeln!(out,
         "Figure 10: varying load (img-dnn, step x1.2 every {step_period} epochs), measured over {measure} epochs\n"
-    );
+    )?;
 
     let mut twig = crate::make_twig(vec![catalog::img_dnn()], learn, opts.seed)?;
     let o_twig = run_one(&mut twig, epochs, measure, step_period, opts)?;
@@ -113,11 +126,11 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             format!("{:.0}", o.mean_freq),
         ]);
     }
-    println!("{t}");
-    println!(
+    writeln!(out, "{t}")?;
+    writeln!(out,
         "heracles/twig energy ratio {:.2} (paper: heracles +18%); heracles/twig migrations {:.1}x (paper: 2.3x)",
         o_her.energy / o_twig.energy,
         o_her.migrations as f64 / o_twig.migrations.max(1) as f64
-    );
+    )?;
     Ok(())
 }

@@ -14,6 +14,7 @@
 //! Masstree's allocation stays small and its QoS holds.
 
 use crate::{drive, make_twig, summarize, total_energy, window, ExpError, Options, TextTable};
+use std::fmt::Write as _;
 use twig_baselines::{Parties, PartiesConfig};
 use twig_sim::{catalog, EpochReport, LoadGenerator, Server, ServerConfig};
 
@@ -25,7 +26,11 @@ fn setup_server(opts: &Options, step_period: u64) -> Result<Server, ExpError> {
     Ok(server)
 }
 
-fn print_allocation_trace(reports: &[EpochReport], step_period: u64) {
+fn write_allocation_trace(
+    out: &mut String,
+    reports: &[EpochReport],
+    step_period: u64,
+) -> Result<(), ExpError> {
     let mut t = TextTable::new(vec![
         "epoch",
         "moses load (%)",
@@ -45,37 +50,54 @@ fn print_allocation_trace(reports: &[EpochReport], step_period: u64) {
             r.services[1].core_count.to_string(),
         ]);
     }
-    println!("{t}");
+    writeln!(out, "{t}")?;
+    Ok(())
 }
 
-/// Regenerates Figure 11.
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates Figure 11, appending to `out`.
 ///
 /// # Errors
 ///
 /// Propagates simulator and manager errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     // A varying-load policy must cover every load level, so the compressed
     // learning phase is doubled relative to the fixed-load experiments.
     let learn = opts.learn_epochs() * 2;
     let step_period = if opts.full { 200 } else { 50 };
     let measure = step_period * 20;
     let specs = vec![catalog::moses(), catalog::masstree()];
-    println!("Figure 11: Twig-C with moses ramping 20-100% and masstree fixed at 20%\n");
+    writeln!(
+        out,
+        "Figure 11: Twig-C with moses ramping 20-100% and masstree fixed at 20%\n"
+    )?;
 
     let mut twig = make_twig(specs.clone(), learn, opts.seed)?;
     let mut server = setup_server(opts, step_period)?;
     let reports = drive(&mut server, &mut twig, learn + measure)?;
     let tail = window(&reports, measure);
-    println!("twig-c allocation trace (sampled once per load step):");
-    print_allocation_trace(tail, step_period);
+    writeln!(out, "twig-c allocation trace (sampled once per load step):")?;
+    write_allocation_trace(out, tail, step_period)?;
     let s = summarize(tail, &specs);
-    println!(
+    writeln!(
+        out,
         "twig-c: moses QoS {:.1}%, masstree QoS {:.1}%, energy {:.0} J, migrations {}\n",
         s[0].qos_guarantee_pct,
         s[1].qos_guarantee_pct,
         total_energy(tail),
         tail.iter().map(|r| r.migrations).sum::<usize>()
-    );
+    )?;
 
     let mut parties = Parties::new(
         specs.clone(),
@@ -94,12 +116,12 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
     )?;
     let p_tail = window(&p_reports, measure);
     let ps = summarize(p_tail, &specs);
-    println!(
+    writeln!(out,
         "parties (summary only, as in the paper): moses QoS {:.1}%, masstree QoS {:.1}%, energy {:.0} J, migrations {}",
         ps[0].qos_guarantee_pct,
         ps[1].qos_guarantee_pct,
         total_energy(p_tail),
         p_tail.iter().map(|r| r.migrations).sum::<usize>()
-    );
+    )?;
     Ok(())
 }

@@ -16,6 +16,7 @@
 //! fewer total cores.
 
 use crate::{drive, make_twig, summarize, total_energy, window, ExpError, Options, TextTable};
+use std::fmt::Write as _;
 use twig_baselines::{Parties, PartiesConfig};
 use twig_sim::{catalog, EpochReport, Server, ServerConfig};
 
@@ -38,18 +39,30 @@ fn spread(dist: &[(usize, f64)]) -> f64 {
         .sqrt()
 }
 
-/// Regenerates Figure 12.
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates Figure 12, appending to `out`.
 ///
 /// # Errors
 ///
 /// Propagates simulator and manager errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     let specs = vec![catalog::masstree(), catalog::moses()];
     // Colocated (K = 2) policies see a joint state space; double the
     // compressed learning phase so both agents converge.
     let learn = opts.learn_epochs() * 2;
     let measure = opts.measure_epochs(true);
-    println!("Figure 12: core-mapping distribution, masstree @ 20% + moses @ 60%, {measure}-epoch window\n");
+    writeln!(out, "Figure 12: core-mapping distribution, masstree @ 20% + moses @ 60%, {measure}-epoch window\n")?;
 
     let setup = |seed: u64| -> Result<Server, ExpError> {
         let mut server = Server::new(ServerConfig::default(), specs.clone(), seed)?;
@@ -95,29 +108,32 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
                 format!("{:.1}", find(&td)),
             ]);
         }
-        println!("== {name} ==\n{t}");
-        println!(
+        writeln!(out, "== {name} ==\n{t}")?;
+        writeln!(
+            out,
             "allocation spread (stddev of cores): parties {:.2}, twig-c {:.2}\n",
             spread(&pd),
             spread(&td)
-        );
+        )?;
     }
 
     let ps = summarize(p_tail, &specs);
     let ts = summarize(t_tail, &specs);
-    println!(
+    writeln!(
+        out,
         "parties: QoS {:.1}%/{:.1}%, energy {:.0} J, migrations {}",
         ps[0].qos_guarantee_pct,
         ps[1].qos_guarantee_pct,
         total_energy(p_tail),
         p_tail.iter().map(|r| r.migrations).sum::<usize>()
-    );
-    println!(
+    )?;
+    writeln!(
+        out,
         "twig-c:  QoS {:.1}%/{:.1}%, energy {:.0} J, migrations {}",
         ts[0].qos_guarantee_pct,
         ts[1].qos_guarantee_pct,
         total_energy(t_tail),
         t_tail.iter().map(|r| r.migrations).sum::<usize>()
-    );
+    )?;
     Ok(())
 }

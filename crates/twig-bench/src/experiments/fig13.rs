@@ -10,6 +10,7 @@
 //! by ~28 % on average at comparable QoS guarantees.
 
 use crate::{drive, make_twig, summarize, total_energy, window, ExpError, Options, TextTable};
+use std::fmt::Write as _;
 use twig_baselines::{Parties, PartiesConfig, StaticMapping};
 use twig_core::TaskManager;
 use twig_sim::{catalog, Server, ServerConfig, ServiceSpec};
@@ -53,20 +54,38 @@ fn run_pair(
     })
 }
 
-/// Regenerates Figure 13.
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates Figure 13, appending to `out`.
 ///
 /// # Errors
 ///
 /// Propagates simulator and manager errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     let services = catalog::tailbench();
     // Colocated (K = 2) policies see a joint state space; double the
     // compressed learning phase so both agents converge.
     let learn = opts.learn_epochs() * 2;
     let measure = opts.measure_epochs(true);
     let warm = opts.controller_warmup();
-    println!("Figure 13: Twig-C vs PARTIES vs static over all service pairs");
-    println!("(loads are fractions of each pair's colocated maximum; window {measure} epochs)\n");
+    writeln!(
+        out,
+        "Figure 13: Twig-C vs PARTIES vs static over all service pairs"
+    )?;
+    writeln!(
+        out,
+        "(loads are fractions of each pair's colocated maximum; window {measure} epochs)\n"
+    )?;
 
     let mut t = TextTable::new(vec![
         "pair",
@@ -133,7 +152,7 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             }
         }
     }
-    println!("{t}");
+    writeln!(out, "{t}")?;
     let mut at = TextTable::new(vec!["manager", "avg QoS (%)", "avg energy (norm.)"]);
     let mut energies: std::collections::BTreeMap<String, f64> = Default::default();
     for (name, (q, e, n)) in &avg {
@@ -144,12 +163,13 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         ]);
         energies.insert(name.clone(), e / *n as f64);
     }
-    println!("averages:\n{at}");
+    writeln!(out, "averages:\n{at}")?;
     if let (Some(&tw), Some(&pa)) = (energies.get("twig-c"), energies.get("parties")) {
-        println!(
+        writeln!(
+            out,
             "Twig-C energy savings vs PARTIES: {:.1}% (paper: 28% on average)",
             100.0 * (1.0 - tw / pa)
-        );
+        )?;
     }
     Ok(())
 }

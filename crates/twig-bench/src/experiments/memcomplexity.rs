@@ -9,6 +9,7 @@
 //! in both framings, as the paper claims.
 
 use crate::{ExpError, Options, TextTable};
+use std::fmt::Write as _;
 use twig_rl::memory::{
     bdq_parameter_count, table_bytes, table_entries, table_entries_state_counters,
 };
@@ -24,14 +25,32 @@ fn human(bytes: u128) -> String {
     format!("{v:.1} {}", UNITS[unit])
 }
 
-/// Regenerates the memory-complexity comparison.
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates the memory-complexity comparison, appending to `out`.
 ///
 /// # Errors
 ///
 /// Never fails; the signature matches the other experiments.
-pub fn run(_opts: &Options) -> Result<(), ExpError> {
-    println!("Section V-B1: memory complexity at D action dimensions, N = 30 actions each");
-    println!("(paper scenario: 25 state buckets; Twig net 512/256 trunk, 128-unit heads)\n");
+pub fn run_to(out: &mut String, _opts: &Options) -> Result<(), ExpError> {
+    writeln!(
+        out,
+        "Section V-B1: memory complexity at D action dimensions, N = 30 actions each"
+    )?;
+    writeln!(
+        out,
+        "(paper scenario: 25 state buckets; Twig net 512/256 trunk, 128-unit heads)\n"
+    )?;
 
     let mut t = TextTable::new(vec![
         "D",
@@ -52,9 +71,15 @@ pub fn run(_opts: &Options) -> Result<(), ExpError> {
             human(twig as u128),
         ]);
     }
-    println!("{t}");
-    println!("Twig grows linearly with action dimensions and stays under 5 MB (paper claim);");
-    println!("a tabular manager over the same 11-counter state explodes combinatorially.");
+    writeln!(out, "{t}")?;
+    writeln!(
+        out,
+        "Twig grows linearly with action dimensions and stays under 5 MB (paper claim);"
+    )?;
+    writeln!(
+        out,
+        "a tabular manager over the same 11-counter state explodes combinatorially."
+    )?;
     Ok(())
 }
 

@@ -1,7 +1,13 @@
 //! One module per paper table/figure. Each exposes
-//! `run(&Options) -> Result<(), ExpError>` printing the regenerated rows or
-//! series; the binaries in `src/bin/` are thin wrappers. See `DESIGN.md`
-//! for the experiment index and `EXPERIMENTS.md` for paper-vs-measured.
+//! `run_to(&mut String, &Options) -> Result<(), ExpError>` appending the
+//! regenerated rows or series to a caller-owned buffer, plus a `run`
+//! wrapper that prints the same text; the binaries in `src/bin/` are thin
+//! wrappers over `run`. Writing into a buffer (rather than stdout) is what
+//! lets the `suite` binary and the intra-figure fleets (`fig01`, `fig04`,
+//! `fig05`, `fig06`, `ablation`) run units on worker threads and still
+//! emit sections in a fixed, jobs-invariant order — see `crate::fleet` and
+//! DESIGN.md §10. See DESIGN.md for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured.
 
 pub mod ablation;
 pub mod diurnal;

@@ -17,6 +17,7 @@
 //! its learned policy.
 
 use crate::{drive, make_twig, ExpError, Options, TextTable};
+use std::fmt::Write as _;
 use twig_baselines::StaticMapping;
 use twig_core::{GovernorConfig, SafetyGovernor, TaskManager};
 use twig_sim::{catalog, EpochReport, FaultConfig, FaultPlan, Server, ServerConfig, ServiceSpec};
@@ -160,12 +161,24 @@ fn fmt_recovery(o: &Outcome) -> String {
     }
 }
 
-/// Regenerates the resilience sweep.
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates the resilience sweep, appending to `out`.
 ///
 /// # Errors
 ///
 /// Propagates manager and simulator errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     let spec = catalog::masstree();
     let cfg = ServerConfig::default();
     let phases = Phases {
@@ -173,10 +186,10 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         fault: if opts.full { 300 } else { 100 },
         recovery: if opts.full { 200 } else { 80 },
     };
-    println!(
+    writeln!(out,
         "Resilience: masstree at 50% load; {} learn epochs, {} fault epochs, {} recovery epochs (QoS recovery = {} consecutive met epochs)\n",
         phases.learn, phases.fault, phases.recovery, RECOVERY_STREAK
-    );
+    )?;
 
     let mut t = TextTable::new(vec![
         "fault level",
@@ -255,10 +268,10 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             format!("{:.0}", m.gauge("governor.backoff_epochs").unwrap_or(0.0)),
         ]);
     }
-    println!("{t}");
-    println!(
+    writeln!(out, "{t}")?;
+    writeln!(out,
         "Expected shape: static rides out faults at max cores; the governor holds QoS% at or above bare twig-s during the fault window and recovers at least as fast after it."
-    );
+    )?;
     Ok(())
 }
 

@@ -10,6 +10,7 @@
 //! all 11 counters carry signal and a stable ranking emerges.
 
 use crate::{ExpError, Options, TextTable};
+use std::fmt::Write as _;
 use twig_sim::pmc::PmcSample;
 use twig_sim::{catalog, Assignment, Server, ServerConfig};
 
@@ -41,16 +42,34 @@ fn gather_profile(opts: &Options) -> Result<Vec<(PmcSample, f64)>, ExpError> {
     Ok(profile)
 }
 
-/// Regenerates Table I.
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates Table I, appending to `out`.
 ///
 /// # Errors
 ///
 /// Propagates simulator and statistics errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
-    println!("Table I: counter selection by Pearson correlation + PCA (>=95% co-variance)");
-    println!("(the paper's importance ranks are platform-specific; ours are re-derived)\n");
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
+    writeln!(
+        out,
+        "Table I: counter selection by Pearson correlation + PCA (>=95% co-variance)"
+    )?;
+    writeln!(
+        out,
+        "(the paper's importance ranks are platform-specific; ours are re-derived)\n"
+    )?;
     let profile = gather_profile(opts)?;
-    println!("profiled {} samples\n", profile.len());
+    writeln!(out, "profiled {} samples\n", profile.len())?;
     let ranking = twig_core::select_counters(&profile, 0.95)?;
     let mut t = TextTable::new(vec![
         "#",
@@ -68,11 +87,12 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             format!("{:.3}", entry.latency_correlation),
         ]);
     }
-    println!("{t}");
-    println!(
+    writeln!(out, "{t}")?;
+    writeln!(
+        out,
         "paper's top counter: PERF_COUNT_HW_BRANCH_MISSES; ours: {}",
         ranking[0].counter
-    );
+    )?;
     Ok(())
 }
 

@@ -9,6 +9,7 @@
 //! compares the *ordering* across services with Table II.
 
 use crate::{drive, window, ExpError, Options, TextTable};
+use std::fmt::Write as _;
 use twig_baselines::StaticMapping;
 use twig_sim::{catalog, Server, ServerConfig, ServiceSpec};
 
@@ -41,14 +42,29 @@ fn capacity_search(spec: &ServiceSpec, opts: &Options) -> Result<f64, ExpError> 
     Ok(best)
 }
 
-/// Regenerates Table II.
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates Table II, appending to `out`.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
-    println!("Table II: services, measured max load and target QoS");
-    println!("(paper QoS targets; max load from a capacity sweep on this platform)\n");
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
+    writeln!(out, "Table II: services, measured max load and target QoS")?;
+    writeln!(
+        out,
+        "(paper QoS targets; max load from a capacity sweep on this platform)\n"
+    )?;
     let mut table = TextTable::new(vec![
         "service",
         "paper max (RPS)",
@@ -67,7 +83,7 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             format!("{:.2}", spec.qos_ms),
         ]);
     }
-    println!("{table}");
+    writeln!(out, "{table}")?;
 
     // Shape check: the capacity ordering should match the paper's.
     let order = |v: &[(String, f64)]| {
@@ -79,8 +95,11 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         });
         names.join(" > ")
     };
-    println!("measured capacity ordering: {}", order(&measured));
-    println!("paper capacity ordering:    moses > masstree > img-dnn > xapian");
+    writeln!(out, "measured capacity ordering: {}", order(&measured))?;
+    writeln!(
+        out,
+        "paper capacity ordering:    moses > masstree > img-dnn > xapian"
+    )?;
     Ok(())
 }
 

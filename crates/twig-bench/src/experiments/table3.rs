@@ -10,8 +10,10 @@
 //! (pure exploitation) removes most of the cost.
 
 use crate::{drive, make_twig, ExpError, Options, TextTable};
+use std::fmt::Write as _;
 use std::time::Instant;
 use twig_core::{Mapper, SystemMonitor};
+use twig_nn::count_alloc;
 use twig_rl::{MaBdq, MaBdqConfig, MultiTransition};
 use twig_sim::pmc::{synthesize, Activity};
 use twig_sim::{catalog, Frequency, Server, ServerConfig};
@@ -51,12 +53,24 @@ pub fn loop_ms_per_epoch(
     Ok(start.elapsed().as_secs_f64() * 1000.0 / epochs as f64)
 }
 
-/// Regenerates Table III with this implementation's timings.
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates Table III with this implementation's timings, appending to `out`.
 ///
 /// # Errors
 ///
 /// Propagates component construction errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     let paper_net = opts.full;
     let config = if paper_net {
         MaBdqConfig {
@@ -69,10 +83,10 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             ..MaBdqConfig::default()
         }
     };
-    println!(
+    writeln!(out,
         "Table III: per-epoch overhead ({} network; paper values: GD 25/48 ms, PMC 2 ms, map 7 ms)\n",
         if paper_net { "paper-size 512/256" } else { "fast 96/64" }
-    );
+    )?;
     let mut agent = MaBdq::new(config)?;
     let state = vec![vec![0.5f32; 11]; 2];
     for _ in 0..agent.config().batch_size {
@@ -131,6 +145,30 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         let _ = agent.select_actions(&state, 0.1).expect("select");
     });
 
+    // 4b. Heap-allocation discipline of the steady-state hot path. The
+    //     `table3_overhead` binary installs the counting global allocator
+    //     from twig-nn; in other hosts (e.g. the library test harness with
+    //     the system allocator) the counter never arms and the row degrades
+    //     to "n/a". When armed, the count must be exactly zero — the
+    //     scratch-buffer regression gate, inline in the overhead table.
+    let alloc_cell = if count_alloc::counter_armed() {
+        let mut actions: Vec<Vec<usize>> = Vec::new();
+        agent.select_actions_into(&state, 0.1, &mut actions)?;
+        let start = count_alloc::allocation_count();
+        for _ in 0..5 {
+            agent.train_step()?.ok_or("batch available")?;
+            agent.select_actions_into(&state, 0.1, &mut actions)?;
+        }
+        let delta = count_alloc::allocations_since(start);
+        assert_eq!(
+            delta, 0,
+            "steady-state decide+learn allocated {delta} times over 5 epochs"
+        );
+        format!("{delta} allocs")
+    } else {
+        "n/a (system allocator)".into()
+    };
+
     // 5. Telemetry instrumentation: the full colocated control loop with
     //    the no-op sink armed vs telemetry compiled in but disabled. The
     //    difference is what observability costs when switched on.
@@ -174,6 +212,12 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         "(in 1)".into(),
     ]);
     t.row(vec![
+        "4".into(),
+        "steady-state heap allocations (5 epochs)".into(),
+        alloc_cell,
+        "n/a (new)".into(),
+    ]);
+    t.row(vec![
         "5".into(),
         "telemetry (enabled vs disabled)".into(),
         format!("{tele_delta_ms:.3}"),
@@ -191,16 +235,16 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
         format!("{exploit_total:.3}"),
         "<10 (est.)".into(),
     ]);
-    println!("{t}");
-    println!(
+    writeln!(out, "{t}")?;
+    writeln!(out,
         "overhead fraction of the 1 s interval: {:.2}% (paper: <5%); pure exploitation {:.2}% (paper: <1%)",
         total / 10.0,
         exploit_total / 10.0
-    );
-    println!(
+    )?;
+    writeln!(out,
         "full loop mean: {tele_off_ms:.3} ms/epoch telemetry-off, {tele_on_ms:.3} ms/epoch telemetry-on over {loop_epochs} epochs; instrumentation adds {tele_delta_ms:.3} ms ({:.3}% of the 1 s interval)",
         tele_delta_ms / 10.0
-    );
+    )?;
     Ok(())
 }
 

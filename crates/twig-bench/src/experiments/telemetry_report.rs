@@ -9,6 +9,7 @@
 //! no-op sink discards at zero cost in production runs.
 
 use crate::{drive, make_twig, ExpError, Options, TextTable};
+use std::fmt::Write as _;
 use std::io::Write;
 use twig_sim::{catalog, Server, ServerConfig};
 use twig_telemetry::{Phase, Telemetry};
@@ -51,16 +52,29 @@ fn fmt_ms(v: f64) -> String {
     format!("{v:.3}")
 }
 
-/// Regenerates the telemetry report.
+/// Prints the regenerated output to stdout (see [`run_to`]).
+///
+/// # Errors
+///
+/// Propagates [`run_to`] errors.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Regenerates the telemetry report, appending to `out`.
 ///
 /// # Errors
 ///
 /// Propagates run errors and trace-file I/O errors.
-pub fn run(opts: &Options) -> Result<(), ExpError> {
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     let n = epochs(opts);
-    println!(
+    writeln!(
+        out,
         "Telemetry report: masstree (50%) + moses (40%) colocated, {n} epochs, recorder sink\n"
-    );
+    )?;
     let telemetry = collect(opts)?;
 
     // 1. Per-epoch phase timeline (tail of the run; one row per decision
@@ -89,12 +103,13 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             fmt_ms(span.total_ms()),
         ]);
     }
-    println!(
+    writeln!(
+        out,
         "Epoch timeline (last {tail} of {} spans; {} dropped by the ring):",
         spans.len(),
         telemetry.spans_dropped()
-    );
-    println!("{t}");
+    )?;
+    writeln!(out, "{t}")?;
 
     // 2. Metrics digest: counters, gauges, histogram quantiles.
     let snapshot = telemetry.metrics().ok_or("telemetry disabled")?;
@@ -102,13 +117,13 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
     for (name, value) in &snapshot.counters {
         c.row(vec![name.clone(), value.to_string()]);
     }
-    println!("Counters:\n{c}");
+    writeln!(out, "Counters:\n{c}")?;
 
     let mut g = TextTable::new(vec!["gauge", "value"]);
     for (name, value) in &snapshot.gauges {
         g.row(vec![name.clone(), format!("{value:.4}")]);
     }
-    println!("Gauges (latest value):\n{g}");
+    writeln!(out, "Gauges (latest value):\n{g}")?;
 
     let mut h = TextTable::new(vec![
         "histogram",
@@ -130,7 +145,10 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
             format!("{:.4}", s.max),
         ]);
     }
-    println!("Histograms (log-bucketed; quantiles are bucket-resolution estimates):\n{h}");
+    writeln!(
+        out,
+        "Histograms (log-bucketed; quantiles are bucket-resolution estimates):\n{h}"
+    )?;
 
     // 3. JSONL trace for offline tooling.
     let path = opts
@@ -141,10 +159,11 @@ pub fn run(opts: &Options) -> Result<(), ExpError> {
     let mut writer = std::io::BufWriter::new(file);
     telemetry.export_jsonl(&mut writer)?;
     writer.flush()?;
-    println!(
+    writeln!(
+        out,
         "JSONL trace written to {path} ({} spans + metrics lines).",
         spans.len()
-    );
+    )?;
     Ok(())
 }
 

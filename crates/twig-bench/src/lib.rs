@@ -24,10 +24,14 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fleet;
 mod options;
 mod runner;
 mod table;
 
+pub use fleet::{run_fleet, unit_seed, FleetRun, FleetStats, Unit, UnitResult};
 pub use options::Options;
-pub use runner::{drive, make_twig, summarize, total_energy, window, ExpError, ServiceSummary};
+pub use runner::{
+    drive, make_twig, run_sections, summarize, total_energy, window, ExpError, ServiceSummary,
+};
 pub use table::{fmt_f, TextTable};

@@ -19,6 +19,14 @@ pub struct Options {
     /// Where to write a JSONL telemetry trace (experiments that export one;
     /// `telemetry_report` defaults to `results/telemetry_trace.jsonl`).
     pub trace: Option<String>,
+    /// Worker threads for the experiment fleet (`--jobs N`). `1` (the
+    /// default) runs every unit serially; results are bit-identical at any
+    /// value (see [`crate::fleet`]).
+    pub jobs: usize,
+    /// CI smoke scale (`--smoke`): drastically shortened learning phases
+    /// and sample counts, for pipeline wiring checks rather than paper
+    /// fidelity.
+    pub smoke: bool,
 }
 
 impl Default for Options {
@@ -27,6 +35,8 @@ impl Default for Options {
             full: false,
             seed: 42,
             trace: None,
+            jobs: 1,
+            smoke: false,
         }
     }
 }
@@ -51,8 +61,19 @@ impl Options {
                 "--trace" => {
                     opts.trace = Some(iter.next().ok_or("--trace needs a path")?);
                 }
+                "--jobs" => {
+                    let v = iter.next().ok_or("--jobs needs a value")?;
+                    opts.jobs = v.parse().map_err(|e| format!("bad jobs {v}: {e}"))?;
+                    if opts.jobs == 0 {
+                        return Err("--jobs must be at least 1".to_string());
+                    }
+                }
+                "--smoke" => opts.smoke = true,
                 "--help" | "-h" => {
-                    return Err("usage: [--full|--fast] [--seed N] [--trace PATH]".to_string())
+                    return Err(
+                        "usage: [--full|--fast|--smoke] [--seed N] [--jobs N] [--trace PATH]"
+                            .to_string(),
+                    )
                 }
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -73,9 +94,11 @@ impl Options {
 
     /// Learning-phase length in epochs (the paper's first 10 000 s; the
     /// fast default compresses it to 2 000 with the ε schedule scaled to
-    /// match).
+    /// match, and `--smoke` to 300 for CI wiring checks).
     pub fn learn_epochs(&self) -> u64 {
-        if self.full {
+        if self.smoke {
+            300
+        } else if self.full {
             10_000
         } else {
             2_000
@@ -83,8 +106,12 @@ impl Options {
     }
 
     /// Measurement-window length in epochs (the paper summarises over the
-    /// last 300 s; 600 s for the PARTIES comparisons).
+    /// last 300 s; 600 s for the PARTIES comparisons; 120 s at smoke
+    /// scale).
     pub fn measure_epochs(&self, parties: bool) -> u64 {
+        if self.smoke {
+            return 120;
+        }
         match (self.full, parties) {
             (_, true) => 600,
             (true, false) => 300,
@@ -94,7 +121,11 @@ impl Options {
 
     /// Warm-up epochs for feedback controllers that need no learning phase.
     pub fn controller_warmup(&self) -> u64 {
-        120
+        if self.smoke {
+            40
+        } else {
+            120
+        }
     }
 }
 
@@ -127,6 +158,25 @@ mod tests {
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--seed", "x"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn jobs_parsing() {
+        assert_eq!(parse(&[]).unwrap().jobs, 1);
+        assert_eq!(parse(&["--jobs", "4"]).unwrap().jobs, 4);
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "x"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+    }
+
+    #[test]
+    fn smoke_compresses_scales() {
+        let o = parse(&["--smoke"]).unwrap();
+        assert!(o.smoke);
+        assert_eq!(o.learn_epochs(), 300);
+        assert_eq!(o.measure_epochs(false), 120);
+        assert_eq!(o.measure_epochs(true), 120);
+        assert_eq!(o.controller_warmup(), 40);
     }
 
     #[test]

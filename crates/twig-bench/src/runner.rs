@@ -1,3 +1,5 @@
+use crate::fleet::{run_fleet, FleetStats, Unit};
+use crate::Options;
 use twig_core::{RewardConfig, TaskManager, Twig, TwigBuilder};
 use twig_rl::{EpsilonSchedule, MaBdqConfig};
 use twig_sim::{EpochReport, Server, ServiceSpec};
@@ -27,9 +29,32 @@ pub fn drive(
 }
 
 /// The last `n` epochs of a trace (the paper's measurement windows).
+/// `n == 0` yields an empty window; `n` larger than the trace clamps to
+/// the whole trace.
 pub fn window(reports: &[EpochReport], n: u64) -> &[EpochReport] {
     let n = (n as usize).min(reports.len());
     &reports[reports.len() - n..]
+}
+
+/// Runs text-producing fleet units with `opts.jobs` workers and appends
+/// their outputs to `out` in submission order. This is the one entry point
+/// experiment modules use to parallelize, so every table stays
+/// bit-identical between `--jobs 1` and `--jobs N`.
+///
+/// # Errors
+///
+/// Returns a combined error naming every failed unit.
+pub fn run_sections(
+    out: &mut String,
+    units: Vec<Unit<'_, String>>,
+    opts: &Options,
+) -> Result<FleetStats, ExpError> {
+    let run = run_fleet(units, opts.jobs, opts.seed);
+    let stats = run.stats.clone();
+    for section in run.into_outputs()? {
+        out.push_str(&section);
+    }
+    Ok(stats)
 }
 
 /// Builds a Twig manager scaled to the experiment: the ε schedule is
@@ -181,6 +206,42 @@ mod tests {
         let mut manager = StaticMapping::new(specs, 18, DvfsLadder::default()).unwrap();
         let reports = drive(&mut server, &mut manager, 5).unwrap();
         assert_eq!(window(&reports, 100).len(), 5);
+    }
+
+    #[test]
+    fn window_edge_cases() {
+        // n == 0 is an empty window, not a panic.
+        assert!(window(&[], 0).is_empty());
+        // n > len on an empty trace clamps to empty.
+        assert!(window(&[], 7).is_empty());
+        let specs = vec![catalog::moses()];
+        let mut server = Server::new(ServerConfig::default(), specs.clone(), 2).unwrap();
+        let mut manager = StaticMapping::new(specs, 18, DvfsLadder::default()).unwrap();
+        let reports = drive(&mut server, &mut manager, 3).unwrap();
+        assert!(window(&reports, 0).is_empty());
+        // The clamped oversized window is the whole trace, in order.
+        let whole = window(&reports, u64::MAX);
+        assert_eq!(whole.len(), 3);
+        assert_eq!(whole[0].time_s, reports[0].time_s);
+        // An in-range window is the tail.
+        let tail = window(&reports, 2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].time_s, reports[1].time_s);
+    }
+
+    #[test]
+    fn run_sections_appends_in_order() {
+        let opts = Options {
+            jobs: 3,
+            ..Options::default()
+        };
+        let units = (0..5)
+            .map(|i| Unit::new(format!("s{i}"), move |_| Ok(format!("line {i}\n"))))
+            .collect();
+        let mut out = String::new();
+        let stats = run_sections(&mut out, units, &opts).unwrap();
+        assert_eq!(out, "line 0\nline 1\nline 2\nline 3\nline 4\n");
+        assert_eq!(stats.units_ok, 5);
     }
 
     #[test]

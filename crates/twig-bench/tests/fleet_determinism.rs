@@ -1,0 +1,45 @@
+//! Proof that fleet parallelism never changes results: experiment output
+//! assembled from `--jobs N` workers is byte-for-byte identical to the
+//! serial run. This is the acceptance gate for the parallel fleet — unit
+//! seeds derive from indices (never thread identity) and collection is
+//! slot-ordered, so the job count must be unobservable in the output.
+
+use twig_bench::{experiments, Options};
+
+fn opts(jobs: usize) -> Options {
+    Options {
+        jobs,
+        smoke: true,
+        seed: 1234,
+        ..Options::default()
+    }
+}
+
+fn render(
+    run_to: fn(&mut String, &Options) -> Result<(), twig_bench::ExpError>,
+    jobs: usize,
+) -> String {
+    let mut out = String::new();
+    run_to(&mut out, &opts(jobs)).expect("experiment runs");
+    out
+}
+
+#[test]
+fn fig04_serial_and_parallel_bit_identical() {
+    // fig04 profiles two services as fleet units (simulator-only, no NN
+    // training) — the cheapest real experiment with parallel units.
+    let serial = render(experiments::fig04::run_to, 1);
+    let parallel = render(experiments::fig04::run_to, 4);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "fig04 output depends on --jobs");
+}
+
+#[test]
+fn fig01_serial_and_parallel_bit_identical() {
+    // fig01 trains per-service regressors in parallel units with derived
+    // seeds; floats formatted into its tables must match to the last bit.
+    let serial = render(experiments::fig01::run_to, 1);
+    let parallel = render(experiments::fig01::run_to, 3);
+    assert!(serial.contains("zero-error density ratio"));
+    assert_eq!(serial, parallel, "fig01 output depends on --jobs");
+}

@@ -248,6 +248,9 @@ pub struct Twig {
     time: u64,
     pending: Option<Pending>,
     last_actions: Option<Vec<Vec<usize>>>,
+    /// Reused Q-value buffer for the stickiness check (allocation-free in
+    /// steady state; see `MaBdq::q_values_into`).
+    q_scratch: Vec<Vec<Vec<f32>>>,
     telemetry: Telemetry,
 }
 
@@ -303,6 +306,7 @@ impl Twig {
             time: 0,
             pending: None,
             last_actions: None,
+            q_scratch: Vec::new(),
             telemetry: Telemetry::disabled(),
         })
     }
@@ -363,8 +367,13 @@ impl Twig {
             .select_actions(&states, epsilon)
             .map_err(TwigError::Learning)?;
         if self.config.action_stickiness > 0.0 {
+            if self.last_actions.is_some() {
+                self.agent
+                    .q_values_into(&states, &mut self.q_scratch)
+                    .map_err(TwigError::Learning)?;
+            }
             if let Some(previous) = &self.last_actions {
-                let q = self.agent.q_values(&states).map_err(TwigError::Learning)?;
+                let q = &self.q_scratch;
                 for (k, agent_actions) in actions.iter_mut().enumerate() {
                     for (d, action) in agent_actions.iter_mut().enumerate() {
                         let prev = previous[k][d];

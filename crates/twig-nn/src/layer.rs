@@ -22,6 +22,14 @@ pub trait Layer {
     /// Forward pass. `train` enables training-only behaviour (dropout).
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
 
+    /// Forward pass written into a caller-owned scratch tensor. Once `out`
+    /// has enough capacity, no allocation occurs. The provided layers
+    /// compute bit-identical values to [`forward`](Self::forward) — their
+    /// allocating API is a thin wrapper around this one.
+    fn forward_into(&mut self, input: &Tensor, train: bool, out: &mut Tensor) {
+        *out = self.forward(input, train);
+    }
+
     /// Backward pass: accumulates parameter gradients and returns the
     /// gradient with respect to the layer input.
     ///
@@ -30,6 +38,17 @@ pub trait Layer {
     /// Implementations may panic if called before `forward` or with a
     /// gradient whose shape does not match the cached activation.
     fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Backward pass writing the input gradient into a caller-owned
+    /// scratch tensor; the allocation-free sibling of
+    /// [`backward`](Self::backward).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`backward`](Self::backward).
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
+        *grad_input = self.backward(grad_output);
+    }
 
     /// Zeroes accumulated parameter gradients.
     fn zero_grads(&mut self);
@@ -73,6 +92,12 @@ pub struct Dense {
     grad_w: Tensor,
     grad_b: Vec<f32>,
     cached_input: Option<Tensor>,
+    // Scratch for the weight-gradient product in `backward_into`. Gradients
+    // are computed here then folded into `grad_w` via `add_assign`, keeping
+    // the accumulation order identical to the allocating path (which also
+    // materialised the product before adding).
+    gw_scratch: Tensor,
+    gb_scratch: Vec<f32>,
 }
 
 impl Dense {
@@ -92,6 +117,8 @@ impl Dense {
             grad_w: Tensor::zeros(in_dim, out_dim),
             grad_b: vec![0.0; out_dim],
             cached_input: None,
+            gw_scratch: Tensor::zeros(0, 0),
+            gb_scratch: Vec::new(),
         }
     }
 
@@ -128,8 +155,8 @@ impl Dense {
                 ),
             });
         }
-        self.w = other.w.clone();
-        self.b = other.b.clone();
+        self.w.copy_from(&other.w);
+        self.b.copy_from_slice(&other.b);
         Ok(())
     }
 
@@ -169,31 +196,53 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let mut out = input.matmul(&self.w).expect("dense forward shape");
-        out.add_row_broadcast(&self.b).expect("bias shape");
-        self.cached_input = Some(input.clone());
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::zeros(0, 0);
+        self.forward_into(input, train, &mut out);
         out
     }
 
+    fn forward_into(&mut self, input: &Tensor, _train: bool, out: &mut Tensor) {
+        input
+            .matmul_into(&self.w, out)
+            .expect("dense forward shape");
+        out.add_row_broadcast(&self.b).expect("bias shape");
+        match &mut self.cached_input {
+            Some(cache) => cache.copy_from(input),
+            cache => *cache = Some(input.clone()),
+        }
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut grad_input = Tensor::zeros(0, 0);
+        self.backward_into(grad_output, &mut grad_input);
+        grad_input
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
         let input = self
             .cached_input
             .as_ref()
             .expect("backward called before forward");
-        let gw = input.t_matmul(grad_output).expect("dense backward shape");
-        self.grad_w.add_assign(&gw).expect("grad shape");
-        for (gb, g) in self.grad_b.iter_mut().zip(grad_output.sum_rows()) {
+        input
+            .t_matmul_into(grad_output, &mut self.gw_scratch)
+            .expect("dense backward shape");
+        self.grad_w
+            .add_assign(&self.gw_scratch)
+            .expect("grad shape");
+        grad_output.sum_rows_into(&mut self.gb_scratch);
+        for (gb, g) in self.grad_b.iter_mut().zip(&self.gb_scratch) {
             *gb += g;
         }
         grad_output
-            .matmul_t(&self.w)
-            .expect("dense input grad shape")
+            .matmul_t_into(&self.w, grad_input)
+            .expect("dense input grad shape");
     }
 
     fn zero_grads(&mut self) {
-        self.grad_w = Tensor::zeros(self.in_dim, self.out_dim);
-        self.grad_b = vec![0.0; self.out_dim];
+        self.grad_w.resize_zeroed(self.in_dim, self.out_dim);
+        self.grad_b.clear();
+        self.grad_b.resize(self.out_dim, 0.0);
     }
 
     fn apply(&mut self, optim: &mut crate::Adam, param_id: usize) -> usize {
@@ -243,38 +292,45 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let mut out = input.clone();
-        let mask: Vec<bool> = out
-            .as_mut_slice()
-            .iter_mut()
-            .map(|v| {
-                if *v > 0.0 {
-                    true
-                } else {
-                    *v = 0.0;
-                    false
-                }
-            })
-            .collect();
-        self.mask = Some(mask);
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::zeros(0, 0);
+        self.forward_into(input, train, &mut out);
         out
     }
 
+    fn forward_into(&mut self, input: &Tensor, _train: bool, out: &mut Tensor) {
+        out.copy_from(input);
+        let mask = self.mask.get_or_insert_with(Vec::new);
+        mask.clear();
+        mask.extend(out.as_mut_slice().iter_mut().map(|v| {
+            if *v > 0.0 {
+                true
+            } else {
+                *v = 0.0;
+                false
+            }
+        }));
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut grad = Tensor::zeros(0, 0);
+        self.backward_into(grad_output, &mut grad);
+        grad
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
         let mask = self.mask.as_ref().expect("backward before forward");
         assert_eq!(
             mask.len(),
             grad_output.as_slice().len(),
             "relu gradient shape mismatch"
         );
-        let mut grad = grad_output.clone();
-        for (g, &alive) in grad.as_mut_slice().iter_mut().zip(mask) {
+        grad_input.copy_from(grad_output);
+        for (g, &alive) in grad_input.as_mut_slice().iter_mut().zip(mask) {
             if !alive {
                 *g = 0.0;
             }
         }
-        grad
     }
 
     fn zero_grads(&mut self) {}
@@ -295,7 +351,11 @@ impl Layer for Relu {
 #[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
-    mask: Option<Vec<f32>>,
+    // `mask` keeps its allocation across epochs; `active` records whether
+    // the last forward pass actually dropped anything (train mode), so the
+    // eval path never discards the buffer.
+    mask: Vec<f32>,
+    active: bool,
     rng: twig_stats::rng::Xoshiro256,
 }
 
@@ -313,7 +373,8 @@ impl Dropout {
         );
         Dropout {
             p,
-            mask: None,
+            mask: Vec::new(),
+            active: false,
             rng: twig_stats::rng::Xoshiro256::seed_from_u64(seed),
         }
     }
@@ -321,44 +382,49 @@ impl Dropout {
 
 impl Layer for Dropout {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        if !train || self.p == 0.0 {
-            self.mask = None;
-            return input.clone();
-        }
-        let keep = 1.0 - self.p;
-        let scale = 1.0 / keep;
-        let mut out = input.clone();
-        let mask: Vec<f32> = out
-            .as_mut_slice()
-            .iter_mut()
-            .map(|v| {
-                if self.rng.next_f32() < keep {
-                    *v *= scale;
-                    scale
-                } else {
-                    *v = 0.0;
-                    0.0
-                }
-            })
-            .collect();
-        self.mask = Some(mask);
+        let mut out = Tensor::zeros(0, 0);
+        self.forward_into(input, train, &mut out);
         out
     }
 
+    fn forward_into(&mut self, input: &Tensor, train: bool, out: &mut Tensor) {
+        out.copy_from(input);
+        if !train || self.p == 0.0 {
+            self.active = false;
+            return;
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        self.active = true;
+        self.mask.clear();
+        let rng = &mut self.rng;
+        self.mask.extend(out.as_mut_slice().iter_mut().map(|v| {
+            if rng.next_f32() < keep {
+                *v *= scale;
+                scale
+            } else {
+                *v = 0.0;
+                0.0
+            }
+        }));
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        match &self.mask {
-            None => grad_output.clone(),
-            Some(mask) => {
-                assert_eq!(
-                    mask.len(),
-                    grad_output.as_slice().len(),
-                    "dropout gradient shape mismatch"
-                );
-                let mut grad = grad_output.clone();
-                for (g, &m) in grad.as_mut_slice().iter_mut().zip(mask) {
-                    *g *= m;
-                }
-                grad
+        let mut grad = Tensor::zeros(0, 0);
+        self.backward_into(grad_output, &mut grad);
+        grad
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
+        grad_input.copy_from(grad_output);
+        if self.active {
+            assert_eq!(
+                self.mask.len(),
+                grad_output.as_slice().len(),
+                "dropout gradient shape mismatch"
+            );
+            for (g, &m) in grad_input.as_mut_slice().iter_mut().zip(&self.mask) {
+                *g *= m;
             }
         }
     }

@@ -50,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub mod count_alloc;
 mod error;
 mod layer;
 mod loss;
@@ -57,6 +58,7 @@ mod mlp;
 mod optim;
 mod tensor;
 
+pub use count_alloc::CountingAlloc;
 pub use error::NnError;
 pub use layer::{Dense, Dropout, Layer, Relu};
 pub use loss::{huber_loss, mse_loss};

@@ -25,6 +25,12 @@ use twig_stats::rng::Rng;
 #[derive(Debug, Clone, Default)]
 pub struct Mlp {
     layers: Vec<MlpLayer>,
+    // Ping-pong activation buffers for the scratch (allocation-free) paths.
+    // Layer i reads one and writes the other; after the loop the final
+    // activation/gradient is returned by reference. Never holds state the
+    // network depends on between calls.
+    scratch_a: Tensor,
+    scratch_b: Tensor,
 }
 
 /// The concrete layer kinds an [`Mlp`] can hold.
@@ -106,26 +112,65 @@ impl Mlp {
     }
 
     /// Forward pass through all layers.
+    ///
+    /// Delegates to [`forward_scratch`](Self::forward_scratch) and clones
+    /// the result, so both paths compute bit-identical values.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.as_layer_mut().forward(&x, train);
+        self.forward_scratch(input, train).clone()
+    }
+
+    /// Forward pass through all layers using the network's internal
+    /// ping-pong scratch buffers: after warm-up no allocation occurs. The
+    /// returned reference is valid until the next call on this network; it
+    /// is overwritten by subsequent `forward_scratch`/`backward_scratch`
+    /// calls, so copy out anything that must survive.
+    pub fn forward_scratch(&mut self, input: &Tensor, train: bool) -> &Tensor {
+        let Mlp {
+            layers,
+            scratch_a,
+            scratch_b,
+        } = self;
+        scratch_a.copy_from(input);
+        let (mut cur, mut next) = (scratch_a, scratch_b);
+        for layer in layers.iter_mut() {
+            layer.as_layer_mut().forward_into(cur, train, next);
+            std::mem::swap(&mut cur, &mut next);
         }
-        x
+        cur
     }
 
     /// Backward pass, accumulating parameter gradients; returns the gradient
     /// with respect to the network input.
     ///
+    /// Delegates to [`backward_scratch`](Self::backward_scratch) and clones
+    /// the result, so both paths compute bit-identical values.
+    ///
     /// # Panics
     ///
     /// Panics if called before [`forward`](Self::forward).
     pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mut g = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.as_layer_mut().backward(&g);
+        self.backward_scratch(grad_output).clone()
+    }
+
+    /// Backward pass using the internal scratch buffers; the returned input
+    /// gradient lives until the next call on this network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a forward pass.
+    pub fn backward_scratch(&mut self, grad_output: &Tensor) -> &Tensor {
+        let Mlp {
+            layers,
+            scratch_a,
+            scratch_b,
+        } = self;
+        scratch_a.copy_from(grad_output);
+        let (mut cur, mut next) = (scratch_a, scratch_b);
+        for layer in layers.iter_mut().rev() {
+            layer.as_layer_mut().backward_into(cur, next);
+            std::mem::swap(&mut cur, &mut next);
         }
-        g
+        cur
     }
 
     /// Zeroes all accumulated gradients.
@@ -414,6 +459,44 @@ mod tests {
             net.export_parameters().len(),
             net.export_weights().len() + 6 + 1
         );
+    }
+
+    #[test]
+    fn scratch_and_allocating_paths_bit_identical() {
+        // Two clones of one net (including dropout with its own RNG stream):
+        // one trained through the allocating forward/backward, the other
+        // through forward_scratch/backward_scratch. Every prediction and
+        // every parameter must stay bit-identical — this is the pre- vs
+        // post-scratch-buffer determinism proof at the unit level.
+        let mut rng = Xoshiro256::seed_from_u64(77);
+        let base = Mlp::new()
+            .push(Dense::new(3, 8, &mut rng))
+            .push(Relu::new())
+            .push(Dropout::new(0.3, 9))
+            .push(Dense::new(8, 2, &mut rng));
+        let mut alloc_net = base.clone();
+        let mut scratch_net = base;
+        let mut adam_a = Adam::new(0.01);
+        let mut adam_s = Adam::new(0.01);
+        let x = Tensor::from_rows(&[vec![0.2, -0.4, 1.0], vec![-1.0, 0.5, 0.1]]).unwrap();
+        let t = Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        for _ in 0..5 {
+            let pred_a = alloc_net.forward(&x, true);
+            let pred_s = scratch_net.forward_scratch(&x, true).clone();
+            assert_eq!(pred_a, pred_s);
+            let (_, grad) = mse_loss(&pred_a, &t, None).unwrap();
+            alloc_net.zero_grads();
+            alloc_net.backward(&grad);
+            alloc_net.apply(&mut adam_a);
+            scratch_net.zero_grads();
+            scratch_net.backward_scratch(&grad);
+            scratch_net.apply(&mut adam_s);
+            let pa = alloc_net.export_parameters();
+            let ps = scratch_net.export_parameters();
+            for (a, s) in pa.iter().zip(&ps) {
+                assert_eq!(a.to_bits(), s.to_bits());
+            }
+        }
     }
 
     #[test]

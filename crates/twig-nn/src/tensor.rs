@@ -12,7 +12,7 @@ use std::ops::{Index, IndexMut};
 /// let b = Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
 /// assert_eq!(a.matmul(&b).unwrap(), a);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
@@ -77,6 +77,26 @@ impl Tensor {
         }
     }
 
+    /// Reshapes to `rows x cols`, zero-filling every element. Capacity is
+    /// retained, so repeated resizes between the same set of shapes never
+    /// reallocate — the backbone of the scratch-buffer (zero-allocation)
+    /// forward/backward paths.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` a bitwise copy of `other`, reusing the existing
+    /// allocation when capacity suffices.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Number of rows (batch size).
     pub fn rows(&self) -> usize {
         self.rows
@@ -123,6 +143,24 @@ impl Tensor {
     ///
     /// Returns [`NnError::ShapeMismatch`] when inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor, NnError> {
+        let mut out = Tensor::zeros(0, 0);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self * other` written into `out` (resized in place,
+    /// no allocation once `out` has the capacity).
+    ///
+    /// The kernel is cache-blocked over the `i` (rows of `self`) and `k`
+    /// (inner) dimensions so a tile of `other` is reused across a tile of
+    /// output rows instead of being streamed from memory once per row. Per
+    /// output element the `k` contributions are still added in ascending
+    /// order, so results are bit-identical to the naive triple loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when inner dimensions disagree.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) -> Result<(), NnError> {
         if self.cols != other.rows {
             return Err(NnError::ShapeMismatch {
                 detail: format!(
@@ -131,21 +169,33 @@ impl Tensor {
                 ),
             });
         }
-        let mut out = Tensor::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        // Tile sizes chosen so an i-tile of output rows plus a k-tile of
+        // `other` rows stay L1/L2-resident for the trunk widths this
+        // workspace uses (up to 512 columns).
+        const MC: usize = 16;
+        const KC: usize = 64;
+        let (m, kk, n) = (self.rows, self.cols, other.cols);
+        out.resize_zeroed(m, n);
+        for ib in (0..m).step_by(MC) {
+            let i_end = (ib + MC).min(m);
+            for kb in (0..kk).step_by(KC) {
+                let k_end = (kb + KC).min(kk);
+                for i in ib..i_end {
+                    let a_row = &self.data[i * kk..(i + 1) * kk];
+                    let out_row = &mut out.data[i * n..(i + 1) * n];
+                    for (k, &a) in a_row.iter().enumerate().take(k_end).skip(kb) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &other.data[k * n..(k + 1) * n];
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// `self^T * other` without materialising the transpose.
@@ -154,6 +204,17 @@ impl Tensor {
     ///
     /// Returns [`NnError::ShapeMismatch`] when row counts disagree.
     pub fn t_matmul(&self, other: &Tensor) -> Result<Tensor, NnError> {
+        let mut out = Tensor::zeros(0, 0);
+        self.t_matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// `self^T * other` written into `out` (resized in place).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when row counts disagree.
+    pub fn t_matmul_into(&self, other: &Tensor, out: &mut Tensor) -> Result<(), NnError> {
         if self.rows != other.rows {
             return Err(NnError::ShapeMismatch {
                 detail: format!(
@@ -162,7 +223,7 @@ impl Tensor {
                 ),
             });
         }
-        let mut out = Tensor::zeros(self.cols, other.cols);
+        out.resize_zeroed(self.cols, other.cols);
         for r in 0..self.rows {
             let a_row = self.row(r);
             let b_row = other.row(r);
@@ -176,7 +237,7 @@ impl Tensor {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// `self * other^T` without materialising the transpose.
@@ -185,6 +246,17 @@ impl Tensor {
     ///
     /// Returns [`NnError::ShapeMismatch`] when column counts disagree.
     pub fn matmul_t(&self, other: &Tensor) -> Result<Tensor, NnError> {
+        let mut out = Tensor::zeros(0, 0);
+        self.matmul_t_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// `self * other^T` written into `out` (resized in place).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when column counts disagree.
+    pub fn matmul_t_into(&self, other: &Tensor, out: &mut Tensor) -> Result<(), NnError> {
         if self.cols != other.cols {
             return Err(NnError::ShapeMismatch {
                 detail: format!(
@@ -193,7 +265,7 @@ impl Tensor {
                 ),
             });
         }
-        let mut out = Tensor::zeros(self.rows, other.rows);
+        out.resize_zeroed(self.rows, other.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);
             for j in 0..other.rows {
@@ -201,7 +273,7 @@ impl Tensor {
                 out.data[i * other.rows + j] = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Adds a row vector to every row (bias broadcast).
@@ -226,12 +298,21 @@ impl Tensor {
     /// Sums across rows, producing one value per column.
     pub fn sum_rows(&self) -> Vec<f32> {
         let mut out = vec![0.0; self.cols];
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// Sums across rows into `out` (resized in place, values overwritten).
+    /// Accumulation order per column is ascending row index, identical to
+    /// [`sum_rows`](Self::sum_rows).
+    pub fn sum_rows_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         for r in 0..self.rows {
             for (o, &v) in out.iter_mut().zip(self.row(r)) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Multiplies every element in place.
@@ -267,18 +348,29 @@ impl Tensor {
     ///
     /// Returns [`NnError::ShapeMismatch`] when row counts disagree.
     pub fn concat_cols(&self, other: &Tensor) -> Result<Tensor, NnError> {
+        let mut out = Tensor::zeros(0, 0);
+        self.concat_cols_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Column-wise concatenation written into `out` (resized in place).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when row counts disagree.
+    pub fn concat_cols_into(&self, other: &Tensor, out: &mut Tensor) -> Result<(), NnError> {
         if self.rows != other.rows {
             return Err(NnError::ShapeMismatch {
                 detail: format!("concat rows {} vs {}", self.rows, other.rows),
             });
         }
-        let mut out = Tensor::zeros(self.rows, self.cols + other.cols);
+        out.resize_zeroed(self.rows, self.cols + other.cols);
         for r in 0..self.rows {
             let dst = out.row_mut(r);
             dst[..self.cols].copy_from_slice(self.row(r));
             dst[self.cols..].copy_from_slice(other.row(r));
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Splits off the first `left_cols` columns, returning `(left, right)`.
@@ -292,14 +384,31 @@ impl Tensor {
             "split at {left_cols} beyond {}",
             self.cols
         );
-        let mut left = Tensor::zeros(self.rows, left_cols);
-        let mut right = Tensor::zeros(self.rows, self.cols - left_cols);
+        let mut left = Tensor::zeros(0, 0);
+        let mut right = Tensor::zeros(0, 0);
+        self.split_cols_into(left_cols, &mut left, &mut right);
+        (left, right)
+    }
+
+    /// Splits off the first `left_cols` columns into preallocated tensors
+    /// (both resized in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `left_cols > self.cols()`.
+    pub fn split_cols_into(&self, left_cols: usize, left: &mut Tensor, right: &mut Tensor) {
+        assert!(
+            left_cols <= self.cols,
+            "split at {left_cols} beyond {}",
+            self.cols
+        );
+        left.resize_zeroed(self.rows, left_cols);
+        right.resize_zeroed(self.rows, self.cols - left_cols);
         for r in 0..self.rows {
             let src = self.row(r);
             left.row_mut(r).copy_from_slice(&src[..left_cols]);
             right.row_mut(r).copy_from_slice(&src[left_cols..]);
         }
-        (left, right)
     }
 }
 
@@ -433,5 +542,96 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Reference naive ikj GEMM: the pre-blocking implementation. The
+    /// cache-blocked kernel must reproduce it bit for bit, because fleet
+    /// determinism (serial vs --jobs N) is asserted on exact table output.
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let v = a[(i, k)];
+                if v == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    out[(i, j)] += v * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_bit_identical_to_naive() {
+        let mut rng = Xoshiro256::seed_from_u64(0xb10c);
+        // Sizes straddling the MC=16 / KC=64 tile boundaries, plus sparse
+        // zeros to exercise the skip path.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (16, 64, 8),
+            (33, 130, 7),
+            (64, 65, 48),
+        ] {
+            let mut a = random_tensor(&mut rng, m, k);
+            for v in a.as_mut_slice().iter_mut().step_by(3) {
+                *v = 0.0;
+            }
+            let b = random_tensor(&mut rng, k, n);
+            let want = naive_matmul(&a, &b);
+            let got = a.matmul(&b).unwrap();
+            assert_eq!(want.rows(), got.rows());
+            assert_eq!(want.cols(), got.cols());
+            for (x, y) in want.as_slice().iter().zip(got.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}x{n} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_apis() {
+        let mut rng = Xoshiro256::seed_from_u64(0x17f0);
+        let a = random_tensor(&mut rng, 9, 17);
+        let b = random_tensor(&mut rng, 17, 5);
+        let c = random_tensor(&mut rng, 9, 5);
+
+        let mut out = Tensor::zeros(0, 0);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        a.t_matmul_into(&c, &mut out).unwrap();
+        assert_eq!(out, a.t_matmul(&c).unwrap());
+        c.matmul_t_into(&b, &mut out).unwrap();
+        assert_eq!(out, c.matmul_t(&b).unwrap());
+        a.concat_cols_into(&c, &mut out).unwrap();
+        assert_eq!(out, a.concat_cols(&c).unwrap());
+
+        let mut l = Tensor::zeros(0, 0);
+        let mut r = Tensor::zeros(0, 0);
+        out.split_cols_into(17, &mut l, &mut r);
+        let (wl, wr) = out.split_cols(17);
+        assert_eq!(l, wl);
+        assert_eq!(r, wr);
+
+        let mut sums = Vec::new();
+        a.sum_rows_into(&mut sums);
+        assert_eq!(sums, a.sum_rows());
+    }
+
+    #[test]
+    fn resize_and_copy_retain_capacity() {
+        let mut t = Tensor::zeros(8, 8);
+        let cap = t.data.capacity();
+        let ptr = t.data.as_ptr();
+        t.resize_zeroed(4, 4);
+        t.resize_zeroed(8, 8);
+        assert_eq!(t.data.capacity(), cap);
+        assert_eq!(t.data.as_ptr(), ptr);
+        let src = Tensor::from_row(&[1.0, 2.0]);
+        t.copy_from(&src);
+        assert_eq!(t.data.as_ptr(), ptr, "copy_from reallocated");
+        assert_eq!((t.rows(), t.cols()), (1, 2));
+        assert_eq!(t.as_slice(), &[1.0, 2.0]);
     }
 }

@@ -1,4 +1,4 @@
-use crate::{EpsilonSchedule, PrioritizedReplay, RlError};
+use crate::{EpsilonSchedule, PerBatch, PrioritizedReplay, RlError};
 use twig_nn::{Adam, Dense, Dropout, Mlp, Relu, Tensor};
 use twig_stats::rng::{Rng, Xoshiro256};
 use twig_telemetry::Telemetry;
@@ -240,42 +240,67 @@ impl Net {
                 .sum::<usize>()
     }
 
-    /// Q-values for a batch: `q[k][d]` is a `B × n_d` tensor. Purely
+    /// Q-values for a batch whose joint state is already packed into `x`
+    /// (`B × K*state_dim`, agent `k` in columns `k*state_dim..`). Results
+    /// land in `scratch.q[k][d]` (`B × n_d` tensors); everything — trunk
+    /// activations, per-agent head inputs, outputs — reuses preallocated
+    /// buffers, so steady-state evaluation is allocation-free. Purely
     /// forward; dropout controlled by `train`.
-    fn q_values(&mut self, states: &[&[Vec<f32>]], train: bool) -> Vec<Vec<Tensor>> {
-        let batch = states.len();
-        let agents = self.value_heads.len();
-        let state_dim = states[0][0].len();
-        let mut x = Tensor::zeros(batch, agents * state_dim);
-        for (b, sample) in states.iter().enumerate() {
-            let row = x.row_mut(b);
-            for (k, s) in sample.iter().enumerate() {
-                row[k * state_dim..(k + 1) * state_dim].copy_from_slice(s);
+    fn q_values_into(&mut self, x: &Tensor, state_dim: usize, train: bool, scratch: &mut QScratch) {
+        let batch = x.rows();
+        let num_branches = self.adv_heads.len();
+        let Net {
+            trunk,
+            value_heads,
+            adv_heads,
+        } = self;
+        let trunk_out = trunk.forward_scratch(x, train);
+        let QScratch {
+            agent_state,
+            input_k,
+            q,
+        } = scratch;
+        q.resize_with(value_heads.len(), Vec::new);
+        for (k, (vh, branches)) in value_heads.iter_mut().zip(q.iter_mut()).enumerate() {
+            agent_state.resize_zeroed(batch, state_dim);
+            for b in 0..batch {
+                agent_state
+                    .row_mut(b)
+                    .copy_from_slice(&x.row(b)[k * state_dim..(k + 1) * state_dim]);
+            }
+            trunk_out
+                .concat_cols_into(agent_state, input_k)
+                .expect("same batch");
+            let v = vh.forward_scratch(input_k, train);
+            branches.resize_with(num_branches, Tensor::default);
+            for (head, qd) in adv_heads.iter_mut().zip(branches.iter_mut()) {
+                let adv = head.forward_scratch(input_k, train);
+                dueling_combine_into(v, adv, qd);
             }
         }
-        let trunk_out = self.trunk.forward(&x, train);
-        let mut out = Vec::with_capacity(agents);
-        for k in 0..agents {
-            let mut agent_state = Tensor::zeros(batch, state_dim);
-            for (b, sample) in states.iter().enumerate() {
-                agent_state.row_mut(b).copy_from_slice(&sample[k]);
-            }
-            let input_k = trunk_out.concat_cols(&agent_state).expect("same batch");
-            let v = self.value_heads[k].forward(&input_k, train);
-            let mut branches = Vec::with_capacity(self.adv_heads.len());
-            for head in &mut self.adv_heads {
-                let adv = head.forward(&input_k, train);
-                branches.push(dueling_combine(&v, &adv));
-            }
-            out.push(branches);
-        }
-        out
     }
 }
 
+/// Reusable output/intermediate buffers for [`Net::q_values_into`].
+#[derive(Debug, Clone, Default)]
+struct QScratch {
+    agent_state: Tensor,
+    input_k: Tensor,
+    /// `q[k][d]`: agent `k`'s Q-values on branch `d` (`B × n_d`).
+    q: Vec<Vec<Tensor>>,
+}
+
 /// `Q(a) = V + (A(a) − mean_a A(a))` per batch row.
+#[cfg(test)]
 fn dueling_combine(v: &Tensor, adv: &Tensor) -> Tensor {
-    let mut q = adv.clone();
+    let mut q = Tensor::zeros(0, 0);
+    dueling_combine_into(v, adv, &mut q);
+    q
+}
+
+/// [`dueling_combine`] into a reusable tensor; identical arithmetic.
+fn dueling_combine_into(v: &Tensor, adv: &Tensor, q: &mut Tensor) {
+    q.copy_from(adv);
     let n = adv.cols() as f32;
     for b in 0..adv.rows() {
         let mean: f32 = adv.row(b).iter().sum::<f32>() / n;
@@ -284,7 +309,6 @@ fn dueling_combine(v: &Tensor, adv: &Tensor) -> Tensor {
             *x += base;
         }
     }
-    q
 }
 
 /// The paper's multi-agent branching dueling Q-network (Section III-A).
@@ -309,6 +333,38 @@ pub struct MaBdq {
     steps: u64,
     skipped_steps: u64,
     telemetry: Telemetry,
+    scratch: MaBdqScratch,
+}
+
+/// Preallocated working memory for the decide/learn hot path. Every buffer
+/// is sized on first use and reused afterwards, so steady-state
+/// [`MaBdq::select_actions`], [`MaBdq::q_values`] and [`MaBdq::train_step`]
+/// calls perform no heap allocation. Holds no learner state — clearing it
+/// at any point would not change a single result.
+#[derive(Debug, Clone, Default)]
+struct MaBdqScratch {
+    /// Joint current-state batch (`B × K*state_dim`).
+    x: Tensor,
+    /// Joint next-state batch.
+    x_next: Tensor,
+    /// Online-network evaluations (action selection + double-DQN argmax).
+    q_eval: QScratch,
+    /// Target-network evaluations.
+    q_target: QScratch,
+    /// Reused PER sample (indices + importance weights).
+    batch: PerBatch,
+    /// TD targets, flattened `b * agents + k`.
+    targets: Vec<f32>,
+    /// Per-sample mean |TD| fed back as priorities.
+    abs_td: Vec<f64>,
+    agent_state: Tensor,
+    input_k: Tensor,
+    v_grad: Tensor,
+    adv_grad: Tensor,
+    input_grad: Tensor,
+    trunk_grad: Tensor,
+    to_trunk: Tensor,
+    to_state: Tensor,
 }
 
 impl MaBdq {
@@ -340,6 +396,7 @@ impl MaBdq {
             steps: 0,
             skipped_steps: 0,
             telemetry: Telemetry::disabled(),
+            scratch: MaBdqScratch::default(),
         })
     }
 
@@ -410,11 +467,35 @@ impl MaBdq {
         states: &[Vec<f32>],
         epsilon: f64,
     ) -> Result<Vec<Vec<usize>>, RlError> {
-        self.check_states(states)?;
-        let q = self.online.q_values(&[states], false);
         let mut out = Vec::with_capacity(self.config.agents);
-        for branches in q.iter() {
-            let mut agent_actions = Vec::with_capacity(branches.len());
+        self.select_actions_into(states, epsilon, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`select_actions`](Self::select_actions) into a reusable buffer:
+    /// inner vectors keep their capacity across calls, so steady-state
+    /// selection is allocation-free. Identical RNG draws and results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] for wrongly shaped states.
+    pub fn select_actions_into(
+        &mut self,
+        states: &[Vec<f32>],
+        epsilon: f64,
+        out: &mut Vec<Vec<usize>>,
+    ) -> Result<(), RlError> {
+        self.check_states(states)?;
+        self.pack_joint_state(states);
+        self.online.q_values_into(
+            &self.scratch.x,
+            self.config.state_dim,
+            false,
+            &mut self.scratch.q_eval,
+        );
+        out.resize_with(self.config.agents, Vec::new);
+        for (branches, agent_actions) in self.scratch.q_eval.q.iter().zip(out.iter_mut()) {
+            agent_actions.clear();
             for (d, qd) in branches.iter().enumerate() {
                 let n = self.config.branches[d];
                 let a = if self.rng.next_f64() < epsilon {
@@ -424,9 +505,8 @@ impl MaBdq {
                 };
                 agent_actions.push(a);
             }
-            out.push(agent_actions);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Q-values for one joint state: `q[k][d][a]`. Dropout disabled.
@@ -435,11 +515,52 @@ impl MaBdq {
     ///
     /// Returns [`RlError::DimensionMismatch`] for wrongly shaped states.
     pub fn q_values(&mut self, states: &[Vec<f32>]) -> Result<Vec<Vec<Vec<f32>>>, RlError> {
+        let mut out = Vec::with_capacity(self.config.agents);
+        self.q_values_into(states, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`q_values`](Self::q_values) into a reusable nested buffer; the
+    /// allocation-free sibling used by the per-epoch control loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] for wrongly shaped states.
+    pub fn q_values_into(
+        &mut self,
+        states: &[Vec<f32>],
+        out: &mut Vec<Vec<Vec<f32>>>,
+    ) -> Result<(), RlError> {
         self.check_states(states)?;
-        let q = self.online.q_values(&[states], false);
-        Ok(q.into_iter()
-            .map(|branches| branches.into_iter().map(|t| t.row(0).to_vec()).collect())
-            .collect())
+        self.pack_joint_state(states);
+        self.online.q_values_into(
+            &self.scratch.x,
+            self.config.state_dim,
+            false,
+            &mut self.scratch.q_eval,
+        );
+        out.resize_with(self.config.agents, Vec::new);
+        for (branches, branches_out) in self.scratch.q_eval.q.iter().zip(out.iter_mut()) {
+            branches_out.resize_with(branches.len(), Vec::new);
+            for (t, dst) in branches.iter().zip(branches_out.iter_mut()) {
+                dst.clear();
+                dst.extend_from_slice(t.row(0));
+            }
+        }
+        Ok(())
+    }
+
+    /// Packs one joint state (`K` per-agent vectors) into the single-row
+    /// scratch tensor consumed by [`Net::q_values_into`].
+    fn pack_joint_state(&mut self, states: &[Vec<f32>]) {
+        let state_dim = self.config.state_dim;
+        self.scratch
+            .x
+            .resize_zeroed(1, self.config.agents * state_dim);
+        let row = self.scratch.x.row_mut(0);
+        for (k, s) in states.iter().enumerate() {
+            row[k * state_dim..(k + 1) * state_dim].copy_from_slice(s);
+        }
     }
 
     /// Stores one transition in the prioritised replay buffer.
@@ -499,6 +620,13 @@ impl MaBdq {
     /// Returns `None` when the buffer has fewer than `batch_size`
     /// transitions.
     ///
+    /// Steady-state allocation-free: sampled transitions are read from the
+    /// buffer in place (never cloned), and every tensor — joint states,
+    /// head inputs, gradients, targets — lives in the reused
+    /// [`MaBdqScratch`]. Results are bit-identical to the historical
+    /// allocating implementation: same RNG draw order, same per-element
+    /// float accumulation order.
+    ///
     /// # Errors
     ///
     /// Propagates replay-buffer errors.
@@ -510,100 +638,145 @@ impl MaBdq {
         let agents = self.config.agents;
         let num_branches = self.config.branches.len();
         let gamma = self.config.gamma;
+        let state_dim = self.config.state_dim;
 
-        let batch = self.buffer.sample(batch_size, &mut self.rng)?;
-        let transitions: Vec<MultiTransition> = batch
-            .indices
-            .iter()
-            .map(|&i| self.buffer.get(i).expect("sampled index valid").clone())
-            .collect();
+        self.buffer
+            .sample_into(batch_size, &mut self.rng, &mut self.scratch.batch)?;
+
+        // Pack joint current/next states straight from the buffer.
+        self.scratch.x.resize_zeroed(batch_size, agents * state_dim);
+        self.scratch
+            .x_next
+            .resize_zeroed(batch_size, agents * state_dim);
+        for (b, &idx) in self.scratch.batch.indices.iter().enumerate() {
+            let t = self.buffer.get(idx).expect("sampled index valid");
+            let row = self.scratch.x.row_mut(b);
+            for (k, s) in t.states.iter().enumerate() {
+                row[k * state_dim..(k + 1) * state_dim].copy_from_slice(s);
+            }
+            let row = self.scratch.x_next.row_mut(b);
+            for (k, s) in t.next_states.iter().enumerate() {
+                row[k * state_dim..(k + 1) * state_dim].copy_from_slice(s);
+            }
+        }
 
         // --- Targets: double-DQN style, averaged over branches. ---
-        let next_states: Vec<&[Vec<f32>]> = transitions
-            .iter()
-            .map(|t| t.next_states.as_slice())
-            .collect();
-        let q_next_online = self.online.q_values(&next_states, false);
-        let q_next_target = self.target.q_values(&next_states, false);
-        // y[b][k]
-        let mut targets = vec![vec![0.0f32; agents]; batch_size];
-        #[allow(clippy::needless_range_loop)] // k/b index three parallel structures
+        self.online.q_values_into(
+            &self.scratch.x_next,
+            state_dim,
+            false,
+            &mut self.scratch.q_eval,
+        );
+        self.target.q_values_into(
+            &self.scratch.x_next,
+            state_dim,
+            false,
+            &mut self.scratch.q_target,
+        );
+        // y[b * agents + k]
+        self.scratch.targets.clear();
+        self.scratch.targets.resize(batch_size * agents, 0.0);
         for k in 0..agents {
             for b in 0..batch_size {
                 let mut acc = 0.0;
                 for d in 0..num_branches {
-                    let a_star = argmax(q_next_online[k][d].row(b));
-                    acc += q_next_target[k][d][(b, a_star)];
+                    let a_star = argmax(self.scratch.q_eval.q[k][d].row(b));
+                    acc += self.scratch.q_target.q[k][d][(b, a_star)];
                 }
-                targets[b][k] = transitions[b].rewards[k] + gamma * acc / num_branches as f32;
+                let reward = self
+                    .buffer
+                    .get(self.scratch.batch.indices[b])
+                    .expect("sampled index valid")
+                    .rewards[k];
+                self.scratch.targets[b * agents + k] = reward + gamma * acc / num_branches as f32;
             }
         }
 
         // --- Online forward + manual backward with gradient rescaling. ---
         self.online.zero_grads();
-        let state_dim = self.config.state_dim;
-        let mut x = Tensor::zeros(batch_size, agents * state_dim);
-        for (b, t) in transitions.iter().enumerate() {
-            let row = x.row_mut(b);
-            for (k, s) in t.states.iter().enumerate() {
-                row[k * state_dim..(k + 1) * state_dim].copy_from_slice(s);
-            }
-        }
-        let trunk_out = self.online.trunk.forward(&x, true);
+        let Net {
+            trunk,
+            value_heads,
+            adv_heads,
+        } = &mut self.online;
+        let trunk_out = trunk.forward_scratch(&self.scratch.x, true);
         let trunk_dim = trunk_out.cols();
-        let mut trunk_grad = Tensor::zeros(batch_size, trunk_dim);
-        let mut abs_td = vec![0.0f64; batch_size];
+        self.scratch.trunk_grad.resize_zeroed(batch_size, trunk_dim);
+        self.scratch.abs_td.clear();
+        self.scratch.abs_td.resize(batch_size, 0.0);
         let mut loss = 0.0f32;
         let norm = (batch_size * agents * num_branches) as f32;
 
-        #[allow(clippy::needless_range_loop)] // k indexes heads, states and targets
-        for k in 0..agents {
-            let mut agent_state = Tensor::zeros(batch_size, state_dim);
-            for (b, t) in transitions.iter().enumerate() {
-                agent_state.row_mut(b).copy_from_slice(&t.states[k]);
+        for (k, vh) in value_heads.iter_mut().enumerate() {
+            self.scratch
+                .agent_state
+                .resize_zeroed(batch_size, state_dim);
+            for b in 0..batch_size {
+                self.scratch
+                    .agent_state
+                    .row_mut(b)
+                    .copy_from_slice(&self.scratch.x.row(b)[k * state_dim..(k + 1) * state_dim]);
             }
-            let input_k = trunk_out.concat_cols(&agent_state).expect("same batch");
-            let v = self.online.value_heads[k].forward(&input_k, true);
-            let mut v_grad = Tensor::zeros(batch_size, 1);
-            let mut input_grad = Tensor::zeros(batch_size, input_k.cols());
+            trunk_out
+                .concat_cols_into(&self.scratch.agent_state, &mut self.scratch.input_k)
+                .expect("same batch");
+            let v = vh.forward_scratch(&self.scratch.input_k, true);
+            self.scratch.v_grad.resize_zeroed(batch_size, 1);
+            self.scratch
+                .input_grad
+                .resize_zeroed(batch_size, self.scratch.input_k.cols());
 
-            for (d, head) in self.online.adv_heads.iter_mut().enumerate() {
-                let adv = head.forward(&input_k, true);
+            for (d, head) in adv_heads.iter_mut().enumerate() {
+                let adv = head.forward_scratch(&self.scratch.input_k, true);
                 let n = adv.cols();
-                let mut adv_grad = Tensor::zeros(batch_size, n);
+                self.scratch.adv_grad.resize_zeroed(batch_size, n);
                 for b in 0..batch_size {
-                    let a = transitions[b].actions[k][d];
+                    let a = self
+                        .buffer
+                        .get(self.scratch.batch.indices[b])
+                        .expect("sampled index valid")
+                        .actions[k][d];
                     let row = adv.row(b);
                     let mean: f32 = row.iter().sum::<f32>() / n as f32;
                     let q = v[(b, 0)] + row[a] - mean;
-                    let delta = q - targets[b][k];
-                    abs_td[b] += (delta.abs() / (agents * num_branches) as f32) as f64;
-                    let w = batch.weights[b];
+                    let delta = q - self.scratch.targets[b * agents + k];
+                    self.scratch.abs_td[b] += (delta.abs() / (agents * num_branches) as f32) as f64;
+                    let w = self.scratch.batch.weights[b];
                     loss += w * delta * delta / norm;
                     let g = 2.0 * w * delta / norm;
-                    let grow = adv_grad.row_mut(b);
+                    let grow = self.scratch.adv_grad.row_mut(b);
                     for (j, gj) in grow.iter_mut().enumerate() {
                         let indicator = if j == a { 1.0 } else { 0.0 };
                         *gj = g * (indicator - 1.0 / n as f32);
                     }
-                    v_grad[(b, 0)] += g;
+                    self.scratch.v_grad[(b, 0)] += g;
                 }
-                let gin = head.backward(&adv_grad);
-                input_grad.add_assign(&gin).expect("same shape");
+                let gin = head.backward_scratch(&self.scratch.adv_grad);
+                self.scratch.input_grad.add_assign(gin).expect("same shape");
             }
-            let gin_v = self.online.value_heads[k].backward(&v_grad);
-            input_grad.add_assign(&gin_v).expect("same shape");
-            let (to_trunk, _to_state) = input_grad.split_cols(trunk_dim);
-            trunk_grad.add_assign(&to_trunk).expect("same shape");
+            let gin_v = vh.backward_scratch(&self.scratch.v_grad);
+            self.scratch
+                .input_grad
+                .add_assign(gin_v)
+                .expect("same shape");
+            self.scratch.input_grad.split_cols_into(
+                trunk_dim,
+                &mut self.scratch.to_trunk,
+                &mut self.scratch.to_state,
+            );
+            self.scratch
+                .trunk_grad
+                .add_assign(&self.scratch.to_trunk)
+                .expect("same shape");
         }
 
         // Section III-A rescaling: 1/K into the deepest advantage layers,
         // 1/D into the shared representation.
-        for head in &mut self.online.adv_heads {
+        for head in adv_heads.iter_mut() {
             head.scale_grads(1.0 / agents as f32);
         }
-        trunk_grad.scale(1.0 / num_branches as f32);
-        self.online.trunk.backward(&trunk_grad);
+        self.scratch.trunk_grad.scale(1.0 / num_branches as f32);
+        trunk.backward_scratch(&self.scratch.trunk_grad);
 
         // NaN guard: a numerically blown-up minibatch (non-finite loss or
         // gradients) must not reach the weights — one bad Adam step can
@@ -614,7 +787,7 @@ impl MaBdq {
             self.skipped_steps += 1;
             let stats = TrainStats {
                 loss,
-                mean_abs_td: (abs_td.iter().sum::<f64>() / batch_size as f64) as f32,
+                mean_abs_td: (self.scratch.abs_td.iter().sum::<f64>() / batch_size as f64) as f32,
                 grad_norm,
                 skipped: true,
             };
@@ -629,14 +802,15 @@ impl MaBdq {
         }
         self.online.apply(&mut self.adam);
 
-        self.buffer.update_priorities(&batch.indices, &abs_td);
+        self.buffer
+            .update_priorities(&self.scratch.batch.indices, &self.scratch.abs_td);
         self.steps += 1;
         if self.steps.is_multiple_of(self.config.target_update_every) {
             self.target.copy_weights_from(&self.online);
         }
         let stats = TrainStats {
             loss,
-            mean_abs_td: (abs_td.iter().sum::<f64>() / batch_size as f64) as f32,
+            mean_abs_td: (self.scratch.abs_td.iter().sum::<f64>() / batch_size as f64) as f32,
             grad_norm,
             skipped: false,
         };

@@ -37,7 +37,11 @@ pub struct PrioritizedReplay<T> {
 }
 
 /// One prioritised sample batch: buffer indices and importance weights.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Reusable: pass the same instance to
+/// [`PrioritizedReplay::sample_into`] every step and the contained vectors
+/// keep their capacity, making steady-state sampling allocation-free.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PerBatch {
     /// Indices into the buffer (pass back to `update_priorities`).
     pub indices: Vec<usize>,
@@ -102,6 +106,26 @@ impl<T> PrioritizedReplay<T> {
     ///
     /// Returns [`RlError::NotEnoughData`] when the buffer is empty.
     pub fn sample<R: Rng>(&mut self, n: usize, rng: &mut R) -> Result<PerBatch, RlError> {
+        let mut batch = PerBatch::default();
+        self.sample_into(n, rng, &mut batch)?;
+        Ok(batch)
+    }
+
+    /// Samples `n` indices into a reusable [`PerBatch`], clearing it first.
+    /// Identical draws and arithmetic to [`sample`](Self::sample) (which
+    /// delegates here), but allocation-free once `batch` has capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::NotEnoughData`] when the buffer is empty.
+    pub fn sample_into<R: Rng>(
+        &mut self,
+        n: usize,
+        rng: &mut R,
+        batch: &mut PerBatch,
+    ) -> Result<(), RlError> {
+        batch.indices.clear();
+        batch.weights.clear();
         if self.items.is_empty() {
             return Err(RlError::NotEnoughData {
                 needed: n,
@@ -111,22 +135,24 @@ impl<T> PrioritizedReplay<T> {
         let beta = self.beta.value_at(self.step);
         self.step += 1;
         let total = self.tree.total();
-        let mut indices = Vec::with_capacity(n);
-        let mut weights = Vec::with_capacity(n);
         let len = self.items.len() as f64;
         for _ in 0..n {
             let target = rng.range_f64(0.0, total.max(f64::MIN_POSITIVE));
             let idx = self.tree.find(target).min(self.items.len() - 1);
             let p = self.tree.get(idx) / total;
             let w = (len * p).powf(-beta);
-            indices.push(idx);
-            weights.push(w as f32);
+            batch.indices.push(idx);
+            batch.weights.push(w as f32);
         }
-        let max_w = weights.iter().cloned().fold(f32::MIN_POSITIVE, f32::max);
-        for w in &mut weights {
+        let max_w = batch
+            .weights
+            .iter()
+            .cloned()
+            .fold(f32::MIN_POSITIVE, f32::max);
+        for w in &mut batch.weights {
             *w /= max_w;
         }
-        Ok(PerBatch { indices, weights })
+        Ok(())
     }
 
     /// Updates priorities after a train step. `errors` are absolute TD

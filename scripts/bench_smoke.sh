@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Perf smoke for the parallel fleet + zero-allocation hot path. Used by
+# both CI (.github/workflows/ci.yml, smoke job) and local runs.
+#
+# 1. bench_fleet times a compressed fig01 workload serially and at
+#    --jobs 2 / --jobs 4, asserts bit-identical outputs and zero
+#    steady-state heap allocations, and writes results/BENCH_fleet.json.
+#    Speedup floors (1.2x @ 2 jobs, 1.5x @ 4 jobs) are enforced only when
+#    the host has that many cores; the measurements are always recorded.
+# 2. A reduced-epoch (--smoke) fig01 run exercises the real experiment
+#    path end to end; its output lands in results/ for the CI artifact.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+
+echo "== bench_smoke: building release binaries =="
+cargo build --release --offline -p twig-bench --bin bench_fleet --bin fig01_pmc_vs_ipc
+
+echo "== bench_smoke: fleet perf smoke (results/BENCH_fleet.json) =="
+./target/release/bench_fleet results/BENCH_fleet.json
+
+echo "== bench_smoke: fig01 smoke run (results/fig01_smoke.txt) =="
+./target/release/fig01_pmc_vs_ipc --smoke --jobs 2 | tee results/fig01_smoke.txt
+
+echo "bench_smoke: all steps passed"

@@ -21,7 +21,7 @@ step() {
 step "fmt"    cargo fmt --all -- --check
 step "build"  cargo build --release --offline --workspace
 step "test"   cargo test -q --offline --workspace
-step "clippy" cargo clippy --offline -- -D warnings
+step "clippy" cargo clippy --offline --workspace --all-targets -- -D warnings
 
 if [ "$fail" -ne 0 ]; then
     echo "check.sh: FAILED"
