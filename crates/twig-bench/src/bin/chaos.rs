@@ -1,0 +1,10 @@
+//! Binary wrapper for the `chaos` suite; see
+//! `twig_bench::experiments::chaos` for the schedules and invariants.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::chaos::run(&opts) {
+        eprintln!("chaos failed: {e}");
+        std::process::exit(1);
+    }
+}

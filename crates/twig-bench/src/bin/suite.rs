@@ -34,6 +34,7 @@ fn main() {
         ("diurnal", exp::diurnal::run_to),
         ("memcomplexity", exp::memcomplexity::run_to),
         ("resilience", exp::resilience::run_to),
+        ("chaos", exp::chaos::run_to),
         ("telemetry_report", exp::telemetry_report::run_to),
     ];
     let opts_ref = &opts;

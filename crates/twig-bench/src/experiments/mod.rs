@@ -10,6 +10,7 @@
 //! `EXPERIMENTS.md` for paper-vs-measured.
 
 pub mod ablation;
+pub mod chaos;
 pub mod diurnal;
 pub mod fig01;
 pub mod fig04;

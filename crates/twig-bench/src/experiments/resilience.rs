@@ -19,7 +19,8 @@
 use crate::{drive, make_twig, ExpError, Options, TextTable};
 use std::fmt::Write as _;
 use twig_baselines::StaticMapping;
-use twig_core::{GovernorConfig, SafetyGovernor, TaskManager};
+use twig_core::{CheckpointStore, GovernorConfig, SafetyGovernor, TaskManager};
+use twig_rl::QuarantineConfig;
 use twig_sim::{catalog, EpochReport, FaultConfig, FaultPlan, Server, ServerConfig, ServiceSpec};
 use twig_telemetry::Telemetry;
 
@@ -204,7 +205,11 @@ pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
         "gov degraded",
         "gov backoff",
     ]);
-    for (label, fault) in fault_levels() {
+    let mut ckpt_writes = 0u64;
+    let mut ckpt_write_failures = 0u64;
+    let mut quarantine_trips = 0u64;
+    let mut quarantine_readmitted = 0u64;
+    for (level, (label, fault)) in fault_levels().into_iter().enumerate() {
         let mut stat = StaticMapping::new(vec![spec.clone()], cfg.cores, cfg.dvfs.clone())?;
         let o = evaluate(&mut stat, &spec, &fault, phases, opts.seed)?;
         t.row(vec![
@@ -237,7 +242,11 @@ pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
             "-".into(),
         ]);
 
-        let inner = make_twig(vec![spec.clone()], phases.learn, opts.seed)?;
+        let mut inner = make_twig(vec![spec.clone()], phases.learn, opts.seed)?;
+        // The governed run carries the full robustness stack: per-agent
+        // divergence quarantine in the learner and periodic crash-safe
+        // checkpointing through the governor.
+        inner.set_quarantine(QuarantineConfig::default().armed())?;
         let mut gov = SafetyGovernor::new(
             inner,
             GovernorConfig {
@@ -247,6 +256,13 @@ pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
                 ..GovernorConfig::default()
             },
         )?;
+        let ckpt_dir = std::env::temp_dir().join(format!(
+            "twig-resilience-ckpt-{level}-{}-{}",
+            opts.seed,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        gov.arm_checkpointing(CheckpointStore::create(&ckpt_dir, 2)?, 25)?;
         // Intervention counts come from the telemetry registry, not the
         // governor's internal stats — this is the observable surface an
         // operator would scrape in production.
@@ -254,6 +270,11 @@ pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
         gov.set_telemetry(telemetry.clone());
         let o = evaluate(&mut gov, &spec, &fault, phases, opts.seed)?;
         let m = telemetry.metrics().ok_or("telemetry disabled")?;
+        ckpt_writes += m.counter("ckpt.write");
+        ckpt_write_failures += m.counter("ckpt.write_failed");
+        quarantine_trips += m.counter("quarantine.trips");
+        quarantine_readmitted += m.counter("quarantine.readmitted");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
         t.row(vec![
             label.into(),
             "twig-s+governor".into(),
@@ -271,6 +292,9 @@ pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     writeln!(out, "{t}")?;
     writeln!(out,
         "Expected shape: static rides out faults at max cores; the governor holds QoS% at or above bare twig-s during the fault window and recovers at least as fast after it."
+    )?;
+    writeln!(out,
+        "Crash-safety counters across the governed runs: {ckpt_writes} checkpoint writes ({ckpt_write_failures} failed), {quarantine_trips} quarantine trips, {quarantine_readmitted} re-admissions."
     )?;
     Ok(())
 }

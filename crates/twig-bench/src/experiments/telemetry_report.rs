@@ -11,6 +11,8 @@
 use crate::{drive, make_twig, ExpError, Options, TextTable};
 use std::fmt::Write as _;
 use std::io::Write;
+use twig_core::{recover, CheckpointStore, GovernorConfig, SafetyGovernor};
+use twig_rl::QuarantineConfig;
 use twig_sim::{catalog, Server, ServerConfig};
 use twig_telemetry::{Phase, Telemetry};
 
@@ -40,10 +42,50 @@ pub fn collect(opts: &Options) -> Result<Telemetry, ExpError> {
     server.set_load_fraction(1, 0.4)?;
 
     let n = epochs(opts);
-    let mut twig = make_twig(specs, n, opts.seed)?;
+    let mut twig = make_twig(specs.clone(), n, opts.seed)?;
+    twig.set_quarantine(QuarantineConfig::default().armed())?;
     twig.set_telemetry(telemetry.clone());
 
-    drive(&mut server, &mut twig, n)?;
+    // The report covers the crash-safety wiring too: the loop runs under
+    // the governor with periodic checkpointing armed, and a cold manager
+    // climbs the recovery ladder off the store afterwards, so the
+    // `ckpt.*` counters appear in the digest alongside the control-loop
+    // metrics.
+    let dir = std::env::temp_dir().join(format!(
+        "twig-telemetry-ckpt-{}-{}",
+        opts.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::create(&dir, 2)?;
+    let cfg = ServerConfig::default();
+    let mut gov = SafetyGovernor::new(
+        twig,
+        GovernorConfig {
+            services: specs.clone(),
+            cores: cfg.cores,
+            dvfs: cfg.dvfs,
+            // The whole run is a from-scratch learning phase, so QoS
+            // violations are expected; an armed watchdog would suspend the
+            // learner into safe mode and starve the very counters this
+            // report exists to show. The governor is here for its
+            // checkpointing duty only.
+            watchdog_epochs: u32::MAX,
+            ..GovernorConfig::default()
+        },
+    )?;
+    gov.set_telemetry(telemetry.clone());
+    gov.arm_checkpointing(store.clone(), (n / 8).max(1))?;
+
+    drive(&mut server, &mut gov, n)?;
+
+    let mut cold = make_twig(specs, n, opts.seed)?;
+    let recovery = recover(&store, &mut cold, &telemetry);
+    assert!(
+        recovery.recovered(),
+        "ladder must restore off a fault-free store"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
     telemetry.flush()?;
     Ok(telemetry)
 }
@@ -196,6 +238,12 @@ mod tests {
         assert!(snapshot.gauge("twig.epsilon").is_some());
         assert!(snapshot.histogram("sim.p99_ms.masstree").is_some());
         assert!(snapshot.histogram("phase_ms.inference").is_some());
+
+        // The crash-safety wiring showed up: periodic checkpoint writes
+        // from the governed loop and one ladder restore from the probe.
+        assert!(snapshot.counter("ckpt.write") >= 1);
+        assert_eq!(snapshot.counter("ckpt.load"), 1);
+        assert_eq!(snapshot.counter("ckpt.corrupt"), 0);
 
         // The JSONL export round-trips without I/O.
         let mut buf = Vec::new();

@@ -1,0 +1,374 @@
+//! Durable checkpoint persistence and the startup recovery ladder.
+//!
+//! [`CheckpointStore`] writes opaque checkpoint payloads atomically (temp
+//! file + fsync + rename) and rotates the newest `keep` generations, so a
+//! crash mid-write can never destroy an existing good generation. The free
+//! function [`recover`] implements the ladder: try the newest generation,
+//! fall back one generation per corrupt or mismatched checkpoint, and
+//! cold-start when every generation is exhausted — each rung recorded in
+//! telemetry (`ckpt.load`, `ckpt.corrupt`, `ckpt.fallback`,
+//! `ckpt.cold_start`).
+//!
+//! Anything that serializes itself through [`Checkpointable`] can ride the
+//! ladder; [`Twig`](crate::Twig) implements it over the twig-rl versioned
+//! codec, and [`SafetyGovernor`](crate::SafetyGovernor) arms periodic
+//! writes around any checkpointable manager.
+
+use crate::TwigError;
+use std::fs::{self, File};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use twig_telemetry::Telemetry;
+
+const CKPT_PREFIX: &str = "ckpt-";
+const CKPT_SUFFIX: &str = ".bin";
+const TMP_NAME: &str = "ckpt.tmp";
+
+/// A manager whose full learner state can round-trip through bytes — the
+/// durability contract used by [`CheckpointStore`] and [`recover`].
+pub trait Checkpointable {
+    /// Serializes the current learner state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the state cannot be serialized.
+    fn checkpoint_bytes(&self) -> Result<Vec<u8>, TwigError>;
+
+    /// Restores learner state from bytes produced by
+    /// [`checkpoint_bytes`](Self::checkpoint_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the bytes are corrupt or were produced by an
+    /// incompatible configuration; the implementation must leave itself
+    /// usable (at worst unchanged) in that case.
+    fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), TwigError>;
+}
+
+/// Rotating on-disk checkpoint store with atomic writes.
+///
+/// Generations are files named `ckpt-NNNNNNNN.bin` under one directory,
+/// with a monotonically increasing sequence number; only the newest `keep`
+/// survive a write. Every write lands in a temp file first, is fsynced,
+/// and is renamed into place, so readers only ever see complete payloads
+/// under a final name (torn writes can still corrupt *content* — that is
+/// what the codec CRC and the recovery ladder are for).
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a store rooted at `dir`, keeping the
+    /// newest `keep` generations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `keep` is zero or the directory cannot be
+    /// created.
+    pub fn create(dir: impl Into<PathBuf>, keep: usize) -> io::Result<Self> {
+        if keep == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "checkpoint store must keep at least one generation",
+            ));
+        }
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir, keep })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// How many generations survive a write.
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    /// Atomically writes one checkpoint generation and prunes old ones.
+    /// Returns the path of the new generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the payload cannot be durably written.
+    pub fn write(&self, payload: &[u8]) -> io::Result<PathBuf> {
+        let seq = self.sequences()?.first().map_or(0, |&s| s + 1);
+        let tmp = self.dir.join(TMP_NAME);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(payload)?;
+            f.sync_all()?;
+        }
+        let path = self.dir.join(format!("{CKPT_PREFIX}{seq:08}{CKPT_SUFFIX}"));
+        fs::rename(&tmp, &path)?;
+        // Fsync the directory so the rename itself is durable; best-effort
+        // because not every platform lets a directory be opened for sync.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.prune()?;
+        Ok(path)
+    }
+
+    /// Paths of all generations, newest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the directory cannot be listed.
+    pub fn generations(&self) -> io::Result<Vec<PathBuf>> {
+        Ok(self
+            .sequences()?
+            .into_iter()
+            .map(|s| self.dir.join(format!("{CKPT_PREFIX}{s:08}{CKPT_SUFFIX}")))
+            .collect())
+    }
+
+    /// Reads one generation's payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file cannot be read.
+    pub fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    /// Sequence numbers present on disk, newest first.
+    fn sequences(&self) -> io::Result<Vec<u64>> {
+        let mut seqs = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name
+                .strip_prefix(CKPT_PREFIX)
+                .and_then(|s| s.strip_suffix(CKPT_SUFFIX))
+            else {
+                continue;
+            };
+            if let Ok(seq) = stem.parse::<u64>() {
+                seqs.push(seq);
+            }
+        }
+        seqs.sort_unstable_by(|a, b| b.cmp(a));
+        Ok(seqs)
+    }
+
+    fn prune(&self) -> io::Result<()> {
+        for &seq in self.sequences()?.iter().skip(self.keep) {
+            let _ = fs::remove_file(self.dir.join(format!("{CKPT_PREFIX}{seq:08}{CKPT_SUFFIX}")));
+        }
+        Ok(())
+    }
+}
+
+/// How a [`recover`] run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// State was restored from generation `generation` (0 = newest).
+    Restored {
+        /// Ladder rung the restore succeeded on (0 = newest generation).
+        generation: usize,
+    },
+    /// Every generation was missing, unreadable or corrupt: the manager
+    /// keeps its freshly initialised (cold) state.
+    ColdStart,
+}
+
+/// Outcome and accounting of one recovery-ladder run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// How the run ended.
+    pub outcome: RecoveryOutcome,
+    /// Generations tried and rejected before the outcome.
+    pub ladder_depth: usize,
+    /// Generations rejected as unreadable, corrupt or mismatched.
+    pub corrupt_generations: usize,
+}
+
+impl RecoveryReport {
+    /// Whether any generation was restored (false = cold start).
+    pub fn recovered(&self) -> bool {
+        matches!(self.outcome, RecoveryOutcome::Restored { .. })
+    }
+}
+
+/// Runs the recovery ladder: restore `target` from the newest generation
+/// in `store`, falling back one generation per corrupt or mismatched
+/// checkpoint, cold-starting when all are exhausted. Each rung is recorded
+/// in `telemetry` (`ckpt.load` on success, `ckpt.corrupt` + `ckpt.fallback`
+/// per rejected generation, `ckpt.cold_start` when nothing loads).
+pub fn recover<M: Checkpointable>(
+    store: &CheckpointStore,
+    target: &mut M,
+    telemetry: &Telemetry,
+) -> RecoveryReport {
+    let generations = store.generations().unwrap_or_default();
+    let mut corrupt = 0usize;
+    for (depth, path) in generations.iter().enumerate() {
+        let restored = store
+            .read(path)
+            .map_err(|e| TwigError::Io {
+                detail: e.to_string(),
+            })
+            .and_then(|bytes| target.restore_checkpoint(&bytes));
+        match restored {
+            Ok(()) => {
+                telemetry.counter_add("ckpt.load", 1);
+                return RecoveryReport {
+                    outcome: RecoveryOutcome::Restored { generation: depth },
+                    ladder_depth: depth,
+                    corrupt_generations: corrupt,
+                };
+            }
+            Err(_) => {
+                corrupt += 1;
+                telemetry.counter_add("ckpt.corrupt", 1);
+                telemetry.counter_add("ckpt.fallback", 1);
+            }
+        }
+    }
+    telemetry.counter_add("ckpt.cold_start", 1);
+    RecoveryReport {
+        outcome: RecoveryOutcome::ColdStart,
+        ladder_depth: generations.len(),
+        corrupt_generations: corrupt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_store(tag: &str, keep: usize) -> CheckpointStore {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("twig-ckpt-store-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        CheckpointStore::create(&dir, keep).unwrap()
+    }
+
+    fn cleanup(store: &CheckpointStore) {
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    /// Minimal checkpointable: a byte payload with a trivial validity rule
+    /// (payload must start with 0xAB).
+    struct Fake {
+        state: Vec<u8>,
+    }
+
+    impl Checkpointable for Fake {
+        fn checkpoint_bytes(&self) -> Result<Vec<u8>, TwigError> {
+            Ok(self.state.clone())
+        }
+
+        fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), TwigError> {
+            if bytes.first() != Some(&0xAB) {
+                return Err(TwigError::InvalidConfig {
+                    detail: "bad payload".into(),
+                });
+            }
+            self.state = bytes.to_vec();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_rotates_generations() {
+        let store = temp_store("rotate", 2);
+        for i in 0..5u8 {
+            store.write(&[0xAB, i]).unwrap();
+        }
+        let gens = store.generations().unwrap();
+        assert_eq!(gens.len(), 2, "only `keep` generations survive");
+        // Newest first: sequence 4 then 3.
+        assert_eq!(store.read(&gens[0]).unwrap(), vec![0xAB, 4]);
+        assert_eq!(store.read(&gens[1]).unwrap(), vec![0xAB, 3]);
+        assert!(
+            !store.dir().join(TMP_NAME).exists(),
+            "no temp file left behind"
+        );
+        cleanup(&store);
+    }
+
+    #[test]
+    fn zero_keep_rejected() {
+        let dir = std::env::temp_dir().join("twig-ckpt-zero-keep");
+        assert!(CheckpointStore::create(&dir, 0).is_err());
+    }
+
+    #[test]
+    fn recover_prefers_newest_generation() {
+        let store = temp_store("newest", 3);
+        store.write(&[0xAB, 1]).unwrap();
+        store.write(&[0xAB, 2]).unwrap();
+        let telemetry = Telemetry::enabled();
+        let mut target = Fake { state: vec![] };
+        let report = recover(&store, &mut target, &telemetry);
+        assert_eq!(report.outcome, RecoveryOutcome::Restored { generation: 0 });
+        assert_eq!(report.ladder_depth, 0);
+        assert_eq!(target.state, vec![0xAB, 2]);
+        assert_eq!(telemetry.counter("ckpt.load"), 1);
+        assert_eq!(telemetry.counter("ckpt.corrupt"), 0);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn recover_falls_back_past_corrupt_generation() {
+        let store = temp_store("fallback", 3);
+        store.write(&[0xAB, 1]).unwrap();
+        let newest = store.write(&[0xAB, 2]).unwrap();
+        // Corrupt the newest generation on disk.
+        fs::write(&newest, [0xFF, 0xFF]).unwrap();
+        let telemetry = Telemetry::enabled();
+        let mut target = Fake { state: vec![] };
+        let report = recover(&store, &mut target, &telemetry);
+        assert_eq!(report.outcome, RecoveryOutcome::Restored { generation: 1 });
+        assert_eq!(report.ladder_depth, 1);
+        assert_eq!(report.corrupt_generations, 1);
+        assert_eq!(target.state, vec![0xAB, 1]);
+        assert_eq!(telemetry.counter("ckpt.corrupt"), 1);
+        assert_eq!(telemetry.counter("ckpt.fallback"), 1);
+        assert_eq!(telemetry.counter("ckpt.load"), 1);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn recover_cold_starts_when_everything_corrupt() {
+        let store = temp_store("cold", 2);
+        for gen in store.generations().unwrap() {
+            let _ = fs::remove_file(gen);
+        }
+        store.write(&[0xAB, 1]).unwrap();
+        store.write(&[0xAB, 2]).unwrap();
+        for gen in store.generations().unwrap() {
+            fs::write(&gen, [0x00]).unwrap();
+        }
+        let telemetry = Telemetry::enabled();
+        let mut target = Fake { state: vec![9] };
+        let report = recover(&store, &mut target, &telemetry);
+        assert_eq!(report.outcome, RecoveryOutcome::ColdStart);
+        assert!(!report.recovered());
+        assert_eq!(report.ladder_depth, 2);
+        assert_eq!(target.state, vec![9], "cold start leaves state untouched");
+        assert_eq!(telemetry.counter("ckpt.cold_start"), 1);
+        assert_eq!(telemetry.counter("ckpt.corrupt"), 2);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn recover_empty_store_is_cold_start() {
+        let store = temp_store("empty", 2);
+        let telemetry = Telemetry::disabled();
+        let mut target = Fake { state: vec![] };
+        let report = recover(&store, &mut target, &telemetry);
+        assert_eq!(report.outcome, RecoveryOutcome::ColdStart);
+        assert_eq!(report.ladder_depth, 0);
+        cleanup(&store);
+    }
+}

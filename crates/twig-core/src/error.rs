@@ -33,6 +33,11 @@ pub enum TwigError {
     Sim(SimError),
     /// An error bubbled up from the statistics substrate.
     Stats(StatsError),
+    /// A filesystem operation (checkpoint persistence) failed.
+    Io {
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TwigError {
@@ -45,6 +50,7 @@ impl fmt::Display for TwigError {
             TwigError::Learning(e) => write!(f, "learning error: {e}"),
             TwigError::Sim(e) => write!(f, "simulator error: {e}"),
             TwigError::Stats(e) => write!(f, "statistics error: {e}"),
+            TwigError::Io { detail } => write!(f, "io error: {detail}"),
         }
     }
 }
@@ -160,13 +166,14 @@ impl From<TwigError> for ManagerError {
                     detail: e.to_string(),
                 }
             }
-            // Runtime failures of the learning/simulation substrate: a
-            // supervisor can fall back and continue.
-            TwigError::Learning(_) | TwigError::Sim(_) | TwigError::Stats(_) => {
-                ManagerError::Recoverable {
-                    detail: e.to_string(),
-                }
-            }
+            // Runtime failures of the learning/simulation substrate or the
+            // checkpoint store: a supervisor can fall back and continue.
+            TwigError::Learning(_)
+            | TwigError::Sim(_)
+            | TwigError::Stats(_)
+            | TwigError::Io { .. } => ManagerError::Recoverable {
+                detail: e.to_string(),
+            },
         }
     }
 }

@@ -20,8 +20,16 @@
 //! 4. **Replay hygiene** — epochs whose telemetry is flagged corrupted are
 //!    routed to [`TaskManager::observe_degraded`], so a learning manager
 //!    never trains on garbage observations.
+//!
+//! A [`Checkpointable`] inner manager can additionally be armed with
+//! periodic crash-safe persistence ([`SafetyGovernor::arm_checkpointing`])
+//! and restored through the recovery ladder
+//! ([`SafetyGovernor::recover_from_store`]); a checkpoint write failure is
+//! counted, never allowed to take down a healthy control loop.
 
-use crate::{ManagerError, TaskManager};
+use crate::{
+    recover, CheckpointStore, Checkpointable, ManagerError, RecoveryReport, TaskManager, TwigError,
+};
 use twig_sim::{Assignment, DvfsLadder, EpochReport, ServiceSpec};
 use twig_telemetry::Telemetry;
 
@@ -79,6 +87,21 @@ pub struct GovernorStats {
     pub safe_mode_epochs: u64,
 }
 
+/// Periodic-checkpoint wiring installed by
+/// [`SafetyGovernor::arm_checkpointing`].
+///
+/// `encode` is a plain `fn` pointer (captured from the
+/// [`Checkpointable`] impl at arming time) rather than a trait bound, so
+/// the generic `TaskManager` impl — which cannot know about
+/// checkpointability — can still drive the periodic writes, and the
+/// governor stays `Clone`/`Debug` for free.
+#[derive(Debug, Clone)]
+struct CheckpointArm<M> {
+    store: CheckpointStore,
+    every_epochs: u64,
+    encode: fn(&M) -> Result<Vec<u8>, TwigError>,
+}
+
 /// A supervisor wrapping any [`TaskManager`] with validation, fallback and
 /// a QoS watchdog. See the module docs for the policy.
 ///
@@ -113,6 +136,8 @@ pub struct SafetyGovernor<M> {
     backoff: u64,
     stats: GovernorStats,
     telemetry: Telemetry,
+    ckpt: Option<CheckpointArm<M>>,
+    epochs_observed: u64,
 }
 
 impl<M: TaskManager> SafetyGovernor<M> {
@@ -148,6 +173,8 @@ impl<M: TaskManager> SafetyGovernor<M> {
             backoff,
             stats: GovernorStats::default(),
             telemetry: Telemetry::disabled(),
+            ckpt: None,
+            epochs_observed: 0,
         })
     }
 
@@ -242,6 +269,29 @@ impl<M: TaskManager> SafetyGovernor<M> {
         }
     }
 
+    /// Writes one checkpoint generation when checkpointing is armed and the
+    /// interval has elapsed. Write failures are counted
+    /// (`ckpt.write_failed`) and swallowed: losing durability must not take
+    /// down a healthy control loop.
+    fn write_checkpoint_if_due(&mut self) {
+        let Some(arm) = &self.ckpt else { return };
+        if !self.epochs_observed.is_multiple_of(arm.every_epochs) {
+            return;
+        }
+        let written = (arm.encode)(&self.inner).and_then(|bytes| {
+            arm.store
+                .write(&bytes)
+                .map(|_| ())
+                .map_err(|e| TwigError::Io {
+                    detail: e.to_string(),
+                })
+        });
+        match written {
+            Ok(()) => self.telemetry.counter_add("ckpt.write", 1),
+            Err(_) => self.telemetry.counter_add("ckpt.write_failed", 1),
+        }
+    }
+
     fn any_violation(&self, report: &EpochReport) -> bool {
         report
             .services
@@ -253,6 +303,58 @@ impl<M: TaskManager> SafetyGovernor<M> {
                 let active = svc.offered_rps > 0.0 || svc.completed > 0;
                 active && !(svc.p99_ms.is_finite() && svc.p99_ms <= spec.qos_ms)
             })
+    }
+}
+
+impl<M: TaskManager + Checkpointable> SafetyGovernor<M> {
+    /// Arms crash-safe persistence: after every `every_epochs` fully
+    /// observed epochs the inner manager's state is serialized and written
+    /// atomically to `store` (counter `ckpt.write`; a failed write counts
+    /// `ckpt.write_failed` and never interrupts the loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError::Fatal`] for a zero interval.
+    pub fn arm_checkpointing(
+        &mut self,
+        store: CheckpointStore,
+        every_epochs: u64,
+    ) -> Result<(), ManagerError> {
+        if every_epochs == 0 {
+            return Err(ManagerError::fatal("governor: zero checkpoint interval"));
+        }
+        self.ckpt = Some(CheckpointArm {
+            store,
+            every_epochs,
+            encode: <M as Checkpointable>::checkpoint_bytes,
+        });
+        Ok(())
+    }
+
+    /// The armed checkpoint store, if any.
+    pub fn checkpoint_store(&self) -> Option<&CheckpointStore> {
+        self.ckpt.as_ref().map(|arm| &arm.store)
+    }
+
+    /// Runs the recovery ladder ([`recover`]) over the armed store: the
+    /// newest generation first, one rung back per corrupt or mismatched
+    /// checkpoint, cold start when every generation is exhausted. The
+    /// governor's own health tracking (last-known-good decision, violation
+    /// and healthy streaks) is reset — it described the pre-crash regime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError::Fatal`] when checkpointing was never armed.
+    pub fn recover_from_store(&mut self) -> Result<RecoveryReport, ManagerError> {
+        let Some(arm) = &self.ckpt else {
+            return Err(ManagerError::fatal("governor: checkpointing not armed"));
+        };
+        let store = arm.store.clone();
+        let report = recover(&store, &mut self.inner, &self.telemetry);
+        self.last_good = None;
+        self.violation_streak = 0;
+        self.healthy_streak = 0;
+        Ok(report)
     }
 }
 
@@ -337,7 +439,7 @@ impl<M: TaskManager> TaskManager for SafetyGovernor<M> {
         } else {
             self.inner.observe(report)
         };
-        match result {
+        let outcome = match result {
             Ok(()) => Ok(()),
             Err(e) if e.is_recoverable() => {
                 // A transient observation failure must not kill the loop;
@@ -347,13 +449,21 @@ impl<M: TaskManager> TaskManager for SafetyGovernor<M> {
                 Ok(())
             }
             Err(fatal) => Err(fatal),
+        };
+        self.epochs_observed += 1;
+        if outcome.is_ok() {
+            // One full epoch has been absorbed: this is the
+            // crash-consistent point to persist the learner.
+            self.write_checkpoint_if_due();
         }
+        outcome
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RecoveryOutcome;
     use twig_sim::fault::{AppliedAssignment, TelemetryHealth};
     use twig_sim::{catalog, CoreId, Frequency, PmcSample, ServiceEpoch};
 
@@ -630,6 +740,126 @@ mod tests {
         assert_eq!(gov.inner().degraded_calls, 1);
         assert_eq!(gov.inner().observe_calls, 1);
         assert_eq!(gov.stats().degraded_epochs, 1);
+    }
+
+    /// Checkpointable inner manager: one counter bumped per observed epoch,
+    /// serialized as 8 little-endian bytes.
+    struct Persistable {
+        value: u64,
+    }
+
+    impl TaskManager for Persistable {
+        fn name(&self) -> &str {
+            "persistable"
+        }
+
+        fn decide(&mut self) -> Result<Vec<Assignment>, ManagerError> {
+            Ok(Scripted::good())
+        }
+
+        fn observe(&mut self, _report: &EpochReport) -> Result<(), ManagerError> {
+            self.value += 1;
+            Ok(())
+        }
+    }
+
+    impl Checkpointable for Persistable {
+        fn checkpoint_bytes(&self) -> Result<Vec<u8>, TwigError> {
+            Ok(self.value.to_le_bytes().to_vec())
+        }
+
+        fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), TwigError> {
+            let arr: [u8; 8] = bytes.try_into().map_err(|_| TwigError::Io {
+                detail: "bad checkpoint length".into(),
+            })?;
+            self.value = u64::from_le_bytes(arr);
+            Ok(())
+        }
+    }
+
+    fn temp_store(tag: &str, keep: usize) -> CheckpointStore {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("twig-gov-ckpt-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointStore::create(&dir, keep).unwrap()
+    }
+
+    #[test]
+    fn armed_governor_writes_periodically_and_recovers() {
+        let store = temp_store("roundtrip", 3);
+        let qos = catalog::masstree().qos_ms;
+
+        let mut gov = SafetyGovernor::new(Persistable { value: 0 }, config()).unwrap();
+        gov.set_telemetry(Telemetry::enabled());
+        gov.arm_checkpointing(store.clone(), 2).unwrap();
+        assert!(gov.checkpoint_store().is_some());
+        for _ in 0..6 {
+            gov.decide().unwrap();
+            gov.observe(&report(qos * 0.5, false)).unwrap();
+        }
+        // Writes after epochs 2, 4 and 6.
+        assert_eq!(gov.telemetry.counter("ckpt.write"), 3);
+        assert_eq!(store.generations().unwrap().len(), 3);
+
+        // A fresh (crashed-and-restarted) governor recovers the newest
+        // generation: the counter state after epoch 6.
+        let mut fresh = SafetyGovernor::new(Persistable { value: 0 }, config()).unwrap();
+        fresh.set_telemetry(Telemetry::enabled());
+        fresh.arm_checkpointing(store.clone(), 2).unwrap();
+        let rec = fresh.recover_from_store().unwrap();
+        assert_eq!(rec.outcome, RecoveryOutcome::Restored { generation: 0 });
+        assert_eq!(fresh.inner().value, 6);
+
+        // With the newest generation corrupted the ladder falls back one
+        // rung to the epoch-4 state.
+        let gens = store.generations().unwrap();
+        std::fs::write(&gens[0], [0xFF; 3]).unwrap();
+        let mut again = SafetyGovernor::new(Persistable { value: 0 }, config()).unwrap();
+        again.set_telemetry(Telemetry::enabled());
+        again.arm_checkpointing(store.clone(), 2).unwrap();
+        let rec = again.recover_from_store().unwrap();
+        assert_eq!(rec.outcome, RecoveryOutcome::Restored { generation: 1 });
+        assert_eq!(rec.corrupt_generations, 1);
+        assert_eq!(again.inner().value, 4);
+        assert_eq!(again.telemetry.counter("ckpt.corrupt"), 1);
+        assert_eq!(again.telemetry.counter("ckpt.fallback"), 1);
+        assert_eq!(again.telemetry.counter("ckpt.load"), 1);
+
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn checkpoint_arming_validation_and_write_failures() {
+        let store = temp_store("failures", 2);
+        let qos = catalog::masstree().qos_ms;
+
+        let mut gov = SafetyGovernor::new(Persistable { value: 0 }, config()).unwrap();
+        assert!(
+            gov.recover_from_store().is_err(),
+            "recovery requires an armed store"
+        );
+        assert!(gov.arm_checkpointing(store.clone(), 0).is_err());
+        assert!(gov.checkpoint_store().is_none());
+
+        // Deleting the directory out from under an armed store makes the
+        // write fail; the loop must keep running and count the failure.
+        gov.set_telemetry(Telemetry::enabled());
+        gov.arm_checkpointing(store.clone(), 1).unwrap();
+        std::fs::remove_dir_all(store.dir()).unwrap();
+        for _ in 0..2 {
+            gov.decide().unwrap();
+            gov.observe(&report(qos * 0.5, false)).unwrap();
+        }
+        assert_eq!(gov.telemetry.counter("ckpt.write"), 0);
+        assert_eq!(gov.telemetry.counter("ckpt.write_failed"), 2);
+        assert_eq!(gov.inner().value, 2, "inner manager kept observing");
+
+        // Recovery over the now-empty store is an explicit cold start.
+        let rec = gov.recover_from_store().unwrap();
+        assert_eq!(rec.outcome, RecoveryOutcome::ColdStart);
     }
 
     #[test]

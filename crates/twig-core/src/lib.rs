@@ -49,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint_store;
 mod error;
 mod governor;
 mod manager;
@@ -57,6 +58,9 @@ mod monitor;
 mod power_model;
 mod reward;
 
+pub use checkpoint_store::{
+    recover, CheckpointStore, Checkpointable, RecoveryOutcome, RecoveryReport,
+};
 pub use error::{ManagerError, TwigError};
 pub use governor::{GovernorConfig, GovernorStats, SafetyGovernor};
 pub use manager::{TaskManager, Twig, TwigBuilder, TwigConfig};

@@ -1,5 +1,10 @@
-use crate::{Eq2PowerModel, ManagerError, Mapper, RewardConfig, SystemMonitor, TwigError};
-use twig_rl::{EpsilonSchedule, MaBdq, MaBdqConfig, MultiTransition, RlError};
+use crate::{
+    Checkpointable, Eq2PowerModel, ManagerError, Mapper, RewardConfig, SystemMonitor, TwigError,
+};
+use twig_rl::{
+    decode_checkpoint, encode_checkpoint, EpsilonSchedule, MaBdq, MaBdqConfig, MultiTransition,
+    QuarantineConfig, RlError,
+};
 use twig_sim::{Assignment, DvfsLadder, EpochReport, ServiceSpec};
 use twig_telemetry::{Phase, Telemetry};
 
@@ -342,6 +347,54 @@ impl Twig {
         &self.agent
     }
 
+    /// Forwards a per-agent quarantine configuration to the learning agent
+    /// (see [`QuarantineConfig`]): divergence detection, last-known-good
+    /// rollback and probation for individual agents while the rest of the
+    /// fleet keeps training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TwigError::Learning`] for invalid thresholds.
+    pub fn set_quarantine(&mut self, quarantine: QuarantineConfig) -> Result<(), TwigError> {
+        self.agent
+            .set_quarantine(quarantine)
+            .map_err(TwigError::Learning)
+    }
+
+    /// Serializes the learner's full state (network, optimizer moments,
+    /// anneal counters, replay priorities) with the twig-rl versioned
+    /// binary codec. Restore with
+    /// [`restore_checkpoint_bytes`](Self::restore_checkpoint_bytes).
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        encode_checkpoint(&self.agent.save_checkpoint())
+    }
+
+    /// Restores the learner from codec bytes, validating integrity (CRC)
+    /// and architecture against the live configuration. In-flight epoch
+    /// state (pending transition, sticky actions) is discarded, and when
+    /// the checkpoint carries trained weights the ε schedule resumes at
+    /// the exploitation point instead of re-exploring from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TwigError::Learning`] wrapping
+    /// [`RlError::CorruptCheckpoint`] or [`RlError::CheckpointMismatch`];
+    /// the manager is left unchanged in that case.
+    pub fn restore_checkpoint_bytes(&mut self, bytes: &[u8]) -> Result<(), TwigError> {
+        let ckpt = decode_checkpoint(bytes).map_err(TwigError::Learning)?;
+        let trained = ckpt.steps > 0;
+        self.agent
+            .load_checkpoint(&ckpt)
+            .map_err(TwigError::Learning)?;
+        self.pending = None;
+        self.last_actions = None;
+        if trained {
+            let restart = self.config.epsilon.learning_phase_end();
+            self.time = self.time.max(restart);
+        }
+        Ok(())
+    }
+
     /// Switches to pure exploitation (drops gradient descent), reducing the
     /// per-epoch overhead as recommended in Section V.
     pub fn set_pure_exploitation(&mut self, on: bool) {
@@ -542,6 +595,16 @@ impl Twig {
         self.telemetry.counter_add("twig.degraded_epochs", 1);
         self.time += 1;
         Ok(())
+    }
+}
+
+impl Checkpointable for Twig {
+    fn checkpoint_bytes(&self) -> Result<Vec<u8>, TwigError> {
+        Ok(Twig::checkpoint_bytes(self))
+    }
+
+    fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), TwigError> {
+        self.restore_checkpoint_bytes(bytes)
     }
 }
 

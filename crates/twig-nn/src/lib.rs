@@ -63,5 +63,5 @@ pub use error::NnError;
 pub use layer::{Dense, Dropout, Layer, Relu};
 pub use loss::{huber_loss, mse_loss};
 pub use mlp::{IntoMlpLayer, Mlp, MlpLayerToken};
-pub use optim::Adam;
+pub use optim::{Adam, AdamSlot, AdamState};
 pub use tensor::Tensor;

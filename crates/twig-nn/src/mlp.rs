@@ -282,13 +282,21 @@ impl Mlp {
     /// [`import_parameters`](Self::import_parameters).
     pub fn export_parameters(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
+        self.export_parameters_into(&mut out);
+        out
+    }
+
+    /// Like [`export_parameters`](Self::export_parameters) but writes into a
+    /// caller-owned buffer (cleared first), so repeated snapshots reuse the
+    /// buffer's capacity and stay allocation-free.
+    pub fn export_parameters_into(&self, out: &mut Vec<f32>) {
+        out.clear();
         for layer in &self.layers {
             if let MlpLayer::Dense(d) = layer {
                 out.extend_from_slice(d.weights().as_slice());
                 out.extend_from_slice(d.bias());
             }
         }
-        out
     }
 
     /// Restores every trainable parameter from a flat buffer produced by

@@ -36,6 +36,18 @@ pub enum RlError {
         /// Human-readable description.
         detail: String,
     },
+    /// A checkpoint's recorded architecture does not match the live
+    /// configuration it is being loaded into.
+    CheckpointMismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A serialized checkpoint failed integrity or format validation
+    /// (bad CRC, truncated buffer, unknown magic or version).
+    CorruptCheckpoint {
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RlError {
@@ -50,6 +62,12 @@ impl fmt::Display for RlError {
             }
             RlError::NonFinite { detail } => {
                 write!(f, "non-finite input: {detail}")
+            }
+            RlError::CheckpointMismatch { detail } => {
+                write!(f, "checkpoint mismatch: {detail}")
+            }
+            RlError::CorruptCheckpoint { detail } => {
+                write!(f, "corrupt checkpoint: {detail}")
             }
         }
     }
@@ -71,6 +89,8 @@ mod tests {
                 available: 1,
             },
             RlError::NonFinite { detail: "z".into() },
+            RlError::CheckpointMismatch { detail: "c".into() },
+            RlError::CorruptCheckpoint { detail: "d".into() },
         ] {
             assert!(!e.to_string().is_empty());
         }

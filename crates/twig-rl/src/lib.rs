@@ -45,6 +45,7 @@
 
 mod anneal;
 mod bdq;
+pub mod checkpoint;
 mod dqn;
 mod error;
 mod mabdq;
@@ -55,9 +56,12 @@ mod tabular;
 
 pub use anneal::{EpsilonSchedule, LinearAnneal};
 pub use bdq::Bdq;
+pub use checkpoint::{crc32, decode_checkpoint, encode_checkpoint, MaBdqCheckpoint};
 pub use dqn::{Dqn, DqnConfig};
 pub use error::RlError;
-pub use mabdq::{MaBdq, MaBdqConfig, MultiTransition, TrainStats};
+pub use mabdq::{
+    MaBdq, MaBdqConfig, MultiTransition, QuarantineConfig, QuarantineStats, TrainStats,
+};
 pub use per::{PerBatch, PrioritizedReplay};
 pub use replay::ReplayBuffer;
 pub use tabular::QTable;

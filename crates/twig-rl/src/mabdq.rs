@@ -1,4 +1,4 @@
-use crate::{EpsilonSchedule, PerBatch, PrioritizedReplay, RlError};
+use crate::{EpsilonSchedule, MaBdqCheckpoint, PerBatch, PrioritizedReplay, RlError};
 use twig_nn::{Adam, Dense, Dropout, Mlp, Relu, Tensor};
 use twig_stats::rng::{Rng, Xoshiro256};
 use twig_telemetry::Telemetry;
@@ -46,6 +46,9 @@ pub struct MaBdqConfig {
     pub grad_clip: f32,
     /// RNG seed.
     pub seed: u64,
+    /// Per-agent divergence quarantine (disabled by default; see
+    /// [`QuarantineConfig`]).
+    pub quarantine: QuarantineConfig,
 }
 
 impl Default for MaBdqConfig {
@@ -67,6 +70,7 @@ impl Default for MaBdqConfig {
             per_beta_steps: 100_000,
             grad_clip: 10.0,
             seed: 0,
+            quarantine: QuarantineConfig::default(),
         }
     }
 }
@@ -105,8 +109,113 @@ impl MaBdqConfig {
         if !(0.0..=1.0).contains(&self.gamma) {
             return fail(format!("gamma {}", self.gamma));
         }
+        self.quarantine.validate()?;
         Ok(())
     }
+}
+
+/// Per-agent divergence quarantine — the multi-agent analogue of the
+/// governor's fallback. Each agent's batch-mean |TD error| and value-head
+/// gradient norm are tracked against EWMA baselines; when a signal goes
+/// non-finite (or, after warm-up, blows past `trip_multiple` × its
+/// baseline), that agent's value head is rolled back to its last-known-good
+/// snapshot and its learning is frozen for `probation_steps` train calls
+/// while the other K−1 agents keep training. After probation the agent is
+/// re-admitted with fresh baselines and a fresh snapshot.
+///
+/// Disabled by default. While no agent is quarantined the detector only
+/// reads already-computed quantities — it draws no randomness and performs
+/// no extra float operations in the gradient path, so learning trajectories
+/// are bit-identical to a run without it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Trip when a signal exceeds this multiple of its EWMA baseline.
+    pub trip_multiple: f64,
+    /// Baseline samples required before the multiple test arms
+    /// (non-finite or overflow-scale signals trip immediately regardless).
+    pub warmup_steps: u64,
+    /// Train calls an offending agent stays frozen before re-admission.
+    pub probation_steps: u64,
+    /// Healthy train calls between last-known-good snapshots.
+    pub snapshot_every: u64,
+    /// EWMA smoothing factor for the baselines, in (0, 1].
+    pub baseline_alpha: f64,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig {
+            enabled: false,
+            trip_multiple: 8.0,
+            warmup_steps: 100,
+            probation_steps: 200,
+            snapshot_every: 50,
+            baseline_alpha: 0.05,
+        }
+    }
+}
+
+impl QuarantineConfig {
+    /// A copy of `self` with the master switch on.
+    pub fn armed(mut self) -> Self {
+        self.enabled = true;
+        self
+    }
+
+    fn validate(&self) -> Result<(), RlError> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let fail = |detail: String| Err(RlError::InvalidConfig { detail });
+        if !self.trip_multiple.is_finite() || self.trip_multiple <= 1.0 {
+            return fail(format!("quarantine trip multiple {}", self.trip_multiple));
+        }
+        if self.probation_steps == 0 || self.snapshot_every == 0 {
+            return fail("quarantine probation/snapshot interval must be positive".into());
+        }
+        if !(self.baseline_alpha > 0.0 && self.baseline_alpha <= 1.0) {
+            return fail(format!("quarantine baseline alpha {}", self.baseline_alpha));
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate quarantine counters, see [`MaBdq::quarantine_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuarantineStats {
+    /// Divergence trips (rollback + freeze events) across all agents.
+    pub trips: u64,
+    /// Agents re-admitted after serving probation.
+    pub readmissions: u64,
+    /// Agents currently frozen.
+    pub frozen_agents: usize,
+}
+
+/// A TD error at or beyond this magnitude would overflow the f32 squared
+/// loss, so it trips quarantine immediately even before baseline warm-up.
+const QUARANTINE_HARD_TD_LIMIT: f64 = 1e18;
+/// Baselines never shrink below this floor when forming trip thresholds, so
+/// a near-zero warm-up baseline cannot make ordinary noise look divergent.
+const QUARANTINE_BASELINE_FLOOR: f64 = 1e-8;
+
+/// Per-agent divergence-detection state (only populated while quarantine is
+/// enabled).
+#[derive(Debug, Clone)]
+struct AgentGuard {
+    /// EWMA of the agent's batch-mean |TD error|.
+    td_baseline: f64,
+    /// EWMA of the agent's value-head gradient norm.
+    grad_baseline: f64,
+    /// Healthy samples folded into the baselines so far.
+    baseline_samples: u64,
+    /// Train-clock value at which probation ends; 0 = not frozen.
+    frozen_until: u64,
+    /// Last-known-good flat value-head parameters.
+    snapshot: Vec<f32>,
+    /// Healthy train calls since the snapshot was refreshed.
+    snapshot_age: u64,
 }
 
 /// One multi-agent transition: everything all `K` agents observed and did in
@@ -334,6 +443,10 @@ pub struct MaBdq {
     skipped_steps: u64,
     telemetry: Telemetry,
     scratch: MaBdqScratch,
+    /// Per-agent quarantine guards; empty unless quarantine is enabled.
+    guards: Vec<AgentGuard>,
+    quarantine_trips: u64,
+    quarantine_readmissions: u64,
 }
 
 /// Preallocated working memory for the decide/learn hot path. Every buffer
@@ -357,6 +470,12 @@ struct MaBdqScratch {
     targets: Vec<f32>,
     /// Per-sample mean |TD| fed back as priorities.
     abs_td: Vec<f64>,
+    /// Per-agent summed |TD| this step (quarantine signal; unused when
+    /// quarantine is disabled).
+    agent_td: Vec<f64>,
+    /// Per-agent value-head squared gradient norm this step (quarantine
+    /// signal).
+    agent_vgrad: Vec<f64>,
     agent_state: Tensor,
     input_k: Tensor,
     v_grad: Tensor,
@@ -386,7 +505,7 @@ impl MaBdq {
             config.per_beta0,
             config.per_beta_steps,
         );
-        Ok(MaBdq {
+        let mut agent = MaBdq {
             config,
             online,
             target,
@@ -397,7 +516,12 @@ impl MaBdq {
             skipped_steps: 0,
             telemetry: Telemetry::disabled(),
             scratch: MaBdqScratch::default(),
-        })
+            guards: Vec::new(),
+            quarantine_trips: 0,
+            quarantine_readmissions: 0,
+        };
+        agent.rebuild_guards();
+        Ok(agent)
     }
 
     /// Attaches a telemetry handle: [`observe`](Self::observe) and
@@ -429,6 +553,145 @@ impl MaBdq {
     /// Transitions currently buffered.
     pub fn buffer_len(&self) -> usize {
         self.buffer.len()
+    }
+
+    /// Replaces the quarantine configuration at runtime, validating it and
+    /// resetting every agent's baselines, snapshot and probation state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] for invalid thresholds.
+    pub fn set_quarantine(&mut self, quarantine: QuarantineConfig) -> Result<(), RlError> {
+        quarantine.validate()?;
+        self.config.quarantine = quarantine;
+        self.rebuild_guards();
+        Ok(())
+    }
+
+    /// Aggregate quarantine counters (trips, re-admissions, currently
+    /// frozen agents).
+    pub fn quarantine_stats(&self) -> QuarantineStats {
+        QuarantineStats {
+            trips: self.quarantine_trips,
+            readmissions: self.quarantine_readmissions,
+            frozen_agents: self.guards.iter().filter(|g| g.frozen_until > 0).count(),
+        }
+    }
+
+    /// Rebuilds per-agent guards with fresh snapshots of the current value
+    /// heads (or drops them entirely when quarantine is disabled).
+    fn rebuild_guards(&mut self) {
+        if !self.config.quarantine.enabled {
+            self.guards.clear();
+            return;
+        }
+        self.guards = self
+            .online
+            .value_heads
+            .iter()
+            .map(|vh| AgentGuard {
+                td_baseline: 0.0,
+                grad_baseline: 0.0,
+                baseline_samples: 0,
+                frozen_until: 0,
+                snapshot: vh.export_parameters(),
+                snapshot_age: 0,
+            })
+            .collect();
+    }
+
+    /// The monotone clock probation is measured against: it advances on
+    /// applied *and* skipped train calls, so a fleet stuck behind the
+    /// global NaN guard still serves out probation windows.
+    fn train_clock(&self) -> u64 {
+        self.steps + self.skipped_steps
+    }
+
+    /// Re-admits agents whose probation has expired: unfreeze, restart
+    /// baselines, and take a fresh last-known-good snapshot.
+    fn quarantine_readmit(&mut self) {
+        let clock = self.train_clock();
+        let MaBdq {
+            guards,
+            online,
+            quarantine_readmissions,
+            telemetry,
+            ..
+        } = self;
+        for (k, guard) in guards.iter_mut().enumerate() {
+            if guard.frozen_until > 0 && clock >= guard.frozen_until {
+                guard.frozen_until = 0;
+                guard.baseline_samples = 0;
+                guard.td_baseline = 0.0;
+                guard.grad_baseline = 0.0;
+                guard.snapshot_age = 0;
+                online.value_heads[k].export_parameters_into(&mut guard.snapshot);
+                *quarantine_readmissions += 1;
+                telemetry.counter_add("quarantine.readmitted", 1);
+            }
+        }
+    }
+
+    /// Divergence scan over this step's per-agent signals (runs on applied
+    /// and skipped steps alike). A tripped agent's value head is rolled
+    /// back to its last-known-good snapshot and frozen until
+    /// `clock + probation_steps`; healthy agents fold their signals into
+    /// the EWMA baselines and refresh their snapshot on schedule.
+    fn quarantine_scan(&mut self) {
+        if !self.config.quarantine.enabled {
+            return;
+        }
+        let q = self.config.quarantine.clone();
+        let clock = self.train_clock();
+        let denom = (self.config.batch_size * self.config.branches.len()) as f64;
+        let mut frozen_now = 0usize;
+        let MaBdq {
+            guards,
+            online,
+            scratch,
+            quarantine_trips,
+            telemetry,
+            ..
+        } = self;
+        for (k, guard) in guards.iter_mut().enumerate() {
+            if guard.frozen_until > 0 {
+                frozen_now += 1;
+                continue;
+            }
+            let td = scratch.agent_td[k] / denom;
+            let grad = scratch.agent_vgrad[k].sqrt();
+            let warmed = guard.baseline_samples >= q.warmup_steps;
+            let td_limit = q.trip_multiple * guard.td_baseline.max(QUARANTINE_BASELINE_FLOOR);
+            let grad_limit = q.trip_multiple * guard.grad_baseline.max(QUARANTINE_BASELINE_FLOOR);
+            let blown = !td.is_finite()
+                || !grad.is_finite()
+                || td > QUARANTINE_HARD_TD_LIMIT
+                || (warmed && (td > td_limit || grad > grad_limit));
+            if blown {
+                online.value_heads[k]
+                    .import_parameters(&guard.snapshot)
+                    .expect("snapshot taken from this head");
+                guard.frozen_until = clock + q.probation_steps;
+                *quarantine_trips += 1;
+                telemetry.counter_add("quarantine.trips", 1);
+                frozen_now += 1;
+                continue;
+            }
+            if guard.baseline_samples == 0 {
+                guard.td_baseline = td;
+                guard.grad_baseline = grad;
+            } else {
+                guard.td_baseline += q.baseline_alpha * (td - guard.td_baseline);
+                guard.grad_baseline += q.baseline_alpha * (grad - guard.grad_baseline);
+            }
+            guard.baseline_samples += 1;
+            guard.snapshot_age += 1;
+            if guard.snapshot_age >= q.snapshot_every {
+                online.value_heads[k].export_parameters_into(&mut guard.snapshot);
+                guard.snapshot_age = 0;
+            }
+        }
+        telemetry.gauge_set("quarantine.frozen_agents", frozen_now as f64);
     }
 
     /// Trainable parameters across trunk and heads.
@@ -639,6 +902,10 @@ impl MaBdq {
         let num_branches = self.config.branches.len();
         let gamma = self.config.gamma;
         let state_dim = self.config.state_dim;
+        let quarantine_on = self.config.quarantine.enabled;
+        if quarantine_on {
+            self.quarantine_readmit();
+        }
 
         self.buffer
             .sample_into(batch_size, &mut self.rng, &mut self.scratch.batch)?;
@@ -704,10 +971,21 @@ impl MaBdq {
         self.scratch.trunk_grad.resize_zeroed(batch_size, trunk_dim);
         self.scratch.abs_td.clear();
         self.scratch.abs_td.resize(batch_size, 0.0);
+        self.scratch.agent_td.clear();
+        self.scratch.agent_td.resize(agents, 0.0);
+        self.scratch.agent_vgrad.clear();
+        self.scratch.agent_vgrad.resize(agents, 0.0);
         let mut loss = 0.0f32;
         let norm = (batch_size * agents * num_branches) as f32;
 
         for (k, vh) in value_heads.iter_mut().enumerate() {
+            // A quarantined agent contributes nothing this step: no
+            // forward, no loss term, no gradient, no replay priority. The
+            // remaining K−1 agents train exactly as usual (probation is
+            // time-based, so nothing needs measuring here either).
+            if quarantine_on && self.guards[k].frozen_until > 0 {
+                continue;
+            }
             self.scratch
                 .agent_state
                 .resize_zeroed(batch_size, state_dim);
@@ -741,6 +1019,9 @@ impl MaBdq {
                     let q = v[(b, 0)] + row[a] - mean;
                     let delta = q - self.scratch.targets[b * agents + k];
                     self.scratch.abs_td[b] += (delta.abs() / (agents * num_branches) as f32) as f64;
+                    if quarantine_on {
+                        self.scratch.agent_td[k] += f64::from(delta.abs());
+                    }
                     let w = self.scratch.batch.weights[b];
                     loss += w * delta * delta / norm;
                     let g = 2.0 * w * delta / norm;
@@ -759,6 +1040,9 @@ impl MaBdq {
                 .input_grad
                 .add_assign(gin_v)
                 .expect("same shape");
+            if quarantine_on {
+                self.scratch.agent_vgrad[k] = f64::from(vh.grad_sq_norm());
+            }
             self.scratch.input_grad.split_cols_into(
                 trunk_dim,
                 &mut self.scratch.to_trunk,
@@ -785,6 +1069,11 @@ impl MaBdq {
         if !loss.is_finite() || !grad_norm.is_finite() {
             self.online.zero_grads();
             self.skipped_steps += 1;
+            // The scan runs on skipped steps too: the agent whose TD blew
+            // up trips and freezes here, so subsequent minibatch losses
+            // become finite again and the other K−1 agents resume training
+            // instead of being starved by the global guard forever.
+            self.quarantine_scan();
             let stats = TrainStats {
                 loss,
                 mean_abs_td: (self.scratch.abs_td.iter().sum::<f64>() / batch_size as f64) as f32,
@@ -808,6 +1097,7 @@ impl MaBdq {
         if self.steps.is_multiple_of(self.config.target_update_every) {
             self.target.copy_weights_from(&self.online);
         }
+        self.quarantine_scan();
         let stats = TrainStats {
             loss,
             mean_abs_td: (self.scratch.abs_td.iter().sum::<f64>() / batch_size as f64) as f32,
@@ -860,45 +1150,105 @@ impl MaBdq {
         self.online.trunk.export_weights()
     }
 
-    /// Serialises the online network into a flat checkpoint (trunk, value
-    /// heads, advantage heads, in order). Restore with
-    /// [`load_checkpoint`](Self::load_checkpoint) on an agent built from the
-    /// same configuration.
-    pub fn save_checkpoint(&self) -> Vec<f32> {
-        let mut out = self.online.trunk.export_parameters();
+    /// Snapshots the full learner state into a structured
+    /// [`MaBdqCheckpoint`]: architecture fingerprint, flat online
+    /// parameters (trunk, value heads, advantage heads, in order), Adam
+    /// moments, step counters, PER anneal state and priorities. Serialize
+    /// with [`encode_checkpoint`](crate::encode_checkpoint); restore with
+    /// [`load_checkpoint`](Self::load_checkpoint) on an agent built from
+    /// the same configuration.
+    ///
+    /// The RNG stream and buffered transitions are deliberately *not*
+    /// checkpointed: a restored process starts with an empty buffer and a
+    /// fresh exploration stream, so post-restore trajectories legitimately
+    /// differ from an uninterrupted run.
+    pub fn save_checkpoint(&self) -> MaBdqCheckpoint {
+        let mut params = self.online.trunk.export_parameters();
         for head in self
             .online
             .value_heads
             .iter()
             .chain(self.online.adv_heads.iter())
         {
-            out.extend(head.export_parameters());
+            params.extend(head.export_parameters());
         }
-        out
+        MaBdqCheckpoint {
+            agents: self.config.agents,
+            state_dim: self.config.state_dim,
+            branches: self.config.branches.clone(),
+            trunk_hidden: self.config.trunk_hidden.clone(),
+            head_hidden: self.config.head_hidden,
+            params,
+            adam: self.adam.export_state(),
+            steps: self.steps,
+            skipped_steps: self.skipped_steps,
+            per_step: self.buffer.anneal_step(),
+            per_max_priority: self.buffer.max_priority(),
+            priorities: self.buffer.priorities(),
+        }
     }
 
-    /// Restores the online network (and re-syncs the target) from a
-    /// checkpoint produced by [`save_checkpoint`](Self::save_checkpoint).
-    /// Optimiser state is reset.
+    /// Restores the full learner state from a checkpoint produced by
+    /// [`save_checkpoint`](Self::save_checkpoint): online network, Adam
+    /// moments, step counters and PER anneal state; the target network is
+    /// re-synced to the restored online weights. Quarantine guards are
+    /// rebuilt with fresh snapshots of the restored heads.
+    ///
+    /// Replay priorities are restored for however many transitions the
+    /// live buffer holds — after a crash the buffer restarts empty, so the
+    /// priority vector typically applies only once the buffer refills.
     ///
     /// # Errors
     ///
-    /// Returns [`RlError::InvalidConfig`] when the checkpoint length does
-    /// not match this agent's architecture.
-    pub fn load_checkpoint(&mut self, params: &[f32]) -> Result<(), RlError> {
-        if params.len() != self.param_count() {
-            return Err(RlError::InvalidConfig {
-                detail: format!(
-                    "checkpoint has {} parameters, agent has {}",
-                    params.len(),
-                    self.param_count()
-                ),
-            });
+    /// Returns [`RlError::CheckpointMismatch`] when the checkpoint's
+    /// recorded architecture (agents, state dim, branches, trunk, head
+    /// width), parameter count, or optimizer-moment layout does not match
+    /// this agent.
+    pub fn load_checkpoint(&mut self, ckpt: &MaBdqCheckpoint) -> Result<(), RlError> {
+        let mismatch = |detail: String| Err(RlError::CheckpointMismatch { detail });
+        let c = &self.config;
+        if ckpt.agents != c.agents
+            || ckpt.state_dim != c.state_dim
+            || ckpt.branches != c.branches
+            || ckpt.trunk_hidden != c.trunk_hidden
+            || ckpt.head_hidden != c.head_hidden
+        {
+            return mismatch(format!(
+                "checkpoint shape ({} agents, state {}, branches {:?}, trunk {:?}, head {}) \
+                 does not match config ({} agents, state {}, branches {:?}, trunk {:?}, head {})",
+                ckpt.agents,
+                ckpt.state_dim,
+                ckpt.branches,
+                ckpt.trunk_hidden,
+                ckpt.head_hidden,
+                c.agents,
+                c.state_dim,
+                c.branches,
+                c.trunk_hidden,
+                c.head_hidden,
+            ));
+        }
+        if ckpt.params.len() != self.param_count() {
+            return mismatch(format!(
+                "checkpoint has {} parameters, agent has {}",
+                ckpt.params.len(),
+                self.param_count()
+            ));
+        }
+        if ckpt.adam.slots.iter().any(|s| s.m.len() != s.v.len()) {
+            return mismatch("optimizer moment vectors m/v differ in length".into());
+        }
+        let moment_elems: usize = ckpt.adam.slots.iter().map(|s| s.m.len()).sum();
+        if moment_elems != 0 && moment_elems != self.param_count() {
+            return mismatch(format!(
+                "optimizer moments cover {moment_elems} of {} parameters",
+                self.param_count()
+            ));
         }
         let mut offset = self.online.trunk.param_count();
         self.online
             .trunk
-            .import_parameters(&params[..offset])
+            .import_parameters(&ckpt.params[..offset])
             .expect("length checked");
         for head in self
             .online
@@ -907,12 +1257,18 @@ impl MaBdq {
             .chain(self.online.adv_heads.iter_mut())
         {
             let n = head.param_count();
-            head.import_parameters(&params[offset..offset + n])
+            head.import_parameters(&ckpt.params[offset..offset + n])
                 .expect("length checked");
             offset += n;
         }
-        self.adam.reset_state();
+        self.adam.import_state(&ckpt.adam);
+        self.steps = ckpt.steps;
+        self.skipped_steps = ckpt.skipped_steps;
+        self.buffer.set_anneal_step(ckpt.per_step);
+        self.buffer.set_max_priority(ckpt.per_max_priority);
+        self.buffer.restore_priorities(&ckpt.priorities);
         self.target.copy_weights_from(&self.online);
+        self.rebuild_guards();
         Ok(())
     }
 
@@ -1259,17 +1615,230 @@ mod tests {
         }
         agent.train_step().unwrap();
         let checkpoint = agent.save_checkpoint();
-        assert_eq!(checkpoint.len(), agent.param_count());
+        assert_eq!(checkpoint.params.len(), agent.param_count());
+        assert_eq!(checkpoint.steps, 1);
+        assert!(!checkpoint.adam.slots.is_empty());
         let states = vec![vec![0.3, -0.4], vec![-0.9, 0.1]];
         let q_before = agent.q_values(&states).unwrap();
 
-        let mut restored = MaBdq::new(tiny_config(2)).unwrap();
+        let mut restored = MaBdq::new(MaBdqConfig {
+            seed: 99,
+            ..tiny_config(2)
+        })
+        .unwrap();
         assert_ne!(restored.q_values(&states).unwrap(), q_before);
         restored.load_checkpoint(&checkpoint).unwrap();
         assert_eq!(restored.q_values(&states).unwrap(), q_before);
+        assert_eq!(restored.steps(), agent.steps());
+        assert_eq!(restored.skipped_steps(), agent.skipped_steps());
+        // The restored optimizer carries the same moments, so identical
+        // training inputs take identical Adam steps from here on.
+        assert_eq!(restored.save_checkpoint().adam, checkpoint.adam);
+    }
 
-        // Wrong-size checkpoints are rejected.
-        assert!(restored.load_checkpoint(&checkpoint[1..]).is_err());
+    #[test]
+    fn load_checkpoint_rejects_truncated_params() {
+        let agent = MaBdq::new(tiny_config(2)).unwrap();
+        let mut ckpt = agent.save_checkpoint();
+        ckpt.params.pop();
+        let mut restored = MaBdq::new(tiny_config(2)).unwrap();
+        assert!(matches!(
+            restored.load_checkpoint(&ckpt),
+            Err(RlError::CheckpointMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn load_checkpoint_rejects_permuted_branches_with_same_param_count() {
+        // [3, 2] and [2, 3] branch layouts have identical total parameter
+        // counts (the advantage heads are symmetric under permutation), so
+        // a flat length check cannot tell them apart — the shape
+        // fingerprint must.
+        let donor = MaBdq::new(tiny_config(1)).unwrap();
+        let mut receiver = MaBdq::new(MaBdqConfig {
+            branches: vec![2, 3],
+            ..tiny_config(1)
+        })
+        .unwrap();
+        assert_eq!(donor.param_count(), receiver.param_count());
+        assert!(matches!(
+            receiver.load_checkpoint(&donor.save_checkpoint()),
+            Err(RlError::CheckpointMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn load_checkpoint_rejects_inconsistent_moments() {
+        let donor = MaBdq::new(tiny_config(1)).unwrap();
+        let mut ckpt = donor.save_checkpoint();
+        ckpt.adam.slots.push(twig_nn::AdamSlot {
+            id: 0,
+            steps: 1,
+            m: vec![0.0; 3],
+            v: vec![0.0; 3],
+        });
+        let mut receiver = MaBdq::new(tiny_config(1)).unwrap();
+        assert!(matches!(
+            receiver.load_checkpoint(&ckpt),
+            Err(RlError::CheckpointMismatch { .. })
+        ));
+    }
+
+    fn quarantine_test_config(agents: usize) -> MaBdqConfig {
+        MaBdqConfig {
+            quarantine: QuarantineConfig {
+                trip_multiple: 4.0,
+                warmup_steps: 10,
+                probation_steps: 30,
+                snapshot_every: 5,
+                ..QuarantineConfig::default()
+            }
+            .armed(),
+            ..tiny_config(agents)
+        }
+    }
+
+    fn normal_transition(agents: usize) -> MultiTransition {
+        MultiTransition {
+            states: vec![vec![0.2, -0.3]; agents],
+            actions: vec![vec![0, 1]; agents],
+            rewards: vec![0.5; agents],
+            next_states: vec![vec![0.2, -0.3]; agents],
+        }
+    }
+
+    #[test]
+    fn quarantine_inactive_is_bit_identical_to_disabled() {
+        // An armed quarantine that never trips must not change a single
+        // weight bit relative to a run without it.
+        let mut plain = MaBdq::new(tiny_config(2)).unwrap();
+        let mut guarded = MaBdq::new(MaBdqConfig {
+            quarantine: QuarantineConfig {
+                trip_multiple: 1e12,
+                warmup_steps: 1_000_000,
+                ..QuarantineConfig::default()
+            }
+            .armed(),
+            ..tiny_config(2)
+        })
+        .unwrap();
+        let mut rng = Xoshiro256::seed_from_u64(17);
+        for _ in 0..80 {
+            let s = if rng.next_bool(0.5) { 1.0 } else { -1.0 };
+            let t = MultiTransition {
+                states: vec![vec![s, 0.1]; 2],
+                actions: vec![vec![1, 0]; 2],
+                rewards: vec![s, -s],
+                next_states: vec![vec![s, 0.1]; 2],
+            };
+            plain.observe(t.clone()).unwrap();
+            guarded.observe(t).unwrap();
+            plain.train_step().unwrap();
+            guarded.train_step().unwrap();
+        }
+        assert_eq!(guarded.quarantine_stats().trips, 0);
+        let a = plain.save_checkpoint();
+        let b = guarded.save_checkpoint();
+        for (x, y) in a.params.iter().zip(&b.params) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn quarantine_contains_diverging_agent_and_readmits() {
+        let mut agent = MaBdq::new(quarantine_test_config(2)).unwrap();
+        // Warm up baselines with well-behaved data.
+        for _ in 0..30 {
+            agent.observe(normal_transition(2)).unwrap();
+            agent.train_step().unwrap();
+        }
+        assert_eq!(agent.quarantine_stats().trips, 0);
+        let steps_before = agent.steps();
+        // Poison agent 0 only: a reward spike whose squared TD overflows
+        // f32, so the global NaN guard starts skipping every step.
+        for _ in 0..4 {
+            agent
+                .observe(MultiTransition {
+                    rewards: vec![1.0e30, 0.5],
+                    ..normal_transition(2)
+                })
+                .unwrap();
+            agent.train_step().unwrap();
+        }
+        let stats = agent.quarantine_stats();
+        assert!(stats.trips >= 1, "poisoned agent must trip: {stats:?}");
+        assert_eq!(stats.frozen_agents, 1, "only agent 0 frozen: {stats:?}");
+        // With agent 0 quarantined the loss is finite again, so the other
+        // agent keeps accumulating applied (non-skipped) train steps even
+        // though the poisoned transitions are still in the buffer.
+        let skipped_before = agent.skipped_steps();
+        for _ in 0..10 {
+            agent.observe(normal_transition(2)).unwrap();
+            agent.train_step().unwrap();
+        }
+        assert!(
+            agent.steps() > steps_before,
+            "fleet still training after containment"
+        );
+        assert_eq!(
+            agent.skipped_steps(),
+            skipped_before,
+            "no further skipped steps once the divergent agent is frozen"
+        );
+        // Probation is 30 train calls: keep training until re-admission.
+        for _ in 0..40 {
+            agent.observe(normal_transition(2)).unwrap();
+            agent.train_step().unwrap();
+        }
+        let stats = agent.quarantine_stats();
+        assert!(
+            stats.readmissions >= 1,
+            "agent must be re-admitted after probation: {stats:?}"
+        );
+        // Q-values stay finite throughout.
+        let q = agent.q_values(&vec![vec![0.2, -0.3]; 2]).unwrap();
+        assert!(q.iter().flatten().flatten().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn quarantine_config_validation() {
+        for bad in [
+            QuarantineConfig {
+                trip_multiple: 0.5,
+                ..QuarantineConfig::default()
+            }
+            .armed(),
+            QuarantineConfig {
+                probation_steps: 0,
+                ..QuarantineConfig::default()
+            }
+            .armed(),
+            QuarantineConfig {
+                snapshot_every: 0,
+                ..QuarantineConfig::default()
+            }
+            .armed(),
+            QuarantineConfig {
+                baseline_alpha: 0.0,
+                ..QuarantineConfig::default()
+            }
+            .armed(),
+        ] {
+            let config = MaBdqConfig {
+                quarantine: bad.clone(),
+                ..tiny_config(1)
+            };
+            assert!(MaBdq::new(config).is_err(), "accepted {bad:?}");
+            // The same thresholds are fine while disabled.
+            let dormant = MaBdqConfig {
+                quarantine: QuarantineConfig {
+                    enabled: false,
+                    ..bad
+                },
+                ..tiny_config(1)
+            };
+            assert!(MaBdq::new(dormant).is_ok());
+        }
     }
 
     #[test]

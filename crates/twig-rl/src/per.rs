@@ -177,6 +177,47 @@ impl<T> PrioritizedReplay<T> {
             self.tree.set(idx, p.powf(self.alpha));
         }
     }
+
+    /// The β-anneal step counter (advances once per sample call).
+    pub fn anneal_step(&self) -> u64 {
+        self.step
+    }
+
+    /// Restores the β-anneal step counter from a checkpoint.
+    pub fn set_anneal_step(&mut self, step: u64) {
+        self.step = step;
+    }
+
+    /// The running maximum raw priority assigned to new items.
+    pub fn max_priority(&self) -> f64 {
+        self.max_priority
+    }
+
+    /// Restores the running maximum priority from a checkpoint. Non-finite
+    /// or non-positive values are ignored (the default of 1.0 is kept).
+    pub fn set_max_priority(&mut self, p: f64) {
+        if p.is_finite() && p > 0.0 {
+            self.max_priority = p;
+        }
+    }
+
+    /// The stored (already α-exponentiated) sampling weight of every item,
+    /// in buffer order — the exact sum-tree leaves, so a
+    /// [`restore_priorities`](Self::restore_priorities) round trip is
+    /// lossless.
+    pub fn priorities(&self) -> Vec<f64> {
+        (0..self.items.len()).map(|i| self.tree.get(i)).collect()
+    }
+
+    /// Restores sum-tree leaves saved by [`priorities`](Self::priorities).
+    /// Entries beyond the current item count are ignored (after a crash the
+    /// buffer restarts empty, so a checkpointed priority vector may be
+    /// longer than the live buffer).
+    pub fn restore_priorities(&mut self, priorities: &[f64]) {
+        for (i, &p) in priorities.iter().enumerate().take(self.items.len()) {
+            self.tree.set(i, p);
+        }
+    }
 }
 
 /// Flat-array binary sum tree over `capacity` leaves.
@@ -340,6 +381,45 @@ mod tests {
             let idx = t.find(frac * t.total() * 0.999);
             assert!(idx < prios.len());
         }
+    }
+
+    #[test]
+    fn priorities_roundtrip_is_lossless() {
+        let mut per = PrioritizedReplay::new(8, 0.6, 0.4, 10);
+        for i in 0..5 {
+            per.push(i);
+        }
+        per.update_priorities(&[1, 3], &[2.5, 9.0]);
+        let saved = per.priorities();
+        assert_eq!(saved.len(), 5);
+        let mut restored = PrioritizedReplay::new(8, 0.6, 0.4, 10);
+        for i in 0..5 {
+            restored.push(i);
+        }
+        restored.set_anneal_step(per.anneal_step());
+        restored.set_max_priority(per.max_priority());
+        restored.restore_priorities(&saved);
+        assert_eq!(restored.priorities(), saved);
+        assert_eq!(restored.max_priority(), per.max_priority());
+    }
+
+    #[test]
+    fn restore_priorities_ignores_excess_entries() {
+        let mut per = PrioritizedReplay::new(8, 0.6, 0.4, 10);
+        per.push(0);
+        per.restore_priorities(&[2.0, 3.0, 4.0]);
+        assert_eq!(per.priorities(), vec![2.0]);
+    }
+
+    #[test]
+    fn set_max_priority_rejects_invalid() {
+        let mut per: PrioritizedReplay<u8> = PrioritizedReplay::new(4, 0.6, 0.4, 10);
+        per.set_max_priority(f64::NAN);
+        assert_eq!(per.max_priority(), 1.0);
+        per.set_max_priority(-2.0);
+        assert_eq!(per.max_priority(), 1.0);
+        per.set_max_priority(3.0);
+        assert_eq!(per.max_priority(), 3.0);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 mod cores;
 mod error;
 pub mod fault;
+pub mod faultstore;
 mod load;
 pub mod pmc;
 mod power;
@@ -54,6 +55,7 @@ pub mod catalog;
 pub use cores::{CoreId, DvfsLadder, Frequency};
 pub use error::SimError;
 pub use fault::{AppliedAssignment, FaultConfig, FaultPlan, PmcFaultKind, TelemetryHealth};
+pub use faultstore::{StoreFaultConfig, StoreFaultKind, StoreFaultPlan};
 pub use load::LoadGenerator;
 pub use pmc::{CounterId, PmcSample, NUM_COUNTERS};
 pub use power::PowerModel;

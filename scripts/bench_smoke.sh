@@ -9,6 +9,10 @@
 #    the host has that many cores; the measurements are always recorded.
 # 2. A reduced-epoch (--smoke) fig01 run exercises the real experiment
 #    path end to end; its output lands in results/ for the CI artifact.
+# 3. The chaos suite (--smoke, fixed seed, --jobs 2) runs the seeded
+#    crash/restart/corruption schedules — torn writes, generation
+#    fallback, cold start, agent quarantine — asserting its invariants
+#    internally; the report lands in results/chaos_report.txt.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,12 +20,15 @@ cd "$(dirname "$0")/.."
 mkdir -p results
 
 echo "== bench_smoke: building release binaries =="
-cargo build --release --offline -p twig-bench --bin bench_fleet --bin fig01_pmc_vs_ipc
+cargo build --release --offline -p twig-bench --bin bench_fleet --bin fig01_pmc_vs_ipc --bin chaos
 
 echo "== bench_smoke: fleet perf smoke (results/BENCH_fleet.json) =="
 ./target/release/bench_fleet results/BENCH_fleet.json
 
 echo "== bench_smoke: fig01 smoke run (results/fig01_smoke.txt) =="
 ./target/release/fig01_pmc_vs_ipc --smoke --jobs 2 | tee results/fig01_smoke.txt
+
+echo "== bench_smoke: chaos suite (results/chaos_report.txt) =="
+./target/release/chaos --smoke --seed 42 --jobs 2 | tee results/chaos_report.txt
 
 echo "bench_smoke: all steps passed"

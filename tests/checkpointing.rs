@@ -90,5 +90,27 @@ fn checkpoint_shape_mismatch_rejected() {
         ..small_config()
     })
     .unwrap();
-    assert!(other.load_checkpoint(&checkpoint).is_err());
+    assert!(matches!(
+        other.load_checkpoint(&checkpoint),
+        Err(twig::rl::RlError::CheckpointMismatch { .. })
+    ));
+}
+
+#[test]
+fn checkpoint_branch_permutation_rejected() {
+    // `[18, 9]` and `[9, 18]` heads hold the same total parameter count, so
+    // a raw length check would accept the transplant and silently swap the
+    // cores and DVFS action spaces. The per-section shape validation must
+    // reject it with the structured mismatch error instead.
+    let donor = MaBdq::new(small_config()).unwrap();
+    let checkpoint = donor.save_checkpoint();
+    let mut permuted = MaBdq::new(MaBdqConfig {
+        branches: vec![9, 18],
+        ..small_config()
+    })
+    .unwrap();
+    assert!(matches!(
+        permuted.load_checkpoint(&checkpoint),
+        Err(twig::rl::RlError::CheckpointMismatch { .. })
+    ));
 }
