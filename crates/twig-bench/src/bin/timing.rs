@@ -1,0 +1,10 @@
+//! Binary wrapper for the `timing` suite; see
+//! `twig_bench::experiments::timing` for the schedules and invariants.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::timing::run(&opts) {
+        eprintln!("timing failed: {e}");
+        std::process::exit(1);
+    }
+}

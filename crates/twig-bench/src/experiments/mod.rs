@@ -29,3 +29,4 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod telemetry_report;
+pub mod timing;

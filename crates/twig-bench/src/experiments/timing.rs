@@ -1,0 +1,805 @@
+//! Timing suite — seeded timing-chaos schedules against the deadline-aware
+//! epoch scheduler. Not a paper figure.
+//!
+//! Each schedule drives a governed Twig through the full phase walk of one
+//! control epoch — PMC read, inference, learning, actuation — under a
+//! [`TimingFaultPlan`] that injects phase-latency spikes, stale PMC
+//! windows, actuator stalls and clock faults (jitter, backward skew, stuck
+//! reads). The [`EpochScheduler`] meters every phase against its budget and
+//! walks the load-shedding ladder on projected overruns: defer the
+//! resumable micro-batch learning step, reuse the last validated action
+//! instead of running inference, or drop to the [`SafetyGovernor`]'s safe
+//! fallback.
+//!
+//! Invariants asserted on every schedule (a violation fails the unit, and
+//! the fleet reports it without killing the suite):
+//!
+//! - no panic anywhere in the control loop;
+//! - finite p99 and power every epoch — QoS degrades, it never explodes;
+//! - **no stale actuation**: a decision is only ever computed from a fresh
+//!   PMC window, and a decision the actuator gave up on is never learned
+//!   from (the epoch is routed to `observe_degraded`);
+//! - the ladder is monotone within an epoch and its depth is bounded by 3;
+//! - the scheduler's `deadline.*` telemetry counters match its own stats.
+//!
+//! The zero-pressure schedule additionally proves the budgeted micro-batch
+//! learning path bit-identical to the monolithic `train_step`, by running a
+//! twin manager and comparing full checkpoint bytes every epoch.
+//!
+//! Scenario outputs are deterministic in `(seed, scenario index)` — wall
+//! clock never enters the text — so the report is bit-identical at
+//! `--jobs 1`, `2` and `4`.
+
+use crate::{fmt_f, run_fleet, ExpError, Options, TextTable, Unit};
+use std::fmt::Write as _;
+use twig_core::{
+    ActuationDirective, EpochScheduler, GovernorConfig, InferenceDirective, LearnDirective,
+    RewardConfig, SafetyGovernor, SchedulerConfig, SimClock, TaskManager, Twig, TwigBuilder,
+    VirtualClock,
+};
+use twig_rl::{BudgetedProgress, EpsilonSchedule, MaBdqConfig};
+use twig_sim::{
+    catalog, Assignment, EpochTimings, Server, ServerConfig, ServiceSpec, TimingFaultConfig,
+    TimingFaultPlan,
+};
+use twig_telemetry::Telemetry;
+
+/// What a schedule is required to demonstrate, beyond the universal
+/// invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    /// Zero pressure: no misses, no shedding, and the budgeted learning
+    /// path is bit-identical to the monolithic step (twin-manager proof).
+    Clean,
+    /// Learn-phase spikes push past the learn deadline: the in-flight
+    /// micro-batch step is deferred and resumed in a later epoch.
+    DeferLearn,
+    /// PMC stalls and stale windows: inference is skipped and the last
+    /// validated action reused; stale windows are counted, never decided
+    /// on.
+    SkipInference,
+    /// Actuator stalls past the timeout: bounded retries with saturating
+    /// backoff, then an explicit safe-fallback actuation.
+    SafeFallback,
+    /// Clock chaos (jitter, backward skew, stuck reads): the universal
+    /// invariants only — every epoch still terminates.
+    Survive,
+    /// Everything at once: the ladder bottoms out at depth 3 and every
+    /// shedding class fires somewhere.
+    KitchenSink,
+}
+
+/// One timing-chaos schedule: a seeded fault mix plus its expectation.
+struct Schedule {
+    name: &'static str,
+    timing: TimingFaultConfig,
+    expect: Expect,
+}
+
+/// Phase latencies small enough that a full epoch fits comfortably inside
+/// every budget — the baseline all pressure schedules build on.
+fn calm() -> TimingFaultConfig {
+    TimingFaultConfig {
+        pmc_base_ms: 5.0,
+        inference_base_ms: 10.0,
+        learn_chunk_base_ms: 20.0,
+        actuation_base_ms: 5.0,
+        ..TimingFaultConfig::default()
+    }
+}
+
+fn schedules() -> Vec<Schedule> {
+    vec![
+        Schedule {
+            name: "no pressure (bit-identity)",
+            timing: calm(),
+            expect: Expect::Clean,
+        },
+        Schedule {
+            name: "learn overrun",
+            timing: TimingFaultConfig {
+                learn_spike_rate: 0.5,
+                // One spiked chunk lands past the 800 ms learn deadline, so
+                // the step defers mid-flight and resumes next epoch.
+                learn_spike_ms: 900.0,
+                ..calm()
+            },
+            expect: Expect::DeferLearn,
+        },
+        Schedule {
+            name: "pmc stalls + stale windows",
+            timing: TimingFaultConfig {
+                // A spiked read leaves too little slack for inference
+                // (705 + 150 > 800), forcing action reuse.
+                pmc_spike_rate: 0.45,
+                pmc_spike_ms: 700.0,
+                // Stale beyond the 1000 ms bound: the window must never
+                // reach the policy.
+                pmc_stale_rate: 0.35,
+                pmc_stale_age_ms: 1500.0,
+                ..calm()
+            },
+            expect: Expect::SkipInference,
+        },
+        Schedule {
+            name: "actuator stalls",
+            timing: TimingFaultConfig {
+                // Every attempt in a stalled epoch breaches the 80 ms
+                // timeout; retries exhaust and the safe fallback actuates.
+                actuation_stall_rate: 0.5,
+                actuation_stall_ms: 320.0,
+                ..calm()
+            },
+            expect: Expect::SafeFallback,
+        },
+        Schedule {
+            name: "clock chaos",
+            timing: TimingFaultConfig {
+                clock_jitter_ms: 80.0,
+                clock_skew_rate: 0.25,
+                clock_skew_ms: 500.0,
+                clock_stuck_rate: 0.25,
+                ..calm()
+            },
+            expect: Expect::Survive,
+        },
+        Schedule {
+            name: "kitchen sink",
+            timing: TimingFaultConfig {
+                pmc_spike_rate: 0.3,
+                pmc_spike_ms: 700.0,
+                pmc_stale_rate: 0.25,
+                pmc_stale_age_ms: 1500.0,
+                inference_spike_rate: 0.3,
+                inference_spike_ms: 400.0,
+                learn_spike_rate: 0.35,
+                learn_spike_ms: 850.0,
+                actuation_stall_rate: 0.35,
+                actuation_stall_ms: 320.0,
+                clock_jitter_ms: 40.0,
+                clock_skew_rate: 0.15,
+                clock_skew_ms: 400.0,
+                clock_stuck_rate: 0.15,
+                ..calm()
+            },
+            expect: Expect::KitchenSink,
+        },
+    ]
+}
+
+/// Ungoverned pre-roll epochs that fill the replay buffer to exactly one
+/// batch (`batch_size` in [`build_twig`]) before the scheduled run starts.
+const WARMUP_EPOCHS: u64 = 16;
+
+fn epochs_for(opts: &Options) -> u64 {
+    if opts.smoke {
+        30
+    } else if opts.full {
+        120
+    } else {
+        50
+    }
+}
+
+/// Per-schedule outcome — plain counts only, so units stay `Send` and the
+/// rendered report is deterministic.
+struct Outcome {
+    name: String,
+    epochs: u64,
+    misses: u64,
+    stale_windows: u64,
+    defer: u64,
+    skip: u64,
+    safe: u64,
+    retries: u64,
+    timeouts: u64,
+    chunks: u64,
+    steps: u64,
+    reused: u64,
+    fallback_actuations: u64,
+    max_ladder: u8,
+    qos_hits: u64,
+    qos_total: u64,
+    p99_sum: f64,
+    /// `Some` only for the zero-pressure twin-manager proof.
+    bit_identical: Option<bool>,
+}
+
+impl Outcome {
+    fn new(name: &str) -> Self {
+        Outcome {
+            name: name.to_string(),
+            epochs: 0,
+            misses: 0,
+            stale_windows: 0,
+            defer: 0,
+            skip: 0,
+            safe: 0,
+            retries: 0,
+            timeouts: 0,
+            chunks: 0,
+            steps: 0,
+            reused: 0,
+            fallback_actuations: 0,
+            max_ladder: 0,
+            qos_hits: 0,
+            qos_total: 0,
+            p99_sum: 0.0,
+            bit_identical: None,
+        }
+    }
+
+    fn absorb_service_epoch(&mut self, p99_ms: f64, qos_ms: f64) {
+        assert!(
+            p99_ms.is_finite() && p99_ms >= 0.0,
+            "non-finite p99 actuated into the report"
+        );
+        self.qos_total += 1;
+        if p99_ms <= qos_ms {
+            self.qos_hits += 1;
+        }
+        self.p99_sum += p99_ms;
+    }
+
+    fn absorb_stats(&mut self, stats: &twig_core::SchedulerStats) {
+        self.epochs = stats.epochs;
+        self.misses = stats.misses;
+        self.stale_windows = stats.stale_windows;
+        self.defer = stats.defer_learn_epochs;
+        self.skip = stats.skip_inference_epochs;
+        self.safe = stats.safe_fallback_epochs;
+        self.retries = stats.actuation_retries;
+        self.timeouts = stats.actuation_timeouts;
+        self.chunks = stats.learn_chunks;
+        self.max_ladder = stats.max_ladder_depth;
+    }
+}
+
+/// Small-but-real learning stack: pure exploitation in `observe` so the
+/// *driver* owns the learning phase and can split it into budgeted
+/// micro-batches under the scheduler's chunk grants.
+fn build_twig(services: Vec<ServiceSpec>, epochs: u64, seed: u64) -> Result<Twig, ExpError> {
+    Ok(TwigBuilder::new()
+        .services(services)
+        .epsilon(EpsilonSchedule::new(0.1, 0.01, epochs * 3 / 5, epochs))
+        .agent(MaBdqConfig {
+            trunk_hidden: vec![32, 24],
+            head_hidden: 16,
+            batch_size: 16,
+            buffer_capacity: 4096,
+            target_update_every: 40,
+            ..MaBdqConfig::default()
+        })
+        .reward(RewardConfig {
+            theta: 1.0,
+            ..RewardConfig::default()
+        })
+        .train_steps_per_epoch(1)
+        .action_stickiness(0.02)
+        .pure_exploitation(true)
+        .seed(seed)
+        .build()?)
+}
+
+/// Cross-checks the scheduler's exported telemetry against its own stats —
+/// the counters the dashboards would alert on must not drift from truth.
+fn check_telemetry(telemetry: &Telemetry, sched_stats: &twig_core::SchedulerStats) {
+    let m = telemetry.metrics().expect("telemetry enabled");
+    assert_eq!(m.counter("deadline.misses"), sched_stats.misses);
+    assert_eq!(
+        m.counter("deadline.stale_windows"),
+        sched_stats.stale_windows
+    );
+    assert_eq!(
+        m.counter("deadline.actuation_retries"),
+        sched_stats.actuation_retries
+    );
+    assert_eq!(
+        m.counter("deadline.actuation_timeouts"),
+        sched_stats.actuation_timeouts
+    );
+    assert_eq!(
+        m.counter("deadline.shed.defer_learn"),
+        sched_stats.defer_learn_epochs
+    );
+    assert_eq!(
+        m.counter("deadline.shed.skip_inference"),
+        sched_stats.skip_inference_epochs
+    );
+    assert_eq!(
+        m.counter("deadline.shed.safe_fallback"),
+        sched_stats.safe_fallback_epochs
+    );
+}
+
+/// Runs one governed, scheduler-metered control loop under a timing-fault
+/// schedule and asserts its expectation plus the universal invariants.
+fn run_schedule(s: &Schedule, epochs: u64, seed: u64) -> Result<Outcome, ExpError> {
+    let specs = vec![catalog::masstree(), catalog::moses()];
+    let qos: Vec<f64> = specs.iter().map(|sp| sp.qos_ms).collect();
+    let cfg = ServerConfig::default();
+    let mut server = Server::new(cfg.clone(), specs.clone(), seed)?;
+    server.set_load_fraction(0, 0.4)?;
+    server.set_load_fraction(1, 0.4)?;
+    server.set_timing_plan(TimingFaultPlan::new(s.timing.clone(), seed ^ 0x7171_F0F0)?);
+
+    let telemetry = Telemetry::enabled();
+    let mut twig = build_twig(specs.clone(), epochs, seed)?;
+    // Warm-up pre-roll: fill the replay buffer to one batch so the
+    // budgeted learning phase is live from the first scheduled epoch
+    // (governor safe-mode epochs push no transitions, so without this a
+    // short run can end before training — and hence deferral — ever
+    // starts).
+    for _ in 0..WARMUP_EPOCHS {
+        let a = twig.decide()?;
+        let r = server.step(&a)?;
+        twig.observe(&r)?;
+    }
+    let mut gov = SafetyGovernor::new(
+        twig,
+        GovernorConfig {
+            services: specs,
+            cores: cfg.cores,
+            dvfs: cfg.dvfs.clone(),
+            ..GovernorConfig::default()
+        },
+    )?;
+    gov.set_telemetry(telemetry.clone());
+
+    let clock = SimClock::new();
+    let mut sched = EpochScheduler::new(SchedulerConfig::default(), clock.clone())?;
+    sched.set_telemetry(telemetry.clone());
+
+    let mut o = Outcome::new(s.name);
+    // Bootstrapped to the safe plan: "reuse last" always has a validated
+    // action to reuse, even before the first successful decide.
+    let mut last_validated: Vec<Assignment> = gov.safe_assignments();
+    let mut stale_seen = 0u64;
+
+    for _ in 0..epochs {
+        let t = server.epoch_timings().unwrap_or_else(EpochTimings::zero);
+        // Clock faults land first: a backward skew moves the raw clock
+        // before the epoch opens, a stuck clock freezes every intra-epoch
+        // advance below.
+        if t.clock_skew_ms > 0.0 {
+            let now = clock.now_ms();
+            clock.set(now - t.clock_skew_ms);
+        }
+        sched.begin_epoch();
+        let adv = |ms: f64| {
+            if !t.clock_stuck {
+                clock.advance(ms);
+            }
+        };
+        adv(t.clock_jitter_ms);
+
+        // Phase 1: PMC read. A stale window is counted and *never* shown
+        // to the policy — the epoch falls back to the last validated
+        // action and is routed to observe_degraded below.
+        adv(t.pmc_read_ms);
+        let age = if t.pmc_window_age_ms > 0.0 {
+            t.pmc_window_age_ms
+        } else {
+            t.pmc_read_ms
+        };
+        let fresh = sched.pmc_window_fresh(age);
+        if !fresh {
+            stale_seen += 1;
+        }
+
+        // Phase 2: inference, metered against the actuation deadline.
+        let mut decided = false;
+        let assignments = if !fresh {
+            o.reused += 1;
+            last_validated.clone()
+        } else {
+            match sched.inference_directive() {
+                InferenceDirective::Run => {
+                    adv(t.inference_ms);
+                    decided = true;
+                    gov.decide()?
+                }
+                InferenceDirective::ReuseLast => {
+                    o.reused += 1;
+                    last_validated.clone()
+                }
+                InferenceDirective::SafeFallback => gov.safe_assignments(),
+            }
+        };
+        // The zero-stale-actuation invariant, stated structurally: the
+        // policy only ever ran on a fresh window.
+        assert!(fresh || !decided, "decided on a stale PMC window");
+
+        // Phase 3: learning as budgeted micro-batches. `Defer` leaves the
+        // in-flight step parked inside the agent; it resumes on the first
+        // chunk grant of a later epoch.
+        let mut step_done = false;
+        while !step_done {
+            match sched.learn_directive() {
+                LearnDirective::Defer => break,
+                LearnDirective::Chunk => {
+                    adv(t.learn_chunk_ms);
+                    match gov.inner_mut().agent_mut().train_step_budgeted(1)? {
+                        BudgetedProgress::Done(_) => {
+                            o.steps += 1;
+                            step_done = true;
+                        }
+                        BudgetedProgress::InProgress { .. } => {}
+                        BudgetedProgress::NotReady => break,
+                    }
+                }
+            }
+        }
+
+        // Phase 4: actuation with bounded, saturating-backoff retries.
+        // Giving up actuates the governor's safe plan instead — stale or
+        // unapplied decisions never reach the platform.
+        let mut applied = assignments.clone();
+        let mut gave_up = false;
+        loop {
+            adv(t.actuation_attempt_ms);
+            match sched.actuation_attempt(t.actuation_attempt_ms) {
+                ActuationDirective::Applied => break,
+                ActuationDirective::Retry { backoff_ms } => adv(backoff_ms),
+                ActuationDirective::GiveUp => {
+                    gave_up = true;
+                    applied = gov.safe_assignments();
+                    o.fallback_actuations += 1;
+                    break;
+                }
+            }
+        }
+
+        let mut r = server.step(&applied)?;
+        assert!(r.power_w.is_finite(), "non-finite power reading");
+        for (i, svc) in r.services.iter().enumerate() {
+            o.absorb_service_epoch(svc.p99_ms, qos[i]);
+        }
+
+        // A stale window, or a decision the actuator never applied, must
+        // not be learned from: flag the epoch degraded so the governor
+        // routes it to observe_degraded (pending transition discarded, the
+        // monitor keeps its last healthy smoothing).
+        if !fresh || (decided && gave_up) {
+            r.telemetry.delayed_epochs = r.telemetry.delayed_epochs.max(1);
+        }
+        gov.observe(&r)?;
+        if decided && !gave_up {
+            last_validated = assignments;
+        }
+
+        sched.end_epoch();
+        assert!(
+            sched.stats().max_ladder_depth <= 3,
+            "ladder depth out of range"
+        );
+
+        // Sleep out the remainder of the interval (real time resumes
+        // between epochs even after a stuck-clock epoch).
+        let rem = sched.remaining_ms();
+        if rem > 0.0 {
+            clock.advance(rem);
+        }
+    }
+
+    let stats = sched.stats();
+    assert_eq!(stats.epochs, epochs);
+    assert_eq!(stats.stale_windows, stale_seen);
+    check_telemetry(&telemetry, &stats);
+    o.absorb_stats(&stats);
+
+    match s.expect {
+        Expect::Clean => unreachable!("zero-pressure runs use run_bit_identity"),
+        Expect::DeferLearn => {
+            assert!(stats.defer_learn_epochs > 0, "learn deferral never fired");
+            assert!(o.steps > 0, "deferred steps never completed");
+        }
+        Expect::SkipInference => {
+            assert!(
+                stats.skip_inference_epochs > 0,
+                "inference skip never fired"
+            );
+            assert!(stats.stale_windows > 0, "stale windows never injected");
+            assert!(o.reused > 0, "no action was ever reused");
+        }
+        Expect::SafeFallback => {
+            assert!(stats.safe_fallback_epochs > 0, "safe fallback never fired");
+            assert!(stats.actuation_retries > 0, "no actuation retry happened");
+            assert!(stats.actuation_timeouts > 0, "no actuation timeout");
+            assert!(stats.misses > 0, "stalled actuations never missed");
+            assert!(o.fallback_actuations > 0, "safe plan never actuated");
+        }
+        Expect::Survive => {}
+        Expect::KitchenSink => {
+            assert!(stats.stale_windows > 0, "stale windows never injected");
+            assert!(stats.actuation_retries > 0, "no actuation retry happened");
+            assert_eq!(stats.max_ladder_depth, 3, "ladder never bottomed out");
+            assert!(
+                stats.defer_learn_epochs + stats.skip_inference_epochs + stats.safe_fallback_epochs
+                    > 0,
+                "no shedding class ever fired"
+            );
+        }
+    }
+    Ok(o)
+}
+
+/// The zero-pressure proof: a scheduler-metered manager training through
+/// budgeted micro-batches stays bit-identical (full checkpoint bytes,
+/// every epoch) to a twin taking the monolithic `train_step` — and the
+/// scheduler reports zero misses and zero shedding.
+fn run_bit_identity(s: &Schedule, epochs: u64, seed: u64) -> Result<Outcome, ExpError> {
+    let specs = vec![catalog::masstree(), catalog::moses()];
+    let qos: Vec<f64> = specs.iter().map(|sp| sp.qos_ms).collect();
+    let cfg = ServerConfig::default();
+    let mut server_a = Server::new(cfg.clone(), specs.clone(), seed)?;
+    let mut server_b = Server::new(cfg, specs.clone(), seed)?;
+    for srv in [&mut server_a, &mut server_b] {
+        srv.set_load_fraction(0, 0.4)?;
+        srv.set_load_fraction(1, 0.4)?;
+    }
+    // Base latencies only: the plan draws nothing random, so the twin
+    // server without one sees an identical workload.
+    server_a.set_timing_plan(TimingFaultPlan::new(s.timing.clone(), seed ^ 0x7171_F0F0)?);
+
+    let mut twig_a = build_twig(specs.clone(), epochs, seed)?;
+    let mut twig_b = build_twig(specs, epochs, seed)?;
+
+    let clock = SimClock::new();
+    let mut sched = EpochScheduler::new(SchedulerConfig::default(), clock.clone())?;
+
+    let mut o = Outcome::new(s.name);
+    let mut identical = true;
+
+    for _ in 0..epochs {
+        let t = server_a.epoch_timings().unwrap_or_else(EpochTimings::zero);
+        sched.begin_epoch();
+
+        clock.advance(t.pmc_read_ms);
+        assert!(sched.pmc_window_fresh(t.pmc_read_ms));
+        assert_eq!(sched.inference_directive(), InferenceDirective::Run);
+        clock.advance(t.inference_ms);
+        let a_assign = twig_a.decide()?;
+        let b_assign = twig_b.decide()?;
+
+        // A: budgeted micro-batches under chunk grants. B: one monolithic
+        // step at the same point in the epoch.
+        loop {
+            match sched.learn_directive() {
+                LearnDirective::Defer => panic!("zero-pressure schedule deferred learning"),
+                LearnDirective::Chunk => {
+                    clock.advance(t.learn_chunk_ms);
+                    match twig_a.agent_mut().train_step_budgeted(1)? {
+                        BudgetedProgress::Done(_) => {
+                            o.steps += 1;
+                            break;
+                        }
+                        BudgetedProgress::InProgress { .. } => {}
+                        BudgetedProgress::NotReady => break,
+                    }
+                }
+            }
+        }
+        let _ = twig_b.agent_mut().train_step()?;
+
+        clock.advance(t.actuation_attempt_ms);
+        assert_eq!(
+            sched.actuation_attempt(t.actuation_attempt_ms),
+            ActuationDirective::Applied
+        );
+        let ra = server_a.step(&a_assign)?;
+        let rb = server_b.step(&b_assign)?;
+        for (i, svc) in ra.services.iter().enumerate() {
+            o.absorb_service_epoch(svc.p99_ms, qos[i]);
+        }
+        twig_a.observe(&ra)?;
+        twig_b.observe(&rb)?;
+
+        sched.end_epoch();
+        let rem = sched.remaining_ms();
+        if rem > 0.0 {
+            clock.advance(rem);
+        }
+
+        if twig_a.checkpoint_bytes() != twig_b.checkpoint_bytes() {
+            identical = false;
+        }
+    }
+
+    let stats = sched.stats();
+    assert_eq!(stats.misses, 0, "zero-pressure run missed a deadline");
+    assert_eq!(stats.stale_windows, 0);
+    assert_eq!(
+        stats.defer_learn_epochs + stats.skip_inference_epochs + stats.safe_fallback_epochs,
+        0,
+        "zero-pressure run shed load"
+    );
+    assert!(
+        identical,
+        "budgeted micro-batch training diverged from the monolithic step"
+    );
+    o.absorb_stats(&stats);
+    o.bit_identical = Some(identical);
+    Ok(o)
+}
+
+/// Runs the timing suite and prints the report.
+///
+/// # Errors
+///
+/// Returns an error naming every failed (errored or panicked) schedule.
+pub fn run(opts: &Options) -> Result<(), ExpError> {
+    let mut out = String::new();
+    run_to(&mut out, opts)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Runs every timing schedule and appends the report, asserting the
+/// acceptance invariants along the way.
+///
+/// # Errors
+///
+/// Returns an error naming every failed (errored or panicked) schedule.
+pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
+    let epochs = epochs_for(opts);
+    let cfg = SchedulerConfig::default();
+    writeln!(
+        out,
+        "Timing suite: {} schedules x {epochs} epochs, interval {:.0} ms (budgets: pmc {:.0} / inference {:.0} / learn {:.0} / actuate {:.0} ms, stale after {:.0} ms, {} actuation retries)\n",
+        schedules().len(),
+        cfg.interval_ms,
+        cfg.pmc_budget_ms,
+        cfg.inference_budget_ms,
+        cfg.learn_budget_ms,
+        cfg.actuate_budget_ms,
+        cfg.stale_after_ms,
+        cfg.actuation_max_retries,
+    )?;
+
+    let scheds = schedules();
+    let units: Vec<Unit<'_, Outcome>> = scheds
+        .iter()
+        .map(|s| {
+            Unit::new(format!("timing:{}", s.name), move |seed| match s.expect {
+                Expect::Clean => run_bit_identity(s, epochs, seed),
+                _ => run_schedule(s, epochs, seed),
+            })
+        })
+        .collect();
+    let reports = run_fleet(units, opts.jobs, opts.seed).into_outputs()?;
+
+    let mut t = TextTable::new(vec![
+        "schedule",
+        "epochs",
+        "misses",
+        "stale",
+        "defer",
+        "skip inf",
+        "safe fb",
+        "retries",
+        "chunks",
+        "steps",
+        "ladder",
+        "qos %",
+        "mean p99 ms",
+    ]);
+    for r in &reports {
+        let qos_pct = if r.qos_total > 0 {
+            100.0 * r.qos_hits as f64 / r.qos_total as f64
+        } else {
+            0.0
+        };
+        let mean_p99 = if r.qos_total > 0 {
+            r.p99_sum / r.qos_total as f64
+        } else {
+            0.0
+        };
+        t.row(vec![
+            r.name.clone(),
+            r.epochs.to_string(),
+            r.misses.to_string(),
+            r.stale_windows.to_string(),
+            r.defer.to_string(),
+            r.skip.to_string(),
+            r.safe.to_string(),
+            r.retries.to_string(),
+            r.chunks.to_string(),
+            r.steps.to_string(),
+            r.max_ladder.to_string(),
+            fmt_f(qos_pct, 1),
+            fmt_f(mean_p99, 3),
+        ]);
+    }
+    writeln!(out, "{t}")?;
+
+    // Suite-level acceptance: each timing-failure class must actually have
+    // been exercised somewhere, not just survived in the abstract.
+    let misses: u64 = reports.iter().map(|r| r.misses).sum();
+    let stale: u64 = reports.iter().map(|r| r.stale_windows).sum();
+    let retries: u64 = reports.iter().map(|r| r.retries).sum();
+    let defers: u64 = reports.iter().map(|r| r.defer).sum();
+    let fallbacks: u64 = reports.iter().map(|r| r.fallback_actuations).sum();
+    let reused: u64 = reports.iter().map(|r| r.reused).sum();
+    assert!(misses > 0, "no deadline miss was ever exercised");
+    assert!(stale > 0, "no stale window was ever exercised");
+    assert!(retries > 0, "no actuation retry was ever exercised");
+    assert!(defers > 0, "no learn deferral was ever exercised");
+    assert!(
+        fallbacks > 0,
+        "no safe-fallback actuation was ever exercised"
+    );
+    let bit = reports
+        .iter()
+        .find_map(|r| r.bit_identical)
+        .expect("bit-identity schedule present");
+    assert!(bit);
+    writeln!(
+        out,
+        "invariants held across all schedules: no panic, finite observables every epoch, ladder depth <= 3, zero actuations from stale PMC windows."
+    )?;
+    writeln!(
+        out,
+        "exercised: {misses} deadline misses, {stale} stale windows, {retries} actuation retries, {defers} learn deferrals, {fallbacks} safe-fallback actuations, {reused} action reuses."
+    )?;
+    writeln!(
+        out,
+        "budgeted micro-batch training bit-identical to the monolithic step under zero pressure: {bit}."
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_suite_is_deterministic_across_jobs() {
+        // The acceptance gate: the full report is bit-identical at
+        // --jobs 1/2/4, every schedule passes its invariants, and the
+        // required timing-failure classes (deadline miss, stale window,
+        // retry, deferral, safe fallback) all fire.
+        let render = |jobs: usize| {
+            let opts = Options {
+                smoke: true,
+                jobs,
+                seed: 42,
+                ..Options::default()
+            };
+            let mut out = String::new();
+            run_to(&mut out, &opts).unwrap();
+            out
+        };
+        let one = render(1);
+        assert_eq!(one, render(2));
+        assert_eq!(one, render(4));
+        assert!(one.contains("bit-identical to the monolithic step under zero pressure: true"));
+    }
+
+    #[test]
+    fn no_pressure_schedule_proves_bit_identity() {
+        let scheds = schedules();
+        let s = scheds
+            .iter()
+            .find(|s| s.expect == Expect::Clean)
+            .expect("clean schedule");
+        let o = run_bit_identity(s, 24, 7).unwrap();
+        assert_eq!(o.bit_identical, Some(true));
+        assert_eq!(o.misses, 0);
+        assert!(o.steps > 0, "the proof never actually trained");
+    }
+
+    #[test]
+    fn actuator_stalls_fall_back_safely() {
+        let scheds = schedules();
+        let s = scheds
+            .iter()
+            .find(|s| s.expect == Expect::SafeFallback)
+            .expect("safe-fallback schedule");
+        // run_schedule asserts the expectation internally; this pins the
+        // counters that make it meaningful.
+        let o = run_schedule(s, 40, 11).unwrap();
+        assert!(o.safe > 0 && o.retries > 0 && o.timeouts > 0);
+        assert!(o.fallback_actuations > 0);
+    }
+}

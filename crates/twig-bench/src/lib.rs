@@ -21,6 +21,7 @@
 //! assert!(!opts.full);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

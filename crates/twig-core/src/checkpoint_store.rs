@@ -76,6 +76,10 @@ impl CheckpointStore {
         }
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        // A crash between `File::create(tmp)` and the rename leaves an
+        // orphan temp file behind. It was never a valid generation (readers
+        // only trust `ckpt-*.bin` names), so reclaim it on open.
+        let _ = fs::remove_file(dir.join(TMP_NAME));
         Ok(CheckpointStore { dir, keep })
     }
 
@@ -96,7 +100,15 @@ impl CheckpointStore {
     ///
     /// Returns an error when the payload cannot be durably written.
     pub fn write(&self, payload: &[u8]) -> io::Result<PathBuf> {
-        let seq = self.sequences()?.first().map_or(0, |&s| s + 1);
+        // Saturate instead of wrapping at the end of the sequence space:
+        // after ~5.8e11 years of 1 Hz epochs the store overwrites the
+        // `u64::MAX` generation in place (still atomically) rather than
+        // wrapping to 0, which `sequences()` would sort as the *oldest*
+        // generation and prune the real history.
+        let seq = self
+            .sequences()?
+            .first()
+            .map_or(0, |&s| s.saturating_add(1));
         let tmp = self.dir.join(TMP_NAME);
         {
             let mut f = File::create(&tmp)?;
@@ -160,6 +172,10 @@ impl CheckpointStore {
         for &seq in self.sequences()?.iter().skip(self.keep) {
             let _ = fs::remove_file(self.dir.join(format!("{CKPT_PREFIX}{seq:08}{CKPT_SUFFIX}")));
         }
+        // Also sweep any orphan temp file a crashed writer left behind
+        // (write() renames its temp away before pruning, so a live temp
+        // file is never present here).
+        let _ = fs::remove_file(self.dir.join(TMP_NAME));
         Ok(())
     }
 }
@@ -363,12 +379,75 @@ mod tests {
 
     #[test]
     fn recover_empty_store_is_cold_start() {
+        // A brand-new (empty) directory is a normal cold start, not an
+        // error: zero generations, zero corruption, and the store is
+        // immediately writable afterwards.
         let store = temp_store("empty", 2);
+        assert!(store.generations().unwrap().is_empty());
         let telemetry = Telemetry::disabled();
         let mut target = Fake { state: vec![] };
         let report = recover(&store, &mut target, &telemetry);
         assert_eq!(report.outcome, RecoveryOutcome::ColdStart);
         assert_eq!(report.ladder_depth, 0);
+        assert_eq!(report.corrupt_generations, 0);
+        assert!(target.state.is_empty(), "cold start leaves state untouched");
+        store.write(&[0xAB, 1]).unwrap();
+        assert_eq!(store.generations().unwrap().len(), 1);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn lone_orphan_tmp_is_ignored_and_reclaimed() {
+        // A crash between temp-file creation and rename leaves `ckpt.tmp`
+        // as the only entry. It must never be treated as a generation, and
+        // both open and the next write's prune must sweep it.
+        let store = temp_store("orphan", 2);
+        fs::write(store.dir().join(TMP_NAME), [0xAB, 7]).unwrap();
+        assert!(
+            store.generations().unwrap().is_empty(),
+            "orphan temp file is not a generation"
+        );
+        let telemetry = Telemetry::enabled();
+        let mut target = Fake { state: vec![] };
+        let report = recover(&store, &mut target, &telemetry);
+        assert_eq!(report.outcome, RecoveryOutcome::ColdStart);
+        assert_eq!(report.corrupt_generations, 0, "orphan never hit the ladder");
+        // Re-opening the same directory reclaims the orphan...
+        let reopened = CheckpointStore::create(store.dir(), 2).unwrap();
+        assert!(!reopened.dir().join(TMP_NAME).exists());
+        // ...and so does a write's prune pass if one reappears.
+        fs::write(store.dir().join(TMP_NAME), [0xAB, 8]).unwrap();
+        store.write(&[0xAB, 9]).unwrap();
+        assert!(!store.dir().join(TMP_NAME).exists());
+        let gens = store.generations().unwrap();
+        assert_eq!(gens.len(), 1);
+        assert_eq!(store.read(&gens[0]).unwrap(), vec![0xAB, 9]);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn sequence_counter_saturates_at_the_end_of_time() {
+        // Plant a generation at u64::MAX: the next write must saturate and
+        // overwrite that newest generation rather than wrap to 0 (which
+        // would sort as the oldest and get pruned immediately).
+        let store = temp_store("wrap", 2);
+        let max_name = format!("{CKPT_PREFIX}{:08}{CKPT_SUFFIX}", u64::MAX);
+        fs::write(store.dir().join(&max_name), [0xAB, 1]).unwrap();
+        store.write(&[0xAB, 2]).unwrap();
+        let gens = store.generations().unwrap();
+        assert_eq!(gens.len(), 1, "saturated write lands on the same name");
+        assert_eq!(gens[0], store.dir().join(&max_name));
+        assert_eq!(
+            store.read(&gens[0]).unwrap(),
+            vec![0xAB, 2],
+            "newest payload wins"
+        );
+        // Recovery still restores the newest payload afterwards.
+        let telemetry = Telemetry::disabled();
+        let mut target = Fake { state: vec![] };
+        let report = recover(&store, &mut target, &telemetry);
+        assert_eq!(report.outcome, RecoveryOutcome::Restored { generation: 0 });
+        assert_eq!(target.state, vec![0xAB, 2]);
         cleanup(&store);
     }
 }

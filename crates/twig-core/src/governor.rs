@@ -140,6 +140,15 @@ pub struct SafetyGovernor<M> {
     epochs_observed: u64,
 }
 
+/// Doubles a watchdog backoff without overflow: `current * 2` saturates at
+/// `u64::MAX` before the cap is applied, so an extreme
+/// `initial_backoff_epochs` (or enough consecutive trips) pins the backoff
+/// at `max` instead of wrapping back to a tiny value — which would silently
+/// hand an untrusted policy short safe-mode windows again.
+fn next_backoff(current: u64, max: u64) -> u64 {
+    current.saturating_mul(2).min(max)
+}
+
 impl<M: TaskManager> SafetyGovernor<M> {
     /// Wraps `inner` with the governor policy.
     ///
@@ -420,7 +429,7 @@ impl<M: TaskManager> TaskManager for SafetyGovernor<M> {
             self.stats.watchdog_trips += 1;
             self.telemetry.counter_add("governor.watchdog_trips", 1);
             self.safe_remaining = self.backoff;
-            self.backoff = (self.backoff * 2).min(self.config.max_backoff_epochs);
+            self.backoff = next_backoff(self.backoff, self.config.max_backoff_epochs);
             // The policy that produced this streak is not to be trusted:
             // its last decision is no longer "known good".
             self.last_good = None;
@@ -698,6 +707,62 @@ mod tests {
         assert!(!gov.in_safe_mode());
         assert_eq!(gov.current_backoff_epochs(), 16, "capped at max");
         assert_eq!(gov.stats().safe_mode_epochs, 12);
+    }
+
+    #[test]
+    fn backoff_doubling_saturates_instead_of_wrapping() {
+        // 100 doublings would overflow u64 63 times over; the helper must
+        // pin at the cap, never wrap back to a small window.
+        let mut backoff = 1_u64;
+        for _ in 0..100 {
+            let next = next_backoff(backoff, u64::MAX);
+            assert!(
+                next >= backoff,
+                "backoff went backwards: {backoff} -> {next}"
+            );
+            backoff = next;
+        }
+        assert_eq!(backoff, u64::MAX);
+        // With a finite cap the same walk pins at the cap.
+        let mut capped = 3_u64;
+        for _ in 0..100 {
+            capped = next_backoff(capped, 1000);
+        }
+        assert_eq!(capped, 1000);
+        assert_eq!(next_backoff(0, 16), 0, "zero backoff stays zero");
+    }
+
+    #[test]
+    fn extreme_backoff_config_survives_repeated_trips() {
+        // Regression: `backoff * 2` used to be unchecked, so a config with
+        // initial backoff in the top bit wrapped to zero on the first trip
+        // (debug builds panicked instead). Saturation keeps it at the cap.
+        let inner = Scripted::new(vec![Ok(Scripted::good())]);
+        let mut gov = SafetyGovernor::new(
+            inner,
+            GovernorConfig {
+                initial_backoff_epochs: 1 << 63,
+                max_backoff_epochs: u64::MAX,
+                ..config()
+            },
+        )
+        .unwrap();
+        let qos = catalog::masstree().qos_ms;
+        let mut last = gov.current_backoff_epochs();
+        for _ in 0..3 {
+            // Trip the watchdog (3 consecutive violations)...
+            for _ in 0..3 {
+                gov.decide().unwrap();
+                gov.observe(&report(qos * 2.0, false)).unwrap();
+            }
+            let now = gov.current_backoff_epochs();
+            assert!(now >= last, "backoff wrapped: {last} -> {now}");
+            last = now;
+            // ...then force the safe window shut so the next round can trip
+            // again (windows this long never expire naturally in a test).
+            gov.safe_remaining = 0;
+        }
+        assert_eq!(last, u64::MAX);
     }
 
     #[test]

@@ -47,9 +47,11 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod checkpoint_store;
+mod clock;
 mod error;
 mod governor;
 mod manager;
@@ -57,10 +59,12 @@ mod mapper;
 mod monitor;
 mod power_model;
 mod reward;
+mod scheduler;
 
 pub use checkpoint_store::{
     recover, CheckpointStore, Checkpointable, RecoveryOutcome, RecoveryReport,
 };
+pub use clock::{SimClock, VirtualClock, WallClock};
 pub use error::{ManagerError, TwigError};
 pub use governor::{GovernorConfig, GovernorStats, SafetyGovernor};
 pub use manager::{TaskManager, Twig, TwigBuilder, TwigConfig};
@@ -68,3 +72,7 @@ pub use mapper::Mapper;
 pub use monitor::{select_counters, CounterRanking, SystemMonitor};
 pub use power_model::{fit_power_model, paae, Eq2PowerModel, PowerModelFit, ProfilePoint};
 pub use reward::RewardConfig;
+pub use scheduler::{
+    ActuationDirective, EpochScheduler, InferenceDirective, LearnDirective, SchedulerConfig,
+    SchedulerStats, ShedLevel,
+};

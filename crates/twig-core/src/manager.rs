@@ -347,6 +347,15 @@ impl Twig {
         &self.agent
     }
 
+    /// Mutable access to the learning agent, for drivers that manage the
+    /// learning phase themselves — e.g. a deadline scheduler issuing
+    /// resumable micro-batches via `MaBdq::train_step_budgeted` while the
+    /// manager runs with `TwigBuilder::pure_exploitation(true)` so
+    /// `observe` never takes the full gradient step itself.
+    pub fn agent_mut(&mut self) -> &mut MaBdq {
+        &mut self.agent
+    }
+
     /// Forwards a per-agent quarantine configuration to the learning agent
     /// (see [`QuarantineConfig`]): divergence detection, last-known-good
     /// rollback and probation for individual agents while the rest of the

@@ -2,13 +2,28 @@
 //!
 //! The training hot path (`Twig::decide` / `MaBdq::train_step`) is meant to
 //! be allocation-free in steady state. That property is cheap to lose and
-//! invisible in ordinary tests, so this module provides a counting wrapper
-//! around the system allocator that a *binary* (integration test or bin
-//! target) can install:
+//! invisible in ordinary tests, so this module provides the process-wide
+//! counter behind a counting allocator that a *binary* (integration test or
+//! bin target) installs. The `GlobalAlloc` impl itself lives in each
+//! installing binary — `unsafe impl` is forbidden in this crate
+//! (`#![forbid(unsafe_code)]`) — and funnels every counted entry point
+//! through the safe [`note_alloc`] hook:
 //!
 //! ```ignore
+//! struct CountingAlloc;
+//!
+//! // SAFETY: defers every operation to `System`, only adding a relaxed
+//! // atomic increment, so all `GlobalAlloc` contracts are inherited.
+//! unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+//!     unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+//!         twig_nn::note_alloc();
+//!         unsafe { std::alloc::System.alloc(layout) }
+//!     }
+//!     // ... dealloc (uncounted), alloc_zeroed, realloc ...
+//! }
+//!
 //! #[global_allocator]
-//! static ALLOC: twig_nn::CountingAlloc = twig_nn::CountingAlloc;
+//! static ALLOC: CountingAlloc = CountingAlloc;
 //! ```
 //!
 //! Library code can then bracket a region with [`allocation_count`] and
@@ -18,49 +33,29 @@
 //! hosting binary — the runtime allocates long before user code runs), so
 //! callers like the Table III overhead row can degrade to "n/a" instead of
 //! reporting a misleading zero.
+//!
+//! Count `alloc`/`alloc_zeroed`/`realloc` but not frees: a hot path that
+//! merely *recycles* capacity never hits any of the counted entry points,
+//! which is exactly the property asserted.
 
-use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
-/// Counting wrapper around the system allocator.
-///
-/// Counts every `alloc`/`alloc_zeroed`/`realloc` call (frees are not
-/// counted: a hot path that merely *recycles* capacity never hits any of
-/// the counted entry points, which is exactly the property asserted).
-pub struct CountingAlloc;
-
-// SAFETY: defers every operation to `System`, only adding a relaxed atomic
-// increment, so all `GlobalAlloc` contracts are inherited unchanged.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
+/// Records one heap allocation. Called by the counting `GlobalAlloc`
+/// wrappers installed in test/bench binaries (see the module docs); safe to
+/// call from an allocator context because it only touches a static atomic.
+pub fn note_alloc() {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Total heap allocations observed so far in this process (0 when no
-/// [`CountingAlloc`] is installed).
+/// counting allocator is installed).
 pub fn allocation_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
-/// Whether a [`CountingAlloc`] is installed in this binary. Any hosted
+/// Whether a counting allocator is installed in this binary. Any hosted
 /// process allocates during startup, so a zero count means the counter is
 /// not wired in and deltas would be meaningless.
 pub fn counter_armed() -> bool {

@@ -48,6 +48,7 @@
 //! assert!(last < 0.05, "failed to learn XOR: {last}");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod count_alloc;
@@ -58,7 +59,7 @@ mod mlp;
 mod optim;
 mod tensor;
 
-pub use count_alloc::CountingAlloc;
+pub use count_alloc::note_alloc;
 pub use error::NnError;
 pub use layer::{Dense, Dropout, Layer, Relu};
 pub use loss::{huber_loss, mse_loss};

@@ -250,6 +250,53 @@ impl Mlp {
         Ok(())
     }
 
+    /// Snapshots the RNG stream of every [`Dropout`] layer, in layer order
+    /// (cleared-and-refilled into a caller-owned buffer so repeated
+    /// snapshots reuse its capacity). Restoring the snapshot with
+    /// [`set_dropout_rng_states`](Self::set_dropout_rng_states) makes the
+    /// next train-mode forward draw bit-identical masks.
+    pub fn dropout_rng_states_into(&self, out: &mut Vec<twig_stats::rng::Xoshiro256>) {
+        out.clear();
+        for layer in &self.layers {
+            if let MlpLayer::Dropout(d) = layer {
+                out.push(d.rng_state());
+            }
+        }
+    }
+
+    /// Restores every [`Dropout`] layer's RNG stream from a snapshot taken
+    /// by [`dropout_rng_states_into`](Self::dropout_rng_states_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the snapshot holds a
+    /// different number of streams than this network has dropout layers.
+    pub fn set_dropout_rng_states(
+        &mut self,
+        states: &[twig_stats::rng::Xoshiro256],
+    ) -> Result<(), NnError> {
+        let dropouts = self
+            .layers
+            .iter()
+            .filter(|l| matches!(l, MlpLayer::Dropout(_)))
+            .count();
+        if states.len() != dropouts {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "{} dropout RNG states for a network with {dropouts} dropout layers",
+                    states.len()
+                ),
+            });
+        }
+        let mut it = states.iter();
+        for layer in &mut self.layers {
+            if let MlpLayer::Dropout(d) = layer {
+                d.set_rng_state(it.next().expect("counted above").clone());
+            }
+        }
+        Ok(())
+    }
+
     /// Re-initialises the weights of the last `Dense` layer — the transfer-
     /// learning move from Section IV ("removing the last layer of a trained
     /// network … and re-initialising it with random weights").
@@ -505,6 +552,30 @@ mod tests {
                 assert_eq!(a.to_bits(), s.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn dropout_rng_snapshot_replays_masks() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut net = Mlp::new()
+            .push(Dense::new(3, 8, &mut rng))
+            .push(Relu::new())
+            .push(Dropout::new(0.4, 13))
+            .push(Dense::new(8, 2, &mut rng));
+        let x = Tensor::from_rows(&[vec![0.2, -0.4, 1.0], vec![-1.0, 0.5, 0.1]]).unwrap();
+        let mut snap = Vec::new();
+        net.dropout_rng_states_into(&mut snap);
+        assert_eq!(snap.len(), 1);
+        let first = net.forward(&x, true);
+        // Eval-mode forwards never advance the dropout stream, so a later
+        // restore still replays the train-mode masks bit-identically.
+        let _ = net.forward(&x, false);
+        net.set_dropout_rng_states(&snap).unwrap();
+        assert_eq!(net.forward(&x, true), first);
+        // A second train forward without a restore draws fresh masks.
+        assert_ne!(net.forward(&x, true), first);
+        // Wrong snapshot length rejected.
+        assert!(net.set_dropout_rng_states(&[]).is_err());
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! assert!(actions[0][0] < 4 && actions[0][1] < 5);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod anneal;
@@ -60,7 +61,8 @@ pub use checkpoint::{crc32, decode_checkpoint, encode_checkpoint, MaBdqCheckpoin
 pub use dqn::{Dqn, DqnConfig};
 pub use error::RlError;
 pub use mabdq::{
-    MaBdq, MaBdqConfig, MultiTransition, QuarantineConfig, QuarantineStats, TrainStats,
+    BudgetedProgress, MaBdq, MaBdqConfig, MultiTransition, QuarantineConfig, QuarantineStats,
+    TrainStats,
 };
 pub use per::{PerBatch, PrioritizedReplay};
 pub use replay::ReplayBuffer;

@@ -246,6 +246,26 @@ pub struct TrainStats {
     pub skipped: bool,
 }
 
+/// Progress of a resumable micro-batched gradient step (see
+/// [`MaBdq::train_step_budgeted`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetedProgress {
+    /// The replay buffer holds fewer than `batch_size` transitions; no step
+    /// was started.
+    NotReady,
+    /// A micro-batch of per-agent head passes was consumed; call again to
+    /// continue the step.
+    InProgress {
+        /// Agents whose head passes have completed so far.
+        agents_done: usize,
+        /// Total agents in the step.
+        agents_total: usize,
+    },
+    /// The step completed (weights applied, or skipped by the NaN guard)
+    /// with these diagnostics.
+    Done(TrainStats),
+}
+
 /// The networks: a shared trunk, one state-value head per agent, and one
 /// advantage head per branch whose weights are shared across agents
 /// (Section III-A).
@@ -447,6 +467,9 @@ pub struct MaBdq {
     guards: Vec<AgentGuard>,
     quarantine_trips: u64,
     quarantine_readmissions: u64,
+    /// In-flight budgeted gradient step, if any (see
+    /// [`train_step_budgeted`](Self::train_step_budgeted)).
+    budgeted: Option<Box<BudgetedStep>>,
 }
 
 /// Preallocated working memory for the decide/learn hot path. Every buffer
@@ -486,6 +509,45 @@ struct MaBdqScratch {
     to_state: Tensor,
 }
 
+/// State of one in-flight budgeted gradient step (see
+/// [`MaBdq::train_step_budgeted`]). Owns copies of everything the deferred
+/// chunks and epilogue need, because between chunk calls the caller may run
+/// eval-mode inference (which clobbers the shared [`MaBdqScratch`] and every
+/// network's activation caches) or push new transitions (which may overwrite
+/// sampled replay slots).
+#[derive(Debug, Clone)]
+struct BudgetedStep {
+    /// Joint current-state batch (`B × K*state_dim`).
+    x: Tensor,
+    /// Sampled replay indices (for the priority write-back).
+    indices: Vec<usize>,
+    /// PER importance weights, aligned with `indices`.
+    weights: Vec<f32>,
+    /// Sampled actions, flattened `(b * agents + k) * num_branches + d`.
+    actions: Vec<usize>,
+    /// TD targets, flattened `b * agents + k`.
+    targets: Vec<f32>,
+    /// Train-mode trunk activations for the sampled batch.
+    trunk_out: Tensor,
+    /// Trunk dropout RNG streams snapshotted *before* the trunk forward, so
+    /// the epilogue can recompute that forward (rebuilding the activation
+    /// caches backward needs) with bit-identical masks.
+    trunk_rng: Vec<Xoshiro256>,
+    /// Trunk gradient accumulated across completed agent passes.
+    trunk_grad: Tensor,
+    /// Per-sample mean |TD| accumulated so far.
+    abs_td: Vec<f64>,
+    /// Per-agent summed |TD| (quarantine signal).
+    agent_td: Vec<f64>,
+    /// Per-agent value-head squared gradient norm (quarantine signal).
+    agent_vgrad: Vec<f64>,
+    /// Weighted TD loss accumulated so far.
+    loss: f32,
+    /// Next agent index to process; `agents` means only the epilogue is
+    /// left.
+    next_agent: usize,
+}
+
 impl MaBdq {
     /// Builds the online and target networks.
     ///
@@ -519,6 +581,7 @@ impl MaBdq {
             guards: Vec::new(),
             quarantine_trips: 0,
             quarantine_readmissions: 0,
+            budgeted: None,
         };
         agent.rebuild_guards();
         Ok(agent)
@@ -894,6 +957,9 @@ impl MaBdq {
     ///
     /// Propagates replay-buffer errors.
     pub fn train_step(&mut self) -> Result<Option<TrainStats>, RlError> {
+        // A full step supersedes any half-finished budgeted one: discard its
+        // partial gradients rather than mixing two minibatches.
+        self.abort_budgeted_step();
         if self.buffer.len() < self.config.batch_size {
             return Ok(None);
         }
@@ -1108,6 +1174,341 @@ impl MaBdq {
         Ok(Some(stats))
     }
 
+    /// Whether a budgeted gradient step is currently in flight (started by
+    /// [`train_step_budgeted`](Self::train_step_budgeted) but not yet
+    /// `Done`).
+    pub fn budgeted_step_in_flight(&self) -> bool {
+        self.budgeted.is_some()
+    }
+
+    /// Drops any in-flight budgeted step, zeroing its partial gradients.
+    /// Called by every operation that would invalidate the deferred state
+    /// (a full [`train_step`](Self::train_step), a checkpoint restore, a
+    /// transfer reset).
+    fn abort_budgeted_step(&mut self) {
+        if self.budgeted.take().is_some() {
+            self.online.zero_grads();
+        }
+    }
+
+    /// [`train_step`](Self::train_step) split into resumable micro-batches
+    /// for deadline-aware scheduling: each call runs the per-agent head
+    /// passes for up to `max_agents` agents (at least one), then returns.
+    /// The first call samples the minibatch, computes targets and runs the
+    /// trunk forward; the call that finishes the last agent also runs the
+    /// epilogue (gradient rescaling, trunk backward, NaN guard, clip, Adam,
+    /// priority write-back, target sync, quarantine scan) and returns
+    /// [`BudgetedProgress::Done`].
+    ///
+    /// Between chunk calls the caller may freely run eval-mode inference
+    /// ([`select_actions`](Self::select_actions) /
+    /// [`q_values`](Self::q_values)) and [`observe`](Self::observe): the
+    /// step owns copies of everything it still needs, and eval-mode
+    /// forwards never advance dropout RNG streams, so a step driven to
+    /// completion produces **bit-identical** weights, optimizer state, RNG
+    /// streams and replay priorities to one unbudgeted
+    /// [`train_step`](Self::train_step) — the property
+    /// `tests/budgeted_training.rs` proves. Unlike `train_step`, this path
+    /// allocates (the deferred state is heap-owned); it trades the
+    /// zero-allocation discipline for bounded per-call latency.
+    ///
+    /// A [`train_step`](Self::train_step), checkpoint restore or transfer
+    /// reset while a step is in flight aborts the partial step (its
+    /// gradients are discarded; no weights were touched).
+    ///
+    /// # Errors
+    ///
+    /// Propagates replay-buffer errors from the initial sample.
+    pub fn train_step_budgeted(&mut self, max_agents: usize) -> Result<BudgetedProgress, RlError> {
+        let mut step = match self.budgeted.take() {
+            Some(step) => step,
+            None => match self.begin_budgeted_step()? {
+                Some(step) => step,
+                None => return Ok(BudgetedProgress::NotReady),
+            },
+        };
+        let batch_size = self.config.batch_size;
+        let agents = self.config.agents;
+        let num_branches = self.config.branches.len();
+        let state_dim = self.config.state_dim;
+        let quarantine_on = self.config.quarantine.enabled;
+        let norm = (batch_size * agents * num_branches) as f32;
+        let trunk_dim = step.trunk_out.cols();
+
+        let end = (step.next_agent + max_agents.max(1)).min(agents);
+        while step.next_agent < end {
+            let k = step.next_agent;
+            step.next_agent += 1;
+            // Same skip rule as `train_step`: a quarantined agent
+            // contributes nothing, but still counts as processed.
+            if quarantine_on && self.guards[k].frozen_until > 0 {
+                continue;
+            }
+            let Net {
+                value_heads,
+                adv_heads,
+                ..
+            } = &mut self.online;
+            let vh = &mut value_heads[k];
+            self.scratch
+                .agent_state
+                .resize_zeroed(batch_size, state_dim);
+            for b in 0..batch_size {
+                self.scratch
+                    .agent_state
+                    .row_mut(b)
+                    .copy_from_slice(&step.x.row(b)[k * state_dim..(k + 1) * state_dim]);
+            }
+            step.trunk_out
+                .concat_cols_into(&self.scratch.agent_state, &mut self.scratch.input_k)
+                .expect("same batch");
+            let v = vh.forward_scratch(&self.scratch.input_k, true);
+            self.scratch.v_grad.resize_zeroed(batch_size, 1);
+            self.scratch
+                .input_grad
+                .resize_zeroed(batch_size, self.scratch.input_k.cols());
+
+            for (d, head) in adv_heads.iter_mut().enumerate() {
+                let adv = head.forward_scratch(&self.scratch.input_k, true);
+                let n = adv.cols();
+                self.scratch.adv_grad.resize_zeroed(batch_size, n);
+                for b in 0..batch_size {
+                    let a = step.actions[(b * agents + k) * num_branches + d];
+                    let row = adv.row(b);
+                    let mean: f32 = row.iter().sum::<f32>() / n as f32;
+                    let q = v[(b, 0)] + row[a] - mean;
+                    let delta = q - step.targets[b * agents + k];
+                    step.abs_td[b] += (delta.abs() / (agents * num_branches) as f32) as f64;
+                    if quarantine_on {
+                        step.agent_td[k] += f64::from(delta.abs());
+                    }
+                    let w = step.weights[b];
+                    step.loss += w * delta * delta / norm;
+                    let g = 2.0 * w * delta / norm;
+                    let grow = self.scratch.adv_grad.row_mut(b);
+                    for (j, gj) in grow.iter_mut().enumerate() {
+                        let indicator = if j == a { 1.0 } else { 0.0 };
+                        *gj = g * (indicator - 1.0 / n as f32);
+                    }
+                    self.scratch.v_grad[(b, 0)] += g;
+                }
+                let gin = head.backward_scratch(&self.scratch.adv_grad);
+                self.scratch.input_grad.add_assign(gin).expect("same shape");
+            }
+            let gin_v = vh.backward_scratch(&self.scratch.v_grad);
+            self.scratch
+                .input_grad
+                .add_assign(gin_v)
+                .expect("same shape");
+            if quarantine_on {
+                step.agent_vgrad[k] = f64::from(vh.grad_sq_norm());
+            }
+            self.scratch.input_grad.split_cols_into(
+                trunk_dim,
+                &mut self.scratch.to_trunk,
+                &mut self.scratch.to_state,
+            );
+            step.trunk_grad
+                .add_assign(&self.scratch.to_trunk)
+                .expect("same shape");
+        }
+
+        if step.next_agent < agents {
+            let agents_done = step.next_agent;
+            self.budgeted = Some(step);
+            return Ok(BudgetedProgress::InProgress {
+                agents_done,
+                agents_total: agents,
+            });
+        }
+        Ok(BudgetedProgress::Done(self.finish_budgeted_step(*step)))
+    }
+
+    /// Starts a budgeted step: samples the minibatch, packs states, computes
+    /// double-DQN targets, zeroes gradients and runs the trunk forward —
+    /// copying everything later chunks need into an owned [`BudgetedStep`].
+    /// Returns `None` when the buffer is below `batch_size`.
+    fn begin_budgeted_step(&mut self) -> Result<Option<Box<BudgetedStep>>, RlError> {
+        if self.buffer.len() < self.config.batch_size {
+            return Ok(None);
+        }
+        let batch_size = self.config.batch_size;
+        let agents = self.config.agents;
+        let num_branches = self.config.branches.len();
+        let gamma = self.config.gamma;
+        let state_dim = self.config.state_dim;
+        if self.config.quarantine.enabled {
+            self.quarantine_readmit();
+        }
+
+        self.buffer
+            .sample_into(batch_size, &mut self.rng, &mut self.scratch.batch)?;
+
+        self.scratch.x.resize_zeroed(batch_size, agents * state_dim);
+        self.scratch
+            .x_next
+            .resize_zeroed(batch_size, agents * state_dim);
+        for (b, &idx) in self.scratch.batch.indices.iter().enumerate() {
+            let t = self.buffer.get(idx).expect("sampled index valid");
+            let row = self.scratch.x.row_mut(b);
+            for (k, s) in t.states.iter().enumerate() {
+                row[k * state_dim..(k + 1) * state_dim].copy_from_slice(s);
+            }
+            let row = self.scratch.x_next.row_mut(b);
+            for (k, s) in t.next_states.iter().enumerate() {
+                row[k * state_dim..(k + 1) * state_dim].copy_from_slice(s);
+            }
+        }
+
+        // Targets: identical arithmetic and evaluation order to
+        // `train_step` (double-DQN, averaged over branches).
+        self.online.q_values_into(
+            &self.scratch.x_next,
+            state_dim,
+            false,
+            &mut self.scratch.q_eval,
+        );
+        self.target.q_values_into(
+            &self.scratch.x_next,
+            state_dim,
+            false,
+            &mut self.scratch.q_target,
+        );
+        self.scratch.targets.clear();
+        self.scratch.targets.resize(batch_size * agents, 0.0);
+        for k in 0..agents {
+            for b in 0..batch_size {
+                let mut acc = 0.0;
+                for d in 0..num_branches {
+                    let a_star = argmax(self.scratch.q_eval.q[k][d].row(b));
+                    acc += self.scratch.q_target.q[k][d][(b, a_star)];
+                }
+                let reward = self
+                    .buffer
+                    .get(self.scratch.batch.indices[b])
+                    .expect("sampled index valid")
+                    .rewards[k];
+                self.scratch.targets[b * agents + k] = reward + gamma * acc / num_branches as f32;
+            }
+        }
+
+        self.online.zero_grads();
+        // Snapshot the trunk dropout streams *before* the train forward, so
+        // the epilogue can replay the forward (and its masks) exactly.
+        let mut trunk_rng = Vec::new();
+        self.online.trunk.dropout_rng_states_into(&mut trunk_rng);
+        let mut trunk_out = Tensor::default();
+        trunk_out.copy_from(self.online.trunk.forward_scratch(&self.scratch.x, true));
+        let mut trunk_grad = Tensor::default();
+        trunk_grad.resize_zeroed(batch_size, trunk_out.cols());
+
+        // Own copies of sampled actions: `observe` pushes between chunks
+        // may overwrite sampled replay slots in the ring buffer.
+        let indices = self.scratch.batch.indices.clone();
+        let mut actions = Vec::with_capacity(batch_size * agents * num_branches);
+        for &idx in &indices {
+            let t = self.buffer.get(idx).expect("sampled index valid");
+            for k in 0..agents {
+                for d in 0..num_branches {
+                    actions.push(t.actions[k][d]);
+                }
+            }
+        }
+        let mut x = Tensor::default();
+        x.copy_from(&self.scratch.x);
+        Ok(Some(Box::new(BudgetedStep {
+            x,
+            indices,
+            weights: self.scratch.batch.weights.clone(),
+            actions,
+            targets: self.scratch.targets.clone(),
+            trunk_out,
+            trunk_rng,
+            trunk_grad,
+            abs_td: vec![0.0; batch_size],
+            agent_td: vec![0.0; agents],
+            agent_vgrad: vec![0.0; agents],
+            loss: 0.0,
+            next_agent: 0,
+        })))
+    }
+
+    /// Epilogue of a budgeted step: gradient rescaling, trunk backward over
+    /// recomputed activations, NaN guard, clipping, Adam, priority
+    /// write-back, target sync and quarantine scan — the exact tail of
+    /// [`train_step`](Self::train_step).
+    fn finish_budgeted_step(&mut self, step: BudgetedStep) -> TrainStats {
+        let batch_size = self.config.batch_size;
+        let agents = self.config.agents;
+        let num_branches = self.config.branches.len();
+        let mut trunk_grad = step.trunk_grad;
+
+        for head in self.online.adv_heads.iter_mut() {
+            head.scale_grads(1.0 / agents as f32);
+        }
+        trunk_grad.scale(1.0 / num_branches as f32);
+        // Interleaved eval forwards clobbered the trunk's activation
+        // caches; restore the pre-forward dropout snapshot and recompute
+        // the train forward so backward sees the original masks and
+        // activations — and the post-step RNG state matches the unbudgeted
+        // path (one net advance).
+        self.online
+            .trunk
+            .set_dropout_rng_states(&step.trunk_rng)
+            .expect("snapshot taken from this trunk");
+        self.online.trunk.forward_scratch(&step.x, true);
+        self.online.trunk.backward_scratch(&trunk_grad);
+
+        // The quarantine scan reads its per-agent signals from the shared
+        // scratch; surface the step-owned accumulators there.
+        self.scratch.abs_td.clear();
+        self.scratch.abs_td.extend_from_slice(&step.abs_td);
+        self.scratch.agent_td.clear();
+        self.scratch.agent_td.extend_from_slice(&step.agent_td);
+        self.scratch.agent_vgrad.clear();
+        self.scratch
+            .agent_vgrad
+            .extend_from_slice(&step.agent_vgrad);
+
+        let loss = step.loss;
+        let mean_abs_td = (step.abs_td.iter().sum::<f64>() / batch_size as f64) as f32;
+        let grad_norm = self.online.grad_sq_norm().sqrt();
+        if !loss.is_finite() || !grad_norm.is_finite() {
+            self.online.zero_grads();
+            self.skipped_steps += 1;
+            self.quarantine_scan();
+            let stats = TrainStats {
+                loss,
+                mean_abs_td,
+                grad_norm,
+                skipped: true,
+            };
+            self.record_train_stats(&stats);
+            return stats;
+        }
+
+        if self.config.grad_clip > 0.0 && grad_norm > self.config.grad_clip {
+            self.online
+                .scale_all_grads(self.config.grad_clip / grad_norm);
+        }
+        self.online.apply(&mut self.adam);
+
+        self.buffer.update_priorities(&step.indices, &step.abs_td);
+        self.steps += 1;
+        if self.steps.is_multiple_of(self.config.target_update_every) {
+            self.target.copy_weights_from(&self.online);
+        }
+        self.quarantine_scan();
+        let stats = TrainStats {
+            loss,
+            mean_abs_td,
+            grad_norm,
+            skipped: false,
+        };
+        self.record_train_stats(&stats);
+        stats
+    }
+
     /// Feeds one gradient step's diagnostics into the attached telemetry
     /// handle. No-op when telemetry is disabled.
     fn record_train_stats(&self, stats: &TrainStats) {
@@ -1133,6 +1534,7 @@ impl MaBdq {
     /// optimiser state and re-sync the target network. The trunk's learned
     /// shared representation is kept.
     pub fn transfer_reset(&mut self) {
+        self.abort_budgeted_step();
         for head in self
             .online
             .value_heads
@@ -1245,6 +1647,9 @@ impl MaBdq {
                 self.param_count()
             ));
         }
+        // Validation passed — the restore proceeds, so any half-finished
+        // budgeted step is now meaningless.
+        self.abort_budgeted_step();
         let mut offset = self.online.trunk.param_count();
         self.online
             .trunk

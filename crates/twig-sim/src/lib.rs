@@ -37,6 +37,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cores;
@@ -49,6 +50,7 @@ mod power;
 mod queue;
 mod server;
 mod service;
+pub mod timing;
 
 pub mod catalog;
 
@@ -62,3 +64,4 @@ pub use power::PowerModel;
 pub use queue::{EpochQueueStats, ServiceQueue};
 pub use server::{Assignment, CorePlan, EpochReport, Server, ServerConfig, ServiceEpoch};
 pub use service::ServiceSpec;
+pub use timing::{EpochTimings, TimingFaultConfig, TimingFaultPlan};

@@ -1,6 +1,7 @@
 use crate::fault::{AppliedAssignment, FaultPlan, TelemetryHealth};
 use crate::pmc::{self, Activity, PmcSample};
 use crate::queue::ServiceQueue;
+use crate::timing::{EpochTimings, TimingFaultPlan};
 use crate::{CoreId, DvfsLadder, Frequency, LoadGenerator, PowerModel, ServiceSpec, SimError};
 use std::collections::{BTreeSet, VecDeque};
 use twig_stats::rng::Xoshiro256;
@@ -272,6 +273,8 @@ pub struct Server {
     energy_j: f64,
     rng: Xoshiro256,
     fault: Option<FaultPlan>,
+    timing: Option<TimingFaultPlan>,
+    timing_memo: Option<EpochTimings>,
     last_applied: Vec<Option<AppliedAssignment>>,
     last_pmcs: Vec<PmcSample>,
     pmc_history: Vec<VecDeque<PmcSample>>,
@@ -307,6 +310,8 @@ impl Server {
             energy_j: 0.0,
             rng: Xoshiro256::seed_from_u64(seed),
             fault: None,
+            timing: None,
+            timing_memo: None,
             last_applied: vec![None; n],
             last_pmcs: vec![PmcSample::zero(); n],
             pmc_history: vec![VecDeque::new(); n],
@@ -339,6 +344,38 @@ impl Server {
     /// The installed fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault.as_ref()
+    }
+
+    /// Installs a timing-fault plan (see [`crate::timing`]). Timing faults
+    /// draw from the plan's own RNG stream and never perturb the workload
+    /// simulation — they exist for drivers that model the *manager's* epoch
+    /// latency around [`step`](Self::step).
+    pub fn set_timing_plan(&mut self, plan: TimingFaultPlan) {
+        self.timing = Some(plan);
+        self.timing_memo = None;
+    }
+
+    /// Removes any installed timing-fault plan.
+    pub fn clear_timing_plan(&mut self) {
+        self.timing = None;
+        self.timing_memo = None;
+    }
+
+    /// The installed timing-fault plan, if any.
+    pub fn timing_plan(&self) -> Option<&TimingFaultPlan> {
+        self.timing.as_ref()
+    }
+
+    /// This epoch's drawn timings, or `None` when no plan is installed.
+    ///
+    /// The draw is memoized: however many times a driver consults it before
+    /// the next [`step`](Self::step), the plan's RNG advances exactly once
+    /// per epoch, keeping the timing sequence a function of the epoch index
+    /// alone. `step` itself draws any unconsumed epoch, so the sequence
+    /// stays aligned even for drivers that only consult it sometimes.
+    pub fn epoch_timings(&mut self) -> Option<EpochTimings> {
+        let plan = self.timing.as_mut()?;
+        Some(*self.timing_memo.get_or_insert_with(|| plan.draw_epoch()))
     }
 
     /// The platform configuration.
@@ -672,6 +709,14 @@ impl Server {
         };
         self.record_epoch_telemetry(&report, stopwatch.lap_ms());
         self.time_s += 1;
+        // Close out this epoch's timing draw: if the driver never consulted
+        // it, draw (and discard) it now so the timing stream advances once
+        // per epoch no matter what; either way the memo resets.
+        if self.timing_memo.take().is_none() {
+            if let Some(plan) = self.timing.as_mut() {
+                plan.draw_epoch();
+            }
+        }
         Ok(report)
     }
 
@@ -1132,6 +1177,79 @@ mod tests {
             assert!(r.energy_j > last_energy, "energy accounting uses truth");
             last_energy = r.energy_j;
         }
+    }
+
+    #[test]
+    fn epoch_timings_drawn_once_per_epoch_and_aligned() {
+        let config = crate::timing::TimingFaultConfig {
+            learn_chunk_base_ms: 5.0,
+            learn_spike_rate: 0.5,
+            learn_spike_ms: 100.0,
+            clock_jitter_ms: 30.0,
+            ..crate::timing::TimingFaultConfig::default()
+        };
+        // Reference: the raw per-epoch draw sequence from an identical plan.
+        let mut reference = TimingFaultPlan::new(config.clone(), 77).unwrap();
+        let expected: Vec<EpochTimings> = (0..6).map(|_| reference.draw_epoch()).collect();
+
+        let spec = catalog::masstree();
+        let mut server = Server::new(ServerConfig::default(), vec![spec], 9).unwrap();
+        assert!(server.epoch_timings().is_none(), "no plan installed yet");
+        server.set_timing_plan(TimingFaultPlan::new(config, 77).unwrap());
+        assert!(server.timing_plan().is_some());
+        let a = [full_assignment(18)];
+        for (epoch, want) in expected.iter().enumerate() {
+            match epoch {
+                // Consulted repeatedly: memoized to one draw.
+                0 | 3 => {
+                    let first = server.epoch_timings().unwrap();
+                    assert_eq!(first, server.epoch_timings().unwrap());
+                    assert_eq!(first, *want, "epoch {epoch} diverged");
+                }
+                // Consulted once.
+                1 | 4 => assert_eq!(server.epoch_timings().unwrap(), *want),
+                // Never consulted: step() must burn the draw to keep the
+                // stream aligned with the epoch index.
+                _ => {}
+            }
+            server.step(&a).unwrap();
+        }
+        // Workload outputs are independent of the timing plan entirely.
+        server.clear_timing_plan();
+        assert!(server.epoch_timings().is_none());
+    }
+
+    #[test]
+    fn timing_plan_never_perturbs_the_workload() {
+        let run_epochs = |with_plan: bool| {
+            let spec = catalog::masstree();
+            let mut server = Server::new(ServerConfig::default(), vec![spec], 4).unwrap();
+            server.set_load_fraction(0, 0.7).unwrap();
+            if with_plan {
+                server.set_timing_plan(
+                    TimingFaultPlan::new(
+                        crate::timing::TimingFaultConfig {
+                            pmc_base_ms: 50.0,
+                            pmc_spike_rate: 0.9,
+                            pmc_spike_ms: 2000.0,
+                            clock_stuck_rate: 0.5,
+                            ..crate::timing::TimingFaultConfig::default()
+                        },
+                        123,
+                    )
+                    .unwrap(),
+                );
+            }
+            run(&mut server, &[full_assignment(12)], 20)
+                .iter()
+                .map(|r| (r.services[0].p99_ms.to_bits(), r.power_w.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            run_epochs(false),
+            run_epochs(true),
+            "timing faults must not touch the workload stream"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! assert_eq!(percentile(&mut [3.0, 1.0, 2.0], 50.0).unwrap(), 2.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod corr;

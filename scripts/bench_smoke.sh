@@ -13,6 +13,12 @@
 #    crash/restart/corruption schedules — torn writes, generation
 #    fallback, cold start, agent quarantine — asserting its invariants
 #    internally; the report lands in results/chaos_report.txt.
+# 4. The timing suite (--smoke, fixed seed, --jobs 2) runs the seeded
+#    timing-chaos schedules — phase-latency spikes, stale PMC windows,
+#    actuator stalls, clock faults — against the deadline-aware epoch
+#    scheduler, asserting graceful degradation (no panics, bounded
+#    ladder, zero stale actuations) internally; the report lands in
+#    results/timing_report.txt.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,7 +26,7 @@ cd "$(dirname "$0")/.."
 mkdir -p results
 
 echo "== bench_smoke: building release binaries =="
-cargo build --release --offline -p twig-bench --bin bench_fleet --bin fig01_pmc_vs_ipc --bin chaos
+cargo build --release --offline -p twig-bench --bin bench_fleet --bin fig01_pmc_vs_ipc --bin chaos --bin timing
 
 echo "== bench_smoke: fleet perf smoke (results/BENCH_fleet.json) =="
 ./target/release/bench_fleet results/BENCH_fleet.json
@@ -30,5 +36,8 @@ echo "== bench_smoke: fig01 smoke run (results/fig01_smoke.txt) =="
 
 echo "== bench_smoke: chaos suite (results/chaos_report.txt) =="
 ./target/release/chaos --smoke --seed 42 --jobs 2 | tee results/chaos_report.txt
+
+echo "== bench_smoke: timing suite (results/timing_report.txt) =="
+./target/release/timing --smoke --seed 42 --jobs 2 | tee results/timing_report.txt
 
 echo "bench_smoke: all steps passed"

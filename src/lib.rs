@@ -41,6 +41,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use twig_baselines as baselines;
 pub use twig_core as manager;
 pub use twig_nn as nn;
