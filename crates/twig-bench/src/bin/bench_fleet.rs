@@ -1,11 +1,15 @@
 //! CI perf smoke for the fleet + hot-path memory discipline.
 //!
-//! Times a compressed Figure 1 workload — four independent
-//! (service, replicate-seed) units — serially and at `--jobs 2` / `--jobs
-//! 4`, asserts the three outputs are bit-identical, measures steady-state
-//! heap allocations of the decide+learn hot path under the counting
-//! global allocator, and writes everything to a JSON report (default
-//! `results/BENCH_fleet.json`, override with a positional path argument).
+//! Times a compressed Figure 1 workload — eight independent
+//! (service, replicate-seed) units, two per worker at `--jobs 4` so one
+//! straggler cannot cap the measured speedup — serially and at `--jobs 2`
+//! / `--jobs 4` after an untimed warm-up pass (first-touch page faults
+//! and lazy init would otherwise pad the serial pass and flatter the
+//! speedups), asserts the three outputs are bit-identical, measures
+//! steady-state heap allocations of the decide+learn hot path under the
+//! counting global allocator, and writes everything to a JSON report
+//! (default `results/BENCH_fleet.json`, override with a positional path
+//! argument).
 //!
 //! Speedup floors are enforced only when the host actually has the cores:
 //! `>= 1.2x` at 2 jobs on >= 2 cores, `>= 1.5x` at 4 jobs on >= 4 cores.
@@ -52,7 +56,10 @@ static ALLOC: CountingAlloc = CountingAlloc;
 
 const SAMPLES: usize = 700;
 const PASSES: usize = 4;
-const UNITS: usize = 4;
+/// Two units per worker at the widest measured job count: enough
+/// granularity that the fleet can balance load and parallelism pays on
+/// real multi-core runners (ROADMAP item 2).
+const UNITS: usize = 8;
 const BASE_SEED: u64 = 42;
 
 /// Runs the 4-unit compressed fig01 workload at the given job count,
@@ -134,6 +141,9 @@ fn main() {
         .unwrap_or(1);
 
     eprintln!("bench_fleet: {UNITS} units x {SAMPLES} samples, host has {cores} core(s)");
+    // Untimed warm-up: pay first-touch page faults and lazy init before
+    // anything is on the clock, so serial vs parallel is a fair fight.
+    let _ = fleet_pass(cores.clamp(1, 4));
     let (serial_out, serial_s) = fleet_pass(1);
     let (jobs2_out, jobs2_s) = fleet_pass(2);
     let (jobs4_out, jobs4_s) = fleet_pass(4);

@@ -1,0 +1,10 @@
+//! Binary wrapper for the `cluster` chaos suite; see
+//! `twig_bench::experiments::cluster` for the schedules and invariants.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::cluster::run(&opts) {
+        eprintln!("cluster failed: {e}");
+        std::process::exit(1);
+    }
+}

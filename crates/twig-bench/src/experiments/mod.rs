@@ -11,6 +11,7 @@
 
 pub mod ablation;
 pub mod chaos;
+pub mod cluster;
 pub mod diurnal;
 pub mod fig01;
 pub mod fig04;

@@ -12,10 +12,12 @@
 use crate::{drive, make_twig, ExpError, Options, TextTable};
 use std::fmt::Write as _;
 use std::time::Instant;
+use twig_cluster::{Coordinator, CoordinatorConfig, LoadBalancer};
 use twig_core::{
     CheckpointStore, EpochScheduler, GovernorConfig, Mapper, SafetyGovernor, SchedulerConfig,
     SimClock, SystemMonitor,
 };
+use twig_core::{ClusterView, NodeId, NodeView};
 use twig_nn::count_alloc;
 use twig_rl::{MaBdq, MaBdqConfig, MultiTransition};
 use twig_sim::pmc::{synthesize, Activity};
@@ -122,6 +124,66 @@ pub fn scheduler_bookkeeping_ms(iters: u32) -> Result<f64, ExpError> {
         let _ = sched.actuation_attempt(5.0);
         sched.end_epoch();
         clock.advance(900.0);
+    }))
+}
+
+/// Mean wall-clock milliseconds of cluster control-plane bookkeeping for
+/// one epoch — both heartbeat channels, the cluster-view rebuild, the
+/// repair planner's scan, the migration-ladder tick, and a full
+/// capacity-weighted routing pass over a 4-node, 3-service,
+/// replication-2 fleet. Serving is excluded: this bounds what the
+/// coordinator + front-end balancer themselves cost each epoch.
+///
+/// # Errors
+///
+/// Propagates balancer and coordinator construction errors.
+pub fn cluster_bookkeeping_ms(iters: u32) -> Result<f64, ExpError> {
+    let cores = [18usize, 18, 18, 12];
+    let mhz = [2600u32, 2600, 2600, 1800];
+    let weights: Vec<u64> = cores
+        .iter()
+        .zip(&mhz)
+        .map(|(&c, &m)| c as u64 * u64::from(m))
+        .collect();
+    let services = 3;
+    let nodes = cores.len();
+    let mut balancer = LoadBalancer::new(services, weights, 2)?;
+    let mut coord = Coordinator::new(services, nodes, 2, CoordinatorConfig::default())?;
+    for s in 0..services {
+        coord.admit_replica(s, NodeId(s % nodes))?;
+        coord.admit_replica(s, NodeId((s + 1) % nodes))?;
+    }
+    balancer.sync_table(coord.placement());
+    let hb = vec![true; nodes];
+    let demand = vec![2160u64, 900, 990];
+    Ok(time_ms(iters, || {
+        balancer.observe_heartbeats(&hb);
+        let _ = coord.record_heartbeats(&hb);
+        let view = ClusterView {
+            nodes: (0..nodes)
+                .map(|i| NodeView {
+                    id: NodeId(i),
+                    alive: true,
+                    cores: cores[i],
+                    max_freq_mhz: mhz[i],
+                    hosted_replicas: (0..services)
+                        .filter(|&s| coord.placement().hosts(s, NodeId(i)))
+                        .count(),
+                })
+                .collect(),
+        };
+        let _ = coord.plan_repairs(&view);
+        let _ = coord.advance_transfers(|| false);
+        let cap: Vec<Vec<u64>> = (0..nodes).map(|_| vec![2400u64; services]).collect();
+        let reachable: Vec<Vec<bool>> = (0..nodes)
+            .map(|i| {
+                (0..services)
+                    .map(|s| coord.placement().hosts(s, NodeId(i)))
+                    .collect()
+            })
+            .collect();
+        let out = balancer.route(&demand, &cap, &reachable).expect("route");
+        assert!(out.conserved, "steady-state routing must conserve");
     }))
 }
 
@@ -260,6 +322,16 @@ pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     //    epoch, timed against a virtual clock.
     let sched_ms = scheduler_bookkeeping_ms(5000)?;
 
+    // 8. Cluster control-plane bookkeeping: heartbeats, repair planning,
+    //    the migration ladder and deterministic routing for a 4-node
+    //    fleet. The ≤ 0.5 ms budget keeps the whole control plane under
+    //    0.05% of the 1 s decision interval.
+    let cluster_ms = cluster_bookkeeping_ms(2000)?;
+    assert!(
+        cluster_ms <= 0.5,
+        "cluster control-plane bookkeeping {cluster_ms:.4} ms/epoch exceeds the 0.5 ms budget"
+    );
+
     let total = gd_ms + pmc_ms + map_ms + select_ms;
     let exploit_total = pmc_ms + map_ms + select_ms;
 
@@ -319,6 +391,12 @@ pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
         "n/a (new)".into(),
     ]);
     t.row(vec![
+        "8".into(),
+        "cluster coordinator + balancer".into(),
+        format!("{cluster_ms:.4}"),
+        "n/a (new)".into(),
+    ]);
+    t.row(vec![
         "".into(),
         "total per 1 s epoch".into(),
         format!("{total:.3}"),
@@ -347,6 +425,9 @@ pub fn run_to(out: &mut String, opts: &Options) -> Result<(), ExpError> {
     writeln!(out,
         "deadline scheduler bookkeeping: {sched_ms:.4} ms/epoch ({:.4}% of the 1 s interval) — metering every phase costs a rounding error of the budgets it protects",
         sched_ms / 10.0
+    )?;
+    writeln!(out,
+        "cluster control plane: {cluster_ms:.4} ms/epoch for a 4-node fleet (budget 0.5 ms) — heartbeats, repair planning, the migration ladder and exact routing together stay under 0.05% of the interval",
     )?;
     Ok(())
 }
@@ -383,6 +464,18 @@ mod tests {
         assert!(
             ms < 0.1,
             "scheduler bookkeeping {ms:.4} ms/epoch exceeds the 0.1 ms bound"
+        );
+    }
+
+    #[test]
+    fn cluster_bookkeeping_is_bounded() {
+        // The whole cluster control plane — both heartbeat channels,
+        // repair planning, the migration ladder, deterministic routing —
+        // must cost at most 0.5 ms per epoch (ISSUE 6 acceptance bound).
+        let ms = cluster_bookkeeping_ms(2000).unwrap();
+        assert!(
+            ms <= 0.5,
+            "cluster bookkeeping {ms:.4} ms/epoch exceeds the 0.5 ms budget"
         );
     }
 

@@ -1,0 +1,447 @@
+//! Deterministic front-end load balancer.
+//!
+//! The balancer is the cluster's data plane: every epoch it splits each
+//! service's offered load across the replicas it believes are alive,
+//! capacity-weighted, using integer largest-remainder allocation so the
+//! split is exact and bit-reproducible. Its design invariants:
+//!
+//! - **Conservation** — every request is routed exactly once or parked in
+//!   the pending backlog; nothing is dropped or double-routed at the
+//!   balancer, ever. [`RoutingOutcome::conserved`] re-checks the books
+//!   each epoch.
+//! - **Independent liveness** — replica health comes from its own
+//!   heartbeat channel, not the coordinator, so routing keeps failing
+//!   over during coordinator blackouts.
+//! - **Bounded failover** — a silent node is suspected after
+//!   `suspect_after_misses` missed heartbeats and immediately excluded
+//!   from routing; traffic already aimed at a dead node in the window
+//!   before suspicion *bounces* and is re-routed the same epoch.
+
+use crate::ClusterError;
+use twig_core::{NodeId, ServicePlacement};
+
+/// What happened to one epoch of routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingOutcome {
+    /// Requests per second routed to each `[node][service]`.
+    pub per_node: Vec<Vec<u64>>,
+    /// Total requests routed (after bouncing).
+    pub routed: u64,
+    /// Requests that bounced off an unreachable replica and were
+    /// re-routed (or parked) this epoch.
+    pub bounced: u64,
+    /// Requests parked in the pending backlog (no reachable capacity).
+    pub deferred: u64,
+    /// Requests served out of the backlog accumulated in prior epochs.
+    pub served_from_pending: u64,
+    /// `routed + backlog_after == demand + backlog_before` held for every
+    /// service.
+    pub conserved: bool,
+    /// Duplicate placement entries dropped defensively (always 0 unless
+    /// the control plane is buggy).
+    pub double_route_guards: u64,
+}
+
+/// The deterministic front-end balancer. See the module docs.
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    suspect_after: u32,
+    /// Consecutive missed heartbeats per node.
+    miss: Vec<u32>,
+    suspected: Vec<bool>,
+    /// Per-service replica lists, last synced from the coordinator.
+    table: Vec<Vec<NodeId>>,
+    table_generation: u64,
+    /// Per-service backlog of unroutable requests.
+    pending: Vec<u64>,
+    /// Capacity weight per node (cores × max MHz).
+    weight: Vec<u64>,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer for `services` services over nodes with the
+    /// given capacity `weights`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] for zero services, zero
+    /// nodes, a zero weight, or a zero suspicion threshold.
+    pub fn new(
+        services: usize,
+        weights: Vec<u64>,
+        suspect_after: u32,
+    ) -> Result<Self, ClusterError> {
+        if services == 0 || weights.is_empty() {
+            return Err(ClusterError::invalid("balancer needs services and nodes"));
+        }
+        if weights.contains(&0) {
+            return Err(ClusterError::invalid("zero capacity weight"));
+        }
+        if suspect_after == 0 {
+            return Err(ClusterError::invalid("suspect_after must be at least 1"));
+        }
+        let n = weights.len();
+        Ok(LoadBalancer {
+            suspect_after,
+            miss: vec![0; n],
+            suspected: vec![false; n],
+            table: vec![Vec::new(); services],
+            table_generation: 0,
+            pending: vec![0; services],
+            weight: weights,
+        })
+    }
+
+    /// Records one epoch of heartbeats (`received[n]` = a heartbeat from
+    /// node `n` arrived). Returns the nodes that just crossed the
+    /// suspicion threshold (the failover moments).
+    pub fn observe_heartbeats(&mut self, received: &[bool]) -> Vec<NodeId> {
+        let mut newly = Vec::new();
+        for (n, &ok) in received.iter().enumerate() {
+            if ok {
+                self.miss[n] = 0;
+                self.suspected[n] = false;
+            } else {
+                self.miss[n] = self.miss[n].saturating_add(1);
+                if !self.suspected[n] && self.miss[n] >= self.suspect_after {
+                    self.suspected[n] = true;
+                    newly.push(NodeId(n));
+                }
+            }
+        }
+        newly
+    }
+
+    /// Adopts the coordinator's placement as the routing table.
+    pub fn sync_table(&mut self, placement: &ServicePlacement) {
+        for (s, slot) in self.table.iter_mut().enumerate() {
+            *slot = placement.replicas(s).to_vec();
+        }
+        self.table_generation = placement.generation();
+    }
+
+    /// Placement generation of the current routing table.
+    pub fn table_generation(&self) -> u64 {
+        self.table_generation
+    }
+
+    /// `true` when the balancer currently suspects `node` dead.
+    pub fn is_suspected(&self, node: NodeId) -> bool {
+        self.suspected.get(node.0).copied().unwrap_or(true)
+    }
+
+    /// Per-service pending backlog.
+    pub fn backlog(&self) -> &[u64] {
+        &self.pending
+    }
+
+    /// Routes one epoch of traffic.
+    ///
+    /// `demand` is this epoch's fresh offered load per service;
+    /// `cap[node][service]` bounds what one replica can absorb;
+    /// `reachable[node][service]` is ground truth — a replica listed in
+    /// the table may be gone (crashed node, decommissioned replica), and
+    /// traffic aimed at it bounces and is re-routed among the survivors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] on shape mismatches.
+    pub fn route(
+        &mut self,
+        demand: &[u64],
+        cap: &[Vec<u64>],
+        reachable: &[Vec<bool>],
+    ) -> Result<RoutingOutcome, ClusterError> {
+        let services = self.table.len();
+        let nodes = self.weight.len();
+        if demand.len() != services || cap.len() != nodes || reachable.len() != nodes {
+            return Err(ClusterError::invalid(format!(
+                "route shapes: demand {} cap {} reachable {} (want {services} services, {nodes} nodes)",
+                demand.len(),
+                cap.len(),
+                reachable.len()
+            )));
+        }
+        let mut out = RoutingOutcome {
+            per_node: vec![vec![0; services]; nodes],
+            routed: 0,
+            bounced: 0,
+            deferred: 0,
+            served_from_pending: 0,
+            conserved: true,
+            double_route_guards: 0,
+        };
+        for s in 0..services {
+            let backlog_before = self.pending[s];
+            let total = demand[s] + backlog_before;
+            self.pending[s] = 0;
+            if total == 0 {
+                continue;
+            }
+
+            // Believed-live targets, deduplicated defensively: routing the
+            // same replica twice would double-count its capacity.
+            let mut targets: Vec<usize> = Vec::new();
+            for &node in &self.table[s] {
+                if node.0 >= nodes || targets.contains(&node.0) {
+                    out.double_route_guards += 1;
+                    continue;
+                }
+                if !self.suspected[node.0] {
+                    targets.push(node.0);
+                }
+            }
+
+            let caps: Vec<u64> = targets.iter().map(|&n| cap[n][s]).collect();
+            let weights: Vec<u64> = targets.iter().map(|&n| self.weight[n]).collect();
+            let (mut alloc, mut leftover) = split_capped(total, &weights, &caps);
+
+            // Bounce pass: traffic aimed at a believed-live replica that
+            // is actually gone re-routes among the reachable survivors.
+            let mut bounced = 0u64;
+            let mut headroom: Vec<u64> = Vec::with_capacity(targets.len());
+            for (i, &n) in targets.iter().enumerate() {
+                if reachable[n][s] {
+                    headroom.push(caps[i] - alloc[i]);
+                } else {
+                    bounced += alloc[i];
+                    alloc[i] = 0;
+                    headroom.push(0);
+                }
+            }
+            if bounced > 0 {
+                out.bounced += bounced;
+                let survivors: Vec<usize> = (0..targets.len())
+                    .filter(|&i| reachable[targets[i]][s])
+                    .collect();
+                let sw: Vec<u64> = survivors.iter().map(|&i| weights[i]).collect();
+                let sc: Vec<u64> = survivors.iter().map(|&i| headroom[i]).collect();
+                let (re, rest) = split_capped(bounced, &sw, &sc);
+                for (k, &i) in survivors.iter().enumerate() {
+                    alloc[i] += re[k];
+                }
+                leftover += rest;
+            }
+
+            let mut routed_s = 0u64;
+            for (i, &n) in targets.iter().enumerate() {
+                out.per_node[n][s] += alloc[i];
+                routed_s += alloc[i];
+            }
+            out.routed += routed_s;
+            self.pending[s] = leftover;
+            out.deferred += leftover;
+            out.served_from_pending += backlog_before.saturating_sub(leftover);
+            if routed_s + self.pending[s] != demand[s] + backlog_before {
+                out.conserved = false;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Splits `total` units across targets proportionally to `weights`,
+/// respecting per-target `caps`, by repeated integer largest-remainder
+/// rounds. Returns the per-target allocation and the unplaceable
+/// remainder. Pure integer math: exact conservation, no float drift.
+fn split_capped(total: u64, weights: &[u64], caps: &[u64]) -> (Vec<u64>, u64) {
+    let n = weights.len();
+    let mut alloc = vec![0u64; n];
+    if n == 0 || total == 0 {
+        return (alloc, total);
+    }
+    let mut remaining = total;
+    // Each round either places everything or saturates at least one
+    // target, so at most n+1 rounds run.
+    loop {
+        let open: Vec<usize> = (0..n).filter(|&i| alloc[i] < caps[i]).collect();
+        if open.is_empty() || remaining == 0 {
+            break;
+        }
+        let wsum: u128 = open.iter().map(|&i| u128::from(weights[i])).sum();
+        if wsum == 0 {
+            break;
+        }
+        // Largest-remainder split of `remaining` over the open targets.
+        let mut placed = 0u64;
+        let mut fracs: Vec<(u128, usize)> = Vec::with_capacity(open.len());
+        let mut round = vec![0u64; open.len()];
+        for (k, &i) in open.iter().enumerate() {
+            let ideal = u128::from(remaining) * u128::from(weights[i]);
+            let share = (ideal / wsum) as u64;
+            round[k] = share;
+            fracs.push((ideal % wsum, i));
+            placed += share;
+        }
+        let mut rest = remaining - placed;
+        // Distribute the rounding remainder by largest fractional part,
+        // ties broken by node order (stable sort on descending fraction).
+        let mut order: Vec<usize> = (0..open.len()).collect();
+        order.sort_by(|&a, &b| fracs[b].0.cmp(&fracs[a].0).then(open[a].cmp(&open[b])));
+        for &k in &order {
+            if rest == 0 {
+                break;
+            }
+            round[k] += 1;
+            rest -= 1;
+        }
+        // Clamp to caps; the clamped excess stays in `remaining` for the
+        // next round.
+        let mut placed_clamped = 0u64;
+        for (k, &i) in open.iter().enumerate() {
+            let room = caps[i] - alloc[i];
+            let take = round[k].min(room);
+            alloc[i] += take;
+            placed_clamped += take;
+        }
+        remaining -= placed_clamped;
+        if placed_clamped == 0 {
+            break;
+        }
+    }
+    (alloc, remaining)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_exact_and_capacity_weighted() {
+        let (alloc, rest) = split_capped(1000, &[2, 1, 1], &[u64::MAX, u64::MAX, u64::MAX]);
+        assert_eq!(alloc.iter().sum::<u64>() + rest, 1000);
+        assert_eq!(rest, 0);
+        assert_eq!(alloc[0], 500);
+        assert_eq!(alloc[1] + alloc[2], 500);
+    }
+
+    #[test]
+    fn split_respects_caps_and_reports_leftover() {
+        let (alloc, rest) = split_capped(100, &[1, 1], &[10, 20]);
+        assert_eq!(alloc, vec![10, 20]);
+        assert_eq!(rest, 70);
+        let (alloc, rest) = split_capped(100, &[3, 1], &[10, 1000]);
+        assert_eq!(alloc[0], 10);
+        assert_eq!(alloc[0] + alloc[1] + rest, 100);
+        assert_eq!(rest, 0);
+    }
+
+    #[test]
+    fn split_degenerate_inputs() {
+        assert_eq!(split_capped(5, &[], &[]), (vec![], 5));
+        assert_eq!(split_capped(0, &[1], &[10]), (vec![0], 0));
+        assert_eq!(split_capped(5, &[0], &[10]), (vec![0], 5));
+    }
+
+    fn placed(balancer: &mut LoadBalancer, replicas: &[(usize, usize)]) {
+        let mut p = ServicePlacement::new(balancer.table.len());
+        for &(s, n) in replicas {
+            p.add_replica(s, NodeId(n)).unwrap();
+        }
+        balancer.sync_table(&p);
+    }
+
+    #[test]
+    fn routes_split_across_replicas_and_conserve() {
+        let mut b = LoadBalancer::new(1, vec![100, 100], 2).unwrap();
+        placed(&mut b, &[(0, 0), (0, 1)]);
+        let out = b
+            .route(&[900], &[vec![1000], vec![1000]], &[vec![true], vec![true]])
+            .unwrap();
+        assert!(out.conserved);
+        assert_eq!(out.routed, 900);
+        assert_eq!(out.per_node[0][0] + out.per_node[1][0], 900);
+        assert_eq!(out.per_node[0][0], 450);
+        assert_eq!(out.deferred, 0);
+    }
+
+    #[test]
+    fn suspected_node_is_excluded_after_threshold() {
+        let mut b = LoadBalancer::new(1, vec![100, 100], 2).unwrap();
+        placed(&mut b, &[(0, 0), (0, 1)]);
+        assert!(b.observe_heartbeats(&[true, false]).is_empty());
+        let newly = b.observe_heartbeats(&[true, false]);
+        assert_eq!(newly, vec![NodeId(1)]);
+        assert!(b.is_suspected(NodeId(1)));
+        let out = b
+            .route(
+                &[600],
+                &[vec![1000], vec![1000]],
+                &[vec![true], vec![false]],
+            )
+            .unwrap();
+        assert_eq!(out.per_node[1][0], 0);
+        assert_eq!(out.per_node[0][0], 600);
+        assert_eq!(out.bounced, 0); // excluded before routing, no bounce
+                                    // Recovery: one heartbeat clears suspicion.
+        b.observe_heartbeats(&[true, true]);
+        assert!(!b.is_suspected(NodeId(1)));
+    }
+
+    #[test]
+    fn bounce_reroutes_before_suspicion() {
+        let mut b = LoadBalancer::new(1, vec![100, 100], 2).unwrap();
+        placed(&mut b, &[(0, 0), (0, 1)]);
+        // Node 1 died this instant: not yet suspected, traffic bounces.
+        let out = b
+            .route(
+                &[600],
+                &[vec![1000], vec![1000]],
+                &[vec![true], vec![false]],
+            )
+            .unwrap();
+        assert!(out.conserved);
+        assert_eq!(out.bounced, 300);
+        assert_eq!(out.per_node[0][0], 600);
+        assert_eq!(out.per_node[1][0], 0);
+    }
+
+    #[test]
+    fn no_capacity_parks_in_backlog_then_drains() {
+        let mut b = LoadBalancer::new(1, vec![100], 1).unwrap();
+        placed(&mut b, &[(0, 0)]);
+        b.observe_heartbeats(&[false]); // node suspected: no targets
+        let out = b.route(&[50], &[vec![1000]], &[vec![true]]).unwrap();
+        assert!(out.conserved);
+        assert_eq!(out.routed, 0);
+        assert_eq!(out.deferred, 50);
+        assert_eq!(b.backlog(), &[50]);
+        // Node returns: backlog drains alongside fresh demand.
+        b.observe_heartbeats(&[true]);
+        let out = b.route(&[50], &[vec![1000]], &[vec![true]]).unwrap();
+        assert!(out.conserved);
+        assert_eq!(out.routed, 100);
+        assert_eq!(out.served_from_pending, 50);
+        assert_eq!(b.backlog(), &[0]);
+    }
+
+    #[test]
+    fn duplicate_placement_entries_are_guarded() {
+        let mut b = LoadBalancer::new(1, vec![100], 2).unwrap();
+        // Forge a duplicate table entry (placement itself forbids them).
+        b.table[0] = vec![NodeId(0), NodeId(0)];
+        let out = b.route(&[100], &[vec![1000]], &[vec![true]]).unwrap();
+        assert_eq!(out.double_route_guards, 1);
+        assert_eq!(out.routed, 100);
+        assert!(out.conserved);
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(LoadBalancer::new(0, vec![1], 1).is_err());
+        assert!(LoadBalancer::new(1, vec![], 1).is_err());
+        assert!(LoadBalancer::new(1, vec![0], 1).is_err());
+        assert!(LoadBalancer::new(1, vec![1], 0).is_err());
+        assert!(LoadBalancer::new(1, vec![1], 1).is_ok());
+    }
+
+    #[test]
+    fn route_validates_shapes() {
+        let mut b = LoadBalancer::new(2, vec![1, 1], 1).unwrap();
+        let reachable = vec![vec![true; 2], vec![true; 2]];
+        assert!(b
+            .route(&[1], &[vec![1, 1], vec![1, 1]], &reachable)
+            .is_err());
+        assert!(b.route(&[1, 1], &[vec![1, 1]], &reachable).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+use std::error::Error;
+use std::fmt;
+use twig_core::{ManagerError, TwigError};
+use twig_sim::SimError;
+
+/// Error produced by the cluster control plane.
+///
+/// # Examples
+///
+/// ```
+/// use twig_cluster::{Cluster, ClusterConfig, ClusterError, ClusterFaultPlan};
+///
+/// let err = Cluster::new(
+///     ClusterConfig::default(), // no nodes, no services
+///     ClusterFaultPlan::disabled(),
+///     twig_telemetry::Telemetry::disabled(),
+/// )
+/// .unwrap_err();
+/// assert!(matches!(err, ClusterError::InvalidConfig { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// A configuration value was outside its valid domain.
+    InvalidConfig {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A routing or placement invariant would have been violated.
+    Invariant {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An error bubbled up from a node's simulated server.
+    Sim(SimError),
+    /// An error bubbled up from a node's task manager.
+    Manager(ManagerError),
+    /// An error bubbled up from Twig construction or checkpointing.
+    Twig(TwigError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidConfig { detail } => write!(f, "invalid config: {detail}"),
+            ClusterError::Invariant { detail } => write!(f, "invariant violated: {detail}"),
+            ClusterError::Sim(e) => write!(f, "simulator error: {e}"),
+            ClusterError::Manager(e) => write!(f, "manager error: {e}"),
+            ClusterError::Twig(e) => write!(f, "twig error: {e}"),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Sim(e) => Some(e),
+            ClusterError::Manager(e) => Some(e),
+            ClusterError::Twig(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl ClusterError {
+    /// Creates an invalid-config error.
+    pub fn invalid(detail: impl Into<String>) -> Self {
+        ClusterError::InvalidConfig {
+            detail: detail.into(),
+        }
+    }
+
+    /// Creates an invariant-violation error.
+    pub fn invariant(detail: impl Into<String>) -> Self {
+        ClusterError::Invariant {
+            detail: detail.into(),
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<SimError> for ClusterError {
+    fn from(e: SimError) -> Self {
+        ClusterError::Sim(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<ManagerError> for ClusterError {
+    fn from(e: ManagerError) -> Self {
+        ClusterError::Manager(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<TwigError> for ClusterError {
+    fn from(e: TwigError) -> Self {
+        ClusterError::Twig(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_source_and_traits() {
+        let e = ClusterError::invalid("no nodes");
+        assert!(e.to_string().contains("invalid config"));
+        assert!(e.source().is_none());
+        let e = ClusterError::invariant("double route");
+        assert!(e.to_string().contains("invariant"));
+        let e: ClusterError = SimError::InvalidConfig { detail: "x".into() }.into();
+        assert!(e.source().is_some());
+        let e: ClusterError = ManagerError::fatal("x").into();
+        assert!(e.to_string().contains("manager"));
+        let e: ClusterError = TwigError::InvalidConfig { detail: "x".into() }.into();
+        assert!(e.to_string().contains("twig"));
+        fn check<T: Send + Sync + Error>() {}
+        check::<ClusterError>();
+    }
+}

@@ -1,0 +1,215 @@
+//! Property tests for the front-end balancer's conservation invariant:
+//! every request is routed exactly once per epoch or parked in the
+//! pending backlog — never dropped, never double-routed — under
+//! randomized topologies, placements, liveness patterns and demand, and
+//! across full-cluster crash/failover epochs.
+
+use twig_cluster::{
+    AgentTuning, Cluster, ClusterConfig, ClusterEvent, ClusterFaultConfig, ClusterFaultPlan,
+    CoordinatorConfig, LoadBalancer, NodePlatform, ScriptedEvent,
+};
+use twig_core::{NodeId, ServicePlacement};
+use twig_sim::{catalog, DvfsLadder};
+use twig_stats::rng::{Rng, Xoshiro256};
+use twig_telemetry::Telemetry;
+
+/// Uniform draw in `[lo, hi]` (inclusive).
+fn draw(rng: &mut Xoshiro256, lo: u64, hi: u64) -> u64 {
+    lo + rng.next_u64() % (hi - lo + 1)
+}
+
+/// A random placement: each service lands on 0..=nodes distinct replicas.
+fn random_placement(rng: &mut Xoshiro256, services: usize, nodes: usize) -> ServicePlacement {
+    let mut p = ServicePlacement::new(services);
+    for s in 0..services {
+        let replicas = draw(rng, 0, nodes as u64) as usize;
+        for _ in 0..replicas {
+            // Duplicates are rejected by the placement; retrying with a
+            // fresh draw keeps the replica count approximate, which is
+            // fine — the property must hold for *any* shape.
+            let _ = p.add_replica(s, NodeId(draw(rng, 0, nodes as u64 - 1) as usize));
+        }
+    }
+    p
+}
+
+/// The balancer's books must balance every epoch for arbitrary demand,
+/// capacity, suspicion and reachability patterns, re-checked here from
+/// the raw per-node allocations rather than trusting
+/// `RoutingOutcome::conserved`.
+#[test]
+fn routing_conserves_under_randomized_chaos() {
+    let mut master = Xoshiro256::seed_from_u64(0x05EE_D0F5_EED5);
+    for case in 0..40 {
+        let mut rng = Xoshiro256::seed_from_u64(master.next_u64());
+        let nodes = draw(&mut rng, 2, 5) as usize;
+        let services = draw(&mut rng, 1, 3) as usize;
+        let weights: Vec<u64> = (0..nodes).map(|_| draw(&mut rng, 1, 1000)).collect();
+        let suspect_after = draw(&mut rng, 1, 3) as u32;
+        let mut b = LoadBalancer::new(services, weights, suspect_after).expect("balancer");
+        b.sync_table(&random_placement(&mut rng, services, nodes));
+
+        for epoch in 0..30 {
+            // Occasionally the control plane re-places services mid-run,
+            // as it would around a failover.
+            if rng.next_bool(0.15) {
+                b.sync_table(&random_placement(&mut rng, services, nodes));
+            }
+            let hb: Vec<bool> = (0..nodes).map(|_| rng.next_bool(0.8)).collect();
+            b.observe_heartbeats(&hb);
+
+            let demand: Vec<u64> = (0..services).map(|_| draw(&mut rng, 0, 2000)).collect();
+            let cap: Vec<Vec<u64>> = (0..nodes)
+                .map(|_| (0..services).map(|_| draw(&mut rng, 0, 1500)).collect())
+                .collect();
+            let reachable: Vec<Vec<bool>> = (0..nodes)
+                .map(|_| (0..services).map(|_| rng.next_bool(0.85)).collect())
+                .collect();
+
+            let backlog_before = b.backlog().to_vec();
+            let out = b.route(&demand, &cap, &reachable).expect("route");
+            let backlog_after = b.backlog().to_vec();
+
+            assert!(out.conserved, "case {case} epoch {epoch}: books off");
+            let mut total_routed = 0u64;
+            for s in 0..services {
+                let routed_s: u64 = (0..nodes).map(|n| out.per_node[n][s]).sum();
+                total_routed += routed_s;
+                // Exactly-once conservation, service by service: what came
+                // in this epoch (fresh + carried backlog) either went to a
+                // replica or stayed in the backlog, with nothing minted.
+                assert_eq!(
+                    routed_s + backlog_after[s],
+                    demand[s] + backlog_before[s],
+                    "case {case} epoch {epoch} service {s}: requests dropped or double-routed"
+                );
+                for n in 0..nodes {
+                    if !reachable[n][s] {
+                        assert_eq!(
+                            out.per_node[n][s], 0,
+                            "case {case} epoch {epoch}: routed to unreachable replica"
+                        );
+                    }
+                    assert!(
+                        out.per_node[n][s] <= cap[n][s],
+                        "case {case} epoch {epoch}: replica over capacity"
+                    );
+                }
+            }
+            assert_eq!(total_routed, out.routed, "case {case}: routed total off");
+        }
+    }
+}
+
+fn small_cluster_config(epochs: u64, seed: u64) -> ClusterConfig {
+    let services = vec![catalog::masstree(), catalog::xapian()];
+    let demand_rps = services
+        .iter()
+        .map(|s| (s.max_load_rps * 0.9) as u64)
+        .collect();
+    ClusterConfig {
+        nodes: vec![
+            NodePlatform {
+                cores: 18,
+                dvfs: DvfsLadder::default(),
+            },
+            NodePlatform {
+                cores: 18,
+                dvfs: DvfsLadder::default(),
+            },
+            NodePlatform {
+                cores: 12,
+                dvfs: DvfsLadder::new(1200, 100, 7).expect("valid ladder"),
+            },
+        ],
+        services,
+        demand_rps,
+        replication: 2,
+        suspect_after_misses: 2,
+        coordinator: CoordinatorConfig::default(),
+        tuning: AgentTuning {
+            learn_epochs: epochs,
+            ..AgentTuning::default()
+        },
+        seed,
+    }
+}
+
+/// Full-cluster conservation across scripted crash/failover epochs, for
+/// randomized seeds: the epoch the crash lands, the bounce epoch, the
+/// suspicion epoch and the repair epochs must all keep the books exact.
+#[test]
+fn cluster_conserves_across_crash_and_failover_epochs() {
+    let mut master = Xoshiro256::seed_from_u64(0xC1_05E5_CAFE);
+    for _ in 0..4 {
+        let seed = master.next_u64();
+        let epochs = 24;
+        let faults = ClusterFaultConfig {
+            scripted: vec![
+                ScriptedEvent {
+                    epoch: 6,
+                    event: ClusterEvent::Crash { node: 0 },
+                },
+                ScriptedEvent {
+                    epoch: 16,
+                    event: ClusterEvent::Restart { node: 0 },
+                },
+            ],
+            ..ClusterFaultConfig::default()
+        };
+        let mut cluster = Cluster::new(
+            small_cluster_config(epochs, seed),
+            ClusterFaultPlan::new(faults, seed ^ 0x0F00).expect("plan"),
+            Telemetry::enabled(),
+        )
+        .expect("cluster");
+        for _ in 0..epochs {
+            let r = cluster.step().expect("step");
+            assert!(r.conserved, "seed {seed} epoch {}: books off", r.epoch);
+        }
+        let stats = cluster.stats();
+        assert_eq!(stats.conservation_failures, 0, "seed {seed}");
+        assert_eq!(stats.double_route_guards, 0, "seed {seed}");
+        assert_eq!(stats.crashes, 1, "seed {seed}");
+        assert!(stats.failovers >= 1, "seed {seed}: crash went unnoticed");
+        let worst = cluster
+            .failover_latencies()
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        assert!(worst <= 2, "seed {seed}: failover took {worst} epochs");
+    }
+}
+
+/// Conservation under background rate chaos — random crashes, reboots
+/// and heartbeat loss — for randomized seeds. No per-schedule structure
+/// to lean on here: only the invariant.
+#[test]
+fn cluster_conserves_under_background_chaos() {
+    let mut master = Xoshiro256::seed_from_u64(0x0BAD_CA5C_ADE5);
+    for _ in 0..3 {
+        let seed = master.next_u64();
+        let epochs = 20;
+        let faults = ClusterFaultConfig {
+            crash_rate: 0.04,
+            restart_after_epochs: 4,
+            heartbeat_loss_rate: 0.06,
+            ..ClusterFaultConfig::default()
+        };
+        let mut cluster = Cluster::new(
+            small_cluster_config(epochs, seed),
+            ClusterFaultPlan::new(faults, seed ^ 0xFEED).expect("plan"),
+            Telemetry::enabled(),
+        )
+        .expect("cluster");
+        for _ in 0..epochs {
+            let r = cluster.step().expect("step");
+            assert!(r.conserved, "seed {seed} epoch {}: books off", r.epoch);
+            assert!(r.live_nodes > 0, "seed {seed}: whole fleet died");
+        }
+        let stats = cluster.stats();
+        assert_eq!(stats.conservation_failures, 0, "seed {seed}");
+        assert_eq!(stats.double_route_guards, 0, "seed {seed}");
+    }
+}

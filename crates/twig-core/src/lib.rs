@@ -57,6 +57,7 @@ mod governor;
 mod manager;
 mod mapper;
 mod monitor;
+mod placement;
 mod power_model;
 mod reward;
 mod scheduler;
@@ -70,6 +71,10 @@ pub use governor::{GovernorConfig, GovernorStats, SafetyGovernor};
 pub use manager::{TaskManager, Twig, TwigBuilder, TwigConfig};
 pub use mapper::Mapper;
 pub use monitor::{select_counters, CounterRanking, SystemMonitor};
+pub use placement::{
+    ClusterView, NodeId, NodeView, PlacementAction, PlacementPolicy, ReplicatedPlacement,
+    ServicePlacement,
+};
 pub use power_model::{fit_power_model, paae, Eq2PowerModel, PowerModelFit, ProfilePoint};
 pub use reward::RewardConfig;
 pub use scheduler::{

@@ -182,6 +182,42 @@ pub fn encode_checkpoint(ckpt: &MaBdqCheckpoint) -> Vec<u8> {
     out
 }
 
+/// Cheaply checks that `bytes` is a plausible checkpoint — minimum
+/// length, magic, version, and CRC32 footer — without materializing the
+/// payload.
+///
+/// This is the guard a transfer path runs on received bytes before
+/// handing them to a live agent: corruption in flight is caught here at
+/// wire-scan cost instead of surfacing mid-restore.
+///
+/// # Errors
+///
+/// Returns [`RlError::CorruptCheckpoint`] when the buffer is too short,
+/// fails the CRC, carries the wrong magic, or an unsupported version.
+pub fn validate_checkpoint_bytes(bytes: &[u8]) -> Result<(), RlError> {
+    if bytes.len() < CHECKPOINT_MAGIC.len() + 8 {
+        return Err(corrupt(format!("{} bytes is too short", bytes.len())));
+    }
+    let (body, footer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(footer.try_into().unwrap());
+    let actual = crc32(body);
+    if stored != actual {
+        return Err(corrupt(format!(
+            "CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    if body[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = u32::from_le_bytes(body[8..12].try_into().unwrap());
+    if version != CHECKPOINT_VERSION {
+        return Err(corrupt(format!(
+            "unsupported format version {version} (expected {CHECKPOINT_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -447,6 +483,26 @@ mod tests {
         put_u32(&mut body, crc);
         let err = decode_checkpoint(&body).unwrap_err();
         assert!(err.to_string().contains("version 999"), "{err}");
+    }
+
+    #[test]
+    fn validate_accepts_good_and_rejects_corrupt() {
+        let bytes = encode_checkpoint(&sample_checkpoint());
+        validate_checkpoint_bytes(&bytes).unwrap();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                matches!(
+                    validate_checkpoint_bytes(&bad),
+                    Err(RlError::CorruptCheckpoint { .. })
+                ),
+                "flip at byte {i} must fail validation"
+            );
+        }
+        for n in 0..bytes.len() {
+            assert!(validate_checkpoint_bytes(&bytes[..n]).is_err());
+        }
     }
 
     #[test]

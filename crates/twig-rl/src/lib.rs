@@ -57,7 +57,9 @@ mod tabular;
 
 pub use anneal::{EpsilonSchedule, LinearAnneal};
 pub use bdq::Bdq;
-pub use checkpoint::{crc32, decode_checkpoint, encode_checkpoint, MaBdqCheckpoint};
+pub use checkpoint::{
+    crc32, decode_checkpoint, encode_checkpoint, validate_checkpoint_bytes, MaBdqCheckpoint,
+};
 pub use dqn::{Dqn, DqnConfig};
 pub use error::RlError;
 pub use mabdq::{

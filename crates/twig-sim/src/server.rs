@@ -48,6 +48,32 @@ impl Default for ServerConfig {
 }
 
 impl ServerConfig {
+    /// Platform variant of the default socket: `cores` cores on `dvfs`,
+    /// with the LLC scaled proportionally (2.5 MiB per core, matching
+    /// the default 18-core / 45 MiB part). The heterogeneous-fleet
+    /// constructor for cluster simulations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use twig_sim::{DvfsLadder, ServerConfig};
+    ///
+    /// let ladder = DvfsLadder::new(1200, 100, 7).unwrap();
+    /// let cfg = ServerConfig::with_platform(12, ladder);
+    /// assert_eq!(cfg.cores, 12);
+    /// assert_eq!(cfg.llc_mb, 30.0);
+    /// assert_eq!(cfg.dvfs.max().mhz(), 1800);
+    /// cfg.validate().unwrap();
+    /// ```
+    pub fn with_platform(cores: usize, dvfs: DvfsLadder) -> Self {
+        ServerConfig {
+            cores,
+            llc_mb: 2.5 * cores as f64,
+            dvfs,
+            ..ServerConfig::default()
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

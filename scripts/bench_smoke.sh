@@ -19,6 +19,12 @@
 #    scheduler, asserting graceful degradation (no panics, bounded
 #    ladder, zero stale actuations) internally; the report lands in
 #    results/timing_report.txt.
+# 5. The cluster suite (--smoke, fixed seed, --jobs 2) runs the seeded
+#    fleet-failure schedules — server crashes, coordinator blackouts,
+#    partitions, stalled and corrupted migrations — against the Twig-D
+#    control plane, asserting request conservation, bounded failover,
+#    zero stale actuations and telemetry/stats consistency internally;
+#    the report lands in results/cluster_report.txt.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,7 +32,7 @@ cd "$(dirname "$0")/.."
 mkdir -p results
 
 echo "== bench_smoke: building release binaries =="
-cargo build --release --offline -p twig-bench --bin bench_fleet --bin fig01_pmc_vs_ipc --bin chaos --bin timing
+cargo build --release --offline -p twig-bench --bin bench_fleet --bin fig01_pmc_vs_ipc --bin chaos --bin timing --bin cluster
 
 echo "== bench_smoke: fleet perf smoke (results/BENCH_fleet.json) =="
 ./target/release/bench_fleet results/BENCH_fleet.json
@@ -39,5 +45,8 @@ echo "== bench_smoke: chaos suite (results/chaos_report.txt) =="
 
 echo "== bench_smoke: timing suite (results/timing_report.txt) =="
 ./target/release/timing --smoke --seed 42 --jobs 2 | tee results/timing_report.txt
+
+echo "== bench_smoke: cluster suite (results/cluster_report.txt) =="
+./target/release/cluster --smoke --seed 42 --jobs 2 | tee results/cluster_report.txt
 
 echo "bench_smoke: all steps passed"

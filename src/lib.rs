@@ -13,6 +13,9 @@
 //! - [`telemetry`] — zero-dependency tracing and metrics (spans, counters,
 //!   gauges, log-scaled histograms, JSONL/CSV export);
 //! - [`manager`] — the Twig task manager itself (Twig-S / Twig-C);
+//! - [`cluster`] — the Twig-D fault-tolerant cluster control plane:
+//!   replicated placement, deterministic load balancing, migration with
+//!   retries and partition-tolerant local autonomy;
 //! - [`baselines`] — Static, Hipster, Heracles and PARTIES reimplementations.
 //!
 //! # Quick start
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub use twig_baselines as baselines;
+pub use twig_cluster as cluster;
 pub use twig_core as manager;
 pub use twig_nn as nn;
 pub use twig_rl as rl;
