@@ -1,0 +1,10 @@
+//! Binary wrapper for the scenario corpus runner; see
+//! `twig_bench::experiments::scenario` for the report format.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::scenario::run(&opts) {
+        eprintln!("scenario failed: {e}");
+        std::process::exit(1);
+    }
+}

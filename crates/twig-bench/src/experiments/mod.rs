@@ -26,6 +26,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod memcomplexity;
 pub mod resilience;
+pub mod scenario;
 pub mod table1;
 pub mod table2;
 pub mod table3;

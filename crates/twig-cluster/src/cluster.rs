@@ -367,6 +367,27 @@ impl Cluster {
         self.balancer.backlog()
     }
 
+    /// Updates one service's offered load for subsequent epochs. The
+    /// scenario engine uses this to drive time-varying cluster demand
+    /// (ramps, bursts, flash crowds) through the balancer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] when `service` is out of
+    /// range.
+    pub fn set_demand(&mut self, service: usize, rps: u64) -> Result<(), ClusterError> {
+        if service >= self.config.services.len() {
+            return Err(ClusterError::InvalidConfig {
+                detail: format!(
+                    "set_demand service {service} out of range ({} services)",
+                    self.config.services.len()
+                ),
+            });
+        }
+        self.config.demand_rps[service] = rps;
+        Ok(())
+    }
+
     fn alive_mask(&self) -> Vec<bool> {
         self.nodes.iter().map(ClusterNode::is_alive).collect()
     }

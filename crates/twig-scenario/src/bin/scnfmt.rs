@@ -1,0 +1,59 @@
+//! Canonical formatter for `.scn` scenario files.
+//!
+//! ```text
+//! scnfmt FILE...          rewrite each file to canonical form in place
+//! scnfmt --check FILE...  exit 1 if any file is not already canonical
+//! ```
+//!
+//! A file is canonical when `emit(parse(text)) == text`; the corpus under
+//! `scenarios/` is kept canonical so every file round-trips
+//! byte-identically through the parser.
+
+use std::process::ExitCode;
+use twig_scenario::{emit, parse};
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.first().map(String::as_str) == Some("--check");
+    if check {
+        args.remove(0);
+    }
+    if args.is_empty() {
+        eprintln!("usage: scnfmt [--check] FILE...");
+        return ExitCode::from(2);
+    }
+    let mut dirty = false;
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("scnfmt: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let canonical = match parse(&text) {
+            Ok(s) => emit(&s),
+            Err(e) => {
+                eprintln!("scnfmt: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if canonical == text {
+            continue;
+        }
+        dirty = true;
+        if check {
+            eprintln!("scnfmt: {path}: not canonical");
+        } else if let Err(e) = std::fs::write(path, &canonical) {
+            eprintln!("scnfmt: {path}: {e}");
+            return ExitCode::from(2);
+        } else {
+            eprintln!("scnfmt: rewrote {path}");
+        }
+    }
+    if check && dirty {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

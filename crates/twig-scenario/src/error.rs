@@ -1,0 +1,84 @@
+use std::fmt;
+
+/// Everything that can go wrong with a scenario: parsing, semantic
+/// validation, or execution.
+///
+/// Parse-time variants carry the 1-based source line so rejection
+/// diagnostics point at the offending text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// Malformed line: wrong arity, an unparsable number, a bad string
+    /// literal, or a structural violation (e.g. a section inside a
+    /// section).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A key the grammar does not know, at top level or inside a section.
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// The offending key.
+        key: String,
+    },
+    /// A scalar field or section stated twice.
+    Duplicate {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The repeated key.
+        key: String,
+    },
+    /// The input ended mid-construct (an unterminated section or string).
+    Truncated {
+        /// What was still open.
+        detail: String,
+    },
+    /// The scenario parsed but is semantically invalid (out-of-range
+    /// values, duplicate service ids, topology/section mismatches, ...).
+    Invalid {
+        /// What was wrong.
+        detail: String,
+    },
+    /// Compilation to the simulator or execution failed.
+    Run {
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse { line, detail } => write!(f, "line {line}: {detail}"),
+            ScenarioError::UnknownKey { line, key } => {
+                write!(f, "line {line}: unknown key `{key}`")
+            }
+            ScenarioError::Duplicate { line, key } => {
+                write!(f, "line {line}: duplicate `{key}`")
+            }
+            ScenarioError::Truncated { detail } => write!(f, "truncated input: {detail}"),
+            ScenarioError::Invalid { detail } => write!(f, "invalid scenario: {detail}"),
+            ScenarioError::Run { detail } => write!(f, "scenario run failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl ScenarioError {
+    /// Shorthand for an [`ScenarioError::Invalid`] with a formatted detail.
+    pub fn invalid(detail: impl Into<String>) -> Self {
+        ScenarioError::Invalid {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for an [`ScenarioError::Run`] with a formatted detail.
+    pub fn run(detail: impl Into<String>) -> Self {
+        ScenarioError::Run {
+            detail: detail.into(),
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! JSON projections of scenarios and outcomes, built on
+//! `twig_telemetry::json` (no serialization dependency). Outcome JSON is
+//! what a dashboard or the CI artifact ingests; scenario JSON is the
+//! machine-readable form of the DSL for external tooling.
+
+use crate::model::{Scenario, SpecSource, Topology};
+use crate::runner::ScenarioOutcome;
+use twig_sim::LoadGenerator;
+use twig_telemetry::json::JsonObject;
+
+impl Scenario {
+    /// Renders the scenario as a JSON object (topology and services
+    /// summarized; load shapes in canonical DSL text form).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("name", &self.name);
+        if !self.desc.is_empty() {
+            o.field_str("desc", &self.desc);
+        }
+        o.field_u64("seed", self.seed);
+        o.field_u64("epochs", self.epochs);
+        o.field_u64("measure", self.measure);
+        o.field_u64("warmup", self.warmup);
+        o.field_u64("segments", self.segments);
+        match &self.topology {
+            Topology::Server { cores, dvfs } => {
+                o.field_object("server", |s| {
+                    s.field_u64("cores", *cores as u64);
+                    s.field_array("dvfs", |a| {
+                        a.push_u64(dvfs.0 as u64);
+                        a.push_u64(dvfs.1 as u64);
+                        a.push_u64(dvfs.2 as u64);
+                    });
+                });
+            }
+            Topology::Cluster {
+                replication,
+                suspect_after,
+                nodes,
+            } => {
+                o.field_object("cluster", |c| {
+                    c.field_u64("replication", *replication as u64);
+                    c.field_u64("suspect_after", *suspect_after as u64);
+                    c.field_array("nodes", |a| {
+                        for n in nodes {
+                            a.push_object(|node| {
+                                node.field_u64("cores", n.0 as u64);
+                                node.field_array("dvfs", |d| {
+                                    d.push_u64(n.1 as u64);
+                                    d.push_u64(n.2 as u64);
+                                    d.push_u64(n.3 as u64);
+                                });
+                            });
+                        }
+                    });
+                });
+            }
+        }
+        o.field_array("services", |a| {
+            for svc in &self.services {
+                a.push_object(|s| {
+                    s.field_str("id", &svc.id);
+                    let spec = match &svc.spec {
+                        SpecSource::Catalog { name } => format!("catalog {name}"),
+                        SpecSource::Synthetic {
+                            template,
+                            rps,
+                            qos_ms,
+                        } => format!("synthetic {template} {rps} {qos_ms}"),
+                    };
+                    s.field_str("spec", &spec);
+                    s.field_str("load", load_kind(&svc.load));
+                    s.field_u64("arrive", svc.arrive);
+                    if let Some(d) = svc.depart {
+                        s.field_u64("depart", d);
+                    }
+                    s.field_bool("swaps", svc.swap.is_some());
+                });
+            }
+        });
+        o.field_bool("has_faults", self.faults.is_some());
+        o.field_bool("has_timing", self.timing.is_some());
+        o.field_bool("has_cluster_faults", self.cluster_faults.is_some());
+        o.field_u64("asserts", self.asserts.len() as u64);
+        o.finish()
+    }
+}
+
+fn load_kind(g: &LoadGenerator) -> &'static str {
+    match g {
+        LoadGenerator::Fixed { .. } => "fixed",
+        LoadGenerator::Step { .. } => "step",
+        LoadGenerator::Diurnal { .. } => "diurnal",
+        LoadGenerator::Ramp { .. } => "ramp",
+        LoadGenerator::FlashCrowd { .. } => "flash_crowd",
+        LoadGenerator::Burst { .. } => "burst",
+        LoadGenerator::Replay { .. } => "replay",
+    }
+}
+
+impl ScenarioOutcome {
+    /// Renders the outcome as a JSON object, assertions included.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("name", &self.name);
+        o.field_u64("epochs", self.epochs);
+        o.field_bool("passed", self.passed);
+        o.field_str("digest", &format!("{:016x}", self.digest));
+        o.field_array("services", |a| {
+            for s in &self.services {
+                a.push_object(|svc| {
+                    svc.field_str("id", &s.id);
+                    svc.field_u64("measured_epochs", s.measured_epochs);
+                    svc.field_f64("qos_pct", s.qos_pct());
+                    svc.field_f64("mean_p99_ms", s.mean_p99_ms);
+                    svc.field_u64("completed", s.completed);
+                    svc.field_u64("dropped", s.dropped);
+                });
+            }
+        });
+        o.field_f64("mean_power_w", self.mean_power_w);
+        o.field_f64("energy_j", self.energy_j);
+        o.field_u64("max_shed_depth", self.max_shed_depth as u64);
+        o.field_u64("deadline_misses", self.deadline_misses);
+        o.field_u64("stale_decisions", self.stale_decisions);
+        o.field_u64("stale_windows", self.stale_windows);
+        o.field_u64("recoveries_restored", self.recoveries_restored);
+        o.field_u64("recoveries_cold", self.recoveries_cold);
+        if let Some(c) = &self.cluster {
+            o.field_object("cluster", |cl| {
+                cl.field_bool("conserved", c.conserved);
+                cl.field_u64("conservation_failures", c.conservation_failures);
+                cl.field_u64("stale_actuations", c.stale_actuations);
+                cl.field_u64("failovers", c.failovers);
+                cl.field_u64("max_failover_latency", c.max_failover_latency);
+                cl.field_u64("crashes", c.crashes);
+                cl.field_u64("routed", c.routed);
+                cl.field_u64("bounced", c.bounced);
+                cl.field_u64("live_nodes_final", c.live_nodes_final as u64);
+            });
+        }
+        o.field_array("assertions", |a| {
+            for r in &self.assertions {
+                a.push_object(|res| {
+                    res.field_str("assert", &r.desc);
+                    res.field_bool("pass", r.pass);
+                    res.field_str("detail", &r.detail);
+                });
+            }
+        });
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    const TEXT: &str = "\
+scenario \"json\"
+seed 3
+epochs 20
+measure 5
+
+server
+  cores 8
+  dvfs 1200 200 8
+end
+
+service \"img-dnn\"
+  spec catalog img-dnn
+  load fixed 0.2
+end
+
+assert qos_floor all 10
+";
+
+    #[test]
+    fn scenario_json_is_well_formed() {
+        let s = parse(TEXT).unwrap();
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"name\":\"json\""));
+        assert!(j.contains("\"server\":{\"cores\":8"));
+        assert!(j.contains("\"load\":\"fixed\""));
+        assert!(j.contains("\"has_timing\":false"));
+    }
+
+    #[test]
+    fn outcome_json_reports_assertions() {
+        let s = parse(TEXT).unwrap();
+        let out = crate::ScenarioRunner::new(s).unwrap().run().unwrap();
+        let j = out.to_json();
+        assert!(j.contains("\"passed\":"));
+        assert!(j.contains("\"assert\":\"assert qos_floor all 10\""));
+        assert!(j.contains("\"digest\":\""));
+    }
+}

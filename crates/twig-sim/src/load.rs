@@ -11,6 +11,12 @@ use crate::SimError;
 ///   (Figure 10: change factor 20 %, 200 s steps);
 /// - a **diurnal** pattern "common in data centres" (Section V-B).
 ///
+/// The scenario engine adds four more composable shapes on top of those:
+/// a linear **ramp**, a **flash crowd** (ramp up, hold, ramp down), a
+/// periodic square-wave **burst** (phase-shifted copies model correlated
+/// or anti-correlated bursts across services), and **replay** of an inline
+/// trace table.
+///
 /// # Examples
 ///
 /// ```
@@ -52,6 +58,58 @@ pub enum LoadGenerator {
         max: f64,
         /// Seconds per full day/night cycle.
         period_s: u64,
+    },
+    /// Linear ramp: `from` until `start_s`, then a straight line to `to`
+    /// over `duration_s` seconds, then constant at `to`.
+    Ramp {
+        /// Load fraction before the ramp.
+        from: f64,
+        /// Load fraction after the ramp.
+        to: f64,
+        /// Second at which the ramp begins.
+        start_s: u64,
+        /// Seconds the ramp takes (> 0).
+        duration_s: u64,
+    },
+    /// Flash crowd: `base` load, then at `start_s` a linear surge to `peak`
+    /// over `ramp_s` seconds, held for `hold_s` seconds, then a symmetric
+    /// linear decay back to `base`.
+    FlashCrowd {
+        /// Steady-state load fraction outside the crowd.
+        base: f64,
+        /// Load fraction at the top of the surge.
+        peak: f64,
+        /// Second at which the surge begins.
+        start_s: u64,
+        /// Seconds of linear ramp on each side of the hold (> 0).
+        ramp_s: u64,
+        /// Seconds the peak is held.
+        hold_s: u64,
+    },
+    /// Periodic square-wave burst: `peak` for the first `duty_s` seconds of
+    /// every `period_s`-second cycle (shifted by `phase_s`), `base`
+    /// otherwise. Two services sharing `period_s`/`phase_s` burst together;
+    /// offsetting `phase_s` models anti-correlated bursts.
+    Burst {
+        /// Load fraction between bursts.
+        base: f64,
+        /// Load fraction during a burst.
+        peak: f64,
+        /// Seconds per burst cycle (> 0).
+        period_s: u64,
+        /// Seconds of each cycle spent at `peak` (in `1..period_s`).
+        duty_s: u64,
+        /// Phase shift in seconds (< `period_s`).
+        phase_s: u64,
+    },
+    /// Replay of an inline trace table: entry `i` of `table` is the load
+    /// fraction for seconds `[i * dwell_s, (i + 1) * dwell_s)`; the table
+    /// wraps cyclically.
+    Replay {
+        /// Load fractions, each in `[0, 1]`; non-empty.
+        table: Vec<f64>,
+        /// Seconds each table entry is held (> 0).
+        dwell_s: u64,
     },
 }
 
@@ -121,10 +179,185 @@ impl LoadGenerator {
         Ok(LoadGenerator::Diurnal { min, max, period_s })
     }
 
+    /// Creates a linear-ramp generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for fractions outside `[0, 1]`
+    /// or a zero duration. `from > to` is allowed (a ramp down).
+    pub fn ramp(from: f64, to: f64, start_s: u64, duration_s: u64) -> Result<Self, SimError> {
+        if !(0.0..=1.0).contains(&from) || !(0.0..=1.0).contains(&to) {
+            return Err(SimError::InvalidConfig {
+                detail: format!("ramp load range [{from}, {to}]"),
+            });
+        }
+        if duration_s == 0 {
+            return Err(SimError::InvalidConfig {
+                detail: "zero ramp duration".into(),
+            });
+        }
+        Ok(LoadGenerator::Ramp {
+            from,
+            to,
+            start_s,
+            duration_s,
+        })
+    }
+
+    /// Creates a flash-crowd generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for fractions outside `[0, 1]`,
+    /// `peak < base`, or a zero ramp.
+    pub fn flash_crowd(
+        base: f64,
+        peak: f64,
+        start_s: u64,
+        ramp_s: u64,
+        hold_s: u64,
+    ) -> Result<Self, SimError> {
+        if !(0.0..=1.0).contains(&base) || !(0.0..=1.0).contains(&peak) || peak < base {
+            return Err(SimError::InvalidConfig {
+                detail: format!("flash crowd range [{base}, {peak}]"),
+            });
+        }
+        if ramp_s == 0 {
+            return Err(SimError::InvalidConfig {
+                detail: "zero flash crowd ramp".into(),
+            });
+        }
+        Ok(LoadGenerator::FlashCrowd {
+            base,
+            peak,
+            start_s,
+            ramp_s,
+            hold_s,
+        })
+    }
+
+    /// Creates a periodic square-wave burst generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for fractions outside `[0, 1]`,
+    /// a zero period, a duty cycle not in `1..period_s`, or a phase not
+    /// smaller than the period.
+    pub fn burst(
+        base: f64,
+        peak: f64,
+        period_s: u64,
+        duty_s: u64,
+        phase_s: u64,
+    ) -> Result<Self, SimError> {
+        if !(0.0..=1.0).contains(&base) || !(0.0..=1.0).contains(&peak) {
+            return Err(SimError::InvalidConfig {
+                detail: format!("burst load range [{base}, {peak}]"),
+            });
+        }
+        if period_s == 0 || duty_s == 0 || duty_s >= period_s {
+            return Err(SimError::InvalidConfig {
+                detail: format!("burst duty {duty_s}s of period {period_s}s"),
+            });
+        }
+        if phase_s >= period_s {
+            return Err(SimError::InvalidConfig {
+                detail: format!("burst phase {phase_s}s >= period {period_s}s"),
+            });
+        }
+        Ok(LoadGenerator::Burst {
+            base,
+            peak,
+            period_s,
+            duty_s,
+            phase_s,
+        })
+    }
+
+    /// Creates a trace-replay generator from an inline table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an empty table, a table
+    /// entry outside `[0, 1]` (or non-finite), or a zero dwell.
+    pub fn replay(table: Vec<f64>, dwell_s: u64) -> Result<Self, SimError> {
+        if table.is_empty() {
+            return Err(SimError::InvalidConfig {
+                detail: "empty replay table".into(),
+            });
+        }
+        if let Some((i, &bad)) = table
+            .iter()
+            .enumerate()
+            .find(|(_, f)| !f.is_finite() || !(0.0..=1.0).contains(*f))
+        {
+            return Err(SimError::InvalidConfig {
+                detail: format!("replay table entry {i} is {bad}, outside [0, 1]"),
+            });
+        }
+        if dwell_s == 0 {
+            return Err(SimError::InvalidConfig {
+                detail: "zero replay dwell".into(),
+            });
+        }
+        Ok(LoadGenerator::Replay { table, dwell_s })
+    }
+
     /// Load fraction at simulated second `t`.
     pub fn fraction_at(&self, t: u64) -> f64 {
         match *self {
             LoadGenerator::Fixed { fraction } => fraction,
+            LoadGenerator::Ramp {
+                from,
+                to,
+                start_s,
+                duration_s,
+            } => {
+                if t <= start_s {
+                    from
+                } else if t >= start_s + duration_s {
+                    to
+                } else {
+                    let frac = (t - start_s) as f64 / duration_s as f64;
+                    from + (to - from) * frac
+                }
+            }
+            LoadGenerator::FlashCrowd {
+                base,
+                peak,
+                start_s,
+                ramp_s,
+                hold_s,
+            } => {
+                let up_done = start_s + ramp_s;
+                let hold_done = up_done + hold_s;
+                let down_done = hold_done + ramp_s;
+                if t <= start_s || t >= down_done {
+                    base
+                } else if t < up_done {
+                    base + (peak - base) * (t - start_s) as f64 / ramp_s as f64
+                } else if t < hold_done {
+                    peak
+                } else {
+                    peak - (peak - base) * (t - hold_done) as f64 / ramp_s as f64
+                }
+            }
+            LoadGenerator::Burst {
+                base,
+                peak,
+                period_s,
+                duty_s,
+                phase_s,
+            } => {
+                if (t + phase_s) % period_s < duty_s {
+                    peak
+                } else {
+                    base
+                }
+            }
+            LoadGenerator::Replay { ref table, dwell_s } => {
+                table[((t / dwell_s) as usize) % table.len()]
+            }
             LoadGenerator::Step {
                 min,
                 max,
@@ -210,6 +443,88 @@ mod tests {
     }
 
     #[test]
+    fn ramp_is_piecewise_linear() {
+        let g = LoadGenerator::ramp(0.2, 0.8, 100, 60).unwrap();
+        assert_eq!(g.fraction_at(0), 0.2);
+        assert_eq!(g.fraction_at(100), 0.2);
+        assert!((g.fraction_at(130) - 0.5).abs() < 1e-9);
+        assert_eq!(g.fraction_at(160), 0.8);
+        assert_eq!(g.fraction_at(99_999), 0.8);
+    }
+
+    #[test]
+    fn ramp_down_is_allowed() {
+        let g = LoadGenerator::ramp(0.9, 0.1, 0, 100).unwrap();
+        assert!(g.fraction_at(10) > g.fraction_at(90));
+    }
+
+    #[test]
+    fn ramp_validation() {
+        assert!(LoadGenerator::ramp(-0.1, 0.5, 0, 10).is_err());
+        assert!(LoadGenerator::ramp(0.1, 1.5, 0, 10).is_err());
+        assert!(LoadGenerator::ramp(0.1, 0.5, 0, 0).is_err());
+    }
+
+    #[test]
+    fn flash_crowd_surges_holds_and_decays() {
+        let g = LoadGenerator::flash_crowd(0.3, 0.9, 50, 10, 20).unwrap();
+        assert_eq!(g.fraction_at(0), 0.3);
+        assert_eq!(g.fraction_at(50), 0.3);
+        assert!((g.fraction_at(55) - 0.6).abs() < 1e-9);
+        assert_eq!(g.fraction_at(60), 0.9);
+        assert_eq!(g.fraction_at(79), 0.9);
+        assert!((g.fraction_at(85) - 0.6).abs() < 1e-9);
+        assert_eq!(g.fraction_at(90), 0.3);
+        assert_eq!(g.fraction_at(99_999), 0.3);
+    }
+
+    #[test]
+    fn flash_crowd_validation() {
+        assert!(LoadGenerator::flash_crowd(0.9, 0.3, 0, 10, 10).is_err()); // peak < base
+        assert!(LoadGenerator::flash_crowd(0.3, 1.1, 0, 10, 10).is_err());
+        assert!(LoadGenerator::flash_crowd(0.3, 0.9, 0, 0, 10).is_err()); // zero ramp
+    }
+
+    #[test]
+    fn burst_phase_correlates_and_anticorrelates() {
+        let a = LoadGenerator::burst(0.2, 0.8, 60, 30, 0).unwrap();
+        let b = LoadGenerator::burst(0.2, 0.8, 60, 30, 0).unwrap();
+        let c = LoadGenerator::burst(0.2, 0.8, 60, 30, 30).unwrap();
+        for t in 0..240 {
+            assert_eq!(a.fraction_at(t), b.fraction_at(t));
+            assert_ne!(a.fraction_at(t), c.fraction_at(t));
+        }
+    }
+
+    #[test]
+    fn burst_validation() {
+        assert!(LoadGenerator::burst(0.2, 0.8, 0, 1, 0).is_err()); // zero period
+        assert!(LoadGenerator::burst(0.2, 0.8, 60, 0, 0).is_err()); // zero duty
+        assert!(LoadGenerator::burst(0.2, 0.8, 60, 60, 0).is_err()); // duty == period
+        assert!(LoadGenerator::burst(0.2, 0.8, 60, 30, 60).is_err()); // phase >= period
+        assert!(LoadGenerator::burst(0.2, 1.2, 60, 30, 0).is_err());
+    }
+
+    #[test]
+    fn replay_wraps_cyclically() {
+        let g = LoadGenerator::replay(vec![0.1, 0.5, 0.9], 10).unwrap();
+        assert_eq!(g.fraction_at(0), 0.1);
+        assert_eq!(g.fraction_at(9), 0.1);
+        assert_eq!(g.fraction_at(10), 0.5);
+        assert_eq!(g.fraction_at(25), 0.9);
+        assert_eq!(g.fraction_at(30), 0.1); // wrapped
+        assert_eq!(g.fraction_at(45), 0.5);
+    }
+
+    #[test]
+    fn replay_validation() {
+        assert!(LoadGenerator::replay(vec![], 10).is_err());
+        assert!(LoadGenerator::replay(vec![0.5, 1.2], 10).is_err());
+        assert!(LoadGenerator::replay(vec![0.5, f64::NAN], 10).is_err());
+        assert!(LoadGenerator::replay(vec![0.5], 0).is_err());
+    }
+
+    #[test]
     fn all_generators_stay_in_bounds() {
         let mut rng = Xoshiro256::seed_from_u64(0x10ad);
         for _ in 0..500 {
@@ -218,6 +533,10 @@ mod tests {
                 LoadGenerator::fixed(0.37).unwrap(),
                 LoadGenerator::step(0.2, 0.9, 1.25, 150).unwrap(),
                 LoadGenerator::diurnal(0.1, 0.95, 3600).unwrap(),
+                LoadGenerator::ramp(0.1, 0.9, 500, 300).unwrap(),
+                LoadGenerator::flash_crowd(0.2, 1.0, 1000, 50, 200).unwrap(),
+                LoadGenerator::burst(0.15, 0.85, 120, 40, 60).unwrap(),
+                LoadGenerator::replay(vec![0.0, 0.3, 1.0, 0.6], 30).unwrap(),
             ];
             for g in gens {
                 let f = g.fraction_at(t);

@@ -25,6 +25,12 @@
 #    control plane, asserting request conservation, bounded failover,
 #    zero stale actuations and telemetry/stats consistency internally;
 #    the report lands in results/cluster_report.txt.
+# 6. The scenario corpus (fixed seed, --jobs 2) parses, runs and asserts
+#    all shipped scenarios/*.scn files — load shapes, service churn,
+#    fault/timing plans, cluster failover, digest-checked determinism —
+#    via the twig-scenario runner; the PASS/FAIL report lands in
+#    results/scenario_report.txt. scnfmt --check keeps the corpus
+#    byte-canonical first.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,7 +38,8 @@ cd "$(dirname "$0")/.."
 mkdir -p results
 
 echo "== bench_smoke: building release binaries =="
-cargo build --release --offline -p twig-bench --bin bench_fleet --bin fig01_pmc_vs_ipc --bin chaos --bin timing --bin cluster
+cargo build --release --offline -p twig-bench --bin bench_fleet --bin fig01_pmc_vs_ipc --bin chaos --bin timing --bin cluster --bin scenario
+cargo build --release --offline -p twig-scenario --bin scnfmt
 
 echo "== bench_smoke: fleet perf smoke (results/BENCH_fleet.json) =="
 ./target/release/bench_fleet results/BENCH_fleet.json
@@ -48,5 +55,9 @@ echo "== bench_smoke: timing suite (results/timing_report.txt) =="
 
 echo "== bench_smoke: cluster suite (results/cluster_report.txt) =="
 ./target/release/cluster --smoke --seed 42 --jobs 2 | tee results/cluster_report.txt
+
+echo "== bench_smoke: scenario corpus (results/scenario_report.txt) =="
+./target/release/scnfmt --check scenarios/*.scn
+./target/release/scenario --seed 42 --jobs 2 | tee results/scenario_report.txt
 
 echo "bench_smoke: all steps passed"

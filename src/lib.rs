@@ -16,7 +16,10 @@
 //! - [`cluster`] — the Twig-D fault-tolerant cluster control plane:
 //!   replicated placement, deterministic load balancing, migration with
 //!   retries and partition-tolerant local autonomy;
-//! - [`baselines`] — Static, Hipster, Heracles and PARTIES reimplementations.
+//! - [`baselines`] — Static, Hipster, Heracles and PARTIES reimplementations;
+//! - [`scenario`] — declarative `.scn` scenario DSL: composable load shapes,
+//!   service churn, fault/timing plans and per-scenario assertions, compiled
+//!   onto the simulator and cluster by a deterministic runner.
 //!
 //! # Quick start
 //!
@@ -52,6 +55,7 @@ pub use twig_cluster as cluster;
 pub use twig_core as manager;
 pub use twig_nn as nn;
 pub use twig_rl as rl;
+pub use twig_scenario as scenario;
 pub use twig_sim as sim;
 pub use twig_stats as stats;
 pub use twig_telemetry as telemetry;
