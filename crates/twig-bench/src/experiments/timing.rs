@@ -335,6 +335,9 @@ fn run_schedule(s: &Schedule, epochs: u64, seed: u64) -> Result<Outcome, ExpErro
         let r = server.step(&a)?;
         twig.observe(&r)?;
     }
+    // Arm the fixed-point snapshot: SafeFallback epochs below decide on the
+    // degraded (quantized, greedy) network instead of the static plan.
+    twig.prepare_fallback()?;
     let mut gov = SafetyGovernor::new(
         twig,
         GovernorConfig {
@@ -403,7 +406,7 @@ fn run_schedule(s: &Schedule, epochs: u64, seed: u64) -> Result<Outcome, ExpErro
                     o.reused += 1;
                     last_validated.clone()
                 }
-                InferenceDirective::SafeFallback => gov.safe_assignments(),
+                InferenceDirective::SafeFallback => gov.decide_fallback(),
             }
         };
         // The zero-stale-actuation invariant, stated structurally: the

@@ -85,6 +85,9 @@ pub struct GovernorStats {
     pub watchdog_trips: u64,
     /// Epochs spent in the safe static allocation.
     pub safe_mode_epochs: u64,
+    /// Degraded (`SafeFallback`-tier) decisions served from the inner
+    /// manager's cheap path instead of the safe static allocation.
+    pub degraded_decisions: u64,
 }
 
 /// Periodic-checkpoint wiring installed by
@@ -232,6 +235,34 @@ impl<M: TaskManager> SafetyGovernor<M> {
             .iter()
             .map(|_| Assignment::first_n(self.config.cores, freq))
             .collect()
+    }
+
+    /// The `SafeFallback` shed tier's decision: asks the inner manager for
+    /// its degraded decide (Twig serves greedy fixed-point inference) and
+    /// validates it against the platform limits exactly like a primary
+    /// decision. Any failure — no degraded path, a recoverable error, an
+    /// invalid assignment — lands on [`safe_assignments`]
+    /// (Self::safe_assignments), so this is never less safe than the static
+    /// allocation it replaces. While the watchdog holds safe mode the inner
+    /// manager stays suspended and the static allocation is served
+    /// directly.
+    pub fn decide_fallback(&mut self) -> Vec<Assignment> {
+        if self.in_safe_mode() {
+            return self.safe_assignments();
+        }
+        match self.inner.decide_fallback() {
+            Ok(assignments) if self.validate(&assignments).is_ok() => {
+                self.stats.degraded_decisions += 1;
+                self.telemetry.counter_add("governor.degraded_decisions", 1);
+                assignments
+            }
+            Ok(_) => {
+                self.stats.invalid_decisions += 1;
+                self.telemetry.counter_add("governor.invalid_decisions", 1);
+                self.safe_assignments()
+            }
+            Err(_) => self.safe_assignments(),
+        }
     }
 
     /// Validates a decision against the platform limits.
@@ -643,6 +674,46 @@ mod tests {
             assert_eq!(a, gov.safe_assignments());
             assert_eq!(gov.stats().invalid_decisions, 1);
         }
+    }
+
+    #[test]
+    fn degraded_decide_validates_or_lands_safe() {
+        // Scripted keeps the trait default (no degraded path) → safe static.
+        let inner = Scripted::new(vec![Ok(Scripted::good())]);
+        let mut gov = SafetyGovernor::new(inner, config()).unwrap();
+        assert_eq!(gov.decide_fallback(), gov.safe_assignments());
+        assert_eq!(gov.stats().degraded_decisions, 0);
+
+        struct Degraded(Vec<Assignment>);
+        impl TaskManager for Degraded {
+            fn name(&self) -> &str {
+                "degraded"
+            }
+            fn decide(&mut self) -> Result<Vec<Assignment>, ManagerError> {
+                Ok(self.0.clone())
+            }
+            fn observe(&mut self, _report: &EpochReport) -> Result<(), ManagerError> {
+                Ok(())
+            }
+            fn decide_fallback(&mut self) -> Result<Vec<Assignment>, ManagerError> {
+                Ok(self.0.clone())
+            }
+        }
+
+        // A valid degraded decision is served and counted.
+        let mut gov = SafetyGovernor::new(Degraded(Scripted::good()), config()).unwrap();
+        assert_eq!(gov.decide_fallback(), Scripted::good());
+        assert_eq!(gov.stats().degraded_decisions, 1);
+
+        // An invalid one is replaced by the safe static allocation.
+        let bad = vec![Assignment::new(
+            vec![CoreId(99)],
+            DvfsLadder::default().max(),
+        )];
+        let mut gov = SafetyGovernor::new(Degraded(bad), config()).unwrap();
+        assert_eq!(gov.decide_fallback(), gov.safe_assignments());
+        assert_eq!(gov.stats().invalid_decisions, 1);
+        assert_eq!(gov.stats().degraded_decisions, 0);
     }
 
     #[test]

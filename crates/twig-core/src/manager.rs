@@ -48,6 +48,24 @@ pub trait TaskManager {
     fn observe_degraded(&mut self, report: &EpochReport) -> Result<(), ManagerError> {
         self.observe(report)
     }
+
+    /// Degraded decision path for the `SafeFallback` shed tier: a cheaper
+    /// decide a manager can still serve when the epoch budget is exhausted.
+    /// [`Twig`] overrides it with greedy selection on its fixed-point
+    /// network snapshot; the default reports `Recoverable` so a supervisor
+    /// (see [`SafetyGovernor`](crate::SafetyGovernor)) substitutes the safe
+    /// static allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`ManagerError::Recoverable`] when no degraded path exists or it
+    /// cannot serve this epoch; same contract as [`decide`](Self::decide)
+    /// otherwise.
+    fn decide_fallback(&mut self) -> Result<Vec<Assignment>, ManagerError> {
+        Err(ManagerError::recoverable(
+            "manager has no degraded decision path",
+        ))
+    }
 }
 
 /// Configuration of a [`Twig`] manager.
@@ -476,6 +494,58 @@ impl Twig {
         Ok(assignments)
     }
 
+    /// Arms (or refreshes) the fixed-point inference snapshot behind
+    /// [`decide_fallback`](Self::decide_fallback). Once armed, the agent
+    /// re-quantizes it in place on every target-network sync, so calling
+    /// this once after construction (and after checkpoint restores) keeps
+    /// the shed tier's network at most one sync interval stale with zero
+    /// steady-state allocations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates learning errors (a network too wide to quantize).
+    pub fn prepare_fallback(&mut self) -> Result<(), TwigError> {
+        self.agent.refresh_quantized().map_err(TwigError::Learning)
+    }
+
+    /// Degraded decide for the `SafeFallback` shed tier: greedy per-branch
+    /// selection on the agent's fixed-point (i16×i16→i32) snapshot instead
+    /// of the full f32 network. Deliberately austere — no exploration, no
+    /// action stickiness, no pending transition (shed epochs are never
+    /// trained on), and no draw from the ε RNG stream, so a shed epoch
+    /// cannot perturb the primary policy's behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Propagates learning and mapping errors.
+    pub fn decide_fallback(&mut self) -> Result<Vec<Assignment>, TwigError> {
+        let mut stopwatch = self.telemetry.stopwatch();
+        let states = self.monitor.states()?;
+        self.telemetry
+            .phase_add(self.time, Phase::PmcRead, stopwatch.lap_ms());
+        let actions = self
+            .agent
+            .select_actions_quantized(&states)
+            .map_err(TwigError::Learning)?;
+        self.telemetry
+            .phase_add(self.time, Phase::Inference, stopwatch.lap_ms());
+        let mut requests: Vec<(usize, twig_sim::Frequency)> = Vec::with_capacity(actions.len());
+        for a in &actions {
+            let cores = a[0] + 1; // branch 0: 1..=cores
+            let freq = self
+                .config
+                .dvfs
+                .frequency_at(a[1])
+                .map_err(TwigError::Sim)?;
+            requests.push((cores.min(self.config.cores), freq));
+        }
+        let assignments = self.mapper.assign(&requests)?;
+        self.telemetry
+            .phase_add(self.time, Phase::Mapping, stopwatch.lap_ms());
+        self.telemetry.counter_add("twig.fallback_decides", 1);
+        Ok(assignments)
+    }
+
     /// Algorithm 1 lines 10–13: observe the new per-service states, compute
     /// the Eq. 1 rewards, store the transition and run one gradient step
     /// (unless in pure exploitation).
@@ -632,6 +702,10 @@ impl TaskManager for Twig {
 
     fn observe_degraded(&mut self, report: &EpochReport) -> Result<(), ManagerError> {
         Ok(Twig::observe_degraded(self, report)?)
+    }
+
+    fn decide_fallback(&mut self) -> Result<Vec<Assignment>, ManagerError> {
+        Ok(Twig::decide_fallback(self)?)
     }
 }
 

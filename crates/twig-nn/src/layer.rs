@@ -30,6 +30,15 @@ pub trait Layer {
         *out = self.forward(input, train);
     }
 
+    /// Evaluation-only forward pass through `&self`: computes values
+    /// bit-identical to [`forward_into`](Self::forward_into) with
+    /// `train = false`, but touches no layer state — no activation cache,
+    /// no ReLU mask, no dropout RNG draw. Because it leaves training state
+    /// untouched, a layer whose weights are *shared* (the multi-agent BDQ's
+    /// advantage heads) can evaluate a stacked many-row batch mid-epoch
+    /// without disturbing an in-flight gradient step.
+    fn forward_batch_into(&self, input: &Tensor, out: &mut Tensor);
+
     /// Backward pass: accumulates parameter gradients and returns the
     /// gradient with respect to the layer input.
     ///
@@ -203,14 +212,18 @@ impl Layer for Dense {
     }
 
     fn forward_into(&mut self, input: &Tensor, _train: bool, out: &mut Tensor) {
-        input
-            .matmul_into(&self.w, out)
-            .expect("dense forward shape");
-        out.add_row_broadcast(&self.b).expect("bias shape");
+        self.forward_batch_into(input, out);
         match &mut self.cached_input {
             Some(cache) => cache.copy_from(input),
             cache => *cache = Some(input.clone()),
         }
+    }
+
+    fn forward_batch_into(&self, input: &Tensor, out: &mut Tensor) {
+        input
+            .matmul_into(&self.w, out)
+            .expect("dense forward shape");
+        out.add_row_broadcast(&self.b).expect("bias shape");
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -310,6 +323,18 @@ impl Layer for Relu {
                 false
             }
         }));
+    }
+
+    fn forward_batch_into(&self, input: &Tensor, out: &mut Tensor) {
+        out.copy_from(input);
+        for v in out.as_mut_slice() {
+            // Same comparison as the mask-building path, so -0.0 and NaN
+            // inputs map to the identical +0.0 output bits.
+            if *v > 0.0 {
+                continue;
+            }
+            *v = 0.0;
+        }
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -421,6 +446,12 @@ impl Layer for Dropout {
                 0.0
             }
         }));
+    }
+
+    fn forward_batch_into(&self, input: &Tensor, out: &mut Tensor) {
+        // Evaluation-mode dropout is the identity and never draws from the
+        // RNG stream, so the batched path is a plain copy.
+        out.copy_from(input);
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

@@ -57,6 +57,7 @@ mod layer;
 mod loss;
 mod mlp;
 mod optim;
+mod quant;
 mod tensor;
 
 pub use count_alloc::note_alloc;
@@ -65,4 +66,5 @@ pub use layer::{Dense, Dropout, Layer, Relu};
 pub use loss::{huber_loss, mse_loss};
 pub use mlp::{IntoMlpLayer, Mlp, MlpLayerToken};
 pub use optim::{Adam, AdamSlot, AdamState};
+pub use quant::{QuantizedDense, QuantizedMlp};
 pub use tensor::Tensor;

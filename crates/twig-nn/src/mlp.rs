@@ -139,6 +139,98 @@ impl Mlp {
         cur
     }
 
+    /// Evaluation-only forward pass through all layers using the internal
+    /// ping-pong scratch buffers, without touching any layer state: no
+    /// activation caches are written, no ReLU masks built, no dropout RNG
+    /// advanced. Values are bit-identical to
+    /// [`forward_scratch`](Self::forward_scratch) with `train = false`.
+    ///
+    /// This is the batched-inference entry point: because layer state stays
+    /// untouched, a network whose weights are shared across K agents can
+    /// evaluate a stacked `K·B`-row matrix in one cache-blocked GEMM per
+    /// dense layer. `&mut self` is needed only for the scratch buffers; the
+    /// returned reference is valid until the next forward/backward call.
+    pub fn forward_batch_scratch(&mut self, input: &Tensor) -> &Tensor {
+        let Mlp {
+            layers,
+            scratch_a,
+            scratch_b,
+        } = self;
+        scratch_a.copy_from(input);
+        let (mut cur, mut next) = (scratch_a, scratch_b);
+        for layer in layers.iter() {
+            layer.as_layer().forward_batch_into(cur, next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// [`forward_batch_scratch`](Self::forward_batch_scratch) copied into a
+    /// caller-owned tensor (allocation-free once `out` has capacity).
+    pub fn forward_batch_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        let Mlp {
+            layers,
+            scratch_a,
+            scratch_b,
+        } = self;
+        scratch_a.copy_from(input);
+        let (mut cur, mut next) = (scratch_a, scratch_b);
+        for layer in layers.iter() {
+            layer.as_layer().forward_batch_into(cur, next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        out.copy_from(cur);
+    }
+
+    /// Snapshots this network into a fixed-point inference variant
+    /// ([`crate::QuantizedMlp`]): i16 weights, i32 accumulation, f32 bias
+    /// and activations. `Dense` layers are quantized, `Relu` is kept, and
+    /// `Dropout` is dropped (it is the identity at evaluation). The snapshot
+    /// does not track later weight updates — re-snapshot with
+    /// [`requantize_into`](Self::requantize_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when a dense layer is too wide for
+    /// the i32 accumulator headroom (`in_dim > 8192`).
+    pub fn quantize(&self) -> Result<crate::QuantizedMlp, NnError> {
+        let mut q = crate::QuantizedMlp::new();
+        for layer in &self.layers {
+            match layer {
+                MlpLayer::Dense(d) => q.push_dense(d)?,
+                MlpLayer::Relu(_) => q.push_relu(),
+                MlpLayer::Dropout(_) => {}
+            }
+        }
+        Ok(q)
+    }
+
+    /// Re-snapshots current weights into an existing quantized network built
+    /// by [`quantize`](Self::quantize) from an identically shaped `Mlp`.
+    /// Reuses every buffer, so periodic refreshes are allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the architectures disagree.
+    pub fn requantize_into(&self, q: &mut crate::QuantizedMlp) -> Result<(), NnError> {
+        let mut idx = 0;
+        for layer in &self.layers {
+            if let MlpLayer::Dense(d) = layer {
+                q.requantize_dense(idx, d)?;
+                idx += 1;
+            }
+        }
+        if idx != q.dense_count() {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "{idx} dense layers for a quantized net with {}",
+                    q.dense_count()
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Backward pass, accumulating parameter gradients; returns the gradient
     /// with respect to the network input.
     ///
@@ -552,6 +644,47 @@ mod tests {
                 assert_eq!(a.to_bits(), s.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn batch_path_bit_identical_to_eval_forward_and_stateless() {
+        // The batched eval path must (a) produce bit-identical values to the
+        // mutable eval-mode forward, including through dropout layers, and
+        // (b) leave layer state untouched: a train-mode forward replayed
+        // from an RNG snapshot must be unaffected by interleaved batch
+        // forwards.
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        let mut net = Mlp::new()
+            .push(Dense::new(3, 8, &mut rng))
+            .push(Relu::new())
+            .push(Dropout::new(0.4, 17))
+            .push(Dense::new(8, 2, &mut rng));
+        let x = Tensor::from_rows(&[
+            vec![0.2, -0.4, 1.0],
+            vec![-1.0, 0.5, 0.1],
+            vec![0.0, 0.0, -0.0],
+        ])
+        .unwrap();
+        let eval = net.forward(&x, false);
+        let batch = net.forward_batch_scratch(&x).clone();
+        for (a, b) in eval.as_slice().iter().zip(batch.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let mut out = Tensor::zeros(0, 0);
+        net.forward_batch_into(&x, &mut out);
+        assert_eq!(out, batch);
+
+        let mut snap = Vec::new();
+        net.dropout_rng_states_into(&mut snap);
+        let train_a = net.forward(&x, true);
+        net.set_dropout_rng_states(&snap).unwrap();
+        // Interleave many batched forwards; they must not advance dropout
+        // RNG streams or clobber anything the train path depends on.
+        for _ in 0..5 {
+            let _ = net.forward_batch_scratch(&x);
+        }
+        let train_b = net.forward(&x, true);
+        assert_eq!(train_a, train_b);
     }
 
     #[test]

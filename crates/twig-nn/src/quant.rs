@@ -1,0 +1,461 @@
+//! Fixed-point inference: i16 weights, i32 accumulation, f32 activations.
+//!
+//! A [`QuantizedMlp`] is an evaluation-only snapshot of an [`Mlp`](crate::Mlp)
+//! built by [`Mlp::quantize`](crate::Mlp::quantize). Weights are quantized
+//! once per snapshot to a symmetric per-layer i16 grid (±2047, leaving
+//! headroom so `in_dim · 2047 · 127` fits an i32 accumulator); activations
+//! are quantized per input row to ±127 at each dense layer; the integer
+//! GEMM accumulates in i32 and is dequantized back to f32 before the bias
+//! add and ReLU. The per-layer quantization error is analytically bounded
+//! by [`QuantizedMlp::worst_case_error`], which the tests (and `twig-rl`'s
+//! degraded-mode Q-divergence test) check against measured divergence.
+//!
+//! This is the inference variant used by the `SafeFallback` shed tier:
+//! when the epoch scheduler is out of budget, a degraded decision is still
+//! a *policy* decision — just a cheaper, bounded-error one.
+
+use crate::{Dense, NnError, Tensor};
+
+/// Symmetric weight grid: ±2047 (11 bits + sign) so a 127-scaled activation
+/// times a 2047-scaled weight summed over ≤ 8192 inputs stays inside i32.
+const W_LEVELS: f32 = 2047.0;
+/// Symmetric per-row activation grid: ±127.
+const X_LEVELS: f32 = 127.0;
+/// Largest dense `in_dim` the i32 accumulator can absorb without overflow:
+/// `8192 · 2047 · 127 = 2_129_666_048 < i32::MAX`.
+const MAX_IN_DIM: usize = 8192;
+
+/// One dense layer quantized to i16 weights with a single symmetric scale.
+#[derive(Debug, Clone)]
+pub struct QuantizedDense {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `in_dim × out_dim`, `w ≈ wq · w_scale`.
+    wq: Vec<i16>,
+    w_scale: f32,
+    /// `max |w|` of the source layer (0 for an all-zero layer); drives the
+    /// analytic error bound.
+    w_max: f32,
+    /// Bias stays in f32 — it is added after dequantization.
+    b: Vec<f32>,
+    /// `max |b|`, for the activation-magnitude bound.
+    b_max: f32,
+}
+
+impl QuantizedDense {
+    fn from_dense(layer: &Dense) -> Result<Self, NnError> {
+        if layer.in_dim() > MAX_IN_DIM {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "dense in_dim {} exceeds the {MAX_IN_DIM} i32-accumulator headroom",
+                    layer.in_dim()
+                ),
+            });
+        }
+        let mut q = QuantizedDense {
+            in_dim: layer.in_dim(),
+            out_dim: layer.out_dim(),
+            wq: vec![0; layer.in_dim() * layer.out_dim()],
+            w_scale: 1.0,
+            w_max: 0.0,
+            b: vec![0.0; layer.out_dim()],
+            b_max: 0.0,
+        };
+        q.refresh(layer)?;
+        Ok(q)
+    }
+
+    /// Re-snapshots weights/bias from an identically shaped source layer
+    /// without allocating.
+    fn refresh(&mut self, layer: &Dense) -> Result<(), NnError> {
+        if layer.in_dim() != self.in_dim || layer.out_dim() != self.out_dim {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "quantized dense {}x{} vs source {}x{}",
+                    self.in_dim,
+                    self.out_dim,
+                    layer.in_dim(),
+                    layer.out_dim()
+                ),
+            });
+        }
+        let w = layer.weights().as_slice();
+        self.w_max = w.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        self.w_scale = if self.w_max > 0.0 {
+            self.w_max / W_LEVELS
+        } else {
+            1.0
+        };
+        for (dst, &src) in self.wq.iter_mut().zip(w) {
+            *dst = (src / self.w_scale).round().clamp(-W_LEVELS, W_LEVELS) as i16;
+        }
+        self.b.copy_from_slice(layer.bias());
+        self.b_max = self.b.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        Ok(())
+    }
+
+    /// `w_scale/2` with an all-zero layer treated as exact.
+    fn half_w_step(&self) -> f32 {
+        if self.w_max > 0.0 {
+            self.w_scale / 2.0
+        } else {
+            0.0
+        }
+    }
+
+    /// One quantized forward row: quantizes `x` to the per-row ±127 grid,
+    /// runs the i16×i16→i32 GEMV, and dequantizes + bias into `y`.
+    fn forward_row(&self, x: &[f32], y: &mut [f32], xq: &mut Vec<i16>, acc: &mut Vec<i32>) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        debug_assert_eq!(y.len(), self.out_dim);
+        let x_max = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if x_max == 0.0 {
+            y.copy_from_slice(&self.b);
+            return;
+        }
+        let x_scale = x_max / X_LEVELS;
+        xq.clear();
+        xq.extend(
+            x.iter()
+                .map(|v| (v / x_scale).round().clamp(-X_LEVELS, X_LEVELS) as i16),
+        );
+        acc.clear();
+        acc.resize(self.out_dim, 0);
+        for (i, &xi) in xq.iter().enumerate() {
+            if xi == 0 {
+                continue;
+            }
+            let xi = i32::from(xi);
+            let w_row = &self.wq[i * self.out_dim..(i + 1) * self.out_dim];
+            for (a, &w) in acc.iter_mut().zip(w_row) {
+                *a += xi * i32::from(w);
+            }
+        }
+        let scale = x_scale * self.w_scale;
+        for ((dst, &a), &bias) in y.iter_mut().zip(acc.iter()).zip(&self.b) {
+            *dst = a as f32 * scale + bias;
+        }
+    }
+}
+
+/// A quantized layer of the snapshot: dense layers carry weights, ReLU is
+/// applied in f32, dropout never appears (identity at evaluation).
+#[derive(Debug, Clone)]
+enum QuantLayer {
+    Dense(QuantizedDense),
+    Relu,
+}
+
+/// Fixed-point evaluation-only snapshot of an [`Mlp`](crate::Mlp).
+///
+/// Build with [`Mlp::quantize`](crate::Mlp::quantize), refresh in place with
+/// [`Mlp::requantize_into`](crate::Mlp::requantize_into); steady-state
+/// forwards reuse the internal scratch and are allocation-free.
+///
+/// # Examples
+///
+/// ```
+/// use twig_nn::{Dense, Mlp, Relu, Tensor};
+/// use twig_stats::rng::Xoshiro256;
+///
+/// let mut rng = Xoshiro256::seed_from_u64(0);
+/// let mut net = Mlp::new()
+///     .push(Dense::new(4, 16, &mut rng))
+///     .push(Relu::new())
+///     .push(Dense::new(16, 2, &mut rng));
+/// let mut q = net.quantize().unwrap();
+/// let x = Tensor::from_row(&[0.5, -0.25, 0.0, 1.0]);
+/// let exact = net.forward(&x, false);
+/// let mut approx = Tensor::zeros(0, 0);
+/// q.forward_into(&x, &mut approx);
+/// let bound = q.worst_case_error(1.0);
+/// for (e, a) in exact.as_slice().iter().zip(approx.as_slice()) {
+///     assert!((e - a).abs() <= bound);
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QuantizedMlp {
+    layers: Vec<QuantLayer>,
+    // Scratch: quantized input row, i32 accumulator row, and ping-pong f32
+    // activation buffers. Sized on first use, reused afterwards.
+    xq: Vec<i16>,
+    acc: Vec<i32>,
+    buf_a: Tensor,
+    buf_b: Tensor,
+}
+
+impl QuantizedMlp {
+    /// Creates an empty quantized network (the identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a quantized snapshot of a dense layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `in_dim > 8192` (i32
+    /// accumulator headroom).
+    pub fn push_dense(&mut self, layer: &Dense) -> Result<(), NnError> {
+        self.layers
+            .push(QuantLayer::Dense(QuantizedDense::from_dense(layer)?));
+        Ok(())
+    }
+
+    /// Appends a ReLU (applied in f32 after dequantization).
+    pub fn push_relu(&mut self) {
+        self.layers.push(QuantLayer::Relu);
+    }
+
+    /// Number of dense layers in the snapshot.
+    pub fn dense_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| matches!(l, QuantLayer::Dense(_)))
+            .count()
+    }
+
+    /// Re-snapshots the `idx`-th dense layer (counting dense layers only)
+    /// from a source layer of identical shape, without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for an out-of-range index or a
+    /// shape change.
+    pub fn requantize_dense(&mut self, idx: usize, layer: &Dense) -> Result<(), NnError> {
+        let dense = self
+            .layers
+            .iter_mut()
+            .filter_map(|l| match l {
+                QuantLayer::Dense(d) => Some(d),
+                QuantLayer::Relu => None,
+            })
+            .nth(idx);
+        match dense {
+            Some(d) => d.refresh(layer),
+            None => Err(NnError::ShapeMismatch {
+                detail: format!("dense index {idx} out of range"),
+            }),
+        }
+    }
+
+    /// Fixed-point forward pass into a caller-owned tensor; allocation-free
+    /// once the scratch and `out` have capacity.
+    pub fn forward_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        let QuantizedMlp {
+            layers,
+            xq,
+            acc,
+            buf_a,
+            buf_b,
+        } = self;
+        buf_a.copy_from(input);
+        let (mut cur, mut next) = (buf_a, buf_b);
+        for layer in layers.iter() {
+            match layer {
+                QuantLayer::Dense(d) => {
+                    next.resize_zeroed(cur.rows(), d.out_dim);
+                    for r in 0..cur.rows() {
+                        d.forward_row(cur.row(r), next.row_mut(r), xq, acc);
+                    }
+                    std::mem::swap(&mut cur, &mut next);
+                }
+                QuantLayer::Relu => {
+                    for v in cur.as_mut_slice() {
+                        if *v > 0.0 {
+                            continue;
+                        }
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+        out.copy_from(cur);
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`forward_into`](Self::forward_into).
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(0, 0);
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    /// Analytic worst-case divergence between this snapshot's output and the
+    /// source network's f32 evaluation output, for inputs bounded by
+    /// `input_max_abs` in magnitude. See
+    /// [`worst_case_error_given`](Self::worst_case_error_given).
+    pub fn worst_case_error(&self, input_max_abs: f32) -> f32 {
+        self.worst_case_error_given(input_max_abs, 0.0)
+    }
+
+    /// Analytic worst-case output divergence when the *input itself* already
+    /// carries an error of up to `input_err` per element (used to compose
+    /// bounds across concatenated sub-networks, e.g. trunk → head).
+    ///
+    /// Per dense layer with per-row activation scale `sx ≤ xmax/127` and
+    /// weight scale `sw = wmax/2047`, each of the `in_dim` product terms
+    /// errs by at most `err·wmax` (propagated input error) plus
+    /// `wmax·sx/2 + xmax·sw/2` (activation and weight rounding); ReLU is
+    /// non-expansive and changes nothing. The bound is conservative but
+    /// sound — the quantization tests assert measured divergence under it.
+    pub fn worst_case_error_given(&self, input_max_abs: f32, input_err: f32) -> f32 {
+        let (_, err) = self.propagate_bounds(input_max_abs, input_err);
+        err
+    }
+
+    /// Upper bound on the magnitude of this snapshot's outputs for inputs
+    /// bounded by `input_max_abs` (with `input_err` per-element slack).
+    pub fn output_bound_given(&self, input_max_abs: f32, input_err: f32) -> f32 {
+        let (xmax, _) = self.propagate_bounds(input_max_abs, input_err);
+        xmax
+    }
+
+    fn propagate_bounds(&self, input_max_abs: f32, input_err: f32) -> (f32, f32) {
+        let mut xmax = input_max_abs;
+        let mut err = input_err;
+        for layer in &self.layers {
+            match layer {
+                QuantLayer::Dense(d) => {
+                    let n = d.in_dim as f32;
+                    let half_sx = xmax / (2.0 * X_LEVELS);
+                    let half_sw = d.half_w_step();
+                    let term = err * d.w_max + d.w_max * half_sx + xmax * half_sw;
+                    err = n * term;
+                    xmax = n * xmax * (d.w_max + half_sw) + d.b_max + err;
+                }
+                QuantLayer::Relu => {}
+            }
+        }
+        (xmax, err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Dense, Dropout, Mlp, Relu, Tensor};
+    use twig_stats::rng::{Rng, Xoshiro256};
+
+    fn random_net(seed: u64, dims: &[usize], dropout: bool) -> Mlp {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut net = Mlp::new();
+        for w in dims.windows(2) {
+            net = net.push(Dense::new(w[0], w[1], &mut rng)).push(Relu::new());
+            if dropout {
+                net = net.push(Dropout::new(0.3, seed));
+            }
+        }
+        net
+    }
+
+    fn random_input(seed: u64, rows: usize, cols: usize, max_abs: f32) -> Tensor {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut x = Tensor::zeros(rows, cols);
+        for v in x.as_mut_slice() {
+            *v = rng.range_f32(-max_abs, max_abs);
+        }
+        x
+    }
+
+    #[test]
+    fn quantized_output_within_analytic_bound() {
+        for seed in 0..8 {
+            let mut net = random_net(seed, &[11, 48, 48, 9], false);
+            let mut q = net.quantize().unwrap();
+            let bound = q.worst_case_error(1.0);
+            assert!(bound.is_finite() && bound > 0.0);
+            let x = random_input(seed + 100, 4, 11, 1.0);
+            let exact = net.forward(&x, false);
+            let approx = q.forward(&x);
+            let mut max_div = 0.0f32;
+            for (e, a) in exact.as_slice().iter().zip(approx.as_slice()) {
+                max_div = max_div.max((e - a).abs());
+            }
+            assert!(
+                max_div <= bound,
+                "seed {seed}: divergence {max_div} above bound {bound}"
+            );
+            // The bound must not be vacuous: the quantized net should be a
+            // usable approximation for these layer widths.
+            assert!(max_div < 0.5, "seed {seed}: divergence {max_div} too large");
+        }
+    }
+
+    #[test]
+    fn dropout_layers_are_dropped_from_the_snapshot() {
+        let mut with = random_net(3, &[6, 16, 4], true);
+        let plain = random_net(3, &[6, 16, 4], false);
+        // Identical weights by construction (same seed, same draw order for
+        // dense layers)? Dropout construction does not draw from the weight
+        // RNG, so the dense layers match.
+        assert_eq!(with.export_parameters(), plain.export_parameters());
+        let mut qa = with.quantize().unwrap();
+        let mut qb = plain.quantize().unwrap();
+        let x = random_input(9, 2, 6, 1.0);
+        assert_eq!(qa.forward(&x), qb.forward(&x));
+        // And the snapshot matches eval-mode (dropout-off) behaviour.
+        let eval = with.forward(&x, false);
+        let bound = qa.worst_case_error(1.0);
+        for (e, a) in eval.as_slice().iter().zip(qa.forward(&x).as_slice()) {
+            assert!((e - a).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn requantize_tracks_weight_updates() {
+        let mut net = random_net(5, &[4, 8, 2], false);
+        let mut q = net.quantize().unwrap();
+        let x = random_input(6, 1, 4, 1.0);
+        let before = q.forward(&x);
+        // Perturb weights; the stale snapshot must not move, the refreshed
+        // one must.
+        let mut params = net.export_parameters();
+        for p in &mut params {
+            *p += 0.25;
+        }
+        net.import_parameters(&params).unwrap();
+        assert_eq!(q.forward(&x), before);
+        net.requantize_into(&mut q).unwrap();
+        assert_ne!(q.forward(&x), before);
+        let bound = q.worst_case_error(1.0);
+        let exact = net.forward(&x, false);
+        for (e, a) in exact.as_slice().iter().zip(q.forward(&x).as_slice()) {
+            assert!((e - a).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn requantize_rejects_shape_drift() {
+        let net = random_net(7, &[4, 8, 2], false);
+        let other = random_net(7, &[4, 8, 3], false);
+        let mut q = net.quantize().unwrap();
+        assert!(other.requantize_into(&mut q).is_err());
+        let shallow = random_net(7, &[4, 8], false);
+        assert!(shallow.requantize_into(&mut q).is_err());
+    }
+
+    #[test]
+    fn oversized_dense_rejected() {
+        let mut rng = Xoshiro256::seed_from_u64(0);
+        let net = Mlp::new().push(Dense::new(8193, 1, &mut rng));
+        assert!(net.quantize().is_err());
+    }
+
+    #[test]
+    fn zero_and_degenerate_inputs() {
+        let mut net = random_net(11, &[3, 8, 2], false);
+        let mut q = net.quantize().unwrap();
+        // All-zero input row: output must be exactly the (f32) bias chain.
+        let x = Tensor::zeros(1, 3);
+        let exact = net.forward(&x, false);
+        let approx = q.forward(&x);
+        let bound = q.worst_case_error(0.0);
+        for (e, a) in exact.as_slice().iter().zip(approx.as_slice()) {
+            assert!((e - a).abs() <= bound.max(1e-6));
+        }
+        // Empty quantized net is the identity.
+        let mut id = crate::QuantizedMlp::new();
+        let y = random_input(1, 2, 3, 1.0);
+        assert_eq!(id.forward(&y), y);
+    }
+}

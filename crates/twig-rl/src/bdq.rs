@@ -61,6 +61,28 @@ impl Bdq {
         Ok(q.remove(0))
     }
 
+    /// Arms the fixed-point fallback snapshot (see
+    /// [`MaBdq::refresh_quantized`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] when the network is too wide
+    /// to quantize.
+    pub fn refresh_quantized(&mut self) -> Result<(), RlError> {
+        self.inner.refresh_quantized()
+    }
+
+    /// Greedy action selection on the fixed-point snapshot (see
+    /// [`MaBdq::select_actions_quantized_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] for a wrongly sized state.
+    pub fn select_actions_quantized(&mut self, state: &[f32]) -> Result<Vec<usize>, RlError> {
+        let mut actions = self.inner.select_actions_quantized(&[state.to_vec()])?;
+        Ok(actions.remove(0))
+    }
+
     /// Stores one transition.
     ///
     /// # Errors

@@ -1,5 +1,5 @@
 use crate::{EpsilonSchedule, MaBdqCheckpoint, PerBatch, PrioritizedReplay, RlError};
-use twig_nn::{Adam, Dense, Dropout, Mlp, Relu, Tensor};
+use twig_nn::{Adam, Dense, Dropout, Mlp, QuantizedMlp, Relu, Tensor};
 use twig_stats::rng::{Rng, Xoshiro256};
 use twig_telemetry::Telemetry;
 
@@ -388,6 +388,7 @@ impl Net {
             agent_state,
             input_k,
             q,
+            ..
         } = scratch;
         q.resize_with(value_heads.len(), Vec::new);
         for (k, (vh, branches)) in value_heads.iter_mut().zip(q.iter_mut()).enumerate() {
@@ -408,13 +409,146 @@ impl Net {
             }
         }
     }
+
+    /// Fused evaluation-mode sibling of [`q_values_into`](Self::q_values_into):
+    /// instead of `K` per-agent head loops, the `K` head inputs are stacked
+    /// k-major into one `K·B × (trunk_dim + state_dim)` matrix and each
+    /// *shared* advantage head runs exactly once over all of it — one
+    /// cache-blocked GEMM per branch per layer instead of `K` single-row
+    /// forwards. Value heads keep per-agent weights, so they stay `B`-row
+    /// forwards, but read their rows straight out of the stack.
+    ///
+    /// Results are bit-identical to the per-agent path with `train = false`:
+    /// the blocked GEMM accumulates `k`-contributions per output element in
+    /// ascending order and rows are fully independent, bias/ReLU/dueling
+    /// arithmetic is per-row in the same order, and the batched layer path
+    /// never touches dropout RNG streams or activation caches (so an
+    /// in-flight budgeted training step cannot be perturbed).
+    fn q_values_fused_into(&mut self, x: &Tensor, state_dim: usize, scratch: &mut QScratch) {
+        let batch = x.rows();
+        let num_branches = self.adv_heads.len();
+        let agents = self.value_heads.len();
+        let Net {
+            trunk,
+            value_heads,
+            adv_heads,
+        } = self;
+        let trunk_out = trunk.forward_batch_scratch(x);
+        let trunk_dim = trunk_out.cols();
+        let QScratch {
+            input_k,
+            stacked,
+            v_all,
+            q,
+            ..
+        } = scratch;
+        stacked.resize_zeroed(agents * batch, trunk_dim + state_dim);
+        for k in 0..agents {
+            for b in 0..batch {
+                let row = stacked.row_mut(k * batch + b);
+                row[..trunk_dim].copy_from_slice(trunk_out.row(b));
+                row[trunk_dim..].copy_from_slice(&x.row(b)[k * state_dim..(k + 1) * state_dim]);
+            }
+        }
+        v_all.clear();
+        for (k, vh) in value_heads.iter_mut().enumerate() {
+            input_k.resize_zeroed(batch, trunk_dim + state_dim);
+            for b in 0..batch {
+                input_k
+                    .row_mut(b)
+                    .copy_from_slice(stacked.row(k * batch + b));
+            }
+            let v = vh.forward_batch_scratch(input_k);
+            for b in 0..batch {
+                v_all.push(v[(b, 0)]);
+            }
+        }
+        q.resize_with(agents, Vec::new);
+        for branches in q.iter_mut() {
+            branches.resize_with(num_branches, Tensor::default);
+        }
+        for (d, head) in adv_heads.iter_mut().enumerate() {
+            let adv = head.forward_batch_scratch(stacked);
+            let n_d = adv.cols();
+            let n = n_d as f32;
+            for (k, branches) in q.iter_mut().enumerate() {
+                let qd = &mut branches[d];
+                qd.resize_zeroed(batch, n_d);
+                for b in 0..batch {
+                    // Same arithmetic order as `dueling_combine_into`: copy
+                    // the advantage row, then add `V - mean(A)` per element.
+                    let arow = adv.row(k * batch + b);
+                    let mean: f32 = arow.iter().sum::<f32>() / n;
+                    let base = v_all[k * batch + b] - mean;
+                    let qrow = qd.row_mut(b);
+                    qrow.copy_from_slice(arow);
+                    for x in qrow {
+                        *x += base;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fully per-agent evaluation reference for the fused path: every agent
+    /// forwards the shared trunk *itself* (`K` trunk passes over the joint
+    /// state instead of one) and runs its own single-batch head forwards —
+    /// the naive loop a per-agent implementation of the paper's
+    /// architecture would execute, with no cross-agent reuse at all.
+    /// Deterministic eval forwards make the recomputed trunk rows
+    /// bit-identical, so results match [`q_values_fused_into`]
+    /// (Self::q_values_fused_into) bit-for-bit; the twin-run tests assert
+    /// it and `bench_decide` measures what the fusion buys against it.
+    fn q_values_per_agent_into(&mut self, x: &Tensor, state_dim: usize, scratch: &mut QScratch) {
+        let batch = x.rows();
+        let num_branches = self.adv_heads.len();
+        let Net {
+            trunk,
+            value_heads,
+            adv_heads,
+        } = self;
+        let QScratch {
+            agent_state,
+            input_k,
+            q,
+            ..
+        } = scratch;
+        q.resize_with(value_heads.len(), Vec::new);
+        for (k, (vh, branches)) in value_heads.iter_mut().zip(q.iter_mut()).enumerate() {
+            // The per-agent trunk pass this loop exists to measure: same
+            // input, same weights, stateless eval forward — identical bits
+            // every iteration.
+            let trunk_out = trunk.forward_batch_scratch(x);
+            agent_state.resize_zeroed(batch, state_dim);
+            for b in 0..batch {
+                agent_state
+                    .row_mut(b)
+                    .copy_from_slice(&x.row(b)[k * state_dim..(k + 1) * state_dim]);
+            }
+            trunk_out
+                .concat_cols_into(agent_state, input_k)
+                .expect("same batch");
+            let v = vh.forward_batch_scratch(input_k);
+            branches.resize_with(num_branches, Tensor::default);
+            for (head, qd) in adv_heads.iter_mut().zip(branches.iter_mut()) {
+                let adv = head.forward_batch_scratch(input_k);
+                dueling_combine_into(v, adv, qd);
+            }
+        }
+    }
 }
 
-/// Reusable output/intermediate buffers for [`Net::q_values_into`].
+/// Reusable output/intermediate buffers for [`Net::q_values_into`] and
+/// [`Net::q_values_fused_into`].
 #[derive(Debug, Clone, Default)]
 struct QScratch {
     agent_state: Tensor,
     input_k: Tensor,
+    /// Fused path: k-major stacked head input (`K·B × (trunk_dim +
+    /// state_dim)`, row `k·B + b` = `[trunk(b) | state_k(b)]`).
+    stacked: Tensor,
+    /// Fused path: per-agent state values, flattened `k·B + b`.
+    v_all: Vec<f32>,
     /// `q[k][d]`: agent `k`'s Q-values on branch `d` (`B × n_d`).
     q: Vec<Vec<Tensor>>,
 }
@@ -470,6 +604,71 @@ pub struct MaBdq {
     /// In-flight budgeted gradient step, if any (see
     /// [`train_step_budgeted`](Self::train_step_budgeted)).
     budgeted: Option<Box<BudgetedStep>>,
+    /// Fixed-point snapshot of the online net for the `SafeFallback` shed
+    /// tier, if [`refresh_quantized`](Self::refresh_quantized) has run.
+    quantized: Option<Box<QuantizedNet>>,
+}
+
+/// Fixed-point (i16 weights, i32 accumulate) snapshot of [`Net`] plus the
+/// scratch its forward passes reuse, powering
+/// [`MaBdq::select_actions_quantized_into`]. A snapshot is intentionally
+/// allowed to lag the online weights — degraded-mode decisions trade
+/// freshness for cost — and is re-synced without allocation on every target
+/// network sync once built.
+#[derive(Debug, Clone)]
+struct QuantizedNet {
+    trunk: QuantizedMlp,
+    value_heads: Vec<QuantizedMlp>,
+    adv_heads: Vec<QuantizedMlp>,
+    // Scratch tensors (sized on first use, reused afterwards).
+    trunk_out: Tensor,
+    input_k: Tensor,
+    v: Tensor,
+    adv: Tensor,
+}
+
+impl QuantizedNet {
+    fn from_net(net: &Net) -> Result<Self, RlError> {
+        let quantize = |m: &Mlp| {
+            m.quantize().map_err(|e| RlError::DimensionMismatch {
+                detail: e.to_string(),
+            })
+        };
+        Ok(QuantizedNet {
+            trunk: quantize(&net.trunk)?,
+            value_heads: net
+                .value_heads
+                .iter()
+                .map(quantize)
+                .collect::<Result<_, _>>()?,
+            adv_heads: net
+                .adv_heads
+                .iter()
+                .map(quantize)
+                .collect::<Result<_, _>>()?,
+            trunk_out: Tensor::default(),
+            input_k: Tensor::default(),
+            v: Tensor::default(),
+            adv: Tensor::default(),
+        })
+    }
+
+    /// Re-snapshots all weights from `net` in place; allocation-free.
+    fn refresh_from(&mut self, net: &Net) -> Result<(), RlError> {
+        let remap = |e: twig_nn::NnError| RlError::DimensionMismatch {
+            detail: e.to_string(),
+        };
+        net.trunk.requantize_into(&mut self.trunk).map_err(remap)?;
+        for (dst, src) in self
+            .value_heads
+            .iter_mut()
+            .zip(&net.value_heads)
+            .chain(self.adv_heads.iter_mut().zip(&net.adv_heads))
+        {
+            src.requantize_into(dst).map_err(remap)?;
+        }
+        Ok(())
+    }
 }
 
 /// Preallocated working memory for the decide/learn hot path. Every buffer
@@ -582,6 +781,7 @@ impl MaBdq {
             quarantine_trips: 0,
             quarantine_readmissions: 0,
             budgeted: None,
+            quantized: None,
         };
         agent.rebuild_guards();
         Ok(agent)
@@ -802,6 +1002,14 @@ impl MaBdq {
     /// inner vectors keep their capacity across calls, so steady-state
     /// selection is allocation-free. Identical RNG draws and results.
     ///
+    /// Inference runs on the fused batched path
+    /// ([`Net::q_values_fused_into`]): all `K` agents' shared-weight
+    /// advantage-head forwards execute as one cache-blocked GEMM per branch.
+    /// Actions and Q-values are bit-identical to the per-agent reference
+    /// path, which stays available as
+    /// [`select_actions_unfused_into`](Self::select_actions_unfused_into)
+    /// for the twin-run tests and the `bench_decide` speedup measurement.
+    ///
     /// # Errors
     ///
     /// Returns [`RlError::DimensionMismatch`] for wrongly shaped states.
@@ -813,12 +1021,47 @@ impl MaBdq {
     ) -> Result<(), RlError> {
         self.check_states(states)?;
         self.pack_joint_state(states);
-        self.online.q_values_into(
+        self.online.q_values_fused_into(
             &self.scratch.x,
             self.config.state_dim,
-            false,
             &mut self.scratch.q_eval,
         );
+        self.greedy_with_epsilon(epsilon, out);
+        Ok(())
+    }
+
+    /// Per-agent reference implementation of
+    /// [`select_actions_into`](Self::select_actions_into): every agent
+    /// forwards the shared trunk itself and runs one head forward per
+    /// branch — no batching, no cross-agent reuse
+    /// ([`Net::q_values_per_agent_into`]). Draws the same RNG stream and
+    /// returns bit-identical actions — the twin-run tests assert this, and
+    /// `bench_decide` measures the fused path's speedup against it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] for wrongly shaped states.
+    pub fn select_actions_unfused_into(
+        &mut self,
+        states: &[Vec<f32>],
+        epsilon: f64,
+        out: &mut Vec<Vec<usize>>,
+    ) -> Result<(), RlError> {
+        self.check_states(states)?;
+        self.pack_joint_state(states);
+        self.online.q_values_per_agent_into(
+            &self.scratch.x,
+            self.config.state_dim,
+            &mut self.scratch.q_eval,
+        );
+        self.greedy_with_epsilon(epsilon, out);
+        Ok(())
+    }
+
+    /// Shared ε-greedy draw over `scratch.q_eval`: agents outer, branches
+    /// inner, one `next_f64` per (agent, branch) — the draw order both
+    /// selection paths share, so their RNG streams stay in lockstep.
+    fn greedy_with_epsilon(&mut self, epsilon: f64, out: &mut Vec<Vec<usize>>) {
         out.resize_with(self.config.agents, Vec::new);
         for (branches, agent_actions) in self.scratch.q_eval.q.iter().zip(out.iter_mut()) {
             agent_actions.clear();
@@ -832,7 +1075,185 @@ impl MaBdq {
                 agent_actions.push(a);
             }
         }
+    }
+
+    /// Builds (or refreshes in place) the fixed-point snapshot of the online
+    /// network used by [`select_actions_quantized_into`](Self::select_actions_quantized_into).
+    /// The first call allocates; later calls requantize into the existing
+    /// buffers and are allocation-free. Once built, the snapshot is also
+    /// re-synced automatically on every target-network sync, so degraded-mode
+    /// decisions lag the policy by at most `target_update_every` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] when a layer exceeds the
+    /// fixed-point accumulator headroom (`in_dim > 8192`).
+    pub fn refresh_quantized(&mut self) -> Result<(), RlError> {
+        match &mut self.quantized {
+            Some(qn) => qn.refresh_from(&self.online),
+            slot => {
+                *slot = Some(Box::new(QuantizedNet::from_net(&self.online)?));
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether a fixed-point snapshot exists (see
+    /// [`refresh_quantized`](Self::refresh_quantized)).
+    pub fn quantized_ready(&self) -> bool {
+        self.quantized.is_some()
+    }
+
+    /// In-place snapshot re-sync on target-network updates: allocation-free,
+    /// and a no-op until [`refresh_quantized`](Self::refresh_quantized) has
+    /// armed the fallback. Architecture cannot drift from the online net it
+    /// was built from, so failure is unreachable; `expect` keeps that loud.
+    fn resync_quantized(&mut self) {
+        if let Some(qn) = &mut self.quantized {
+            qn.refresh_from(&self.online)
+                .expect("quantized snapshot tracks the online architecture");
+        }
+    }
+
+    /// Greedy action selection on the fixed-point snapshot — the
+    /// `SafeFallback` shed tier's decision path. Lazily builds the snapshot
+    /// on first use (that call allocates; arm it up front with
+    /// [`refresh_quantized`](Self::refresh_quantized) to keep the shed path
+    /// allocation-free).
+    ///
+    /// Deliberately greedy with no ε-exploration: a degraded epoch takes no
+    /// exploration risk, and drawing nothing from the RNG means a shed epoch
+    /// cannot perturb the primary path's ε stream. Because the dueling
+    /// combine `Q = V + A − mean(A)` only shifts each branch row by a
+    /// per-agent constant, `argmax Q = argmax A`, so the fallback skips the
+    /// per-agent value heads entirely — the cost is one quantized trunk
+    /// forward plus `K·D` quantized advantage rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] for wrongly shaped states or a
+    /// network too wide to quantize.
+    pub fn select_actions_quantized_into(
+        &mut self,
+        states: &[Vec<f32>],
+        out: &mut Vec<Vec<usize>>,
+    ) -> Result<(), RlError> {
+        self.check_states(states)?;
+        self.pack_joint_state(states);
+        if self.quantized.is_none() {
+            self.quantized = Some(Box::new(QuantizedNet::from_net(&self.online)?));
+        }
+        let state_dim = self.config.state_dim;
+        let agents = self.config.agents;
+        let qn = self.quantized.as_mut().expect("built above");
+        let QuantizedNet {
+            trunk,
+            adv_heads,
+            trunk_out,
+            input_k,
+            adv,
+            ..
+        } = qn.as_mut();
+        trunk.forward_into(&self.scratch.x, trunk_out);
+        let trunk_dim = trunk_out.cols();
+        out.resize_with(agents, Vec::new);
+        for (k, agent_actions) in out.iter_mut().enumerate() {
+            input_k.resize_zeroed(1, trunk_dim + state_dim);
+            let row = input_k.row_mut(0);
+            row[..trunk_dim].copy_from_slice(trunk_out.row(0));
+            row[trunk_dim..]
+                .copy_from_slice(&self.scratch.x.row(0)[k * state_dim..(k + 1) * state_dim]);
+            agent_actions.clear();
+            for head in adv_heads.iter_mut() {
+                head.forward_into(input_k, adv);
+                agent_actions.push(argmax(adv.row(0)));
+            }
+        }
         Ok(())
+    }
+
+    /// Allocating wrapper around
+    /// [`select_actions_quantized_into`](Self::select_actions_quantized_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] for wrongly shaped states.
+    pub fn select_actions_quantized(
+        &mut self,
+        states: &[Vec<f32>],
+    ) -> Result<Vec<Vec<usize>>, RlError> {
+        let mut out = Vec::with_capacity(self.config.agents);
+        self.select_actions_quantized_into(states, &mut out)?;
+        Ok(out)
+    }
+
+    /// Full fixed-point Q-values `q[k][d][a]` (value heads included), for
+    /// the divergence-bound test and diagnostics. Lazily builds the snapshot
+    /// like [`select_actions_quantized_into`](Self::select_actions_quantized_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] for wrongly shaped states.
+    pub fn q_values_quantized_into(
+        &mut self,
+        states: &[Vec<f32>],
+        out: &mut Vec<Vec<Vec<f32>>>,
+    ) -> Result<(), RlError> {
+        self.check_states(states)?;
+        self.pack_joint_state(states);
+        if self.quantized.is_none() {
+            self.quantized = Some(Box::new(QuantizedNet::from_net(&self.online)?));
+        }
+        let state_dim = self.config.state_dim;
+        let agents = self.config.agents;
+        let qn = self.quantized.as_mut().expect("built above");
+        let QuantizedNet {
+            trunk,
+            value_heads,
+            adv_heads,
+            trunk_out,
+            input_k,
+            v,
+            adv,
+        } = qn.as_mut();
+        trunk.forward_into(&self.scratch.x, trunk_out);
+        let trunk_dim = trunk_out.cols();
+        out.resize_with(agents, Vec::new);
+        for (k, (vh, branches_out)) in value_heads.iter_mut().zip(out.iter_mut()).enumerate() {
+            input_k.resize_zeroed(1, trunk_dim + state_dim);
+            let row = input_k.row_mut(0);
+            row[..trunk_dim].copy_from_slice(trunk_out.row(0));
+            row[trunk_dim..]
+                .copy_from_slice(&self.scratch.x.row(0)[k * state_dim..(k + 1) * state_dim]);
+            vh.forward_into(input_k, v);
+            let value = v[(0, 0)];
+            branches_out.resize_with(adv_heads.len(), Vec::new);
+            for (head, dst) in adv_heads.iter_mut().zip(branches_out.iter_mut()) {
+                head.forward_into(input_k, adv);
+                let arow = adv.row(0);
+                let mean: f32 = arow.iter().sum::<f32>() / arow.len() as f32;
+                let base = value - mean;
+                dst.clear();
+                dst.extend(arow.iter().map(|a| a + base));
+            }
+        }
+        Ok(())
+    }
+
+    /// Analytic upper bound on `|Q_quantized − Q_f32|` for per-counter state
+    /// inputs bounded by `input_max_abs`, composed from the per-network
+    /// fixed-point error bounds: trunk error propagates into each head as
+    /// input error, and the dueling combine contributes `|ΔV| + |ΔA| +
+    /// mean|ΔA| ≤ E_v + 2·E_a`. `None` until a snapshot exists.
+    pub fn quantized_q_error_bound(&self, input_max_abs: f32) -> Option<f32> {
+        let qn = self.quantized.as_ref()?;
+        let trunk_err = qn.trunk.worst_case_error(input_max_abs);
+        let trunk_max = qn.trunk.output_bound_given(input_max_abs, 0.0);
+        let head_in_max = trunk_max.max(input_max_abs);
+        let head_err = |h: &QuantizedMlp| h.worst_case_error_given(head_in_max, trunk_err);
+        let e_v = qn.value_heads.iter().map(head_err).fold(0.0f32, f32::max);
+        let e_a = qn.adv_heads.iter().map(head_err).fold(0.0f32, f32::max);
+        Some(e_v + 2.0 * e_a)
     }
 
     /// Q-values for one joint state: `q[k][d][a]`. Dropout disabled.
@@ -847,7 +1268,9 @@ impl MaBdq {
     }
 
     /// [`q_values`](Self::q_values) into a reusable nested buffer; the
-    /// allocation-free sibling used by the per-epoch control loop.
+    /// allocation-free sibling used by the per-epoch control loop. Runs on
+    /// the fused batched path, bit-identical to
+    /// [`q_values_unfused_into`](Self::q_values_unfused_into).
     ///
     /// # Errors
     ///
@@ -859,12 +1282,41 @@ impl MaBdq {
     ) -> Result<(), RlError> {
         self.check_states(states)?;
         self.pack_joint_state(states);
-        self.online.q_values_into(
+        self.online.q_values_fused_into(
             &self.scratch.x,
             self.config.state_dim,
-            false,
             &mut self.scratch.q_eval,
         );
+        self.export_q_eval(out);
+        Ok(())
+    }
+
+    /// Per-agent reference implementation of
+    /// [`q_values_into`](Self::q_values_into) — per-agent trunk passes and
+    /// single-batch head forwards ([`Net::q_values_per_agent_into`]) — kept
+    /// for the twin-run bit-identity tests and the `bench_decide` baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::DimensionMismatch`] for wrongly shaped states.
+    pub fn q_values_unfused_into(
+        &mut self,
+        states: &[Vec<f32>],
+        out: &mut Vec<Vec<Vec<f32>>>,
+    ) -> Result<(), RlError> {
+        self.check_states(states)?;
+        self.pack_joint_state(states);
+        self.online.q_values_per_agent_into(
+            &self.scratch.x,
+            self.config.state_dim,
+            &mut self.scratch.q_eval,
+        );
+        self.export_q_eval(out);
+        Ok(())
+    }
+
+    /// Copies `scratch.q_eval` row 0 into the nested public buffer.
+    fn export_q_eval(&self, out: &mut Vec<Vec<Vec<f32>>>) {
         out.resize_with(self.config.agents, Vec::new);
         for (branches, branches_out) in self.scratch.q_eval.q.iter().zip(out.iter_mut()) {
             branches_out.resize_with(branches.len(), Vec::new);
@@ -873,7 +1325,6 @@ impl MaBdq {
                 dst.extend_from_slice(t.row(0));
             }
         }
-        Ok(())
     }
 
     /// Packs one joint state (`K` per-agent vectors) into the single-row
@@ -1162,6 +1613,7 @@ impl MaBdq {
         self.steps += 1;
         if self.steps.is_multiple_of(self.config.target_update_every) {
             self.target.copy_weights_from(&self.online);
+            self.resync_quantized();
         }
         self.quarantine_scan();
         let stats = TrainStats {
@@ -1497,6 +1949,7 @@ impl MaBdq {
         self.steps += 1;
         if self.steps.is_multiple_of(self.config.target_update_every) {
             self.target.copy_weights_from(&self.online);
+            self.resync_quantized();
         }
         self.quarantine_scan();
         let stats = TrainStats {

@@ -87,25 +87,43 @@ fn hot_path_is_allocation_free_in_steady_state() {
     }
 
     // Warm-up: sizes every scratch buffer (NN scratch, PER batch, Adam
-    // moment vectors, reusable action/Q output buffers).
+    // moment vectors, reusable action/Q output buffers) and arms the
+    // fixed-point fallback snapshot, whose first build allocates.
     let mut actions: Vec<Vec<usize>> = Vec::new();
+    let mut actions_unfused: Vec<Vec<usize>> = Vec::new();
+    let mut actions_quant: Vec<Vec<usize>> = Vec::new();
     let mut q_out: Vec<Vec<Vec<f32>>> = Vec::new();
     let states = vec![vec![0.1, 0.2, 0.3, 0.4]; 2];
+    agent.refresh_quantized().unwrap();
     for _ in 0..3 {
         agent.train_step().unwrap().expect("batch available");
         agent
             .select_actions_into(&states, 0.5, &mut actions)
             .unwrap();
+        agent
+            .select_actions_unfused_into(&states, 0.5, &mut actions_unfused)
+            .unwrap();
+        agent
+            .select_actions_quantized_into(&states, &mut actions_quant)
+            .unwrap();
         agent.q_values_into(&states, &mut q_out).unwrap();
     }
 
     // Steady state: ten epochs of learn + decide, zero allocations. The
-    // window covers several target-network syncs (every 3 steps).
+    // window covers several target-network syncs (every 3 steps), each of
+    // which also re-quantizes the armed fallback snapshot in place, plus
+    // the fused, per-agent reference, and fixed-point decision paths.
     let start = count_alloc::allocation_count();
     for _ in 0..10 {
         agent.train_step().unwrap().expect("batch available");
         agent
             .select_actions_into(&states, 0.5, &mut actions)
+            .unwrap();
+        agent
+            .select_actions_unfused_into(&states, 0.5, &mut actions_unfused)
+            .unwrap();
+        agent
+            .select_actions_quantized_into(&states, &mut actions_quant)
             .unwrap();
         agent.q_values_into(&states, &mut q_out).unwrap();
     }
@@ -119,5 +137,7 @@ fn hot_path_is_allocation_free_in_steady_state() {
     // the outputs are live.
     assert!(agent.steps() >= 13);
     assert_eq!(actions.len(), 2);
+    assert_eq!(actions_quant.len(), 2);
     assert_eq!(q_out.len(), 2);
+    assert!(agent.quantized_ready());
 }

@@ -239,6 +239,9 @@ impl ScenarioRunner {
             let r = server.step(&a).map_err(run_err)?;
             twig.observe(&r).map_err(run_err)?;
         }
+        // Arm the fixed-point snapshot so SafeFallback epochs decide on the
+        // degraded (quantized, greedy) network instead of the static plan.
+        twig.prepare_fallback().map_err(run_err)?;
         let gov_config = GovernorConfig {
             services: specs.clone(),
             cores,
@@ -280,6 +283,7 @@ impl ScenarioRunner {
                     } else {
                         acc.recoveries_cold += 1;
                     }
+                    fresh.prepare_fallback().map_err(run_err)?;
                     let mut config = gov_config.clone();
                     config.services = specs.clone();
                     gov = SafetyGovernor::new(fresh, config).map_err(run_err)?;
@@ -485,7 +489,7 @@ fn metered_epoch(
                 gov.decide().map_err(run_err)?
             }
             InferenceDirective::ReuseLast => last_validated.clone(),
-            InferenceDirective::SafeFallback => gov.safe_assignments(),
+            InferenceDirective::SafeFallback => gov.decide_fallback(),
         }
     };
     if decided && !fresh {

@@ -31,6 +31,11 @@
 #    via the twig-scenario runner; the PASS/FAIL report lands in
 #    results/scenario_report.txt. scnfmt --check keeps the corpus
 #    byte-canonical first.
+# 7. bench_decide (--smoke, via scripts/bench_decide.sh) sweeps the agent
+#    count and asserts the fused inference path is bit-identical to the
+#    per-agent loop and allocation-free; results/BENCH_decide.json. The
+#    baseline latency-regression check runs only in the full (CI
+#    bench-decide job) mode.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -59,5 +64,8 @@ echo "== bench_smoke: cluster suite (results/cluster_report.txt) =="
 echo "== bench_smoke: scenario corpus (results/scenario_report.txt) =="
 ./target/release/scnfmt --check scenarios/*.scn
 ./target/release/scenario --seed 42 --jobs 2 | tee results/scenario_report.txt
+
+echo "== bench_smoke: decide-latency smoke (results/BENCH_decide.json) =="
+bash scripts/bench_decide.sh --smoke
 
 echo "bench_smoke: all steps passed"

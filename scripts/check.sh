@@ -1,7 +1,10 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Tier-1 gate: everything must pass offline (the workspace has no external
 # dependencies — see DESIGN.md §6). Run from the repo root.
-set -eu
+#
+# bash (not POSIX sh) so `pipefail` is available: a step that pipes through
+# a filter must fail on the producer's status, not the filter's.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -10,18 +13,53 @@ fail=0
 step() {
     name="$1"
     shift
+    # Explicit status capture: run under `if` so `set -e` doesn't abort the
+    # gate mid-way — every step reports PASS/FAIL and the worst status wins.
+    local status=0
     if "$@"; then
+        status=0
+    else
+        status=$?
+    fi
+    if [ "$status" -eq 0 ]; then
         echo "PASS: $name"
     else
-        echo "FAIL: $name"
+        echo "FAIL: $name (exit $status)"
         fail=1
     fi
 }
 
-step "fmt"    cargo fmt --all -- --check
-step "build"  cargo build --release --offline --workspace
-step "test"   cargo test -q --offline --workspace
-step "clippy" cargo clippy --offline --workspace --all-targets -- -D warnings
+# The committed decide-latency baseline must exist and carry the keys the
+# bench's regression check reads — schema drift here would silently turn
+# the CI bench-decide gate into a no-op.
+check_bench_baseline() {
+    local baseline="results/BENCH_decide.baseline.json"
+    [ -f "$baseline" ] || {
+        echo "missing $baseline"
+        return 1
+    }
+    local key
+    for key in \
+        schema_version \
+        k4_fused_p50_us \
+        k16_fused_p50_us \
+        k64_fused_p50_us \
+        k128_fused_p50_us \
+        speedup_k64 \
+        fused_bit_identical \
+        fused_steady_state_allocations; do
+        grep -q "\"$key\":" "$baseline" || {
+            echo "$baseline is missing key \"$key\" (bench schema drift)"
+            return 1
+        }
+    done
+}
+
+step "fmt"            cargo fmt --all -- --check
+step "build"          cargo build --release --offline --workspace
+step "test"           cargo test -q --offline --workspace
+step "clippy"         cargo clippy --offline --workspace --all-targets -- -D warnings
+step "bench-baseline" check_bench_baseline
 
 if [ "$fail" -ne 0 ]; then
     echo "check.sh: FAILED"
