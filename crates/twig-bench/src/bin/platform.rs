@@ -1,0 +1,10 @@
+//! Binary wrapper for the `platform` suite; see
+//! `twig_bench::experiments::platform` for the schedules and invariants.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::platform::run(&opts) {
+        eprintln!("platform failed: {e}");
+        std::process::exit(1);
+    }
+}

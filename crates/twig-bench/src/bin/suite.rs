@@ -37,6 +37,7 @@ fn main() {
         ("chaos", exp::chaos::run_to),
         ("cluster", exp::cluster::run_to),
         ("timing", exp::timing::run_to),
+        ("platform", exp::platform::run_to),
         ("scenario", exp::scenario::run_to),
         ("telemetry_report", exp::telemetry_report::run_to),
     ];

@@ -25,6 +25,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod memcomplexity;
+pub mod platform;
 pub mod resilience;
 pub mod scenario;
 pub mod table1;

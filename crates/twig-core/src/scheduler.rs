@@ -138,7 +138,40 @@ impl Default for SchedulerConfig {
     }
 }
 
+/// The actuation retry budget carved out of a [`SchedulerConfig`]: how
+/// many retries one actuation gets and how long to back off between them.
+/// Shared with `twig-platform`, whose write-verify reconciliation ladder
+/// retries divergent sysfs writes under exactly this budget — one knob
+/// governs every bounded-retry loop in the control path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudget {
+    /// Retries after the first attempt before giving up.
+    pub max_retries: u32,
+    /// Initial backoff, ms; doubles per retry.
+    pub backoff_ms: f64,
+    /// Saturation ceiling for the doubled backoff, ms.
+    pub backoff_cap_ms: f64,
+}
+
+impl RetryBudget {
+    /// Backoff before retry number `attempt` (0-based): saturating
+    /// exponential doubling, capped. `f64::powi` cannot overflow to a
+    /// panic, and the cap bounds the wait.
+    pub fn backoff_for(&self, attempt: u32) -> f64 {
+        (self.backoff_ms * f64::powi(2.0, attempt.min(1024) as i32)).min(self.backoff_cap_ms)
+    }
+}
+
 impl SchedulerConfig {
+    /// The actuation retry budget this configuration grants.
+    pub fn retry_budget(&self) -> RetryBudget {
+        RetryBudget {
+            max_retries: self.actuation_max_retries,
+            backoff_ms: self.actuation_backoff_ms,
+            backoff_cap_ms: self.actuation_backoff_cap_ms,
+        }
+    }
+
     fn validate(&self) -> Result<(), TwigError> {
         let bad = |detail: String| Err(TwigError::InvalidConfig { detail });
         let budgets = [
@@ -388,11 +421,10 @@ impl<C: VirtualClock> EpochScheduler<C> {
             self.escalate(ShedLevel::SafeFallback);
             return ActuationDirective::GiveUp;
         }
-        // Saturating exponential backoff: doubles per retry, capped (f64
-        // powi cannot overflow to a panic, and the cap bounds the wait).
-        let backoff_ms = (self.config.actuation_backoff_ms
-            * f64::powi(2.0, self.attempts_this_epoch as i32))
-        .min(self.config.actuation_backoff_cap_ms);
+        let backoff_ms = self
+            .config
+            .retry_budget()
+            .backoff_for(self.attempts_this_epoch);
         self.attempts_this_epoch += 1;
         self.stats.actuation_retries += 1;
         self.telemetry.counter_add("deadline.actuation_retries", 1);

@@ -1,0 +1,295 @@
+//! The Linux cpulist codec: the `"0-3,8,10-11"` format of cgroup-v2
+//! `cpuset.cpus` and `/sys/devices/system/cpu/online`.
+//!
+//! Every cpuset write the Linux backend makes goes through [`emit`], and
+//! every read-back verification through [`parse`] — so the codec is the
+//! gate that decides whether an actuation is considered applied. It is
+//! therefore strict: [`parse`] rejects empty lists, malformed tokens,
+//! reversed ranges and overlapping CPUs with typed errors, and [`emit`]
+//! produces the unique canonical form (ascending, maximally merged
+//! ranges), giving a parse/emit fixed point the property tests pin down.
+
+use twig_sim::CoreId;
+
+/// Why a cpulist string was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuListError {
+    /// The string was empty (or all whitespace). An empty cpuset is a
+    /// valid kernel state but never a valid Twig actuation.
+    Empty,
+    /// A token was not a number or `a-b` range.
+    BadToken {
+        /// The offending token.
+        token: String,
+    },
+    /// A range ran backwards (`5-3`).
+    ReversedRange {
+        /// Range start.
+        start: usize,
+        /// Range end (smaller than start).
+        end: usize,
+    },
+    /// A CPU appeared more than once (`1,1` or `3-5,4`).
+    Overlap {
+        /// The CPU that was already present.
+        cpu: usize,
+    },
+}
+
+impl std::fmt::Display for CpuListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CpuListError::Empty => write!(f, "empty cpulist"),
+            CpuListError::BadToken { token } => write!(f, "bad cpulist token {token:?}"),
+            CpuListError::ReversedRange { start, end } => {
+                write!(f, "reversed cpulist range {start}-{end}")
+            }
+            CpuListError::Overlap { cpu } => write!(f, "cpu {cpu} appears twice in cpulist"),
+        }
+    }
+}
+
+impl std::error::Error for CpuListError {}
+
+/// Parses a cpulist into ascending, duplicate-free core ids.
+///
+/// # Errors
+///
+/// Returns a typed [`CpuListError`] for empty input, malformed tokens,
+/// reversed ranges or overlapping CPUs.
+///
+/// # Examples
+///
+/// ```
+/// use twig_platform::cpulist;
+///
+/// let cores = cpulist::parse("0-3,8,10-11").unwrap();
+/// assert_eq!(cores.iter().map(|c| c.index()).collect::<Vec<_>>(), [0, 1, 2, 3, 8, 10, 11]);
+/// assert!(cpulist::parse("5-3").is_err());
+/// assert!(cpulist::parse("").is_err());
+/// ```
+pub fn parse(s: &str) -> Result<Vec<CoreId>, CpuListError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(CpuListError::Empty);
+    }
+    let number = |tok: &str| -> Result<usize, CpuListError> {
+        // Strict decimal: no signs, no whitespace, no leading '+'.
+        if tok.is_empty() || !tok.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(CpuListError::BadToken {
+                token: tok.to_string(),
+            });
+        }
+        tok.parse().map_err(|_| CpuListError::BadToken {
+            token: tok.to_string(),
+        })
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    for token in s.split(',') {
+        let (lo, hi) = match token.split_once('-') {
+            None => {
+                let v = number(token)?;
+                (v, v)
+            }
+            Some((a, b)) => {
+                let lo = number(a)?;
+                let hi = number(b)?;
+                if hi < lo {
+                    return Err(CpuListError::ReversedRange { start: lo, end: hi });
+                }
+                (lo, hi)
+            }
+        };
+        for cpu in lo..=hi {
+            if !seen.insert(cpu) {
+                return Err(CpuListError::Overlap { cpu });
+            }
+        }
+    }
+    Ok(seen.into_iter().map(CoreId).collect())
+}
+
+/// Emits the canonical cpulist for a set of cores: ascending order,
+/// duplicates collapsed, maximal `a-b` ranges (a single CPU stays bare;
+/// a two-CPU run is written `a-b`, matching the kernel's emitter). An
+/// empty set emits an empty string — callers must treat that as "nothing
+/// to actuate", since [`parse`] will not round-trip it.
+///
+/// # Examples
+///
+/// ```
+/// use twig_platform::cpulist;
+/// use twig_sim::CoreId;
+///
+/// let cores: Vec<CoreId> = [11, 10, 3, 0, 1, 2, 8].into_iter().map(CoreId).collect();
+/// assert_eq!(cpulist::emit(&cores), "0-3,8,10-11");
+/// assert_eq!(cpulist::emit(&[]), "");
+/// ```
+pub fn emit(cores: &[CoreId]) -> String {
+    let sorted: std::collections::BTreeSet<usize> = cores.iter().map(|c| c.index()).collect();
+    let mut out = String::new();
+    let mut run: Option<(usize, usize)> = None;
+    let flush = |out: &mut String, (lo, hi): (usize, usize)| {
+        if !out.is_empty() {
+            out.push(',');
+        }
+        if lo == hi {
+            out.push_str(&lo.to_string());
+        } else {
+            out.push_str(&format!("{lo}-{hi}"));
+        }
+    };
+    for cpu in sorted {
+        run = match run {
+            None => Some((cpu, cpu)),
+            Some((lo, hi)) if cpu == hi + 1 => Some((lo, cpu)),
+            Some(done) => {
+                flush(&mut out, done);
+                Some((cpu, cpu))
+            }
+        };
+    }
+    if let Some(done) = run {
+        flush(&mut out, done);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twig_stats::rng::{Rng, Xoshiro256};
+
+    #[test]
+    fn parses_singletons_ranges_and_mixes() {
+        let idx = |s: &str| {
+            parse(s)
+                .unwrap()
+                .iter()
+                .map(|c| c.index())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(idx("0"), [0]);
+        assert_eq!(idx("7-7"), [7]);
+        assert_eq!(idx("0-2"), [0, 1, 2]);
+        assert_eq!(idx(" 4,2-3 \n"), [2, 3, 4]);
+        assert_eq!(idx("10-11,0-3,8"), [0, 1, 2, 3, 8, 10, 11]);
+    }
+
+    #[test]
+    fn rejections_are_typed() {
+        assert_eq!(parse(""), Err(CpuListError::Empty));
+        assert_eq!(parse("  \n"), Err(CpuListError::Empty));
+        assert_eq!(
+            parse("5-3"),
+            Err(CpuListError::ReversedRange { start: 5, end: 3 })
+        );
+        assert_eq!(parse("1,1"), Err(CpuListError::Overlap { cpu: 1 }));
+        assert_eq!(parse("3-5,4"), Err(CpuListError::Overlap { cpu: 4 }));
+        assert_eq!(parse("0-2,1-8"), Err(CpuListError::Overlap { cpu: 1 }));
+        for bad in ["x", "1,", ",1", "1--2", "-1", "1-", "+2", "1 2", "0x3"] {
+            assert!(
+                matches!(parse(bad), Err(CpuListError::BadToken { .. })),
+                "{bad:?} should be a BadToken"
+            );
+        }
+    }
+
+    #[test]
+    fn emit_is_canonical() {
+        assert_eq!(emit(&[CoreId(0), CoreId(1)]), "0-1");
+        assert_eq!(emit(&[CoreId(2), CoreId(0)]), "0,2");
+        assert_eq!(emit(&[CoreId(5), CoreId(5)]), "5");
+        assert_eq!(emit(&(0..18).map(CoreId).collect::<Vec<_>>()), "0-17");
+    }
+
+    /// Property: emit → parse is the identity on sorted duplicate-free
+    /// core sets, for random subsets of a 64-CPU socket.
+    #[test]
+    fn random_round_trip_emit_then_parse() {
+        let mut rng = Xoshiro256::seed_from_u64(0xC0DE);
+        for _ in 0..500 {
+            let mut cores: Vec<CoreId> =
+                (0..64).filter(|_| rng.next_bool(0.3)).map(CoreId).collect();
+            if cores.is_empty() {
+                cores.push(CoreId(rng.range_usize(0, 64)));
+            }
+            let text = emit(&cores);
+            let back = parse(&text).unwrap_or_else(|e| panic!("{text:?}: {e}"));
+            assert_eq!(back, cores, "round trip broke for {text:?}");
+            // Parse → emit is also a fixed point: the emitted form is
+            // canonical.
+            assert_eq!(emit(&back), text);
+        }
+    }
+
+    /// Property: any valid cpulist — even unsorted, with redundant range
+    /// splits — parses, and re-emitting canonicalizes it idempotently.
+    #[test]
+    fn random_noncanonical_inputs_canonicalize() {
+        let mut rng = Xoshiro256::seed_from_u64(0xBEEF);
+        for _ in 0..500 {
+            // Build disjoint segments then shuffle their text order.
+            let mut segs: Vec<String> = Vec::new();
+            let mut cpu = rng.range_usize(0, 4);
+            let mut all = Vec::new();
+            while cpu < 96 && segs.len() < 8 {
+                let len = rng.range_usize(1, 5);
+                let hi = cpu + len - 1;
+                segs.push(if len == 1 {
+                    cpu.to_string()
+                } else {
+                    format!("{cpu}-{hi}")
+                });
+                all.extend((cpu..=hi).map(CoreId));
+                cpu = hi + 1 + rng.range_usize(1, 6);
+            }
+            rng.shuffle(&mut segs);
+            let text = segs.join(",");
+            let parsed = parse(&text).unwrap_or_else(|e| panic!("{text:?}: {e}"));
+            assert_eq!(parsed, all);
+            let canon = emit(&parsed);
+            assert_eq!(parse(&canon).unwrap(), all);
+            assert_eq!(emit(&parse(&canon).unwrap()), canon, "emit not idempotent");
+        }
+    }
+
+    /// Property: corrupting a canonical list with a duplicate CPU or a
+    /// reversed range is always rejected with the matching typed error.
+    #[test]
+    fn random_corruptions_are_rejected() {
+        let mut rng = Xoshiro256::seed_from_u64(0xFEED);
+        for _ in 0..500 {
+            let cores: Vec<CoreId> = (0..32).filter(|_| rng.next_bool(0.4)).map(CoreId).collect();
+            if cores.is_empty() {
+                continue;
+            }
+            let text = emit(&cores);
+            let victim = cores[rng.range_usize(0, cores.len())].index();
+            match rng.range_usize(0, 3) {
+                0 => {
+                    // Duplicate an existing CPU.
+                    let bad = format!("{text},{victim}");
+                    assert_eq!(parse(&bad), Err(CpuListError::Overlap { cpu: victim }));
+                }
+                1 => {
+                    // Append a reversed range.
+                    let hi = victim + 1 + rng.range_usize(1, 4);
+                    let bad = format!("{text},{hi}-{victim}");
+                    assert_eq!(
+                        parse(&bad),
+                        Err(CpuListError::ReversedRange {
+                            start: hi,
+                            end: victim,
+                        })
+                    );
+                }
+                _ => {
+                    // Splice in a garbage token.
+                    let bad = format!("{text},x{victim}");
+                    assert!(matches!(parse(&bad), Err(CpuListError::BadToken { .. })));
+                }
+            }
+        }
+    }
+}

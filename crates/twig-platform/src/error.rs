@@ -1,0 +1,50 @@
+//! Error types for the platform layer.
+
+use crate::fs::FsError;
+use twig_sim::SimError;
+
+/// Anything the platform layer can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// A configuration was rejected at construction.
+    Config {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A filesystem operation failed in a way the reconciliation ladder
+    /// could not absorb (construction-time seeding, mostly — runtime
+    /// faults are reconciled or reported, never raised).
+    Fs {
+        /// The path the operation targeted.
+        path: String,
+        /// The underlying filesystem error.
+        source: FsError,
+    },
+    /// The wrapped simulator failed.
+    Sim(SimError),
+    /// The actuate/observe protocol was violated (e.g. observing an epoch
+    /// that was never actuated on a platform that requires the pairing).
+    Protocol {
+        /// What was out of order.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::Config { detail } => write!(f, "invalid platform config: {detail}"),
+            PlatformError::Fs { path, source } => write!(f, "fs error on {path}: {source}"),
+            PlatformError::Sim(e) => write!(f, "simulator error: {e}"),
+            PlatformError::Protocol { detail } => write!(f, "platform protocol error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<SimError> for PlatformError {
+    fn from(e: SimError) -> Self {
+        PlatformError::Sim(e)
+    }
+}

@@ -1,0 +1,266 @@
+//! An in-memory procfs/sysfs tree with seeded fault injection.
+//!
+//! [`FakeFs`] is the offline stand-in for the kernel: a cheap, cloneable
+//! handle (all clones share one tree) that implements [`Fs`] with an
+//! optional [`OsFaultPlan`] deciding per operation whether the fake OS
+//! misbehaves. The *raw* accessors ([`FakeFs::seed_file`],
+//! [`FakeFs::read_raw`]) bypass the plan — they are the "ground truth"
+//! used by the world model that populates counter files, and by tests
+//! that inspect what actually landed.
+//!
+//! Each file keeps its current content, the previous content (served by
+//! stale-read faults) and an optional pending write (delayed-visibility
+//! faults commit it at [`FakeFs::advance_epoch`]).
+
+use crate::fault::{classify, OsFaultPlan, ReadFault, WriteFault};
+use crate::fs::{Fs, FsError};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+#[derive(Debug, Clone, Default)]
+struct FileState {
+    current: String,
+    prev: Option<String>,
+    pending: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    files: BTreeMap<String, FileState>,
+    plan: Option<OsFaultPlan>,
+}
+
+/// The content garbage-read faults serve: decidedly not a number.
+const GARBAGE: &str = "#!garbage!#";
+
+/// A shared, in-memory sysfs/procfs tree. Clones are handles onto the
+/// same tree (single-threaded `Rc`, matching the per-unit isolation of
+/// the experiment fleet).
+#[derive(Debug, Clone, Default)]
+pub struct FakeFs {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl FakeFs {
+    /// An empty tree with no fault plan.
+    pub fn new() -> Self {
+        FakeFs::default()
+    }
+
+    /// Installs (or replaces) the fault plan.
+    pub fn set_fault_plan(&self, plan: OsFaultPlan) {
+        self.inner.borrow_mut().plan = Some(plan);
+    }
+
+    /// Removes the fault plan; subsequent operations never fault.
+    pub fn clear_fault_plan(&self) {
+        self.inner.borrow_mut().plan = None;
+    }
+
+    /// Creates or replaces a file, bypassing fault injection (the
+    /// previous content becomes the stale-read value, any pending write
+    /// is discarded).
+    pub fn seed_file(&self, path: &str, contents: &str) {
+        let mut inner = self.inner.borrow_mut();
+        let state = inner.files.entry(path.to_string()).or_default();
+        let old = std::mem::replace(&mut state.current, contents.to_string());
+        state.prev = Some(old);
+        state.pending = None;
+    }
+
+    /// Reads a file's committed content, bypassing fault injection.
+    pub fn read_raw(&self, path: &str) -> Option<String> {
+        self.inner
+            .borrow()
+            .files
+            .get(path)
+            .map(|s| s.current.clone())
+    }
+
+    /// Ends the epoch: commits every delayed-visibility write and
+    /// advances the fault plan's epoch counter (permission-flap windows).
+    pub fn advance_epoch(&self) {
+        let mut inner = self.inner.borrow_mut();
+        for state in inner.files.values_mut() {
+            if let Some(pending) = state.pending.take() {
+                let old = std::mem::replace(&mut state.current, pending);
+                state.prev = Some(old);
+            }
+        }
+        if let Some(plan) = inner.plan.as_mut() {
+            plan.advance_epoch();
+        }
+    }
+
+    /// The fault plan's current epoch (0 with no plan).
+    pub fn epoch(&self) -> u64 {
+        self.inner
+            .borrow()
+            .plan
+            .as_ref()
+            .map_or(0, OsFaultPlan::epoch)
+    }
+}
+
+impl Fs for FakeFs {
+    fn read(&self, path: &str) -> Result<String, FsError> {
+        let mut inner = self.inner.borrow_mut();
+        let fault = match inner.plan.as_mut() {
+            Some(plan) => plan.read_fault(classify(path)),
+            None => ReadFault::None,
+        };
+        let state = inner.files.get(path).ok_or(FsError::NotFound)?;
+        match fault {
+            ReadFault::None => Ok(state.current.clone()),
+            // A file with no history yet serves its only content.
+            ReadFault::Stale => Ok(state.prev.clone().unwrap_or_else(|| state.current.clone())),
+            ReadFault::Garbage => Ok(GARBAGE.to_string()),
+            ReadFault::Enoent => Err(FsError::NotFound),
+        }
+    }
+
+    fn write(&self, path: &str, contents: &str) -> Result<(), FsError> {
+        let mut inner = self.inner.borrow_mut();
+        let fault = match inner.plan.as_mut() {
+            Some(plan) => plan.write_fault(classify(path)),
+            None => WriteFault::None,
+        };
+        let state = inner.files.entry(path.to_string()).or_default();
+        let commit = |state: &mut FileState, contents: String| {
+            let old = std::mem::replace(&mut state.current, contents);
+            state.prev = Some(old);
+        };
+        match fault {
+            WriteFault::None => {
+                commit(state, contents.to_string());
+                Ok(())
+            }
+            WriteFault::Eperm => Err(FsError::PermissionDenied),
+            WriteFault::Ebusy => Err(FsError::Busy),
+            WriteFault::Torn => {
+                // Half the bytes land. Cpulists are ASCII, so the midpoint
+                // is always a char boundary; clamp defensively anyway.
+                let mut cut = contents.len() / 2;
+                while cut > 0 && !contents.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                commit(state, contents[..cut].to_string());
+                Ok(())
+            }
+            WriteFault::Delayed => {
+                state.pending = Some(contents.to_string());
+                Ok(())
+            }
+            WriteFault::Clamp(floor_khz) => {
+                let stored = match contents.trim().parse::<u64>() {
+                    Ok(v) if v > floor_khz => floor_khz.to_string(),
+                    _ => contents.to_string(),
+                };
+                commit(state, stored);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::OsFaultConfig;
+
+    #[test]
+    fn faultless_tree_round_trips() {
+        let fs = FakeFs::new();
+        assert_eq!(fs.read("/a/cpuset.cpus"), Err(FsError::NotFound));
+        fs.write("/a/cpuset.cpus", "0-3").unwrap();
+        assert_eq!(fs.read("/a/cpuset.cpus").unwrap(), "0-3");
+        assert_eq!(fs.read_raw("/a/cpuset.cpus").unwrap(), "0-3");
+    }
+
+    #[test]
+    fn torn_writes_store_a_prefix() {
+        let fs = FakeFs::new();
+        fs.set_fault_plan(
+            OsFaultPlan::new(
+                OsFaultConfig {
+                    cpuset_torn_rate: 1.0,
+                    ..OsFaultConfig::default()
+                },
+                3,
+            )
+            .unwrap(),
+        );
+        fs.write("/a/cpuset.cpus", "0-15").unwrap();
+        assert_eq!(fs.read("/a/cpuset.cpus").unwrap(), "0-");
+    }
+
+    #[test]
+    fn delayed_writes_commit_at_the_epoch_boundary() {
+        let fs = FakeFs::new();
+        fs.seed_file("/a/cpuset.cpus", "0-3");
+        fs.set_fault_plan(
+            OsFaultPlan::new(
+                OsFaultConfig {
+                    cpuset_delay_rate: 1.0,
+                    ..OsFaultConfig::default()
+                },
+                3,
+            )
+            .unwrap(),
+        );
+        fs.write("/a/cpuset.cpus", "4-7").unwrap();
+        assert_eq!(fs.read("/a/cpuset.cpus").unwrap(), "0-3", "still invisible");
+        fs.advance_epoch();
+        assert_eq!(fs.read("/a/cpuset.cpus").unwrap(), "4-7", "committed");
+    }
+
+    #[test]
+    fn stale_reads_serve_the_previous_content() {
+        let fs = FakeFs::new();
+        fs.seed_file("/m/pmc", "1 0.5");
+        fs.seed_file("/m/pmc", "2 0.9");
+        fs.set_fault_plan(
+            OsFaultPlan::new(
+                OsFaultConfig {
+                    counter_stale_rate: 1.0,
+                    ..OsFaultConfig::default()
+                },
+                3,
+            )
+            .unwrap(),
+        );
+        assert_eq!(fs.read("/m/pmc").unwrap(), "1 0.5");
+        assert_eq!(fs.read_raw("/m/pmc").unwrap(), "2 0.9");
+    }
+
+    #[test]
+    fn clamped_writes_store_the_floor() {
+        let fs = FakeFs::new();
+        fs.set_fault_plan(
+            OsFaultPlan::new(
+                OsFaultConfig {
+                    cpufreq_clamp_rate: 1.0,
+                    cpufreq_floor_khz: 1_200_000,
+                    ..OsFaultConfig::default()
+                },
+                3,
+            )
+            .unwrap(),
+        );
+        fs.write("/cpu/cpu0/cpufreq/scaling_setspeed", "2000000")
+            .unwrap();
+        assert_eq!(
+            fs.read("/cpu/cpu0/cpufreq/scaling_setspeed").unwrap(),
+            "1200000"
+        );
+    }
+
+    #[test]
+    fn clones_share_one_tree() {
+        let fs = FakeFs::new();
+        let handle = fs.clone();
+        fs.seed_file("/x", "1");
+        assert_eq!(handle.read_raw("/x").unwrap(), "1");
+    }
+}

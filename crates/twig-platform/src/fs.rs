@@ -1,0 +1,114 @@
+//! The tiny filesystem abstraction [`LinuxPlatform`](crate::LinuxPlatform)
+//! is written against.
+//!
+//! Every OS interaction of the Linux backend — cgroup-v2 `cpuset.cpus`
+//! writes, cpufreq sysfs writes, `/proc`-style counter reads — goes
+//! through [`Fs`]: two methods, whole-file string reads and writes, which
+//! is exactly the sysfs/procfs contract (small text files, one value per
+//! file, rewritten atomically). [`RealFs`] maps the trait onto `std::fs`
+//! for a real kernel; [`FakeFs`](crate::FakeFs) provides an in-memory
+//! procfs/sysfs tree with seeded fault injection so everything above this
+//! seam is compiled and tested offline, root-free and network-free.
+
+use std::fmt;
+
+/// Errno-shaped failure classes for the small-file operations sysfs and
+/// cgroupfs actually exhibit. The reconciliation ladder treats all of
+/// them as retryable — EPERM flaps (delegation races), EBUSY clears, and
+/// ENOENT can be a cgroup mid-rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsError {
+    /// ENOENT: the file does not exist (yet, or any more).
+    NotFound,
+    /// EPERM/EACCES: the write was rejected by permissions.
+    PermissionDenied,
+    /// EBUSY: the file is transiently locked (cgroup migration in flight).
+    Busy,
+    /// Anything else.
+    Io,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound => write!(f, "not found (ENOENT)"),
+            FsError::PermissionDenied => write!(f, "permission denied (EPERM)"),
+            FsError::Busy => write!(f, "busy (EBUSY)"),
+            FsError::Io => write!(f, "i/o error"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Whole-file string reads and writes on a procfs/sysfs-shaped tree.
+///
+/// `&self` receivers throughout: a filesystem is shared mutable state by
+/// nature (the OS mutates it underneath you), so implementations use
+/// interior mutability and handles stay freely cloneable.
+pub trait Fs {
+    /// Reads the whole file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`FsError`] classifying the failure.
+    fn read(&self, path: &str) -> Result<String, FsError>;
+
+    /// Replaces the whole file at `path` with `contents`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`FsError`] classifying the failure.
+    fn write(&self, path: &str, contents: &str) -> Result<(), FsError>;
+}
+
+/// The real thing: `std::fs` with errno classification. Only useful on an
+/// actual Linux host with cgroup-v2 delegation and cpufreq userspace
+/// governors set up; nothing in the workspace's tests touches it beyond
+/// temp-dir round-trips.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+fn classify(e: &std::io::Error) -> FsError {
+    match e.kind() {
+        std::io::ErrorKind::NotFound => FsError::NotFound,
+        std::io::ErrorKind::PermissionDenied => FsError::PermissionDenied,
+        _ => FsError::Io,
+    }
+}
+
+impl Fs for RealFs {
+    fn read(&self, path: &str) -> Result<String, FsError> {
+        std::fs::read_to_string(path).map_err(|e| classify(&e))
+    }
+
+    fn write(&self, path: &str, contents: &str) -> Result<(), FsError> {
+        std::fs::write(path, contents).map_err(|e| classify(&e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_fs_round_trips_in_temp_dir() {
+        let dir = std::env::temp_dir().join(format!("twig-platform-fs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cpuset.cpus");
+        let path = path.to_str().unwrap();
+        let fs = RealFs;
+        fs.write(path, "0-3,8").unwrap();
+        assert_eq!(fs.read(path).unwrap(), "0-3,8");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn real_fs_classifies_missing_files() {
+        let fs = RealFs;
+        assert_eq!(
+            fs.read("/nonexistent/twig/cpuset.cpus"),
+            Err(FsError::NotFound)
+        );
+    }
+}

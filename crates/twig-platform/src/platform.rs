@@ -1,0 +1,67 @@
+//! The [`Platform`] trait: what a task manager needs from the machine it
+//! manages.
+
+use crate::PlatformError;
+use twig_sim::{Assignment, DvfsLadder, EpochReport, ServiceSpec};
+use twig_telemetry::Telemetry;
+
+/// One server's actuation-and-observation surface, as the paper's manager
+/// uses it: actuate core mappings (cgroup cpusets) and DVFS settings
+/// (cpufreq), then — after the decision interval elapses — read
+/// performance counters, latency observables and power, and report what
+/// was *actually applied* (which can diverge from what was requested).
+///
+/// Two phases per epoch:
+///
+/// 1. [`actuate`](Platform::actuate) applies the epoch's assignments;
+/// 2. [`observe_epoch`](Platform::observe_epoch) closes the epoch and
+///    returns the [`EpochReport`] the manager learns from, including the
+///    per-service [`twig_sim::AppliedAssignment`] record and the
+///    [`twig_sim::TelemetryHealth`] flags the `SafetyGovernor` uses to
+///    route degraded epochs to `observe_degraded`.
+///
+/// [`step`](Platform::step) chains the two for drivers with nothing to do
+/// in between (the simulator produces the whole epoch atomically; a real
+/// host would sleep out the interval while the services run).
+pub trait Platform {
+    /// Number of physical cores.
+    fn cores(&self) -> usize;
+
+    /// The DVFS ladder actuations must stay on.
+    fn dvfs(&self) -> &DvfsLadder;
+
+    /// The hosted services, in assignment order.
+    fn specs(&self) -> &[ServiceSpec];
+
+    /// Applies one epoch's assignments (one per service, in spec order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] only for protocol and validation
+    /// failures — individual OS-level actuation faults are reconciled or
+    /// reported through the epoch report, never raised.
+    fn actuate(&mut self, assignments: &[Assignment]) -> Result<(), PlatformError>;
+
+    /// Closes the epoch: reads counters, latency and power, and reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] for protocol violations or a failed
+    /// underlying simulation step.
+    fn observe_epoch(&mut self) -> Result<EpochReport, PlatformError>;
+
+    /// Actuate + observe in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates from [`actuate`](Platform::actuate) and
+    /// [`observe_epoch`](Platform::observe_epoch).
+    fn step(&mut self, assignments: &[Assignment]) -> Result<EpochReport, PlatformError> {
+        self.actuate(assignments)?;
+        self.observe_epoch()
+    }
+
+    /// Attaches a telemetry handle for the platform's metrics. Telemetry
+    /// never feeds back into actuation decisions.
+    fn set_telemetry(&mut self, telemetry: Telemetry);
+}

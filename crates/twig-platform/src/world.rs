@@ -1,0 +1,291 @@
+//! [`SimWorld`]: the ground-truth machine behind a [`FakeFs`] tree.
+//!
+//! The chaos suite needs a *closed loop*: the [`crate::LinuxPlatform`]
+//! writes cpusets and setpoints into the fake sysfs, and something must
+//! play the role of the kernel-plus-services — run the workload on
+//! whatever actually landed in those files and publish fresh counter
+//! files for the next observation. `SimWorld` is that something, wrapping
+//! a [`twig_sim::Server`] as the physics engine:
+//!
+//! 1. the platform [`actuate`](crate::Platform::actuate)s into the tree
+//!    (possibly mangled by the [`crate::OsFaultPlan`]);
+//! 2. [`SimWorld::tick`] reads the *committed* tree raw — the same
+//!    partial, clamped, delayed state the faults produced — steps the
+//!    simulator on it, stamps the counter files with a fresh sequence
+//!    number, and commits delayed writes via [`FakeFs::advance_epoch`];
+//! 3. the platform [`observe_epoch`](crate::Platform::observe_epoch)s
+//!    and reconciles what it reads against what it asked for.
+//!
+//! The returned ground-truth report lets tests compare what the platform
+//! *believed* against what the machine *did*.
+
+use crate::cpulist;
+use crate::fake::FakeFs;
+use crate::linux::{LinuxConfig, LinuxLayout, LinuxPlatform};
+use crate::PlatformError;
+use twig_sim::{Assignment, CoreId, EpochReport, Server, ServerConfig, ServiceSpec};
+
+/// A simulated machine publishing its state through a [`FakeFs`] sysfs
+/// tree, for closed-loop testing of the Linux backend.
+#[derive(Debug, Clone)]
+pub struct SimWorld {
+    server: Server,
+    fs: FakeFs,
+    layout: LinuxLayout,
+    seq: u64,
+    last_good: Vec<Assignment>,
+}
+
+impl SimWorld {
+    /// A world with the default server configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction errors.
+    pub fn new(specs: Vec<ServiceSpec>, seed: u64) -> Result<Self, PlatformError> {
+        SimWorld::with_config(ServerConfig::default(), specs, seed)
+    }
+
+    /// A world with an explicit server configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction errors.
+    pub fn with_config(
+        config: ServerConfig,
+        specs: Vec<ServiceSpec>,
+        seed: u64,
+    ) -> Result<Self, PlatformError> {
+        let server = Server::new(config, specs, seed)?;
+        let fs = FakeFs::new();
+        let layout = LinuxLayout::under("/fake");
+        let cores = server.config().cores;
+        let dvfs = server.config().dvfs.clone();
+        // Boot state: every service spans the socket at the maximum
+        // setting — the same safe-by-default posture the governor's
+        // fallback uses.
+        let all = Assignment::first_n(cores, dvfs.max());
+        let last_good = vec![all.clone(); server.specs().len()];
+        for spec in server.specs() {
+            fs.seed_file(&layout.cpuset_path(&spec.name), &cpulist::emit(&all.cores));
+            fs.seed_file(&layout.pmc_path(&spec.name), "0");
+            fs.seed_file(&layout.latency_path(&spec.name), "0");
+        }
+        let max_khz = (u64::from(dvfs.max().mhz()) * 1000).to_string();
+        for core in 0..cores {
+            fs.seed_file(&layout.freq_path(core), &max_khz);
+        }
+        fs.seed_file(&layout.energy_file, "0");
+        Ok(SimWorld {
+            server,
+            fs,
+            layout,
+            seq: 0,
+            last_good,
+        })
+    }
+
+    /// A [`LinuxPlatform`] wired to this world's tree and layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinuxPlatform::new`] validation errors.
+    pub fn platform(&self) -> Result<LinuxPlatform<FakeFs>, PlatformError> {
+        let mut config = LinuxConfig::new(
+            self.server.config().cores,
+            self.server.config().dvfs.clone(),
+            self.server.specs().to_vec(),
+        );
+        config.layout = self.layout.clone();
+        LinuxPlatform::new(config, self.fs.clone())
+    }
+
+    /// The shared filesystem handle (install fault plans here).
+    pub fn fs(&self) -> &FakeFs {
+        &self.fs
+    }
+
+    /// The file layout the world publishes under.
+    pub fn layout(&self) -> &LinuxLayout {
+        &self.layout
+    }
+
+    /// The ground-truth simulator.
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// Mutable simulator access (loads, churn, timing plans).
+    pub fn server_mut(&mut self) -> &mut Server {
+        &mut self.server
+    }
+
+    /// What one service's control files actually say right now: the
+    /// committed cpuset, and its effective frequency (slowest of its
+    /// cores' setpoints, floored to the ladder).
+    fn applied_from_files(&self, index: usize) -> Assignment {
+        let spec = &self.server.specs()[index];
+        let cores_in_range =
+            |cs: &Vec<CoreId>| cs.iter().all(|c| c.index() < self.server.config().cores);
+        let cores = self
+            .fs
+            .read_raw(&self.layout.cpuset_path(&spec.name))
+            .and_then(|text| cpulist::parse(&text).ok())
+            .filter(cores_in_range)
+            .unwrap_or_else(|| self.last_good[index].cores.clone());
+        let dvfs = &self.server.config().dvfs;
+        let freq = cores
+            .iter()
+            .filter_map(|c| {
+                let khz: u64 = self
+                    .fs
+                    .read_raw(&self.layout.freq_path(c.index()))?
+                    .trim()
+                    .parse()
+                    .ok()?;
+                let mhz = u32::try_from(khz / 1000).unwrap_or(u32::MAX);
+                Some(dvfs.floor(twig_sim::Frequency::from_mhz(mhz)))
+            })
+            .min()
+            .unwrap_or(self.last_good[index].freq);
+        Assignment::new(cores, freq)
+    }
+
+    /// Runs one epoch of physics on whatever the control files say, then
+    /// publishes fresh counter files and commits delayed writes. Returns
+    /// the ground-truth report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator step errors (the file-derived assignments are
+    /// range-checked and ladder-floored, so this is unexpected).
+    pub fn tick(&mut self) -> Result<EpochReport, PlatformError> {
+        let n = self.server.specs().len();
+        let assignments: Vec<Assignment> = (0..n).map(|i| self.applied_from_files(i)).collect();
+        let report = self.server.step(&assignments)?;
+        self.last_good = assignments;
+        self.seq += 1;
+        for (i, svc) in report.services.iter().enumerate() {
+            let name = self.server.specs()[i].name.clone();
+            // Plain `{}` is Rust's shortest round-trip float form, so the
+            // exporter channel is lossless when fault-free.
+            let pmcs = svc
+                .pmcs
+                .as_array()
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            self.fs.seed_file(
+                &self.layout.pmc_path(&name),
+                &format!("{} {pmcs}", self.seq),
+            );
+            self.fs.seed_file(
+                &self.layout.latency_path(&name),
+                &format!(
+                    "{} {} {} {} {} {} {} {}",
+                    self.seq,
+                    svc.offered_rps,
+                    svc.load_fraction,
+                    svc.p99_ms,
+                    svc.mean_ms,
+                    svc.completed,
+                    svc.dropped,
+                    svc.queue_len
+                ),
+            );
+        }
+        let energy_uj = (report.energy_j * 1e6) as u64;
+        self.fs
+            .seed_file(&self.layout.energy_file, &energy_uj.to_string());
+        self.fs.advance_epoch();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{OsFaultConfig, OsFaultPlan};
+    use crate::Platform;
+    use twig_sim::catalog;
+
+    fn world(seed: u64) -> SimWorld {
+        SimWorld::new(vec![catalog::masstree(), catalog::moses()], seed).unwrap()
+    }
+
+    #[test]
+    fn calm_closed_loop_matches_the_request() {
+        let mut world = world(11);
+        let mut platform = world.platform().unwrap();
+        let a = Assignment::new((0..9).map(CoreId).collect(), platform.config().dvfs.max());
+        let b = Assignment::new((9..18).map(CoreId).collect(), platform.config().dvfs.min());
+        for _ in 0..5 {
+            platform.actuate(&[a.clone(), b.clone()]).unwrap();
+            let truth = world.tick().unwrap();
+            let seen = platform.observe_epoch().unwrap();
+            assert!(!seen.telemetry.degraded());
+            assert_eq!(seen.actuation[0].cores, a.cores);
+            assert_eq!(seen.actuation[1].freq, b.freq);
+            // The platform's belief tracks the world's physics exactly:
+            // the counter files are the only channel, and they are clean.
+            assert_eq!(seen.services[0].completed, truth.services[0].completed);
+            assert_eq!(seen.services[1].p99_ms, truth.services[1].p99_ms);
+        }
+    }
+
+    #[test]
+    fn torn_cpuset_runs_on_the_partial_set() {
+        let mut world = world(12);
+        world.fs().set_fault_plan(
+            OsFaultPlan::new(
+                OsFaultConfig {
+                    cpuset_torn_rate: 1.0,
+                    ..OsFaultConfig::default()
+                },
+                5,
+            )
+            .unwrap(),
+        );
+        let mut platform = world.platform().unwrap();
+        // "10-17" tears to "10"; the world must run moses on core 10
+        // only, and the platform must report the divergence.
+        let a = Assignment::new((0..10).map(CoreId).collect(), platform.config().dvfs.max());
+        let b = Assignment::new((10..18).map(CoreId).collect(), platform.config().dvfs.max());
+        platform.actuate(&[a, b]).unwrap();
+        let truth = world.tick().unwrap();
+        let seen = platform.observe_epoch().unwrap();
+        assert!(seen.actuation.iter().any(|ap| ap.rejected));
+        assert_eq!(seen.telemetry.delayed_epochs, 1);
+        assert!(truth.services.iter().any(|s| s.core_count < 8));
+    }
+
+    #[test]
+    fn worlds_with_equal_seeds_are_deterministic() {
+        let run = || {
+            let mut world = world(99);
+            world.fs().set_fault_plan(
+                OsFaultPlan::new(
+                    OsFaultConfig {
+                        cpuset_eperm_rate: 0.3,
+                        counter_stale_rate: 0.3,
+                        ..OsFaultConfig::default()
+                    },
+                    7,
+                )
+                .unwrap(),
+            );
+            let mut platform = world.platform().unwrap();
+            let a = Assignment::first_n(18, platform.config().dvfs.max());
+            let mut log = String::new();
+            for _ in 0..10 {
+                platform.actuate(&[a.clone(), a.clone()]).unwrap();
+                world.tick().unwrap();
+                let r = platform.observe_epoch().unwrap();
+                log.push_str(&format!("{r:?}\n"));
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -106,6 +106,14 @@ const FILES: &[(&str, &str)] = &[
         "kitchen-sink.scn",
         include_str!("../../../scenarios/kitchen-sink.scn"),
     ),
+    (
+        "platform-steady.scn",
+        include_str!("../../../scenarios/platform-steady.scn"),
+    ),
+    (
+        "platform-reject-storm.scn",
+        include_str!("../../../scenarios/platform-reject-storm.scn"),
+    ),
 ];
 
 /// The shipped corpus, in file order: `(file_name, text)` pairs.

@@ -21,6 +21,7 @@ use twig_core::{
     InferenceDirective, LearnDirective, RewardConfig, SafetyGovernor, SchedulerConfig, SimClock,
     TaskManager, Twig, TwigBuilder, VirtualClock,
 };
+use twig_platform::{Platform, SimPlatform};
 use twig_rl::{BudgetedProgress, EpsilonSchedule, MaBdqConfig};
 use twig_sim::{
     Assignment, DvfsLadder, EpochTimings, FaultPlan, LoadGenerator, Server, ServerConfig,
@@ -231,12 +232,18 @@ impl ScenarioRunner {
                 .set_timing_plan(TimingFaultPlan::new(t.config.clone(), t.seed).map_err(run_err)?);
         }
 
+        // All server-topology control flows through the Platform trait
+        // from here on; SimPlatform::step is byte-identical to
+        // Server::step, and server-only controls (churn, loads) stay
+        // reachable through server_mut().
+        let mut platform = SimPlatform::new(server);
+
         // ε reaches its floor as the measurement window opens.
         let learn_epochs = s.warmup + s.epochs - s.measure;
         let mut twig = build_twig(specs.clone(), learn_epochs, s.seed, s.timing.is_some())?;
         for _ in 0..s.warmup {
             let a = twig.decide().map_err(run_err)?;
-            let r = server.step(&a).map_err(run_err)?;
+            let r = platform.step(&a).map_err(run_err)?;
             twig.observe(&r).map_err(run_err)?;
         }
         // Arm the fixed-point snapshot so SafeFallback epochs decide on the
@@ -293,19 +300,22 @@ impl ScenarioRunner {
             // Churn events for this epoch.
             for (i, svc) in s.services.iter().enumerate() {
                 if svc.arrive == e && e != 0 {
-                    server
+                    platform
+                        .server_mut()
                         .set_load_generator(i, svc.load.clone())
                         .map_err(run_err)?;
                 }
                 if svc.depart == Some(e) {
-                    server
+                    platform
+                        .server_mut()
                         .set_load_generator(i, LoadGenerator::fixed(0.0).map_err(run_err)?)
                         .map_err(run_err)?;
                 }
                 if let Some((se, src)) = &svc.swap {
                     if *se == e {
                         let new_spec = src.resolve(&svc.id)?;
-                        server
+                        platform
+                            .server_mut()
                             .replace_service(i, new_spec.clone())
                             .map_err(run_err)?;
                         gov.inner_mut()
@@ -320,12 +330,13 @@ impl ScenarioRunner {
             let r = match &mut metered {
                 None => {
                     let a = gov.decide().map_err(run_err)?;
-                    let r = server.step(&a).map_err(run_err)?;
+                    platform.actuate(&a).map_err(run_err)?;
+                    let r = platform.observe_epoch().map_err(run_err)?;
                     gov.observe(&r).map_err(run_err)?;
                     r
                 }
                 Some((clock, sched, last_validated)) => metered_epoch(
-                    &mut server,
+                    platform.server_mut(),
                     &mut gov,
                     clock,
                     sched,

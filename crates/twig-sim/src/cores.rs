@@ -191,6 +191,30 @@ impl DvfsLadder {
     pub fn relative_speed(&self, freq: Frequency) -> f64 {
         freq.ghz() / self.max().ghz()
     }
+
+    /// Snaps an arbitrary frequency onto the ladder: the highest setting
+    /// at or below `freq`, or the ladder minimum when `freq` is below it.
+    /// This is how a cpufreq read-back (which the OS may have clamped to a
+    /// value off our ladder) is mapped to a reportable DVFS setting.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use twig_sim::{DvfsLadder, Frequency};
+    ///
+    /// let ladder = DvfsLadder::default(); // 1200..=2000 step 100
+    /// assert_eq!(ladder.floor(Frequency::from_mhz(1750)).mhz(), 1700);
+    /// assert_eq!(ladder.floor(Frequency::from_mhz(800)).mhz(), 1200);
+    /// assert_eq!(ladder.floor(Frequency::from_mhz(9000)).mhz(), 2000);
+    /// ```
+    pub fn floor(&self, freq: Frequency) -> Frequency {
+        let mhz = freq.mhz();
+        if mhz <= self.min_mhz {
+            return self.min();
+        }
+        let idx = (((mhz - self.min_mhz) / self.step_mhz) as usize).min(self.levels - 1);
+        Frequency(self.min_mhz + self.step_mhz * idx as u32)
+    }
 }
 
 #[cfg(test)]

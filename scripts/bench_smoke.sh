@@ -31,7 +31,14 @@
 #    via the twig-scenario runner; the PASS/FAIL report lands in
 #    results/scenario_report.txt. scnfmt --check keeps the corpus
 #    byte-canonical first.
-# 7. bench_decide (--smoke, via scripts/bench_decide.sh) sweeps the agent
+# 7. The platform suite (--smoke, fixed seed, --jobs 2) drives the Linux
+#    actuation backend against a fault-injecting fake sysfs — write
+#    rejections, torn writes, governor clamps, stale/garbage counter
+#    files, flapping permissions — asserting the reconciliation ladder
+#    (read-back verify, bounded retries, divergence routed to degraded
+#    mode) and sim-backend bit-identity internally; the report lands in
+#    results/platform_report.txt.
+# 8. bench_decide (--smoke, via scripts/bench_decide.sh) sweeps the agent
 #    count and asserts the fused inference path is bit-identical to the
 #    per-agent loop and allocation-free; results/BENCH_decide.json. The
 #    baseline latency-regression check runs only in the full (CI
@@ -43,7 +50,7 @@ cd "$(dirname "$0")/.."
 mkdir -p results
 
 echo "== bench_smoke: building release binaries =="
-cargo build --release --offline -p twig-bench --bin bench_fleet --bin fig01_pmc_vs_ipc --bin chaos --bin timing --bin cluster --bin scenario
+cargo build --release --offline -p twig-bench --bin bench_fleet --bin fig01_pmc_vs_ipc --bin chaos --bin timing --bin cluster --bin scenario --bin platform
 cargo build --release --offline -p twig-scenario --bin scnfmt
 
 echo "== bench_smoke: fleet perf smoke (results/BENCH_fleet.json) =="
@@ -64,6 +71,9 @@ echo "== bench_smoke: cluster suite (results/cluster_report.txt) =="
 echo "== bench_smoke: scenario corpus (results/scenario_report.txt) =="
 ./target/release/scnfmt --check scenarios/*.scn
 ./target/release/scenario --seed 42 --jobs 2 | tee results/scenario_report.txt
+
+echo "== bench_smoke: platform suite (results/platform_report.txt) =="
+./target/release/platform --smoke --seed 42 --jobs 2 | tee results/platform_report.txt
 
 echo "== bench_smoke: decide-latency smoke (results/BENCH_decide.json) =="
 bash scripts/bench_decide.sh --smoke

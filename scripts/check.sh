@@ -55,11 +55,26 @@ check_bench_baseline() {
     done
 }
 
+# Every workspace crate must forbid unsafe code at the crate root. A grep
+# guard rather than a compile check so a missing attribute fails loudly
+# even on crates whose code happens to contain no unsafe today.
+check_forbid_unsafe() {
+    local ok=0 lib
+    for lib in src/lib.rs crates/*/src/lib.rs; do
+        grep -q '^#!\[forbid(unsafe_code)\]$' "$lib" || {
+            echo "$lib is missing #![forbid(unsafe_code)]"
+            ok=1
+        }
+    done
+    return "$ok"
+}
+
 step "fmt"            cargo fmt --all -- --check
 step "build"          cargo build --release --offline --workspace
 step "test"           cargo test -q --offline --workspace
 step "clippy"         cargo clippy --offline --workspace --all-targets -- -D warnings
 step "bench-baseline" check_bench_baseline
+step "forbid-unsafe"  check_forbid_unsafe
 
 if [ "$fail" -ne 0 ]; then
     echo "check.sh: FAILED"

@@ -16,6 +16,10 @@
 //! - [`cluster`] — the Twig-D fault-tolerant cluster control plane:
 //!   replicated placement, deterministic load balancing, migration with
 //!   retries and partition-tolerant local autonomy;
+//! - [`platform`] — the actuation backend behind a `Platform` trait: a
+//!   behavior-preserving simulator backend and a Linux backend (cgroup-v2
+//!   cpuset + cpufreq sysfs) with read-back verification, bounded-retry
+//!   reconciliation and a fault-injecting fake sysfs for offline tests;
 //! - [`baselines`] — Static, Hipster, Heracles and PARTIES reimplementations;
 //! - [`scenario`] — declarative `.scn` scenario DSL: composable load shapes,
 //!   service churn, fault/timing plans and per-scenario assertions, compiled
@@ -54,6 +58,7 @@ pub use twig_baselines as baselines;
 pub use twig_cluster as cluster;
 pub use twig_core as manager;
 pub use twig_nn as nn;
+pub use twig_platform as platform;
 pub use twig_rl as rl;
 pub use twig_scenario as scenario;
 pub use twig_sim as sim;
