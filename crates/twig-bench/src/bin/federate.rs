@@ -1,0 +1,10 @@
+//! Binary wrapper for the `federate` chaos suite; see
+//! `twig_bench::experiments::federate` for the schedules and invariants.
+
+fn main() {
+    let opts = twig_bench::Options::from_env();
+    if let Err(e) = twig_bench::experiments::federate::run(&opts) {
+        eprintln!("federate failed: {e}");
+        std::process::exit(1);
+    }
+}

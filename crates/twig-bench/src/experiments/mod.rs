@@ -13,6 +13,7 @@ pub mod ablation;
 pub mod chaos;
 pub mod cluster;
 pub mod diurnal;
+pub mod federate;
 pub mod fig01;
 pub mod fig04;
 pub mod fig05;

@@ -45,6 +45,34 @@ fn fig01_serial_and_parallel_bit_identical() {
 }
 
 #[test]
+fn federate_serial_and_parallel_bit_identical() {
+    // The federation chaos suite runs six weight-exchange schedules —
+    // corrupt payload storms, Byzantine nodes, straggler quorums,
+    // mid-round partitions — plus the paired policy-transfer experiment
+    // as fleet units. Every injected fault comes from the per-schedule
+    // FedFaultPlan and every report row from lifetime counters, so the
+    // report must be byte-identical at any worker count. The suite's
+    // scripted fault schedules are tuned to its shipped seed, so this
+    // test pins that seed — the property under test is jobs-independence.
+    let render_fed = |jobs| {
+        let mut out = String::new();
+        let o = Options {
+            jobs,
+            smoke: true,
+            ..Options::default()
+        };
+        experiments::federate::run_to(&mut out, &o).expect("federate suite runs");
+        out
+    };
+    let serial = render_fed(1);
+    let two = render_fed(2);
+    let four = render_fed(4);
+    assert!(serial.contains("byzantine node"));
+    assert_eq!(serial, two, "federate output depends on --jobs 2");
+    assert_eq!(serial, four, "federate output depends on --jobs 4");
+}
+
+#[test]
 fn cluster_serial_and_parallel_bit_identical() {
     // The cluster chaos suite runs six fault schedules — crashes,
     // blackouts, partitions, corrupted and stalled migrations — as fleet

@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 use crate::balancer::LoadBalancer;
 use crate::coordinator::{Coordinator, CoordinatorConfig, HandoffResult, TransferEvent};
 use crate::fault::ClusterFaultPlan;
+use crate::federate::{FedFaultPlan, FedStats, FederateConfig, FederationPlane};
 use crate::node::{AgentTuning, ClusterNode, InstallOutcome, NodePlatform};
 use crate::ClusterError;
 use twig_core::{ClusterView, NodeId, NodeView, PlacementAction, ServicePlacement};
@@ -225,6 +226,10 @@ pub struct Cluster {
     pending_failover: BTreeMap<usize, u64>,
     /// Epochs from crash to balancer suspicion, per detected failover.
     failover_latencies: Vec<u64>,
+    /// The federated learning plane, when enabled.
+    federation: Option<FederationPlane>,
+    /// Lifetime federation counters (mirrored under `fed.*`).
+    fed_stats: FedStats,
 }
 
 impl Cluster {
@@ -271,6 +276,8 @@ impl Cluster {
             blackout_left: 0,
             pending_failover: BTreeMap::new(),
             failover_latencies: Vec::new(),
+            federation: None,
+            fed_stats: FedStats::default(),
         };
         cluster.bootstrap()?;
         Ok(cluster)
@@ -336,9 +343,58 @@ impl Cluster {
         }
     }
 
+    /// Folds a federation stats delta into the lifetime stats and
+    /// mirrors every nonzero counter into telemetry under `fed.*`.
+    fn commit_fed_stats(&mut self, delta: &FedStats) {
+        self.fed_stats.merge(delta);
+        for (name, value) in delta.counter_pairs_all() {
+            if value > 0 {
+                self.telemetry.counter_add(name, value);
+            }
+        }
+    }
+
     /// Lifetime control-plane counters.
     pub fn stats(&self) -> &ClusterStats {
         &self.stats
+    }
+
+    /// Lifetime federation counters (all zero until
+    /// [`Cluster::enable_federation`] is called).
+    pub fn fed_stats(&self) -> &FedStats {
+        &self.fed_stats
+    }
+
+    /// Whether no federation round is mid-collection: every requested
+    /// payload has been resolved, so the [`FedStats`] screening-ladder
+    /// books balance exactly. Always true when federation is disabled.
+    pub fn federation_idle(&self) -> bool {
+        self.federation.as_ref().is_none_or(FederationPlane::idle)
+    }
+
+    /// Turns on the federated learning plane. Rounds start at the next
+    /// multiple of the configured period. Without this call the cluster
+    /// behaves bit-identically to a federation-free build.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] for invalid federation
+    /// knobs or when federation is already enabled.
+    pub fn enable_federation(
+        &mut self,
+        config: FederateConfig,
+        plan: FedFaultPlan,
+    ) -> Result<(), ClusterError> {
+        if self.federation.is_some() {
+            return Err(ClusterError::invalid("federation already enabled"));
+        }
+        self.federation = Some(FederationPlane::new(
+            config,
+            plan,
+            self.config.services.len(),
+            self.epoch,
+        )?);
+        Ok(())
     }
 
     /// Epochs stepped so far.
@@ -675,6 +731,25 @@ impl Cluster {
                     }
                 }
             }
+        }
+
+        // 10b. Federation round step. Runs after serving so a round
+        //      exchanges this epoch's post-training weights; the plane
+        //      aborts in-flight rounds during a blackout and skips
+        //      partitioned nodes on both the contribute and receive
+        //      sides.
+        if self.federation.is_some() {
+            let mut fed_delta = FedStats::default();
+            if let Some(plane) = self.federation.as_mut() {
+                plane.step(
+                    epoch,
+                    blackout,
+                    &self.partition_left,
+                    &mut self.nodes,
+                    &mut fed_delta,
+                )?;
+            }
+            self.commit_fed_stats(&fed_delta);
         }
 
         // 11. Tick down windows, commit stats, assemble the report.

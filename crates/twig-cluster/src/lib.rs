@@ -14,6 +14,12 @@
 //!   format; stalled or corrupted transfers roll back half-transferred
 //!   state and retry under saturating exponential backoff, downgrading
 //!   to a cold start when the attempt budget runs out.
+//! - **Fault-tolerant federated learning** — with
+//!   [`Cluster::enable_federation`] the fleet runs periodic
+//!   weight-exchange rounds (checkpoint codec as wire format) behind a
+//!   robustness ladder: CRC/shape/finiteness rejection, quarantine-aware
+//!   exclusion, Byzantine screening, straggler quorums with saturating
+//!   backoff, post-merge twin-run rollback, and blackout round-abort.
 //! - **Partition-tolerant local autonomy** — every [`ClusterNode`] runs
 //!   its own Twig agent, safety governor and deadline scheduler, so
 //!   servers that lose the coordinator (partition or blackout) keep
@@ -65,6 +71,7 @@ mod cluster;
 mod coordinator;
 mod error;
 mod fault;
+mod federate;
 mod node;
 
 pub use balancer::{LoadBalancer, RoutingOutcome};
@@ -72,4 +79,8 @@ pub use cluster::{Cluster, ClusterConfig, ClusterEpochReport, ClusterServiceEpoc
 pub use coordinator::{Coordinator, CoordinatorConfig, HandoffResult, Migration, TransferEvent};
 pub use error::ClusterError;
 pub use fault::{ClusterEvent, ClusterFaultConfig, ClusterFaultPlan, EpochFaults, ScriptedEvent};
+pub use federate::{
+    ByzantineFlavor, FedEvent, FedFaultConfig, FedFaultPlan, FedScripted, FedStats, FederateConfig,
+    RoundFaults,
+};
 pub use node::{AgentTuning, ClusterNode, InstallOutcome, NodePlatform};

@@ -318,6 +318,94 @@ impl ClusterNode {
             .map(|r| r.governor.inner().checkpoint_bytes())
     }
 
+    /// Quarantine counters of the replica's learning agent, for the
+    /// federation plane's eligibility check (`None` when the node is down
+    /// or hosts no replica of `service`).
+    pub fn quarantine_of(&self, service: usize) -> Option<twig_rl::QuarantineStats> {
+        if !self.alive {
+            return None;
+        }
+        self.replicas
+            .get(service)?
+            .as_ref()
+            .map(|r| r.governor.inner().agent().quarantine_stats())
+    }
+
+    /// Gradient steps the replica's agent has applied (`None` when the
+    /// node is down or hosts no replica). The federation plane uses this
+    /// to prove a transferred policy arrived trained.
+    pub fn agent_steps_of(&self, service: usize) -> Option<u64> {
+        if !self.alive {
+            return None;
+        }
+        self.replicas
+            .get(service)?
+            .as_ref()
+            .map(|r| r.governor.inner().agent().steps())
+    }
+
+    /// Adopts federation-round bytes — merged weights after a committed
+    /// round, or a pre-round snapshot being rolled back after a failed
+    /// one — into the replica's governed agent via the governor's
+    /// round-restore hook (which also resets its health tracking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Invariant`] when the node is down or hosts
+    /// no replica of `service`, and propagates codec/shape errors — the
+    /// replica is left unchanged in that case.
+    pub fn adopt_round_state(&mut self, service: usize, bytes: &[u8]) -> Result<(), ClusterError> {
+        if !self.alive {
+            return Err(ClusterError::invariant(format!(
+                "round adopt on dead {}",
+                self.id
+            )));
+        }
+        let replica = self
+            .replicas
+            .get_mut(service)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| {
+                ClusterError::invariant(format!("round adopt: no replica of service {service}"))
+            })?;
+        replica.governor.restore_round_snapshot(bytes)?;
+        Ok(())
+    }
+
+    /// Largest |Q| the replica's online network produces on a fixed probe
+    /// state (`f64::INFINITY` when any head output is non-finite, `None`
+    /// when the node is down or hosts no replica). The federation plane
+    /// twin-runs this before and after applying merged weights: a merged
+    /// policy whose probe magnitude explodes is rolled back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates learner errors (probe-state shape is derived from the
+    /// live agent, so these indicate bugs, not bad merges).
+    pub fn probe_q_magnitude(&mut self, service: usize) -> Result<Option<f64>, ClusterError> {
+        if !self.alive {
+            return Ok(None);
+        }
+        let Some(replica) = self.replicas.get_mut(service).and_then(Option::as_mut) else {
+            return Ok(None);
+        };
+        let agent = replica.governor.inner_mut().agent_mut();
+        let probe = vec![vec![0.5f32; agent.config().state_dim]; agent.config().agents];
+        let q = agent
+            .q_values(&probe)
+            .map_err(|e| ClusterError::invariant(format!("federation probe: {e}")))?;
+        let mut max = 0.0f64;
+        for branch in q.iter().flatten() {
+            for &v in branch {
+                if !v.is_finite() {
+                    return Ok(Some(f64::INFINITY));
+                }
+                max = max.max(f64::from(v).abs());
+            }
+        }
+        Ok(Some(max))
+    }
+
     /// Adopts the coordinator's placement: replicas no longer assigned
     /// here are dropped, and the node records the generation it now
     /// actuates from. Returns how many replicas were decommissioned.

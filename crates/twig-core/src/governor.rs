@@ -396,6 +396,39 @@ impl<M: TaskManager + Checkpointable> SafetyGovernor<M> {
         self.healthy_streak = 0;
         Ok(report)
     }
+
+    /// Serializes the inner manager's full state as a **federation-round
+    /// snapshot** — the byte-exact image a federation plane captures
+    /// before applying merged weights, so a quorum failure or a
+    /// post-merge divergence can roll the replica back to exactly its
+    /// pre-round state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the inner manager's serialization error.
+    pub fn round_snapshot(&self) -> Result<Vec<u8>, TwigError> {
+        <M as Checkpointable>::checkpoint_bytes(&self.inner)
+    }
+
+    /// Restores the inner manager from round bytes — either merged
+    /// weights being adopted after a committed federation round, or a
+    /// [`round_snapshot`](Self::round_snapshot) being rolled back after a
+    /// failed one. The governor's own health tracking (last-known-good
+    /// decision, violation and healthy streaks) is reset: it described a
+    /// policy that no longer exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the inner manager's restore error; the inner manager
+    /// guarantees it is left usable (at worst unchanged) in that case,
+    /// and the governor's health tracking is then left untouched too.
+    pub fn restore_round_snapshot(&mut self, bytes: &[u8]) -> Result<(), TwigError> {
+        <M as Checkpointable>::restore_checkpoint(&mut self.inner, bytes)?;
+        self.last_good = None;
+        self.violation_streak = 0;
+        self.healthy_streak = 0;
+        Ok(())
+    }
 }
 
 impl<M: TaskManager> TaskManager for SafetyGovernor<M> {
@@ -965,6 +998,35 @@ mod tests {
         assert_eq!(again.telemetry.counter("ckpt.load"), 1);
 
         let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn round_snapshot_roundtrips_and_resets_health_tracking() {
+        let qos = catalog::masstree().qos_ms;
+        let mut gov = SafetyGovernor::new(Persistable { value: 0 }, config()).unwrap();
+        for _ in 0..4 {
+            gov.decide().unwrap();
+            gov.observe(&report(qos * 0.5, false)).unwrap();
+        }
+        let snapshot = gov.round_snapshot().unwrap();
+        assert_eq!(gov.inner().value, 4);
+        // Two violation epochs arm a streak; the restore must clear it so
+        // the watchdog never charges a restored policy for its
+        // predecessor's violations.
+        gov.observe(&report(qos * 4.0, false)).unwrap();
+        gov.observe(&report(qos * 4.0, false)).unwrap();
+        gov.observe(&report(qos * 0.5, false)).unwrap();
+        gov.observe(&report(qos * 0.5, false)).unwrap();
+        assert_eq!(gov.inner().value, 8);
+        gov.restore_round_snapshot(&snapshot).unwrap();
+        assert_eq!(gov.inner().value, 4, "state rolled back byte-exactly");
+        assert!(gov.last_good.is_none());
+        assert_eq!(gov.violation_streak, 0);
+        assert_eq!(gov.healthy_streak, 0);
+        // A failed restore leaves the inner manager and health untouched.
+        gov.observe(&report(qos * 0.5, false)).unwrap();
+        assert!(gov.restore_round_snapshot(&[1, 2, 3]).is_err());
+        assert_eq!(gov.inner().value, 5);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! - [`Dqn`] — the vanilla joint-action DQN of Section II-B1 (the
 //!   combinatorial-explosion strawman the BDQ replaces);
 //! - [`memory`] — the memory-complexity accounting behind the paper's
-//!   Hipster-vs-Twig comparison.
+//!   Hipster-vs-Twig comparison;
+//! - [`federate`] — the fleet-side aggregation math: the payload screening
+//!   ladder (CRC, shape, finiteness, quarantine eligibility, Byzantine
+//!   EWMA screen) and the permutation-invariant capacity-weighted merge.
 //!
 //! # Examples
 //!
@@ -49,6 +52,7 @@ mod bdq;
 pub mod checkpoint;
 mod dqn;
 mod error;
+pub mod federate;
 mod mabdq;
 pub mod memory;
 mod per;
@@ -62,6 +66,7 @@ pub use checkpoint::{
 };
 pub use dqn::{Dqn, DqnConfig};
 pub use error::RlError;
+pub use federate::{ByzantineScreen, Contribution, FedError, ScreenConfig};
 pub use mabdq::{
     BudgetedProgress, MaBdq, MaBdqConfig, MultiTransition, QuarantineConfig, QuarantineStats,
     TrainStats,

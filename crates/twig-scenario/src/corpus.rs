@@ -103,6 +103,14 @@ const FILES: &[(&str, &str)] = &[
         include_str!("../../../scenarios/cluster-demand-ramp.scn"),
     ),
     (
+        "cluster-federate-calm.scn",
+        include_str!("../../../scenarios/cluster-federate-calm.scn"),
+    ),
+    (
+        "cluster-federate-byzantine.scn",
+        include_str!("../../../scenarios/cluster-federate-byzantine.scn"),
+    ),
+    (
         "kitchen-sink.scn",
         include_str!("../../../scenarios/kitchen-sink.scn"),
     ),

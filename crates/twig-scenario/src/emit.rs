@@ -42,6 +42,9 @@ pub fn emit(s: &Scenario) -> String {
     if let Some(c) = &s.cluster_faults {
         emit_cluster_faults(&mut out, c);
     }
+    if let Some(f) = &s.federate {
+        emit_federate(&mut out, f);
+    }
 
     if !s.asserts.is_empty() {
         out.push('\n');
@@ -308,6 +311,62 @@ fn emit_cluster_faults(out: &mut String, cf: &crate::model::ClusterFaultSection)
     out.push_str("end\n");
 }
 
+fn emit_federate(out: &mut String, f: &crate::model::FederateSection) {
+    use twig_cluster::{ByzantineFlavor, FedEvent, FederateConfig};
+    let defaults = FederateConfig::default();
+    out.push('\n');
+    out.push_str("federate\n");
+    let _ = writeln!(out, "  seed {}", f.seed);
+    if f.period != defaults.round_period {
+        let _ = writeln!(out, "  period {}", f.period);
+    }
+    if f.quorum != defaults.min_quorum {
+        let _ = writeln!(out, "  quorum {}", f.quorum);
+    }
+    if f.timeout != defaults.collect_timeout {
+        let _ = writeln!(out, "  timeout {}", f.timeout);
+    }
+    let c = &f.config;
+    if c.corrupt_rate != 0.0 {
+        let _ = writeln!(out, "  corrupt_rate {}", c.corrupt_rate);
+    }
+    if c.truncate_rate != 0.0 {
+        let _ = writeln!(out, "  truncate_rate {}", c.truncate_rate);
+    }
+    if c.byzantine_rate != 0.0 {
+        let _ = writeln!(out, "  byzantine_rate {}", c.byzantine_rate);
+    }
+    if c.straggler_rate != 0.0 || c.straggle_epochs != 1 {
+        let _ = writeln!(out, "  straggle {} {}", c.straggler_rate, c.straggle_epochs);
+    }
+    if c.drop_rate != 0.0 {
+        let _ = writeln!(out, "  drop_rate {}", c.drop_rate);
+    }
+    if c.poison_merge_rate != 0.0 {
+        let _ = writeln!(out, "  poison_rate {}", c.poison_merge_rate);
+    }
+    for ev in &c.scripted {
+        let _ = match &ev.event {
+            FedEvent::Corrupt { node } => writeln!(out, "  at {} corrupt {node}", ev.round),
+            FedEvent::Truncate { node } => writeln!(out, "  at {} truncate {node}", ev.round),
+            FedEvent::Byzantine { node, flavor } => {
+                let word = match flavor {
+                    ByzantineFlavor::Garbage => "garbage",
+                    ByzantineFlavor::NonFinite => "nonfinite",
+                    ByzantineFlavor::Offset => "offset",
+                };
+                writeln!(out, "  at {} byzantine {node} {word}", ev.round)
+            }
+            FedEvent::Straggle { node, epochs } => {
+                writeln!(out, "  at {} straggle {node} {epochs}", ev.round)
+            }
+            FedEvent::Drop { node } => writeln!(out, "  at {} drop {node}", ev.round),
+            FedEvent::PoisonMerge => writeln!(out, "  at {} poison_merge", ev.round),
+        };
+    }
+    out.push_str("end\n");
+}
+
 /// Renders one `assert` line (with trailing newline) in canonical form.
 pub(crate) fn emit_assert_line(out: &mut String, a: &Assertion) {
     let _ = match a {
@@ -321,6 +380,8 @@ pub(crate) fn emit_assert_line(out: &mut String, a: &Assertion) {
         Assertion::ZeroStaleActuations => writeln!(out, "assert zero_stale_actuations"),
         Assertion::Conserved => writeln!(out, "assert conserved"),
         Assertion::MaxFailover { epochs } => writeln!(out, "assert max_failover {epochs}"),
+        Assertion::FedRounds { committed } => writeln!(out, "assert fed_rounds {committed}"),
+        Assertion::FedScreened { rejected } => writeln!(out, "assert fed_screened {rejected}"),
         Assertion::Deterministic => writeln!(out, "assert deterministic"),
     };
 }

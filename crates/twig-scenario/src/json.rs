@@ -81,6 +81,7 @@ impl Scenario {
         o.field_bool("has_faults", self.faults.is_some());
         o.field_bool("has_timing", self.timing.is_some());
         o.field_bool("has_cluster_faults", self.cluster_faults.is_some());
+        o.field_bool("has_federate", self.federate.is_some());
         o.field_u64("asserts", self.asserts.len() as u64);
         o.finish()
     }

@@ -4,7 +4,7 @@ use crate::ScenarioError;
 fn bad(detail: impl Into<String>) -> ScenarioError {
     ScenarioError::invalid(detail)
 }
-use twig_cluster::ClusterFaultConfig;
+use twig_cluster::{ClusterFaultConfig, FedFaultConfig, FederateConfig};
 use twig_sim::{catalog, DvfsLadder, FaultConfig, LoadGenerator, ServiceSpec, TimingFaultConfig};
 
 /// One parsed scenario: everything a [`crate::ScenarioRunner`] needs to
@@ -38,6 +38,9 @@ pub struct Scenario {
     pub timing: Option<TimingSection>,
     /// Cluster fault plan (crashes, partitions, migrations, ...).
     pub cluster_faults: Option<ClusterFaultSection>,
+    /// Federated-learning plane: periodic weight-exchange rounds plus
+    /// their seeded fault plan (cluster topology only).
+    pub federate: Option<FederateSection>,
     /// Properties the run must exhibit; at least one.
     pub asserts: Vec<Assertion>,
 }
@@ -160,6 +163,35 @@ pub struct ClusterFaultSection {
     pub config: ClusterFaultConfig,
 }
 
+/// Federated-learning plane settings plus its seeded fault plan
+/// (cluster topology only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederateSection {
+    /// Seed for the federation fault plan's private RNG.
+    pub seed: u64,
+    /// Epochs between weight-exchange round starts.
+    pub period: u64,
+    /// Minimum accepted payloads per service before a merge happens.
+    pub quorum: usize,
+    /// Collection window, epochs, before stragglers are cut off.
+    pub timeout: u64,
+    /// Federation fault rates plus exact scripted per-round events.
+    pub config: FedFaultConfig,
+}
+
+impl FederateSection {
+    /// The [`FederateConfig`] this section compiles to: the three
+    /// DSL-exposed knobs over library defaults for the rest.
+    pub fn to_config(&self) -> FederateConfig {
+        FederateConfig {
+            round_period: self.period,
+            min_quorum: self.quorum,
+            collect_timeout: self.timeout,
+            ..FederateConfig::default()
+        }
+    }
+}
+
 /// One property the finished run must exhibit, evaluated in the style of
 /// the chaos and timing suites.
 #[derive(Debug, Clone, PartialEq)]
@@ -202,6 +234,19 @@ pub enum Assertion {
     MaxFailover {
         /// Maximum detection latency, epochs.
         epochs: u64,
+    },
+    /// At least this many federation rounds committed a merge (requires a
+    /// `federate` section).
+    FedRounds {
+        /// Minimum committed rounds.
+        committed: u64,
+    },
+    /// The federation screening ladder rejected at least this many
+    /// payloads — corrupt, wrong-shape, non-finite or Byzantine-divergent
+    /// (requires a `federate` section).
+    FedScreened {
+        /// Minimum rejected payloads.
+        rejected: u64,
     },
     /// Running the scenario twice produces bit-identical outcomes.
     Deterministic,
@@ -269,6 +314,14 @@ impl Scenario {
                 .validate()
                 .map_err(|e| bad(format!("cluster_faults: {e}")))?;
         }
+        if let Some(f) = &self.federate {
+            f.to_config()
+                .validate()
+                .map_err(|e| bad(format!("federate: {e}")))?;
+            f.config
+                .validate()
+                .map_err(|e| bad(format!("federate: {e}")))?;
+        }
         Ok(())
     }
 
@@ -282,6 +335,9 @@ impl Scenario {
                     .map_err(|e| bad(format!("server dvfs: {e}")))?;
                 if self.cluster_faults.is_some() {
                     return Err(bad("cluster_faults section on a server scenario"));
+                }
+                if self.federate.is_some() {
+                    return Err(bad("federate section on a server scenario"));
                 }
                 if self.timing.is_some() && self.segments > 1 {
                     return Err(bad("timing and segments > 1 cannot be combined"));
@@ -366,6 +422,11 @@ impl Scenario {
             Assertion::Conserved | Assertion::MaxFailover { .. } => {
                 if !is_cluster {
                     return Err(bad("conserved/max_failover are cluster-only"));
+                }
+            }
+            Assertion::FedRounds { .. } | Assertion::FedScreened { .. } => {
+                if self.federate.is_none() {
+                    return Err(bad("fed_rounds/fed_screened require a federate section"));
                 }
             }
             Assertion::Deterministic => {}

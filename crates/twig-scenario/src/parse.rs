@@ -4,7 +4,7 @@
 //! whitespace, strings double-quoted (`\"` and `\\` escapes), `#` starting
 //! a comment. Top-level records are scalar fields (`seed`, `epochs`, ...),
 //! `assert` lines, and sections (`server`, `cluster`, `service`, `faults`,
-//! `timing`, `cluster_faults`) closed by a bare `end`. The parser accepts
+//! `timing`, `cluster_faults`, `federate`) closed by a bare `end`. The parser accepts
 //! flexible whitespace and comments; [`crate::emit`] produces the one
 //! canonical form, so `emit(parse(emit(s))) == emit(s)` for every
 //! scenario and corpus files authored canonically round-trip
@@ -14,11 +14,14 @@
 //! scenario is ready to run.
 
 use crate::model::{
-    Assertion, ClusterFaultSection, FaultSection, Scenario, ServiceDef, SpecSource, TimingSection,
-    Topology,
+    Assertion, ClusterFaultSection, FaultSection, FederateSection, Scenario, ServiceDef,
+    SpecSource, TimingSection, Topology,
 };
 use crate::ScenarioError;
-use twig_cluster::{ClusterEvent, ClusterFaultConfig, ScriptedEvent};
+use twig_cluster::{
+    ByzantineFlavor, ClusterEvent, ClusterFaultConfig, FedEvent, FedFaultConfig, FedScripted,
+    FederateConfig, ScriptedEvent,
+};
 use twig_sim::{FaultConfig, LoadGenerator, SimError, TimingFaultConfig};
 
 /// One token: a bare word or a quoted string.
@@ -82,6 +85,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
     let mut faults: Option<FaultSection> = None;
     let mut timing: Option<TimingSection> = None;
     let mut cluster_faults: Option<ClusterFaultSection> = None;
+    let mut federate: Option<FederateSection> = None;
     let mut asserts: Vec<Assertion> = Vec::new();
 
     while let Some((line, toks)) = it.next() {
@@ -144,6 +148,13 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     "cluster_faults",
                 )?)?);
             }
+            "federate" => {
+                if federate.is_some() {
+                    return Err(ScenarioError::Duplicate { line, key });
+                }
+                expect_arity(line, &toks, 1)?;
+                federate = Some(parse_federate(section_body(&mut it, "federate")?)?);
+            }
             "assert" => asserts.push(parse_assert(line, &toks)?),
             "end" => return Err(parse_err(line, "`end` without an open section")),
             _ => return Err(ScenarioError::UnknownKey { line, key }),
@@ -166,6 +177,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         faults,
         timing,
         cluster_faults,
+        federate,
         asserts,
     };
     scenario.validate()?;
@@ -696,6 +708,120 @@ fn parse_cluster_faults(
     })
 }
 
+fn parse_federate(body: Vec<(usize, Vec<Token>)>) -> Result<FederateSection, ScenarioError> {
+    let defaults = FederateConfig::default();
+    let mut seed: Option<u64> = None;
+    let mut period = defaults.round_period;
+    let mut quorum = defaults.min_quorum;
+    let mut timeout = defaults.collect_timeout;
+    let mut config = FedFaultConfig::default();
+    let mut seen: Vec<String> = Vec::new();
+    for (line, toks) in body {
+        let key = toks[0].text().to_string();
+        if key == "seed" {
+            set_once(line, "seed", &mut seed, one_u64(line, "seed", &toks)?)?;
+            continue;
+        }
+        if key == "at" {
+            config.scripted.push(parse_fed_scripted(line, &toks)?);
+            continue;
+        }
+        if seen.contains(&key) {
+            return Err(ScenarioError::Duplicate { line, key });
+        }
+        match key.as_str() {
+            "period" => period = scalar_n(line, &toks)?,
+            "quorum" => quorum = scalar_n(line, &toks)?,
+            "timeout" => timeout = scalar_n(line, &toks)?,
+            "corrupt_rate" => config.corrupt_rate = scalar(line, &toks)?,
+            "truncate_rate" => config.truncate_rate = scalar(line, &toks)?,
+            "byzantine_rate" => config.byzantine_rate = scalar(line, &toks)?,
+            "straggle" => {
+                expect_arity(line, &toks, 3)?;
+                config.straggler_rate = num(line, &toks[1])?;
+                config.straggle_epochs = num(line, &toks[2])?;
+            }
+            "drop_rate" => config.drop_rate = scalar(line, &toks)?,
+            "poison_rate" => config.poison_merge_rate = scalar(line, &toks)?,
+            _ => return Err(ScenarioError::UnknownKey { line, key }),
+        }
+        seen.push(key);
+    }
+    Ok(FederateSection {
+        seed: seed.ok_or_else(|| ScenarioError::Truncated {
+            detail: "federate section missing `seed`".into(),
+        })?,
+        period,
+        quorum,
+        timeout,
+        config,
+    })
+}
+
+fn parse_fed_scripted(line: usize, toks: &[Token]) -> Result<FedScripted, ScenarioError> {
+    if toks.len() < 3 {
+        return Err(parse_err(line, "`at` needs a round and an event"));
+    }
+    let round: u64 = num(line, &toks[1])?;
+    let rest = &toks[3..];
+    let event = match toks[2].text() {
+        "corrupt" => {
+            let [n] = take::<1>(line, rest)?;
+            FedEvent::Corrupt {
+                node: num(line, n)?,
+            }
+        }
+        "truncate" => {
+            let [n] = take::<1>(line, rest)?;
+            FedEvent::Truncate {
+                node: num(line, n)?,
+            }
+        }
+        "byzantine" => {
+            let [n, flavor] = take::<2>(line, rest)?;
+            let flavor = match flavor.text() {
+                "garbage" => ByzantineFlavor::Garbage,
+                "nonfinite" => ByzantineFlavor::NonFinite,
+                "offset" => ByzantineFlavor::Offset,
+                other => {
+                    return Err(parse_err(
+                        line,
+                        format!("unknown byzantine flavor `{other}` (garbage|nonfinite|offset)"),
+                    ))
+                }
+            };
+            FedEvent::Byzantine {
+                node: num(line, n)?,
+                flavor,
+            }
+        }
+        "straggle" => {
+            let [n, e] = take::<2>(line, rest)?;
+            FedEvent::Straggle {
+                node: num(line, n)?,
+                epochs: num(line, e)?,
+            }
+        }
+        "drop" => {
+            let [n] = take::<1>(line, rest)?;
+            FedEvent::Drop {
+                node: num(line, n)?,
+            }
+        }
+        "poison_merge" => {
+            take::<0>(line, rest)?;
+            FedEvent::PoisonMerge
+        }
+        other => {
+            return Err(ScenarioError::UnknownKey {
+                line,
+                key: format!("at {other}"),
+            })
+        }
+    };
+    Ok(FedScripted { round, event })
+}
+
 fn parse_scripted(line: usize, toks: &[Token]) -> Result<ScriptedEvent, ScenarioError> {
     if toks.len() < 3 {
         return Err(parse_err(line, "`at` needs an epoch and an event"));
@@ -805,6 +931,18 @@ fn parse_assert(line: usize, toks: &[Token]) -> Result<Assertion, ScenarioError>
             let [e] = take::<1>(line, rest)?;
             Ok(Assertion::MaxFailover {
                 epochs: num(line, e)?,
+            })
+        }
+        "fed_rounds" => {
+            let [n] = take::<1>(line, rest)?;
+            Ok(Assertion::FedRounds {
+                committed: num(line, n)?,
+            })
+        }
+        "fed_screened" => {
+            let [n] = take::<1>(line, rest)?;
+            Ok(Assertion::FedScreened {
+                rejected: num(line, n)?,
             })
         }
         "deterministic" => {

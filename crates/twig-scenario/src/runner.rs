@@ -14,7 +14,8 @@ use crate::model::{Assertion, Scenario, Topology};
 use crate::ScenarioError;
 use std::sync::atomic::{AtomicU64, Ordering};
 use twig_cluster::{
-    AgentTuning, Cluster, ClusterConfig, ClusterFaultPlan, CoordinatorConfig, NodePlatform,
+    AgentTuning, Cluster, ClusterConfig, ClusterFaultPlan, CoordinatorConfig, FedFaultPlan,
+    NodePlatform,
 };
 use twig_core::{
     recover, ActuationDirective, CheckpointStore, EpochScheduler, GovernorConfig,
@@ -80,6 +81,14 @@ pub struct ClusterOutcome {
     pub bounced: u64,
     /// Nodes alive after the final epoch.
     pub live_nodes_final: usize,
+    /// `fed.rounds_committed` at the end of the run (0 without a
+    /// `federate` section).
+    pub fed_rounds_committed: u64,
+    /// Payloads the federation screening ladder rejected — corrupt,
+    /// wrong-shape, non-finite or Byzantine-divergent.
+    pub fed_rejected: u64,
+    /// Cold replicas re-warmed by a federated merge.
+    pub fed_cold_transfers: u64,
 }
 
 /// One evaluated property.
@@ -404,6 +413,12 @@ impl ScenarioRunner {
             None => ClusterFaultPlan::disabled(),
         };
         let mut cluster = Cluster::new(config, plan, Telemetry::disabled()).map_err(run_err)?;
+        if let Some(f) = &s.federate {
+            let fed_plan = FedFaultPlan::new(f.config.clone(), f.seed).map_err(run_err)?;
+            cluster
+                .enable_federation(f.to_config(), fed_plan)
+                .map_err(run_err)?;
+        }
 
         let mut acc = Accumulator::new(s);
         let mut conserved = true;
@@ -435,6 +450,7 @@ impl ScenarioRunner {
             }
         }
         let stats = cluster.stats();
+        let fed = cluster.fed_stats();
         let cluster_outcome = ClusterOutcome {
             conserved,
             conservation_failures: stats.conservation_failures,
@@ -450,6 +466,12 @@ impl ScenarioRunner {
             routed: stats.routed_rps,
             bounced: stats.bounced_rps,
             live_nodes_final: live_final,
+            fed_rounds_committed: fed.rounds_committed,
+            fed_rejected: fed.rejected_corrupt
+                + fed.rejected_shape
+                + fed.rejected_nonfinite
+                + fed.rejected_divergent,
+            fed_cold_transfers: fed.cold_transfers,
         };
         Ok(acc.into_outcome(s, Some(cluster_outcome)))
     }
@@ -791,6 +813,9 @@ fn digest(o: &ScenarioOutcome) -> u64 {
         h.u64(c.routed);
         h.u64(c.bounced);
         h.u64(c.live_nodes_final as u64);
+        h.u64(c.fed_rounds_committed);
+        h.u64(c.fed_rejected);
+        h.u64(c.fed_cold_transfers);
     }
     h.finish()
 }
@@ -894,6 +919,26 @@ fn evaluate(a: &Assertion, o: &ScenarioOutcome, rerun_digest: Option<u64>) -> As
                 format!(
                     "worst failover {} epochs vs bound {epochs} ({} failovers)",
                     c.max_failover_latency, c.failovers
+                ),
+            ),
+            None => (false, "not a cluster run".to_string()),
+        },
+        Assertion::FedRounds { committed } => match &o.cluster {
+            Some(c) => (
+                c.fed_rounds_committed >= *committed,
+                format!(
+                    "{} committed federation rounds vs floor {committed}",
+                    c.fed_rounds_committed
+                ),
+            ),
+            None => (false, "not a cluster run".to_string()),
+        },
+        Assertion::FedScreened { rejected } => match &o.cluster {
+            Some(c) => (
+                c.fed_rejected >= *rejected,
+                format!(
+                    "{} payloads rejected by the screening ladder vs floor {rejected}",
+                    c.fed_rejected
                 ),
             ),
             None => (false, "not a cluster run".to_string()),

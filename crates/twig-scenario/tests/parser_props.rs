@@ -97,6 +97,70 @@ fn push_service(out: &mut String, rng: &mut Xoshiro256, id: usize, epochs: u64, 
     writeln!(out).unwrap();
 }
 
+/// Emits one random federate section (cluster scenarios only).
+fn push_federate(out: &mut String, rng: &mut Xoshiro256) {
+    writeln!(out, "federate").unwrap();
+    writeln!(out, "  seed {}", rng.range_usize(0, 10_000)).unwrap();
+    if rng.next_bool(0.5) {
+        writeln!(out, "  period {}", rng.range_usize(2, 20)).unwrap();
+    }
+    if rng.next_bool(0.5) {
+        writeln!(out, "  quorum {}", rng.range_usize(1, 4)).unwrap();
+    }
+    if rng.next_bool(0.3) {
+        writeln!(out, "  timeout {}", rng.range_usize(1, 6)).unwrap();
+    }
+    for key in [
+        "corrupt_rate",
+        "truncate_rate",
+        "byzantine_rate",
+        "drop_rate",
+    ] {
+        if rng.next_bool(0.3) {
+            writeln!(out, "  {key} {}", rng.range_usize(1, 50) as f64 / 100.0).unwrap();
+        }
+    }
+    if rng.next_bool(0.3) {
+        writeln!(
+            out,
+            "  straggle {} {}",
+            rng.range_usize(1, 50) as f64 / 100.0,
+            rng.range_usize(1, 6)
+        )
+        .unwrap();
+    }
+    if rng.next_bool(0.2) {
+        writeln!(
+            out,
+            "  poison_rate {}",
+            rng.range_usize(1, 40) as f64 / 100.0
+        )
+        .unwrap();
+    }
+    for _ in 0..rng.range_usize(0, 4) {
+        let round = rng.range_usize(1, 12);
+        let node = rng.range_usize(0, 4);
+        match rng.range_usize(0, 6) {
+            0 => writeln!(out, "  at {round} corrupt {node}").unwrap(),
+            1 => writeln!(out, "  at {round} truncate {node}").unwrap(),
+            2 => {
+                let flavor = ["garbage", "nonfinite", "offset"][rng.range_usize(0, 3)];
+                writeln!(out, "  at {round} byzantine {node} {flavor}").unwrap();
+            }
+            3 => writeln!(
+                out,
+                "  at {round} straggle {node} {}",
+                rng.range_usize(1, 6)
+            )
+            .unwrap(),
+            4 => writeln!(out, "  at {round} drop {node}").unwrap(),
+            _ => writeln!(out, "  at {round} poison_merge").unwrap(),
+        }
+    }
+    writeln!(out, "end").unwrap();
+    writeln!(out).unwrap();
+}
+
 /// Generates one random, grammatically valid scenario text.
 fn random_scenario(rng: &mut Xoshiro256, case: usize) -> String {
     let epochs = rng.range_usize(20, 400) as u64;
@@ -144,6 +208,11 @@ fn random_scenario(rng: &mut Xoshiro256, case: usize) -> String {
         push_service(&mut s, rng, i, epochs, !cluster);
     }
 
+    let federate = cluster && rng.next_bool(0.5);
+    if federate {
+        push_federate(&mut s, rng);
+    }
+
     if !cluster && rng.next_bool(0.4) {
         writeln!(s, "faults").unwrap();
         writeln!(s, "  seed {}", rng.range_usize(0, 10_000)).unwrap();
@@ -172,6 +241,14 @@ fn random_scenario(rng: &mut Xoshiro256, case: usize) -> String {
     }
     if cluster && rng.next_bool(0.5) {
         writeln!(s, "assert conserved").unwrap();
+    }
+    if federate {
+        if rng.next_bool(0.6) {
+            writeln!(s, "assert fed_rounds {}", rng.range_usize(1, 5)).unwrap();
+        }
+        if rng.next_bool(0.4) {
+            writeln!(s, "assert fed_screened {}", rng.range_usize(1, 5)).unwrap();
+        }
     }
     s
 }
@@ -286,6 +363,97 @@ fn truncated_input_is_rejected() {
             assert!(detail.contains("service"), "detail: {detail}")
         }
         other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+/// A minimal valid cluster scenario with a federate section, used as the
+/// base for the federate rejection tests.
+const FED_BASE: &str = "\
+scenario \"fed-rejection-base\"
+desc \"base\"
+seed 1
+epochs 50
+measure 10
+
+cluster
+  replication 2
+  suspect_after 2
+  node 18 1200 100 9
+  node 18 1200 100 9
+end
+
+service \"masstree\"
+  spec catalog masstree
+  load fixed 0.3
+end
+
+federate
+  seed 7
+end
+
+assert conserved
+";
+
+#[test]
+fn fed_base_scenario_is_valid() {
+    parse(FED_BASE).unwrap();
+}
+
+#[test]
+fn unknown_federate_key_is_rejected() {
+    let text = FED_BASE.replace("  seed 7", "  seed 7\n  gossip_fanout 3");
+    match parse(&text) {
+        Err(ScenarioError::UnknownKey { key, .. }) => assert_eq!(key, "gossip_fanout"),
+        other => panic!("expected UnknownKey, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_byzantine_flavor_is_rejected() {
+    let text = FED_BASE.replace("  seed 7", "  seed 7\n  at 1 byzantine 0 sneaky");
+    match parse(&text) {
+        Err(ScenarioError::Parse { detail, .. }) => {
+            assert!(detail.contains("sneaky"), "detail: {detail}")
+        }
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn federate_section_without_seed_is_rejected() {
+    let text = FED_BASE.replace("  seed 7\n", "  period 5\n");
+    match parse(&text) {
+        Err(ScenarioError::Truncated { detail }) => {
+            assert!(detail.contains("seed"), "detail: {detail}")
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn fed_assertion_without_federate_section_is_rejected() {
+    let text = FED_BASE
+        .replace("federate\n  seed 7\nend\n\n", "")
+        .replace("assert conserved", "assert fed_rounds 2");
+    match parse(&text) {
+        Err(ScenarioError::Invalid { detail }) => {
+            assert!(detail.contains("federate"), "detail: {detail}")
+        }
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+}
+
+#[test]
+fn federate_on_single_server_is_rejected() {
+    let text = BASE.replace(
+        "\nassert qos_floor all 10",
+        "\nfederate\n  seed 7\nend\n\nassert qos_floor all 10",
+    );
+    match parse(&text) {
+        Err(ScenarioError::Invalid { detail }) => {
+            assert!(detail.contains("federate"), "detail: {detail}")
+        }
+        other => panic!("expected Invalid, got {other:?}"),
     }
 }
 

@@ -38,7 +38,14 @@
 #    (read-back verify, bounded retries, divergence routed to degraded
 #    mode) and sim-backend bit-identity internally; the report lands in
 #    results/platform_report.txt.
-# 8. bench_decide (--smoke, via scripts/bench_decide.sh) sweeps the agent
+# 8. The federate suite (--smoke, fixed seed, --jobs 2) runs the seeded
+#    weight-exchange schedules — corrupt payload storms, Byzantine
+#    nodes, straggler quorums, mid-round partitions — against the
+#    federation plane, asserting exact screening-ladder accounting,
+#    rollback on poisoned merges, round-abort with weights untouched,
+#    and the cluster-scale policy-transfer result internally; the
+#    report lands in results/federate_report.txt.
+# 9. bench_decide (--smoke, via scripts/bench_decide.sh) sweeps the agent
 #    count and asserts the fused inference path is bit-identical to the
 #    per-agent loop and allocation-free; results/BENCH_decide.json. The
 #    baseline latency-regression check runs only in the full (CI
@@ -50,7 +57,7 @@ cd "$(dirname "$0")/.."
 mkdir -p results
 
 echo "== bench_smoke: building release binaries =="
-cargo build --release --offline -p twig-bench --bin bench_fleet --bin fig01_pmc_vs_ipc --bin chaos --bin timing --bin cluster --bin scenario --bin platform
+cargo build --release --offline -p twig-bench --bin bench_fleet --bin fig01_pmc_vs_ipc --bin chaos --bin timing --bin cluster --bin scenario --bin platform --bin federate
 cargo build --release --offline -p twig-scenario --bin scnfmt
 
 echo "== bench_smoke: fleet perf smoke (results/BENCH_fleet.json) =="
@@ -74,6 +81,9 @@ echo "== bench_smoke: scenario corpus (results/scenario_report.txt) =="
 
 echo "== bench_smoke: platform suite (results/platform_report.txt) =="
 ./target/release/platform --smoke --seed 42 --jobs 2 | tee results/platform_report.txt
+
+echo "== bench_smoke: federate suite (results/federate_report.txt) =="
+./target/release/federate --smoke --seed 42 --jobs 2 | tee results/federate_report.txt
 
 echo "== bench_smoke: decide-latency smoke (results/BENCH_decide.json) =="
 bash scripts/bench_decide.sh --smoke

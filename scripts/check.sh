@@ -55,6 +55,30 @@ check_bench_baseline() {
     done
 }
 
+# Every suite report bench_smoke.sh tees into results/ must actually be
+# there once any report exists — a suite silently dropped from the script
+# (or a renamed report file) would otherwise vanish from the CI artifact
+# without failing anything. On a fresh clone (no reports yet) this passes:
+# the guard checks manifest completeness, not that the suites have run.
+check_report_manifest() {
+    local ok=0 report
+    local expected
+    expected=$(grep -o 'results/[a-z_]*_report\.txt' scripts/bench_smoke.sh | sort -u)
+    [ -n "$expected" ] || {
+        echo "scripts/bench_smoke.sh tees no results/*_report.txt — manifest guard is stale"
+        return 1
+    }
+    # shellcheck disable=SC2144
+    ls results/*_report.txt >/dev/null 2>&1 || return 0
+    for report in $expected; do
+        [ -f "$report" ] || {
+            echo "$report is referenced by scripts/bench_smoke.sh but missing from results/"
+            ok=1
+        }
+    done
+    return "$ok"
+}
+
 # Every workspace crate must forbid unsafe code at the crate root. A grep
 # guard rather than a compile check so a missing attribute fails loudly
 # even on crates whose code happens to contain no unsafe today.
@@ -74,6 +98,7 @@ step "build"          cargo build --release --offline --workspace
 step "test"           cargo test -q --offline --workspace
 step "clippy"         cargo clippy --offline --workspace --all-targets -- -D warnings
 step "bench-baseline" check_bench_baseline
+step "report-manifest" check_report_manifest
 step "forbid-unsafe"  check_forbid_unsafe
 
 if [ "$fail" -ne 0 ]; then
